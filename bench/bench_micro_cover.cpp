@@ -1,0 +1,133 @@
+// Micro-benchmarks: covering machinery — greedy MpU on realistic
+// backward-path families, densest subhypergraph engines, and Dinic.
+#include <benchmark/benchmark.h>
+
+#include "cover/densest.hpp"
+#include "cover/maxflow.hpp"
+#include "cover/mpu.hpp"
+#include "core/pair_sampler.hpp"
+#include "diffusion/realization.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace af;
+
+/// A realization family sampled once from a wiki-like instance.
+const SetFamily& shared_family() {
+  static SetFamily fam = [] {
+    Rng rng(1);
+    const Graph g = barabasi_albert(7'000, 15, rng)
+                        .build(WeightScheme::inverse_degree());
+    PairSamplerConfig cfg;
+    cfg.estimate_samples = 2'000;
+    const auto pair = sample_pair(g, cfg, rng);
+    SetFamily out(g.num_nodes());
+    if (pair) {
+      const FriendingInstance inst(g, pair->s, pair->t);
+      ReversePathSampler sampler(inst);
+      for (int i = 0; i < 50'000; ++i) {
+        const TgSample tg = sampler.sample(rng);
+        if (tg.type1) out.add_set(tg.path);
+      }
+    }
+    if (out.total_multiplicity() == 0) {
+      out.add_set(std::vector<NodeId>{0});  // degenerate fallback
+    }
+    return out;
+  }();
+  return fam;
+}
+
+void BM_GreedyMpu(benchmark::State& state) {
+  const SetFamily& fam = shared_family();
+  const auto p = std::max<std::uint64_t>(
+      1, fam.total_multiplicity() * static_cast<std::uint64_t>(state.range(0)) / 100);
+  const GreedyMpuSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(fam, p).union_elements.size());
+  }
+}
+BENCHMARK(BM_GreedyMpu)->Arg(10)->Arg(50)->Arg(90);
+
+void BM_SmallestSets(benchmark::State& state) {
+  const SetFamily& fam = shared_family();
+  const auto p = std::max<std::uint64_t>(1, fam.total_multiplicity() / 2);
+  const SmallestSetsSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(fam, p).union_elements.size());
+  }
+}
+BENCHMARK(BM_SmallestSets);
+
+void BM_LocalSearchRefine(benchmark::State& state) {
+  const SetFamily& fam = shared_family();
+  const auto p = std::max<std::uint64_t>(1, fam.total_multiplicity() / 2);
+  const GreedyMpuSolver solver;
+  const MpuResult start = solver.solve(fam, p);
+  for (auto _ : state) {
+    MpuResult copy = start;
+    benchmark::DoNotOptimize(
+        refine_local_search(fam, p, std::move(copy)).union_elements.size());
+  }
+}
+BENCHMARK(BM_LocalSearchRefine);
+
+void BM_DensestPeeling(benchmark::State& state) {
+  const SetFamily& fam = shared_family();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(densest_subfamily_peeling(fam).density);
+  }
+}
+BENCHMARK(BM_DensestPeeling);
+
+void BM_DensestExact(benchmark::State& state) {
+  // Synthetic medium family: exact flow engine scaling.
+  static const SetFamily fam = [] {
+    Rng rng(7);
+    SetFamily out(500);
+    for (int i = 0; i < 300; ++i) {
+      std::vector<NodeId> s;
+      const int len = 2 + static_cast<int>(rng.uniform_int(std::uint64_t{6}));
+      for (int j = 0; j < len; ++j) {
+        s.push_back(static_cast<NodeId>(rng.uniform_int(std::uint64_t{500})));
+      }
+      out.add_set(s);
+    }
+    return out;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(densest_subfamily_exact(fam).density);
+  }
+}
+BENCHMARK(BM_DensestExact);
+
+void BM_DinicBipartite(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    MaxFlow flow(static_cast<std::uint32_t>(2 * n + 2));
+    const std::uint32_t src = 0;
+    const auto snk = static_cast<std::uint32_t>(2 * n + 1);
+    for (int i = 0; i < n; ++i) {
+      flow.add_edge(src, static_cast<std::uint32_t>(1 + i), 1.0);
+      flow.add_edge(static_cast<std::uint32_t>(1 + n + i), snk, 1.0);
+      for (int j = 0; j < 4; ++j) {
+        flow.add_edge(static_cast<std::uint32_t>(1 + i),
+                      static_cast<std::uint32_t>(
+                          1 + n + rng.uniform_int(static_cast<std::uint64_t>(n))),
+                      1.0);
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow.solve(src, snk));
+  }
+}
+BENCHMARK(BM_DinicBipartite)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

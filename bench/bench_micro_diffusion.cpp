@@ -1,0 +1,104 @@
+// Micro-benchmarks: diffusion primitives — reverse path sampling (the
+// inner loop of RAF), forward Process-1 simulation, full realization
+// materialization, and DKLR estimation.
+#include <benchmark/benchmark.h>
+
+#include "core/pair_sampler.hpp"
+#include "diffusion/dklr.hpp"
+#include "diffusion/forward_process.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "diffusion/realization.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace af;
+
+struct Fixture {
+  Graph graph;
+  NodeId s = 0;
+  NodeId t = 0;
+
+  static const Fixture& get() {
+    static Fixture fx = [] {
+      Fixture f;
+      Rng rng(1);
+      f.graph = barabasi_albert(7'000, 15, rng)
+                    .build(WeightScheme::inverse_degree());
+      PairSamplerConfig cfg;
+      cfg.estimate_samples = 2'000;
+      const auto pair = sample_pair(f.graph, cfg, rng);
+      f.s = pair ? pair->s : 0;
+      f.t = pair ? pair->t : 2;
+      return f;
+    }();
+    return fx;
+  }
+};
+
+void BM_ReversePathSample(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  ReversePathSampler sampler(inst);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng).type1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReversePathSample);
+
+void BM_ForwardProcessFullInvite(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  ForwardProcess proc(inst);
+  const InvitationSet full = InvitationSet::full(inst);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proc.run(full, rng).target_reached);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForwardProcessFullInvite);
+
+void BM_FullRealization(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_full_realization(fx.graph, rng).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullRealization);
+
+void BM_EstimateF_Reverse10k(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  MonteCarloEvaluator mc(inst);
+  const InvitationSet full = InvitationSet::full(inst);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.estimate_f(full, 10'000, rng).successes);
+  }
+}
+BENCHMARK(BM_EstimateF_Reverse10k);
+
+void BM_DklrPmax(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(6);
+  DklrConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.delta = 0.05;
+  cfg.max_samples = 500'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_pmax_dklr(inst, rng, cfg).estimate);
+  }
+}
+BENCHMARK(BM_DklrPmax);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Micro-benchmarks: graph substrate — generation, CSR build, BFS,
+// block-cut tree, V_max.
+#include <benchmark/benchmark.h>
+
+#include "core/vmax.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/blockcut.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace af;
+
+void BM_BarabasiAlbertGenerate(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(1);
+    benchmark::DoNotOptimize(
+        barabasi_albert(n, 10, rng).num_edges_added());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BarabasiAlbertGenerate)->Arg(1'000)->Arg(10'000);
+
+void BM_CsrBuild(benchmark::State& state) {
+  Rng rng(2);
+  const auto builder = barabasi_albert(
+      static_cast<NodeId>(state.range(0)), 10, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        builder.build(WeightScheme::inverse_degree()).num_edges());
+  }
+}
+BENCHMARK(BM_CsrBuild)->Arg(1'000)->Arg(10'000);
+
+void BM_Bfs(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = barabasi_albert(static_cast<NodeId>(state.range(0)), 10,
+                                  rng)
+                      .build(WeightScheme::inverse_degree());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(g, NodeId{0}).size());
+  }
+}
+BENCHMARK(BM_Bfs)->Arg(10'000)->Arg(100'000);
+
+void BM_BlockCutTree(benchmark::State& state) {
+  Rng rng(4);
+  const Graph g = barabasi_albert(static_cast<NodeId>(state.range(0)), 3,
+                                  rng)
+                      .build(WeightScheme::inverse_degree());
+  for (auto _ : state) {
+    const BlockCutTree bct(g);
+    benchmark::DoNotOptimize(bct.num_blocks());
+  }
+}
+BENCHMARK(BM_BlockCutTree)->Arg(10'000)->Arg(100'000);
+
+void BM_ComputeVmax(benchmark::State& state) {
+  Rng rng(5);
+  const Graph g = barabasi_albert(static_cast<NodeId>(state.range(0)), 5,
+                                  rng)
+                      .build(WeightScheme::inverse_degree());
+  // A far-ish pair: node 0 (hub-adjacent) and the last node.
+  NodeId s = 0;
+  NodeId t = g.num_nodes() - 1;
+  if (g.has_edge(s, t)) t -= 1;
+  const FriendingInstance inst(g, s, t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_vmax(inst).size());
+  }
+}
+BENCHMARK(BM_ComputeVmax)->Arg(10'000)->Arg(100'000);
+
+void BM_DisjointShortestPaths(benchmark::State& state) {
+  Rng rng(6);
+  const Graph g =
+      barabasi_albert(50'000, 5, rng).build(WeightScheme::inverse_degree());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        node_disjoint_shortest_paths(g, 0, g.num_nodes() - 1, 5).size());
+  }
+}
+BENCHMARK(BM_DisjointShortestPaths);
+
+}  // namespace
+
+BENCHMARK_MAIN();

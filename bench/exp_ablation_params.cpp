@@ -1,0 +1,88 @@
+// Ablation (DESIGN.md §4.4): the ε0 policy. Compares the paper's
+// ε0 = n·ε1 rule (clamped when infeasible) against the balanced fixed
+// policy: the solved parameters, the theoretical budget l* each implies,
+// and the realized quality at a fixed practical l.
+#include <iostream>
+
+#include "core/raf.hpp"
+#include "exp_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace af;
+  using namespace af::bench;
+
+  ArgParser args("exp_ablation_params",
+                 "Ablation: eps0 policy (paper Eq. 17 vs balanced)");
+  add_common_flags(args, /*default_pairs=*/3);
+  args.add_double("alpha", 0.2, "alpha");
+  args.add_string("dataset", "wiki", "dataset analog");
+  args.add_int("max-realizations", 50'000, "practical cap on l");
+  if (!args.parse(argc, argv)) return 1;
+  const ExperimentEnv env = read_env(args);
+
+  Rng rng(env.seed);
+  const PreparedDataset data =
+      prepare_dataset(args.get_string("dataset"), env,
+                      env.full ? 10 : env.pairs, rng);
+  if (data.pairs.empty()) {
+    std::cout << "no pairs accepted — nothing to report\n";
+    return 0;
+  }
+  const double alpha = args.get_double("alpha");
+  const double epsilon = alpha / 10.0;
+
+  std::cout << "== Ablation: eps0 policy ==\n";
+
+  // Part 1: solved parameters at several n scales.
+  TableWriter ptab({"policy", "n", "eps0", "eps1", "beta", "clamped",
+                    "l*(pmax=0.05)"});
+  for (const std::uint64_t n : {std::uint64_t{100}, std::uint64_t{7000},
+                                std::uint64_t{1'000'000}}) {
+    for (const auto policy :
+         {Eps0Policy::kBalanced, Eps0Policy::kPaperProportional}) {
+      const RafParameters p = solve_equation_system(alpha, epsilon, policy, n);
+      ptab.add_row(
+          {policy == Eps0Policy::kBalanced ? "balanced" : "paper",
+           TableWriter::fmt(std::size_t{n}), TableWriter::fmt(p.eps0, 5),
+           TableWriter::fmt(p.eps1, 6), TableWriter::fmt(p.beta, 4),
+           p.clamped ? "yes" : "no",
+           TableWriter::fmt(required_realizations(p, n, 1e5, 0.05), 0)});
+    }
+  }
+  ptab.print(std::cout);
+
+  // Part 2: realized quality under both policies at the same capped l.
+  TableWriter qtab({"policy", "avg-f(I)", "avg|I|", "avg-l-used"});
+  for (const auto policy :
+       {Eps0Policy::kBalanced, Eps0Policy::kPaperProportional}) {
+    RafConfig cfg;
+    cfg.alpha = alpha;
+    cfg.epsilon = epsilon;
+    cfg.big_n = 1000.0;
+    cfg.policy = policy;
+    cfg.max_realizations =
+        static_cast<std::uint64_t>(args.get_int("max-realizations"));
+    cfg.pmax_max_samples = 200'000;
+    const RafAlgorithm raf(cfg);
+
+    RunningStats f_s, size_s, l_s;
+    for (const auto& pair : data.pairs) {
+      const FriendingInstance inst(data.graph, pair.s, pair.t);
+      const RafResult res = raf.run(inst, rng);
+      if (res.invitation.empty()) continue;
+      f_s.add(evaluate_f(inst, res.invitation, env.eval_samples, rng));
+      size_s.add(static_cast<double>(res.invitation.size()));
+      l_s.add(static_cast<double>(res.diag.l_used));
+    }
+    qtab.add_row({policy == Eps0Policy::kBalanced ? "balanced" : "paper",
+                  TableWriter::fmt(f_s.mean(), 4),
+                  TableWriter::fmt(size_s.mean(), 1),
+                  TableWriter::fmt(l_s.mean(), 0)});
+  }
+  std::cout << "\nrealized quality at capped l (alpha=" << alpha << ")\n";
+  qtab.print(std::cout);
+  if (!env.csv.empty()) qtab.write_csv(env.csv + "_ablation_params.csv");
+  return 0;
+}

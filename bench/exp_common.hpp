@@ -1,0 +1,103 @@
+// Shared plumbing for the experiment binaries: dataset iteration, pair
+// preparation, and Monte-Carlo evaluation with consistent budgets.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/datasets.hpp"
+#include "core/pair_sampler.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace af::bench {
+
+/// Experiment-wide knobs shared by every exp_* binary.
+struct ExperimentEnv {
+  bool full = false;
+  std::uint64_t seed = 20190707;  // ICDCS'19 vintage
+  std::size_t pairs = 0;          // per dataset; 0 = binary default
+  std::uint64_t eval_samples = 20'000;
+  std::string datasets = "wiki,hepth,hepph,youtube";
+  std::string csv;  // optional CSV mirror path prefix
+};
+
+/// Registers the shared flags on a parser.
+inline void add_common_flags(ArgParser& args, std::size_t default_pairs) {
+  args.add_flag("full", "paper-scale parameters (slow)");
+  args.add_int("seed", 20190707, "experiment RNG seed");
+  args.add_int("pairs", static_cast<std::int64_t>(default_pairs),
+               "number of (s,t) pairs per dataset (paper: 500)");
+  args.add_int("eval-samples", 20'000,
+               "Monte-Carlo samples per f(I) evaluation");
+  args.add_string("datasets", "wiki,hepth,hepph,youtube",
+                  "comma-separated dataset analogs to run");
+  args.add_string("csv", "", "also write results to this CSV path prefix");
+}
+
+inline ExperimentEnv read_env(const ArgParser& args) {
+  ExperimentEnv env;
+  env.full = args.get_flag("full");
+  env.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  env.pairs = static_cast<std::size_t>(args.get_int("pairs"));
+  env.eval_samples = static_cast<std::uint64_t>(args.get_int("eval-samples"));
+  env.datasets = args.get_string("datasets");
+  env.csv = args.get_string("csv");
+  return env;
+}
+
+inline std::vector<std::string> split_csv_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// A generated dataset with its accepted pairs.
+struct PreparedDataset {
+  DatasetSpec spec;
+  Graph graph;
+  std::vector<SampledPair> pairs;
+};
+
+/// Generates a dataset analog and samples experiment pairs, logging
+/// progress to stderr (experiments print results on stdout only).
+inline PreparedDataset prepare_dataset(const std::string& name,
+                                       const ExperimentEnv& env,
+                                       std::size_t pair_count, Rng& rng) {
+  PreparedDataset out{dataset_spec(name, env.full), Graph{}, {}};
+  WallTimer timer;
+  out.graph = make_dataset(out.spec, rng);
+  std::cerr << "[exp] " << name << ": n=" << out.graph.num_nodes()
+            << " m=" << out.graph.num_edges() << " generated in "
+            << timer.elapsed_seconds() << "s\n";
+  timer.reset();
+  PairSamplerConfig pcfg;
+  pcfg.pmax_threshold = 0.01;  // the paper's filter
+  pcfg.pmax_upper = 0.12;      // match the paper's pair population (the
+                               // Fig. 3 y-axes top out below ~0.12)
+  pcfg.estimate_samples = 2'000;
+  out.pairs = sample_pairs(out.graph, pair_count, pcfg, rng);
+  std::cerr << "[exp] " << name << ": " << out.pairs.size()
+            << " pairs accepted in " << timer.elapsed_seconds() << "s\n";
+  return out;
+}
+
+/// f(I) estimate with the experiment's evaluation budget.
+inline double evaluate_f(const FriendingInstance& inst,
+                         const InvitationSet& inv, std::uint64_t samples,
+                         Rng& rng) {
+  MonteCarloEvaluator mc(inst);
+  return mc.estimate_f(inv, samples, rng).estimate();
+}
+
+}  // namespace af::bench

@@ -1,0 +1,88 @@
+// Fig. 3 reproduction ("Basic Experiment"): average acceptance probability
+// of RAF vs HD vs SP at equal invitation-set size, as a function of α,
+// against p_max — one series block per dataset.
+//
+// Protocol (Sec. IV-A): for each accepted pair, run RAF to get I_RAF, give
+// HD and SP the same size budget |I_RAF|, and Monte-Carlo evaluate all
+// three invitation sets plus p_max.
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/raf.hpp"
+#include "exp_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace af;
+  using namespace af::bench;
+
+  ArgParser args("exp_fig3_basic",
+                 "Fig. 3: acceptance probability vs alpha for RAF/HD/SP");
+  add_common_flags(args, /*default_pairs=*/5);
+  args.add_string("alphas", "0.05,0.1,0.15,0.2,0.25,0.3",
+                  "comma-separated alpha values");
+  args.add_int("max-realizations", 200'000, "cap on l per RAF run");
+  if (!args.parse(argc, argv)) return 1;
+  const ExperimentEnv env = read_env(args);
+  const std::size_t pairs = env.full ? 500 : env.pairs;
+
+  std::vector<double> alphas;
+  for (const auto& tok : split_csv_list(args.get_string("alphas"))) {
+    alphas.push_back(std::stod(tok));
+  }
+
+  Rng rng(env.seed);
+  std::cout << "== Fig. 3: basic experiment (acceptance probability vs "
+               "alpha) ==\n";
+  for (const auto& name : split_csv_list(env.datasets)) {
+    const PreparedDataset data = prepare_dataset(name, env, pairs, rng);
+    if (data.pairs.empty()) {
+      std::cout << "[" << name << "] no pairs accepted — skipped\n";
+      continue;
+    }
+
+    TableWriter table({"alpha", "pmax", "RAF", "HD", "SP", "|I_RAF|"});
+    for (const double alpha : alphas) {
+      RafConfig cfg;
+      cfg.alpha = alpha;
+      cfg.epsilon = alpha / 10.0;  // ε = 0.01 at the paper's α range scale
+      cfg.big_n = 1000.0;
+      cfg.max_realizations =
+          static_cast<std::uint64_t>(args.get_int("max-realizations"));
+      cfg.pmax_max_samples = 200'000;
+      const RafAlgorithm raf(cfg);
+
+      RunningStats pmax_s, raf_s, hd_s, sp_s, size_s;
+      for (const auto& pair : data.pairs) {
+        const FriendingInstance inst(data.graph, pair.s, pair.t);
+        const RafResult res = raf.run(inst, rng);
+        if (res.invitation.empty()) continue;
+        const std::size_t k = res.invitation.size();
+
+        MonteCarloEvaluator mc(inst);
+        pmax_s.add(mc.estimate_pmax(env.eval_samples, rng).estimate());
+        raf_s.add(
+            mc.estimate_f(res.invitation, env.eval_samples, rng).estimate());
+        hd_s.add(mc.estimate_f(high_degree_invitation(inst, k),
+                               env.eval_samples, rng)
+                     .estimate());
+        sp_s.add(mc.estimate_f(shortest_path_invitation(inst, k),
+                               env.eval_samples, rng)
+                     .estimate());
+        size_s.add(static_cast<double>(k));
+      }
+      table.add_row({TableWriter::fmt(alpha, 2),
+                     TableWriter::fmt(pmax_s.mean(), 4),
+                     TableWriter::fmt(raf_s.mean(), 4),
+                     TableWriter::fmt(hd_s.mean(), 4),
+                     TableWriter::fmt(sp_s.mean(), 4),
+                     TableWriter::fmt(size_s.mean(), 1)});
+    }
+    std::cout << "\n[" << name << "] avg over " << data.pairs.size()
+              << " pairs\n";
+    table.print(std::cout);
+    if (!env.csv.empty()) table.write_csv(env.csv + "_fig3_" + name + ".csv");
+  }
+  return 0;
+}

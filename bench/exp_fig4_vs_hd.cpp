@@ -1,0 +1,32 @@
+// Fig. 4 reproduction ("Comparing with HD"): how many times more invited
+// nodes High-Degree needs to match RAF's acceptance probability, binned by
+// the acceptance-probability ratio f(I_HD)/f(I_RAF).
+#include "core/baselines.hpp"
+#include "ratio_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace af;
+  using namespace af::bench;
+
+  ArgParser args("exp_fig4_vs_hd",
+                 "Fig. 4: invitation-size ratio of HD vs RAF");
+  add_common_flags(args, /*default_pairs=*/5);
+  args.add_double("alpha", 0.3, "alpha used for the RAF reference run");
+  args.add_int("max-realizations", 200'000, "cap on l per RAF run");
+  if (!args.parse(argc, argv)) return 1;
+  const ExperimentEnv env = read_env(args);
+
+  RatioExperimentConfig rcfg;
+  rcfg.alpha = args.get_double("alpha");
+  rcfg.max_realizations =
+      static_cast<std::uint64_t>(args.get_int("max-realizations"));
+
+  Rng rng(env.seed);
+  run_ratio_experiment(
+      "Fig. 4: comparing with HighDegree", "fig4",
+      [](const FriendingInstance& inst) {
+        return high_degree_ranking(inst);
+      },
+      rcfg, env, env.full ? 500 : env.pairs, rng);
+  return 0;
+}

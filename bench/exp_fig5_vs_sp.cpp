@@ -1,0 +1,31 @@
+// Fig. 5 reproduction ("Comparing with SP"): how many times more invited
+// nodes Shortest-Path needs to match RAF's acceptance probability.
+#include "core/baselines.hpp"
+#include "ratio_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace af;
+  using namespace af::bench;
+
+  ArgParser args("exp_fig5_vs_sp",
+                 "Fig. 5: invitation-size ratio of SP vs RAF");
+  add_common_flags(args, /*default_pairs=*/5);
+  args.add_double("alpha", 0.3, "alpha used for the RAF reference run");
+  args.add_int("max-realizations", 200'000, "cap on l per RAF run");
+  if (!args.parse(argc, argv)) return 1;
+  const ExperimentEnv env = read_env(args);
+
+  RatioExperimentConfig rcfg;
+  rcfg.alpha = args.get_double("alpha");
+  rcfg.max_realizations =
+      static_cast<std::uint64_t>(args.get_int("max-realizations"));
+
+  Rng rng(env.seed);
+  run_ratio_experiment(
+      "Fig. 5: comparing with ShortestPath", "fig5",
+      [](const FriendingInstance& inst) {
+        return shortest_path_ranking(inst);
+      },
+      rcfg, env, env.full ? 500 : env.pairs, rng);
+  return 0;
+}

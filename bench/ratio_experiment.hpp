@@ -1,0 +1,116 @@
+// Shared protocol for Figs. 4 and 5: for each pair, run RAF, then price
+// the baseline at every budget with the ranked-prefix evaluator
+// (core/ranked_eval.hpp): one sampling pass yields the baseline's entire
+// acceptance-probability curve f(I_k), from which we read off both the
+// Fig. 4/5 binned points (f(I_k)/f(I_RAF) vs k/|I_RAF|) and the size
+// needed for a full match.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/raf.hpp"
+#include "core/ranked_eval.hpp"
+#include "exp_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace af::bench {
+
+/// Produces the baseline's full priority ranking for an instance.
+using RankingFn = std::function<InvitationRanking(const FriendingInstance&)>;
+
+struct RatioExperimentConfig {
+  double alpha = 0.3;
+  std::uint64_t max_realizations = 200'000;
+  /// Samples behind each baseline curve.
+  std::uint64_t curve_samples = 100'000;
+};
+
+inline void run_ratio_experiment(const std::string& title,
+                                 const std::string& csv_tag,
+                                 const RankingFn& ranking_fn,
+                                 const RatioExperimentConfig& rcfg,
+                                 const ExperimentEnv& env,
+                                 std::size_t pairs_per_dataset, Rng& rng) {
+  std::cout << "== " << title << " ==\n";
+  for (const auto& name : split_csv_list(env.datasets)) {
+    const PreparedDataset data =
+        prepare_dataset(name, env, pairs_per_dataset, rng);
+    if (data.pairs.empty()) {
+      std::cout << "[" << name << "] no pairs accepted — skipped\n";
+      continue;
+    }
+
+    RafConfig cfg;
+    cfg.alpha = rcfg.alpha;
+    cfg.epsilon = rcfg.alpha / 10.0;
+    cfg.big_n = 1000.0;
+    cfg.max_realizations = rcfg.max_realizations;
+    cfg.pmax_max_samples = 200'000;
+    const RafAlgorithm raf(cfg);
+
+    // Paper's five x-intervals over the acceptance ratio (0, 1].
+    Histogram bins(0.0, 1.0, 5);
+    RunningStats match_ratio;   // size ratio at the full-match point
+    std::size_t unmatched = 0;  // baseline ceiling below f(I_RAF)
+
+    for (const auto& pair : data.pairs) {
+      const FriendingInstance inst(data.graph, pair.s, pair.t);
+      const RafResult res = raf.run(inst, rng);
+      if (res.invitation.empty()) continue;
+      const auto k_raf = static_cast<double>(res.invitation.size());
+
+      MonteCarloEvaluator mc(inst);
+      const double f_raf =
+          mc.estimate_f(res.invitation, env.eval_samples, rng).estimate();
+      if (f_raf <= 0.0) continue;
+
+      const InvitationRanking ranking = ranking_fn(inst);
+      const RankedCurve curve =
+          evaluate_ranked_prefixes(inst, ranking, rcfg.curve_samples, rng);
+
+      // Sample the curve on a geometric budget grid for the bin plot.
+      for (double k = k_raf; k <= static_cast<double>(ranking.size());
+           k *= 1.3) {
+        const auto kk = static_cast<std::size_t>(k);
+        const double f_ratio = std::min(curve.f_at(kk) / f_raf, 1.0);
+        bins.add_xy(f_ratio, static_cast<double>(kk) / k_raf);
+        if (f_ratio >= 1.0) break;
+      }
+
+      if (const auto k_match = curve.size_to_reach(f_raf)) {
+        match_ratio.add(static_cast<double>(*k_match) / k_raf);
+      } else {
+        ++unmatched;
+      }
+    }
+
+    TableWriter table({"f-ratio-bin", "avg-size-ratio", "points"});
+    for (std::size_t b = 0; b < bins.bins(); ++b) {
+      table.add_row({TableWriter::fmt(bins.bin_center(b), 1),
+                     TableWriter::fmt(bins.bin_mean(b), 2),
+                     TableWriter::fmt(bins.count(b), 0)});
+    }
+    std::cout << "\n[" << name << "] alpha=" << rcfg.alpha << ", "
+              << data.pairs.size() << " pairs";
+    if (!match_ratio.empty()) {
+      std::cout << "; avg size ratio at full match: "
+                << TableWriter::fmt(match_ratio.mean(), 2) << " ("
+                << match_ratio.count() << " matched, " << unmatched
+                << " never match)";
+    } else if (unmatched > 0) {
+      std::cout << "; baseline never reaches f(I_RAF) on any pair";
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    if (!env.csv.empty()) {
+      table.write_csv(env.csv + "_" + csv_tag + "_" + name + ".csv");
+    }
+  }
+}
+
+}  // namespace af::bench

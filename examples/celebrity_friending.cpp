@@ -1,0 +1,85 @@
+// Celebrity friending: the paper's motivating scenario — an ordinary user
+// wants to become friends with a celebrity (a high-degree hub) in a
+// scale-free network. Compares RAF against the HD and SP heuristics at
+// equal invitation budgets.
+//
+// Run:  ./celebrity_friending
+#include <algorithm>
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/raf.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace af;
+
+  Rng rng(42);
+  const Graph graph = barabasi_albert(3'000, 4, rng)
+                          .build(WeightScheme::inverse_degree());
+
+  // The "celebrity": the highest-degree user.
+  NodeId celebrity = 0;
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    if (graph.degree(v) > graph.degree(celebrity)) celebrity = v;
+  }
+
+  // The initiator: a low-degree user not already friends with them.
+  NodeId fan = kNoNode;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (v != celebrity && graph.degree(v) <= 5 &&
+        !graph.has_edge(v, celebrity)) {
+      fan = v;
+      break;
+    }
+  }
+  if (fan == kNoNode) {
+    std::cerr << "no suitable fan found\n";
+    return 1;
+  }
+
+  const FriendingInstance instance(graph, fan, celebrity);
+  std::cout << "fan " << fan << " (degree " << graph.degree(fan)
+            << ") wants to friend celebrity " << celebrity << " (degree "
+            << graph.degree(celebrity) << ")\n";
+
+  MonteCarloEvaluator mc(instance);
+  const double pmax = mc.estimate_pmax(100'000, rng).estimate();
+  std::cout << "p_max = " << pmax << "\n\n";
+  if (pmax <= 0.0) {
+    std::cout << "celebrity unreachable — nothing to plan\n";
+    return 0;
+  }
+
+  RafConfig config;
+  config.alpha = 0.3;
+  config.epsilon = 0.03;
+  config.max_realizations = 60'000;
+  const RafAlgorithm raf(config);
+  const RafResult res = raf.run(instance, rng);
+  const std::size_t budget = std::max<std::size_t>(res.invitation.size(), 1);
+
+  TableWriter table({"strategy", "invitations", "acceptance-prob",
+                     "% of p_max"});
+  auto report = [&](const std::string& name, const InvitationSet& inv) {
+    const double f = mc.estimate_f(inv, 100'000, rng).estimate();
+    table.add_row({name, TableWriter::fmt(inv.size()),
+                   TableWriter::fmt(f, 4),
+                   TableWriter::fmt(f / pmax * 100.0, 1)});
+  };
+  report("RAF", res.invitation);
+  report("HighDegree", high_degree_invitation(instance, budget));
+  report("ShortestPath", shortest_path_invitation(instance, budget));
+  report("Random", random_invitation(instance, budget, rng));
+  table.print(std::cout);
+
+  std::cout << "\nRAF found a " << res.invitation.size()
+            << "-invitation plan; the same budget spent on popular users "
+               "(HD) or a single chain of introductions (SP) does worse — "
+               "mutual-friend mass, not popularity, drives acceptance.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Invitation planner: the maximization-flavored workflow built on the
+// same machinery (the paper's future-work direction). Given a budget of
+// invitations the user is willing to send, report the acceptance
+// probability the budget buys — and, inversely, use RAF to price a target
+// probability in invitations.
+//
+// Run:  ./invitation_planner
+#include <iostream>
+
+#include "core/maximizer.hpp"
+#include "core/raf.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace af;
+
+  Rng rng(2024);
+  const Graph graph = barabasi_albert(2'000, 5, rng)
+                          .build(WeightScheme::inverse_degree());
+
+  // A target three-ish hops out.
+  const NodeId s = 100;
+  NodeId t = 1'500;
+  while (graph.has_edge(s, t) || t == s) ++t;
+  const FriendingInstance instance(graph, s, t);
+
+  MonteCarloEvaluator mc(instance);
+  const double pmax = mc.estimate_pmax(150'000, rng).estimate();
+  std::cout << "planning invitations from " << s << " to " << t
+            << " (p_max=" << pmax << ")\n\n";
+  if (pmax <= 0.0) {
+    std::cout << "target unreachable; no invitation strategy can work\n";
+    return 0;
+  }
+
+  // Forward direction: budget → achievable acceptance probability.
+  std::cout << "budget → acceptance probability (greedy maximizer):\n";
+  TableWriter fwd({"budget", "invited", "acceptance-prob", "% of p_max"});
+  for (std::size_t budget : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    MaximizerConfig mcfg;
+    mcfg.budget = budget;
+    mcfg.realizations = 40'000;
+    const MaximizerResult res = maximize_friending(instance, mcfg, rng);
+    const double f =
+        res.invitation.empty()
+            ? 0.0
+            : mc.estimate_f(res.invitation, 60'000, rng).estimate();
+    fwd.add_row({TableWriter::fmt(budget),
+                 TableWriter::fmt(res.invitation.size()),
+                 TableWriter::fmt(f, 4),
+                 TableWriter::fmt(f / pmax * 100.0, 1)});
+  }
+  fwd.print(std::cout);
+
+  // Inverse direction: target share of p_max → invitations needed (RAF).
+  std::cout << "\ntarget share of p_max → invitations needed (RAF):\n";
+  TableWriter inv({"alpha", "invitations", "achieved-prob"});
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    RafConfig cfg;
+    cfg.alpha = alpha;
+    cfg.epsilon = alpha / 10.0;
+    cfg.max_realizations = 40'000;
+    const RafAlgorithm raf(cfg);
+    const RafResult res = raf.run(instance, rng);
+    const double f =
+        res.invitation.empty()
+            ? 0.0
+            : mc.estimate_f(res.invitation, 60'000, rng).estimate();
+    inv.add_row({TableWriter::fmt(alpha, 1),
+                 TableWriter::fmt(res.invitation.size()),
+                 TableWriter::fmt(f, 4)});
+  }
+  inv.print(std::cout);
+  return 0;
+}

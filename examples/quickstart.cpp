@@ -1,0 +1,67 @@
+// Quickstart: the library's public API end-to-end on a small network.
+//
+//  1. Build a social graph (Graph::Builder + a weight scheme).
+//  2. Pose a friending instance (initiator s, target t).
+//  3. Run RAF to get a minimal invitation list for a target share of
+//     p_max.
+//  4. Evaluate the result with the Monte-Carlo engine and compare
+//     against what inviting everyone could achieve.
+//
+// Run:  ./quickstart
+#include <iostream>
+
+#include "core/raf.hpp"
+#include "core/vmax.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace af;
+
+  // A small Watts–Strogatz friend circle: 60 users, each with 6 friends,
+  // 10% rewired — weights follow the paper's 1/degree convention.
+  Rng rng(7);
+  const Graph graph = watts_strogatz(60, 6, 0.1, rng)
+                          .build(WeightScheme::inverse_degree());
+
+  // Pick an initiator and a target a few hops away.
+  const NodeId s = 0;
+  NodeId t = 30;
+  while (graph.has_edge(s, t)) ++t;  // must not already be friends
+  const FriendingInstance instance(graph, s, t);
+  std::cout << "user " << s << " wants to friend user " << t << " ("
+            << instance.initial_friends().size() << " current friends)\n";
+
+  // How good could it possibly get? p_max = f(V).
+  MonteCarloEvaluator mc(instance);
+  const double pmax = mc.estimate_pmax(100'000, rng).estimate();
+  std::cout << "p_max (inviting everyone): " << pmax << "\n";
+
+  // The minimum set achieving exactly p_max (Lemma 7).
+  const auto vmax = compute_vmax(instance);
+  std::cout << "V_max (minimum set reaching p_max): " << vmax.size()
+            << " users\n";
+
+  // RAF: reach 30% of p_max with as few invitations as possible.
+  RafConfig config;
+  config.alpha = 0.3;
+  config.epsilon = 0.03;
+  config.max_realizations = 50'000;
+  const RafAlgorithm raf(config);
+  const RafResult result = raf.run(instance, rng);
+
+  std::cout << "\nRAF invitation list (" << result.invitation.size()
+            << " users): ";
+  for (NodeId v : result.invitation.members()) std::cout << v << " ";
+  std::cout << "\n";
+
+  const double f = mc.estimate_f(result.invitation, 100'000, rng).estimate();
+  std::cout << "estimated acceptance probability: " << f << " ("
+            << (pmax > 0 ? f / pmax * 100.0 : 0.0) << "% of p_max, target "
+            << config.alpha * 100 << "%)\n";
+  std::cout << "realizations used: " << result.diag.l_used
+            << " (theoretical l* = " << result.diag.l_star << ")\n";
+  return 0;
+}

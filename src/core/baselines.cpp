@@ -1,0 +1,116 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+
+namespace {
+
+/// Appends `v` to the ranking if invitable and not yet present.
+struct RankingBuilder {
+  explicit RankingBuilder(const FriendingInstance& inst)
+      : inst_(inst), seen_(inst.graph().num_nodes(), 0) {
+    push(inst.target());
+  }
+
+  void push(NodeId v) {
+    if (!inst_.invitable(v) || seen_[v]) return;
+    seen_[v] = 1;
+    ranking_.push_back(v);
+  }
+
+  InvitationRanking take() { return std::move(ranking_); }
+
+  const FriendingInstance& inst_;
+  std::vector<char> seen_;
+  InvitationRanking ranking_;
+};
+
+}  // namespace
+
+InvitationRanking high_degree_ranking(const FriendingInstance& inst) {
+  const Graph& g = inst.graph();
+  RankingBuilder rb(inst);
+
+  std::vector<NodeId> candidates;
+  candidates.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (inst.invitable(v) && v != inst.target()) candidates.push_back(v);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  for (NodeId v : candidates) rb.push(v);
+  return rb.take();
+}
+
+InvitationRanking shortest_path_ranking(const FriendingInstance& inst) {
+  const Graph& g = inst.graph();
+  RankingBuilder rb(inst);
+
+  // Successive node-disjoint shortest paths (the paper's SP policy).
+  // 64 disjoint paths is beyond any realistic budget; the distance
+  // filler takes over from there.
+  const auto paths = node_disjoint_shortest_paths(
+      g, inst.initiator(), inst.target(), /*max_paths=*/64);
+  for (const auto& path : paths) {
+    for (NodeId v : path) rb.push(v);
+  }
+
+  // Filler: remaining invitable nodes by BFS distance from N_s.
+  const auto dist = bfs_distances(g, inst.initial_friends());
+  std::vector<NodeId> rest;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (inst.invitable(v) && dist[v] != kUnreachable) rest.push_back(v);
+  }
+  std::sort(rest.begin(), rest.end(), [&](NodeId a, NodeId b) {
+    if (dist[a] != dist[b]) return dist[a] < dist[b];
+    return a < b;
+  });
+  for (NodeId v : rest) rb.push(v);
+  return rb.take();
+}
+
+InvitationRanking random_ranking(const FriendingInstance& inst, Rng& rng) {
+  const Graph& g = inst.graph();
+  RankingBuilder rb(inst);
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (inst.invitable(v) && v != inst.target()) candidates.push_back(v);
+  }
+  rng.shuffle(candidates);
+  for (NodeId v : candidates) rb.push(v);
+  return rb.take();
+}
+
+InvitationSet ranking_prefix(const FriendingInstance& inst,
+                             const InvitationRanking& ranking,
+                             std::size_t k) {
+  AF_EXPECTS(k >= 1, "invitation budget must be positive");
+  InvitationSet inv(inst.graph().num_nodes());
+  for (std::size_t i = 0; i < ranking.size() && i < k; ++i) {
+    inv.add(ranking[i]);
+  }
+  return inv;
+}
+
+InvitationSet high_degree_invitation(const FriendingInstance& inst,
+                                     std::size_t k) {
+  return ranking_prefix(inst, high_degree_ranking(inst), k);
+}
+
+InvitationSet shortest_path_invitation(const FriendingInstance& inst,
+                                       std::size_t k) {
+  return ranking_prefix(inst, shortest_path_ranking(inst), k);
+}
+
+InvitationSet random_invitation(const FriendingInstance& inst, std::size_t k,
+                                Rng& rng) {
+  return ranking_prefix(inst, random_ranking(inst, rng), k);
+}
+
+}  // namespace af

@@ -1,0 +1,61 @@
+// Baseline invitation strategies (Sec. IV, "Baseline Algorithms").
+//
+// HD (High Degree): fills the invitation set with the highest-degree
+// invitable users. SP (Shortest Path): fills it with the nodes of
+// successive node-disjoint shortest paths from s to t. Both always invite
+// t itself first — without t in I the process cannot succeed (only
+// invited users become friends), and the paper's HD/SP results are
+// plainly nonzero.
+//
+// Every strategy returns a normalized invitation set (no s, no N_s
+// members) of size ≤ k, padding with a documented deterministic filler
+// when its primary source of nodes runs dry.
+#pragma once
+
+#include <vector>
+
+#include "diffusion/instance.hpp"
+#include "diffusion/invitation.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+/// A full priority order over invitable nodes: element 0 is always t;
+/// the baseline's budget-k invitation set is the first min(k, size)
+/// entries. Rankings expose the entire strategy at once, which lets the
+/// ranked-prefix evaluator (core/ranked_eval.hpp) price every budget in
+/// a single sampling pass.
+using InvitationRanking = std::vector<NodeId>;
+
+/// HD ranking: t, then invitable nodes by decreasing degree (ties by id).
+InvitationRanking high_degree_ranking(const FriendingInstance& inst);
+
+/// SP ranking: t, then the nodes of successive node-disjoint shortest
+/// s→t paths (closest-to-s first within a path), then remaining
+/// invitable nodes by BFS distance from N_s.
+InvitationRanking shortest_path_ranking(const FriendingInstance& inst);
+
+/// Random ranking: t, then a uniform shuffle of the invitable nodes.
+InvitationRanking random_ranking(const FriendingInstance& inst, Rng& rng);
+
+/// First min(k, |ranking|) entries as an InvitationSet.
+InvitationSet ranking_prefix(const FriendingInstance& inst,
+                             const InvitationRanking& ranking, std::size_t k);
+
+/// HD: {t} ∪ (k−1 highest-degree invitable nodes). Ties break by node id.
+InvitationSet high_degree_invitation(const FriendingInstance& inst,
+                                     std::size_t k);
+
+/// SP: {t} ∪ nodes of successive node-disjoint shortest s→t paths
+/// (paper: "SP will select the next shortest path disjoint from those
+/// that have been selected"). If the budget outlasts the disjoint paths,
+/// the remainder is filled with invitable nodes by increasing BFS
+/// distance from N_s (closest-first, deterministic).
+InvitationSet shortest_path_invitation(const FriendingInstance& inst,
+                                       std::size_t k);
+
+/// Random: {t} ∪ (k−1 uniformly random invitable nodes).
+InvitationSet random_invitation(const FriendingInstance& inst, std::size_t k,
+                                Rng& rng);
+
+}  // namespace af

@@ -1,0 +1,39 @@
+// Synthetic analogs of the paper's four datasets (Table I).
+//
+// The SNAP originals are unavailable offline (DESIGN.md §4.1); each
+// analog matches the original's node count, edge count and degree
+// character via Barabási–Albert preferential attachment, with the
+// paper's weight convention w(u,v) = 1/|N_v|. The "youtube" analog is
+// scaled down by default (full_scale regenerates the 1.1M-node version).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace af {
+
+class Rng;
+
+/// One dataset descriptor.
+struct DatasetSpec {
+  std::string name;       // wiki | hepth | hepph | youtube
+  NodeId nodes;           // analog size
+  std::size_t attach;     // BA attachment parameter
+  NodeId paper_nodes;     // Table I reference values
+  std::uint64_t paper_edges;
+  double paper_avg_degree;
+};
+
+/// The four Table-I specs. `full_scale` switches the youtube analog from
+/// the default 200k-node version to the paper's 1.1M nodes.
+std::vector<DatasetSpec> paper_dataset_specs(bool full_scale = false);
+
+/// Looks up one spec by name; throws precondition_error on unknown names.
+DatasetSpec dataset_spec(const std::string& name, bool full_scale = false);
+
+/// Generates the analog graph for a spec (weights: inverse degree).
+Graph make_dataset(const DatasetSpec& spec, Rng& rng);
+
+}  // namespace af

@@ -1,0 +1,134 @@
+#include "core/eqsystem.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+namespace {
+
+/// β(τ) per Eq. (12) with τ = ε1(1+ε0).
+double beta_of_tau(double alpha, double tau) {
+  return (alpha - tau) / (1.0 + tau);
+}
+
+/// Residual of Eq. (13) as a function of τ.
+double residual_of_tau(double alpha, double epsilon, double tau) {
+  return beta_of_tau(alpha, tau) * (1.0 - tau) - tau - (alpha - epsilon);
+}
+
+/// Solves h(τ) = 0 on (0, α) by bisection (h strictly decreasing).
+double solve_tau(double alpha, double epsilon) {
+  double lo = 0.0;                    // h(lo) = ε > 0
+  double hi = std::min(alpha, 1.0);   // h(hi) < 0
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (residual_of_tau(alpha, epsilon, mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double RafParameters::residual() const {
+  const double tau = eps1 * (1.0 + eps0);
+  return beta * (1.0 - tau) - tau - (alpha - epsilon);
+}
+
+void RafParameters::check() const {
+  AF_ENSURES(eps0 > 0.0 && eps0 < 1.0, "ε0 must lie in (0,1)");
+  AF_ENSURES(eps1 > 0.0 && eps1 < 1.0, "ε1 must lie in (0,1)");
+  AF_ENSURES(beta > 0.0, "Eq. (12) requires β > 0");
+  const double tau = eps1 * (1.0 + eps0);
+  const double expected_beta = (alpha - tau) / (1.0 + tau);
+  AF_ENSURES(std::abs(beta - expected_beta) <= 1e-9,
+             "β inconsistent with Eq. (12)");
+  AF_ENSURES(std::abs(residual()) <= 1e-9, "Eq. (13) violated");
+}
+
+std::string RafParameters::describe() const {
+  std::ostringstream os;
+  os << "alpha=" << alpha << " eps=" << epsilon << " eps0=" << eps0
+     << " eps1=" << eps1 << " beta=" << beta
+     << (policy == Eps0Policy::kBalanced ? " [balanced]" : " [paper]")
+     << (clamped ? " (clamped)" : "");
+  return os.str();
+}
+
+RafParameters solve_equation_system(double alpha, double epsilon,
+                                    Eps0Policy policy, std::uint64_t n) {
+  AF_EXPECTS(alpha > 0.0 && alpha <= 1.0, "α must lie in (0,1]");
+  AF_EXPECTS(epsilon > 0.0 && epsilon < alpha, "ε must lie in (0,α)");
+  AF_EXPECTS(n >= 1, "n must be positive");
+
+  RafParameters out;
+  out.alpha = alpha;
+  out.epsilon = epsilon;
+  out.policy = policy;
+
+  if (policy == Eps0Policy::kBalanced) {
+    out.eps0 = epsilon / 2.0;
+    const double tau = solve_tau(alpha, epsilon);
+    out.eps1 = tau / (1.0 + out.eps0);
+    out.beta = beta_of_tau(alpha, tau);
+    out.check();
+    return out;
+  }
+
+  // Paper policy ε0 = n·ε1: substitute τ(ε1) = ε1(1 + n·ε1), which is
+  // strictly increasing, so h(τ(ε1)) is strictly decreasing in ε1 —
+  // bisection again. The unclamped solution typically produces ε0 > 1
+  // for real n; detect and clamp (DESIGN.md §4.4).
+  const double nd = static_cast<double>(n);
+  double lo = 0.0;
+  double hi = 1.0;
+  // Ensure h(τ(hi)) < 0: τ(1) = 1 + n ≥ α always, residual negative.
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double tau = mid * (1.0 + nd * mid);
+    const double r = tau >= std::min(alpha, 1.0)
+                         ? -1.0
+                         : residual_of_tau(alpha, epsilon, tau);
+    if (r > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double eps1 = 0.5 * (lo + hi);
+  const double eps0 = nd * eps1;
+  if (eps0 >= kEps0Max) {
+    out.clamped = true;
+    out.eps0 = kEps0Max;
+    const double tau = solve_tau(alpha, epsilon);
+    out.eps1 = tau / (1.0 + out.eps0);
+    out.beta = beta_of_tau(alpha, tau);
+  } else {
+    out.eps0 = eps0;
+    out.eps1 = eps1;
+    out.beta = beta_of_tau(alpha, eps1 * (1.0 + eps0));
+  }
+  out.check();
+  return out;
+}
+
+double required_realizations(const RafParameters& p, std::uint64_t n,
+                             double big_n, double pmax_estimate) {
+  AF_EXPECTS(pmax_estimate > 0.0, "l* undefined for p*max = 0");
+  AF_EXPECTS(big_n > 1.0, "N must exceed 1");
+  const double nd = static_cast<double>(n);
+  const double ln2 = std::log(2.0);
+  const double numer = (ln2 + std::log(big_n) + nd * ln2) *
+                       (2.0 + p.eps1 * (1.0 - p.eps0));
+  const double denom =
+      p.eps1 * p.eps1 * (1.0 - p.eps0) * (1.0 - p.eps0) * pmax_estimate;
+  return numer / denom;
+}
+
+}  // namespace af

@@ -1,0 +1,70 @@
+// Equation System 1 (Eqs. 10–13) and the parameter policy of Eq. (17).
+//
+// Given the quality target α and slack ε, RAF needs three coupled
+// parameters:
+//   ε0 — relative error of the p_max estimate (Eq. 10, via DKLR)
+//   ε1 — uniform relative deviation of F(B_l, I)/l from f(I) (Eq. 11)
+//   β  — the coverage fraction handed to the MSC step (Eq. 12)
+// subject to the closing constraint (13):
+//   β·(1 − ε1(1+ε0)) − ε1(1+ε0) = α − ε.
+//
+// With ε0 fixed, writing τ = ε1(1+ε0) and β(τ) = (α − τ)/(1 + τ), the
+// residual h(τ) = β(τ)(1−τ) − τ − (α−ε) is strictly decreasing with
+// h(0) = ε > 0 and h(α) < 0, so the system has a unique solution found by
+// bisection.
+//
+// The paper's policy ε0 = n·ε1 (Eq. 17) balances the asymptotic cost of
+// steps 2 and 3 but, solved literally, yields ε0 > 1 for realistic n —
+// which both Lemma 3 (needs ε ≤ 1) and Eq. 16's (1−ε0)² forbid. We
+// implement it with a documented clamp ε0 ≤ kEps0Max and provide a
+// balanced fixed policy (default). See DESIGN.md §4.4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace af {
+
+/// How ε0 is tied to ε1.
+enum class Eps0Policy {
+  /// ε0 = ε/2, then solve (13) for ε1. Default.
+  kBalanced,
+  /// The paper's ε0 = n·ε1, clamped to ε0 ≤ kEps0Max when infeasible.
+  kPaperProportional,
+};
+
+/// Solved parameter bundle.
+struct RafParameters {
+  double alpha = 0.0;
+  double epsilon = 0.0;
+  double eps0 = 0.0;
+  double eps1 = 0.0;
+  double beta = 0.0;
+  Eps0Policy policy = Eps0Policy::kBalanced;
+  /// True iff the paper policy hit the ε0 clamp.
+  bool clamped = false;
+
+  /// Residual of Eq. (13); |residual| ≤ 1e-12 after solving.
+  double residual() const;
+  /// Verifies Eqs. (12)–(13) hold (β > 0, residual ~ 0) and the ranges
+  /// 0 < ε1, 0 < ε0 < 1. Throws postcondition_error otherwise.
+  void check() const;
+
+  std::string describe() const;
+};
+
+inline constexpr double kEps0Max = 0.9;
+
+/// Solves Equation System 1 for the given policy.
+/// Preconditions: 0 < α ≤ 1, 0 < ε < α, n ≥ 1.
+RafParameters solve_equation_system(double alpha, double epsilon,
+                                    Eps0Policy policy, std::uint64_t n);
+
+/// Eq. (16): the realization budget
+///   l* = (ln 2 + ln N + n·ln 2)·(2 + ε1(1−ε0)) / (ε1²(1−ε0)²·p*max).
+/// `n` may be |V_max| instead of |V| (Sec. III-C). Returns a double —
+/// the value routinely exceeds any practical budget; callers cap it.
+double required_realizations(const RafParameters& p, std::uint64_t n,
+                             double big_n, double pmax_estimate);
+
+}  // namespace af

@@ -1,0 +1,82 @@
+#include "core/maximizer.hpp"
+
+#include <queue>
+
+#include "cover/setfamily.hpp"
+#include "diffusion/realization.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+
+MaximizerResult maximize_friending(const FriendingInstance& inst,
+                                   const MaximizerConfig& cfg, Rng& rng) {
+  AF_EXPECTS(cfg.budget >= 1, "budget must be positive");
+  AF_EXPECTS(cfg.realizations >= 1, "need at least one realization");
+
+  MaximizerResult out{InvitationSet(inst.graph().num_nodes()), 0.0, 0};
+
+  ReversePathSampler sampler(inst);
+  SetFamily family(inst.graph().num_nodes());
+  for (std::uint64_t i = 0; i < cfg.realizations; ++i) {
+    const TgSample tg = sampler.sample(rng);
+    if (tg.type1) family.add_set(tg.path);
+  }
+  out.type1_count = family.total_multiplicity();
+  if (out.type1_count == 0) return out;
+
+  const auto ns = static_cast<std::uint32_t>(family.num_sets());
+  std::vector<std::uint32_t> marginal(ns);
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    marginal[i] = static_cast<std::uint32_t>(family.elements(i).size());
+  }
+
+  struct Entry {
+    double key;  // marginal / multiplicity — cheapest completion first
+    std::uint32_t marginal_at_push;
+    std::uint32_t set;
+    bool operator>(const Entry& o) const {
+      if (key != o.key) return key > o.key;
+      return set > o.set;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  auto key_of = [&](std::uint32_t i) {
+    return static_cast<double>(marginal[i]) /
+           static_cast<double>(family.multiplicity(i));
+  };
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    heap.push(Entry{key_of(i), marginal[i], i});
+  }
+
+  std::uint64_t covered_mult = 0;
+  std::size_t budget_left = cfg.budget;
+  while (!heap.empty() && budget_left > 0) {
+    const Entry e = heap.top();
+    heap.pop();
+    if (e.marginal_at_push != marginal[e.set]) continue;  // stale
+    if (marginal[e.set] == 0) continue;  // covered already (for free)
+    if (marginal[e.set] > budget_left) continue;  // unaffordable now;
+    // affordable again only if its marginal shrinks, which re-pushes it.
+
+    for (NodeId v : family.elements(e.set)) {
+      if (out.invitation.contains(v)) continue;
+      out.invitation.add(v);
+      AF_ENSURES(budget_left > 0, "budget accounting broke");
+      --budget_left;
+      for (std::uint32_t j : family.sets_containing(v)) {
+        if (marginal[j] == 0) continue;
+        if (--marginal[j] == 0) {
+          covered_mult += family.multiplicity(j);
+        } else {
+          heap.push(Entry{key_of(j), marginal[j], j});
+        }
+      }
+    }
+  }
+
+  out.sample_coverage = static_cast<double>(covered_mult) /
+                        static_cast<double>(cfg.realizations);
+  return out;
+}
+
+}  // namespace af

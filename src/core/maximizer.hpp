@@ -1,0 +1,43 @@
+// Budgeted maximum active friending (extension).
+//
+// The paper solves the *minimization* version; its related work
+// (Yang et al., Yuan et al.) targets the maximization version: maximize
+// f(I) subject to |I| ≤ k. This module implements a realization-based
+// greedy for that problem on top of the same sampling machinery:
+// repeatedly complete the cheapest remaining backward path (fewest
+// not-yet-invited nodes) while the budget allows. Covering a path is an
+// all-or-nothing gain — f is supermodular under the LT model (Yuan et
+// al.) — so cheapest-completion is the natural greedy; it also exactly
+// matches the structure the MSC step exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "diffusion/instance.hpp"
+#include "diffusion/invitation.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+/// Configuration of the maximization greedy.
+struct MaximizerConfig {
+  /// Invitation budget k (must include room for t itself).
+  std::size_t budget = 10;
+  /// Realizations sampled to build the path family.
+  std::uint64_t realizations = 50'000;
+};
+
+/// Result: the invitation set plus the in-sample coverage achieved.
+struct MaximizerResult {
+  InvitationSet invitation;
+  /// Realizations covered / realizations sampled — an (optimistic,
+  /// in-sample) estimate of f(I); evaluate out-of-sample for reporting.
+  double sample_coverage = 0.0;
+  std::uint64_t type1_count = 0;
+};
+
+/// Greedy cheapest-path-completion maximizer.
+MaximizerResult maximize_friending(const FriendingInstance& inst,
+                                   const MaximizerConfig& cfg, Rng& rng);
+
+}  // namespace af

@@ -1,0 +1,73 @@
+#include "core/pair_sampler.hpp"
+
+#include "diffusion/montecarlo.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+
+namespace {
+
+/// Collects nodes at BFS hop distance in [2, max_dist] from s.
+std::vector<NodeId> candidate_targets(const Graph& g, NodeId s,
+                                      std::uint32_t max_dist) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), 0xffffffffu);
+  std::vector<NodeId> frontier{s};
+  dist[s] = 0;
+  std::vector<NodeId> out;
+  std::uint32_t level = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty() && level < max_dist) {
+    ++level;
+    next.clear();
+    for (NodeId v : frontier) {
+      for (NodeId u : g.neighbors(v)) {
+        if (dist[u] != 0xffffffffu) continue;
+        dist[u] = level;
+        next.push_back(u);
+        if (level >= 2) out.push_back(u);
+      }
+    }
+    frontier.swap(next);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<SampledPair> sample_pair(const Graph& g,
+                                       const PairSamplerConfig& cfg,
+                                       Rng& rng) {
+  AF_EXPECTS(g.num_nodes() >= 3, "graph too small for pair sampling");
+  for (std::uint64_t attempt = 0; attempt < cfg.max_attempts; ++attempt) {
+    const auto s =
+        static_cast<NodeId>(rng.uniform_int(std::uint64_t{g.num_nodes()}));
+    if (g.degree(s) == 0) continue;
+    const auto targets = candidate_targets(g, s, cfg.max_distance);
+    if (targets.empty()) continue;
+    const NodeId t = targets[rng.uniform_int(targets.size())];
+
+    const FriendingInstance inst(g, s, t);
+    MonteCarloEvaluator mc(inst);
+    const Proportion est = mc.estimate_pmax(cfg.estimate_samples, rng);
+    if (est.estimate() >= cfg.pmax_threshold &&
+        est.estimate() <= cfg.pmax_upper) {
+      return SampledPair{s, t, est.estimate()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<SampledPair> sample_pairs(const Graph& g, std::size_t count,
+                                      const PairSamplerConfig& cfg,
+                                      Rng& rng) {
+  std::vector<SampledPair> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto pair = sample_pair(g, cfg, rng);
+    if (!pair) break;
+    out.push_back(*pair);
+  }
+  return out;
+}
+
+}  // namespace af

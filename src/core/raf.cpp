@@ -1,0 +1,171 @@
+#include "core/raf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/vmax.hpp"
+#include "cover/setfamily.hpp"
+#include "diffusion/realization.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace af {
+
+RafAlgorithm::RafAlgorithm(RafConfig cfg) : cfg_(cfg) {
+  AF_EXPECTS(cfg_.alpha > 0.0 && cfg_.alpha <= 1.0, "α must lie in (0,1]");
+  AF_EXPECTS(cfg_.epsilon > 0.0 && cfg_.epsilon < cfg_.alpha,
+             "ε must lie in (0,α)");
+  AF_EXPECTS(cfg_.big_n > 1.0, "N must exceed 1");
+}
+
+const MpuSolver& RafAlgorithm::solver() const {
+  switch (cfg_.solver) {
+    case CoverSolverKind::kGreedy: return greedy_;
+    case CoverSolverKind::kDensest: return densest_;
+    case CoverSolverKind::kSmallestSets: return smallest_;
+    case CoverSolverKind::kExact: return exact_;
+  }
+  return greedy_;
+}
+
+RafResult RafAlgorithm::run_framework(const FriendingInstance& inst,
+                                      double beta, std::uint64_t l,
+                                      Rng& rng) const {
+  AF_EXPECTS(beta > 0.0 && beta <= 1.0, "β must lie in (0,1]");
+  AF_EXPECTS(l >= 1, "need at least one realization");
+
+  RafResult out{InvitationSet(inst.graph().num_nodes()), {}};
+  out.diag.l_used = l;
+
+  // Alg. 3 line 2: draw l realizations, keep the type-1 backward paths.
+  ReversePathSampler sampler(inst);
+  SetFamily family(inst.graph().num_nodes());
+  for (std::uint64_t i = 0; i < l; ++i) {
+    const TgSample tg = sampler.sample(rng);
+    if (tg.type1) family.add_set(tg.path);
+  }
+  out.diag.type1_count = family.total_multiplicity();
+  if (out.diag.type1_count == 0) {
+    // No covered realization exists in the sample; the empty set already
+    // attains F(B_l, ∅) = 0 ≥ β·0.
+    return out;
+  }
+
+  // Alg. 3 line 3: MSC with target ⌈β·|B_l^1|⌉.
+  const auto target = static_cast<std::uint64_t>(std::min<double>(
+      static_cast<double>(out.diag.type1_count),
+      std::ceil(beta * static_cast<double>(out.diag.type1_count))));
+  out.diag.coverage_target = std::max<std::uint64_t>(target, 1);
+
+  MpuResult cover = solve_msc(family, out.diag.coverage_target, solver());
+  if (cfg_.local_search) {
+    cover = refine_local_search(family, out.diag.coverage_target,
+                                std::move(cover));
+  }
+  out.diag.covered = cover.covered;
+  for (NodeId v : cover.union_elements) out.invitation.add(v);
+  AF_ENSURES(out.invitation.contains(inst.target()),
+             "t must be in every covering invitation set");
+  return out;
+}
+
+RafResult RafAlgorithm::run_with_pmax(const FriendingInstance& inst,
+                                      double pmax_estimate,
+                                      std::size_t vmax_size,
+                                      Rng& rng) const {
+  AF_EXPECTS(pmax_estimate > 0.0 && pmax_estimate <= 1.0,
+             "p*max estimate must lie in (0,1]");
+
+  RafResult out{InvitationSet(inst.graph().num_nodes()), {}};
+  out.diag.vmax_size = vmax_size;
+  const std::uint64_t n_eff =
+      (cfg_.use_vmax_in_l && vmax_size > 0)
+          ? vmax_size
+          : inst.graph().num_nodes();
+
+  out.diag.params =
+      solve_equation_system(cfg_.alpha, cfg_.epsilon, cfg_.policy, n_eff);
+  out.diag.pmax.estimate = pmax_estimate;
+  out.diag.pmax.converged = true;  // caller-supplied; trusted
+
+  out.diag.l_star = required_realizations(out.diag.params, n_eff, cfg_.big_n,
+                                          pmax_estimate);
+  std::uint64_t l = cfg_.max_realizations == 0
+                        ? static_cast<std::uint64_t>(
+                              std::min(out.diag.l_star, 9.0e18))
+                        : std::min<std::uint64_t>(
+                              cfg_.max_realizations,
+                              static_cast<std::uint64_t>(
+                                  std::min(out.diag.l_star, 9.0e18)));
+  l = std::max<std::uint64_t>(l, 1);
+
+  RafResult framework = run_framework(inst, out.diag.params.beta, l, rng);
+  framework.diag.params = out.diag.params;
+  framework.diag.pmax = out.diag.pmax;
+  framework.diag.l_star = out.diag.l_star;
+  framework.diag.vmax_size = vmax_size;
+  return framework;
+}
+
+RafResult RafAlgorithm::run(const FriendingInstance& inst, Rng& rng) const {
+  RafResult out{InvitationSet(inst.graph().num_nodes()), {}};
+
+  // Sec. III-C: |V_max| both bounds the universe in Eq. (16) and gives a
+  // certificate for p_max = 0 (empty V_max ⟺ t unreachable from N_s).
+  std::vector<NodeId> vmax;
+  if (cfg_.use_vmax_in_l) {
+    vmax = compute_vmax(inst);
+    out.diag.vmax_size = vmax.size();
+    if (vmax.empty()) {
+      out.diag.target_unreachable = true;
+      return out;
+    }
+  }
+  const std::uint64_t n_eff =
+      cfg_.use_vmax_in_l ? vmax.size() : inst.graph().num_nodes();
+
+  // Step 1: parameters (Eq. 17 / Equation System 1).
+  out.diag.params =
+      solve_equation_system(cfg_.alpha, cfg_.epsilon, cfg_.policy, n_eff);
+
+  // Step 2: p*max by the stopping rule with ε0 and δ = 1/N (Lemma 3).
+  DklrConfig dklr;
+  dklr.epsilon = out.diag.params.eps0;
+  dklr.delta = 1.0 / cfg_.big_n;
+  dklr.max_samples = cfg_.pmax_max_samples;
+  out.diag.pmax = estimate_pmax_dklr(inst, rng, dklr);
+  if (out.diag.pmax.estimate <= 0.0) {
+    // Reachability was certified by V_max (when enabled), so a zero
+    // estimate only means p_max sits below the sampling caps.
+    // Unreachability is only ever claimed from the V_max certificate
+    // above; an undetectably small p_max is not the same thing.
+    out.diag.pmax_below_detection = true;
+    return out;
+  }
+
+  // Step 3: realization budget l* (Eq. 16), capped for practicality.
+  out.diag.l_star = required_realizations(out.diag.params, n_eff, cfg_.big_n,
+                                          out.diag.pmax.estimate);
+  std::uint64_t l = cfg_.max_realizations == 0
+                        ? static_cast<std::uint64_t>(
+                              std::min(out.diag.l_star, 9.0e18))
+                        : std::min<std::uint64_t>(
+                              cfg_.max_realizations,
+                              static_cast<std::uint64_t>(
+                                  std::min(out.diag.l_star, 9.0e18)));
+  l = std::max<std::uint64_t>(l, 1);
+  if (static_cast<double>(l) < out.diag.l_star) {
+    log_debug() << "RAF: capping l* = " << out.diag.l_star << " to " << l;
+  }
+
+  // Step 4: the covering framework (Alg. 3).
+  RafResult framework =
+      run_framework(inst, out.diag.params.beta, l, rng);
+  framework.diag.params = out.diag.params;
+  framework.diag.pmax = out.diag.pmax;
+  framework.diag.l_star = out.diag.l_star;
+  framework.diag.vmax_size = out.diag.vmax_size;
+  return framework;
+}
+
+}  // namespace af

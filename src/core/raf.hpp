@@ -1,0 +1,129 @@
+// The Realization-based Active Friending algorithm (RAF, Alg. 4).
+//
+// Pipeline (Sec. III-B):
+//   1. Solve Equation System 1 for (ε0, ε1, β)      — core/eqsystem
+//   2. Estimate p*max with the DKLR stopping rule    — diffusion/dklr
+//   3. Compute the realization budget l* (Eq. 16)    — core/eqsystem
+//   4. Alg. 3: sample l realizations, keep the type-1 backward paths,
+//      and solve Minimum Subset Cover for the target ⌈β·|B_l^1|⌉
+//      via an MpU solver                             — cover/mpu
+//
+// Theorem 1: with probability ≥ 1 − 2/N the output satisfies
+// f(I*) ≥ (α−ε)·p_max with |I*|/|I_α| = O(√n).
+//
+// Practicality: l* is astronomically large on real inputs (it carries an
+// n·ln2 factor from the union bound over 2^n subsets); the paper's own
+// Sec. IV-E shows the output quality saturates orders of magnitude below
+// l*. The config therefore carries an explicit realization cap, and the
+// diagnostics record both l* and the l actually used. Sec. III-C's
+// refinement (replace n by |V_max| in Eq. 16) is implemented and on by
+// default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/eqsystem.hpp"
+#include "cover/mpu.hpp"
+#include "diffusion/dklr.hpp"
+#include "diffusion/instance.hpp"
+#include "diffusion/invitation.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+/// Which MpU solver backs the MSC step.
+enum class CoverSolverKind { kGreedy, kDensest, kSmallestSets, kExact };
+
+/// RAF configuration. Defaults mirror the paper's experiments
+/// (ε = 0.01, N = 100000) with practical sampling caps.
+struct RafConfig {
+  /// Quality target α ∈ (0,1] of Problem 1.
+  double alpha = 0.1;
+  /// Slack ε ∈ (0, α): the guarantee becomes f(I*) ≥ (α−ε)·p_max.
+  double epsilon = 0.005;
+  /// Confidence parameter N: success probability ≥ 1 − 2/N.
+  double big_n = 100'000.0;
+  /// ε0/ε1 coupling policy (Eq. 17 vs balanced; DESIGN.md §4.4).
+  Eps0Policy policy = Eps0Policy::kBalanced;
+  /// Hard cap on l (0 = no cap — will faithfully attempt l*).
+  std::uint64_t max_realizations = 200'000;
+  /// Sample cap for the DKLR p*max estimation.
+  std::uint64_t pmax_max_samples = 2'000'000;
+  /// MpU solver for the covering step.
+  CoverSolverKind solver = CoverSolverKind::kGreedy;
+  /// Run the local-search shrink pass after the solver.
+  bool local_search = true;
+  /// Sec. III-C: use |V_max| instead of n inside Eq. (16).
+  bool use_vmax_in_l = true;
+};
+
+/// Everything the algorithm knows about its own run.
+struct RafDiagnostics {
+  RafParameters params;
+  DklrResult pmax;
+  /// Theoretical budget l* from Eq. (16) (0 when p*max estimate is 0).
+  double l_star = 0.0;
+  /// Realizations actually generated.
+  std::uint64_t l_used = 0;
+  /// |B_l^1| — type-1 realizations among them.
+  std::uint64_t type1_count = 0;
+  /// ⌈β·|B_l^1|⌉ — the MSC coverage target.
+  std::uint64_t coverage_target = 0;
+  /// Realizations covered by the output set.
+  std::uint64_t covered = 0;
+  /// |V_max| (0 when not computed).
+  std::size_t vmax_size = 0;
+  /// True when t is unreachable from N_s (p_max = 0): the empty result
+  /// is exact, not a failure. Certified via V_max when
+  /// cfg.use_vmax_in_l is on.
+  bool target_unreachable = false;
+  /// True when p_max is positive (or unknown) but no type-1 realization
+  /// appeared within the sampling caps — p_max is below the detection
+  /// limit and the empty result is a capped best effort.
+  bool pmax_below_detection = false;
+};
+
+/// RAF output: the invitation set I* plus diagnostics.
+struct RafResult {
+  InvitationSet invitation;
+  RafDiagnostics diag;
+};
+
+/// The RAF algorithm (Alg. 4). Stateless apart from configuration;
+/// every run draws its randomness from the caller-supplied Rng.
+class RafAlgorithm {
+ public:
+  explicit RafAlgorithm(RafConfig cfg = {});
+
+  const RafConfig& config() const { return cfg_; }
+
+  /// Full pipeline (Alg. 4).
+  RafResult run(const FriendingInstance& inst, Rng& rng) const;
+
+  /// Alg. 4 with steps shared across repeated runs on the same instance
+  /// supplied by the caller: a p*max estimate (skips the DKLR stage) and
+  /// optionally |V_max| (skips the block-cut computation; pass 0 to use
+  /// n, or when cfg.use_vmax_in_l is false). The supplied estimate must
+  /// satisfy Eq. (10) for the theoretical guarantee to carry over —
+  /// callers sweeping α on one instance typically reuse the DKLR result
+  /// of the first run (its diag.pmax).
+  RafResult run_with_pmax(const FriendingInstance& inst, double pmax_estimate,
+                          std::size_t vmax_size, Rng& rng) const;
+
+  /// Alg. 3 alone with explicit β and l — the knob Sec. IV-E (Fig. 6)
+  /// turns. Shared by run() internally.
+  RafResult run_framework(const FriendingInstance& inst, double beta,
+                          std::uint64_t l, Rng& rng) const;
+
+ private:
+  const MpuSolver& solver() const;
+
+  RafConfig cfg_;
+  GreedyMpuSolver greedy_;
+  DensestMpuSolver densest_;
+  SmallestSetsSolver smallest_;
+  ExactMpuSolver exact_;
+};
+
+}  // namespace af

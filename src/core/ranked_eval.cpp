@@ -1,0 +1,83 @@
+#include "core/ranked_eval.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "diffusion/realization.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+
+RankedCurve evaluate_ranked_prefixes(const FriendingInstance& inst,
+                                     const InvitationRanking& ranking,
+                                     std::uint64_t samples, Rng& rng) {
+  AF_EXPECTS(samples > 0, "need at least one sample");
+  AF_EXPECTS(!ranking.empty(), "empty ranking");
+
+  const NodeId n = inst.graph().num_nodes();
+  constexpr std::size_t kOutside = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> rank_of(n, kOutside);
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    AF_EXPECTS(ranking[i] < n, "ranking node out of range");
+    AF_EXPECTS(rank_of[ranking[i]] == kOutside, "duplicate node in ranking");
+    rank_of[ranking[i]] = i;
+  }
+
+  // One pass: minimal covering prefix size per sampled type-1 path.
+  std::vector<std::size_t> needs;
+  needs.reserve(static_cast<std::size_t>(samples) / 8);
+  ReversePathSampler sampler(inst);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const TgSample tg = sampler.sample(rng);
+    if (!tg.type1) continue;
+    std::size_t need = 0;
+    bool coverable = true;
+    for (NodeId v : tg.path) {
+      const std::size_t r = rank_of[v];
+      if (r == kOutside) {
+        coverable = false;
+        break;
+      }
+      need = std::max(need, r + 1);
+    }
+    if (coverable) needs.push_back(need);
+  }
+  std::sort(needs.begin(), needs.end());
+
+  RankedCurve curve;
+  curve.samples_ = samples;
+  for (std::size_t i = 0; i < needs.size(); ++i) {
+    if (curve.needs_.empty() || curve.needs_.back() != needs[i]) {
+      curve.needs_.push_back(needs[i]);
+      curve.cum_.push_back(i + 1);
+    } else {
+      curve.cum_.back() = i + 1;
+    }
+  }
+  return curve;
+}
+
+double RankedCurve::f_at(std::size_t k) const {
+  if (samples_ == 0 || needs_.empty()) return 0.0;
+  // Largest stored need ≤ k.
+  const auto it = std::upper_bound(needs_.begin(), needs_.end(), k);
+  if (it == needs_.begin()) return 0.0;
+  const auto idx = static_cast<std::size_t>(it - needs_.begin()) - 1;
+  return static_cast<double>(cum_[idx]) / static_cast<double>(samples_);
+}
+
+std::optional<std::size_t> RankedCurve::size_to_reach(double target) const {
+  if (target <= 0.0) return std::size_t{0};
+  const auto want = static_cast<double>(samples_) * target;
+  for (std::size_t i = 0; i < needs_.size(); ++i) {
+    if (static_cast<double>(cum_[i]) >= want) return needs_[i];
+  }
+  return std::nullopt;
+}
+
+double RankedCurve::ceiling() const {
+  if (samples_ == 0 || cum_.empty()) return 0.0;
+  return static_cast<double>(cum_.back()) / static_cast<double>(samples_);
+}
+
+}  // namespace af

@@ -1,0 +1,64 @@
+// Ranked-prefix acceptance curves.
+//
+// The Fig. 4/5 protocol ("run HD and continuously increase the size of
+// the invitation set until the acceptance probability reaches f(I_RAF)")
+// asks for f(I_k) over the nested family I_1 ⊂ I_2 ⊂ … induced by a
+// strategy's ranking. Evaluating each budget with an independent
+// Monte-Carlo run costs samples × budgets; this module computes the
+// whole curve from ONE sampling pass:
+//
+//   For each sampled type-1 backward path t(ĝ), the smallest prefix that
+//   covers it is k(ĝ) = 1 + max over v ∈ t(ĝ) of rank(v) (∞ when some
+//   node is outside the ranking). Then
+//     f(I_k) = Pr[ĝ type-1 ∧ k(ĝ) ≤ k],
+//   a cumulative histogram over the sampled k(ĝ) values — every budget
+//   answered from the same samples, exactly and consistently (the curve
+//   is monotone by construction, which per-budget MC runs cannot
+//   guarantee).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "diffusion/instance.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+/// A monotone acceptance-probability curve over ranking prefixes.
+class RankedCurve {
+ public:
+  /// f(I_k): acceptance probability of the first-k prefix. Monotone
+  /// non-decreasing in k; k ≥ ranking size gives the ranking's ceiling.
+  double f_at(std::size_t k) const;
+
+  /// Smallest k with f(I_k) ≥ target, or nullopt if the whole ranking
+  /// stays below it.
+  std::optional<std::size_t> size_to_reach(double target) const;
+
+  /// The probability ceiling: f at the full ranking.
+  double ceiling() const;
+
+  /// Number of Monte-Carlo samples behind the curve.
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  friend RankedCurve evaluate_ranked_prefixes(const FriendingInstance&,
+                                              const InvitationRanking&,
+                                              std::uint64_t, Rng&);
+
+  // cum_[i] = number of sampled paths with k(ĝ) ≤ needs_[i] — compressed
+  // cumulative histogram over distinct need values, ascending.
+  std::vector<std::size_t> needs_;
+  std::vector<std::uint64_t> cum_;
+  std::uint64_t samples_ = 0;
+};
+
+/// Builds the curve with `samples` reverse-sampling draws.
+RankedCurve evaluate_ranked_prefixes(const FriendingInstance& inst,
+                                     const InvitationRanking& ranking,
+                                     std::uint64_t samples, Rng& rng);
+
+}  // namespace af

@@ -1,0 +1,98 @@
+#include "core/vmax.hpp"
+
+#include <algorithm>
+
+#include "graph/blockcut.hpp"
+#include "graph/weights.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+
+std::vector<NodeId> compute_vmax(const FriendingInstance& inst) {
+  const Graph& g = inst.graph();
+  const NodeId n = g.num_nodes();
+  const NodeId s = inst.initiator();
+
+  // Dense remap of V' = V ∖ ({s} ∪ N_s); id 0 is the supersource a.
+  std::vector<NodeId> remap(n, kNoNode);
+  NodeId next = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == s || inst.is_initial_friend(v)) continue;
+    remap[v] = next++;
+  }
+
+  Graph::Builder builder(next);
+  std::vector<char> attached_to_a(next, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (remap[v] == kNoNode) continue;
+    bool touches_ns = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (inst.is_initial_friend(u)) {
+        touches_ns = true;
+        continue;
+      }
+      if (remap[u] == kNoNode) continue;  // u == s (s's nbrs are all N_s)
+      if (u > v) builder.add_edge(remap[v], remap[u]);
+    }
+    if (touches_ns && !attached_to_a[remap[v]]) {
+      attached_to_a[remap[v]] = 1;
+      builder.add_edge(0, remap[v]);
+    }
+  }
+  if (builder.num_edges_added() == 0) return {};
+
+  const Graph h = builder.build(WeightScheme::inverse_degree());
+  const BlockCutTree bct(h);
+  const std::vector<NodeId> on_paths =
+      bct.vertices_on_simple_paths(0, remap[inst.target()]);
+
+  // Map back, dropping the supersource.
+  std::vector<NodeId> inverse(next, kNoNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (remap[v] != kNoNode) inverse[remap[v]] = v;
+  }
+  std::vector<NodeId> out;
+  out.reserve(on_paths.size());
+  for (NodeId x : on_paths) {
+    if (x != 0) out.push_back(inverse[x]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> compute_vmax_reachability(const FriendingInstance& inst) {
+  const Graph& g = inst.graph();
+  const NodeId n = g.num_nodes();
+  const NodeId s = inst.initiator();
+
+  auto excluded = [&](NodeId v) {
+    return v == s || inst.is_initial_friend(v);
+  };
+
+  // Flood fill from t inside G[V'].
+  std::vector<char> seen(n, 0);
+  std::vector<NodeId> comp;
+  std::vector<NodeId> stack{inst.target()};
+  seen[inst.target()] = 1;
+  bool touches_ns = false;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    comp.push_back(v);
+    for (NodeId u : g.neighbors(v)) {
+      if (excluded(u)) {
+        if (inst.is_initial_friend(u)) touches_ns = true;
+        continue;
+      }
+      if (!seen[u]) {
+        seen[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  if (!touches_ns) return {};
+  std::sort(comp.begin(), comp.end());
+  return comp;
+}
+
+}  // namespace af

@@ -1,0 +1,31 @@
+// V_max (Lemma 7): the unique minimum invitation set achieving p_max.
+//
+// A node u ∉ {s} ∪ N_s belongs to V_max iff it lies on some path from a
+// node of {s} ∪ N_s to t. Because Alg. 1's backward walk traces *simple*
+// paths whose internal nodes avoid N_s (the walk stops at the first N_s
+// node), the precise criterion is: u lies on a simple path from a
+// supersource a — adjacent to every surviving neighbor of N_s — to t in
+// the graph induced on V ∖ ({s} ∪ N_s). Simple-path membership is decided
+// exactly with the block-cut tree (see graph/blockcut.hpp).
+//
+// The naive "reachable from both sides" intersection is also provided:
+// it is a superset of V_max in general (it admits nodes that only occur
+// on walks revisiting N_s) and is used for comparison/ablation.
+#pragma once
+
+#include <vector>
+
+#include "diffusion/instance.hpp"
+#include "graph/types.hpp"
+
+namespace af {
+
+/// Exact V_max, sorted ascending. Always contains t when V_max ≠ ∅;
+/// returns {} iff t is unreachable from N_s (p_max = 0).
+std::vector<NodeId> compute_vmax(const FriendingInstance& inst);
+
+/// Reachability overapproximation: nodes of the connected component of t
+/// in G[V ∖ ({s} ∪ N_s)] whose component touches N_s. Superset of V_max.
+std::vector<NodeId> compute_vmax_reachability(const FriendingInstance& inst);
+
+}  // namespace af

@@ -1,0 +1,295 @@
+#include "cover/densest.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "cover/maxflow.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+
+namespace {
+
+/// Instance view after applying the options: which sets are eligible and,
+/// per set, how many non-free elements it has.
+struct View {
+  std::vector<std::uint32_t> sets;         // eligible set indices
+  std::vector<NodeId> elements;            // non-free elements in use
+  std::vector<std::uint32_t> elem_index;   // element -> dense idx (or ~0)
+};
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+View make_view(const SetFamily& family, const DensestOptions& opts) {
+  View view;
+  view.elem_index.assign(family.universe_size(), kNone);
+  auto is_free = [&](NodeId v) {
+    return !opts.free_elements.empty() && opts.free_elements[v];
+  };
+  auto is_excluded = [&](std::uint32_t i) {
+    return !opts.excluded_sets.empty() && opts.excluded_sets[i];
+  };
+  for (std::uint32_t i = 0; i < family.num_sets(); ++i) {
+    if (is_excluded(i)) continue;
+    view.sets.push_back(i);
+    for (NodeId v : family.elements(i)) {
+      if (is_free(v) || view.elem_index[v] != kNone) continue;
+      view.elem_index[v] = static_cast<std::uint32_t>(view.elements.size());
+      view.elements.push_back(v);
+    }
+  }
+  return view;
+}
+
+/// Finalizes a result from chosen set indices.
+DensestResult finish(const SetFamily& family, const DensestOptions& opts,
+                     std::vector<std::uint32_t> sets) {
+  DensestResult out;
+  out.sets = std::move(sets);
+  std::vector<char> in_union(family.universe_size(), 0);
+  auto is_free = [&](NodeId v) {
+    return !opts.free_elements.empty() && opts.free_elements[v];
+  };
+  for (std::uint32_t i : out.sets) {
+    out.weight += static_cast<double>(family.multiplicity(i));
+    for (NodeId v : family.elements(i)) {
+      if (!is_free(v) && !in_union[v]) {
+        in_union[v] = 1;
+        out.union_elements.push_back(v);
+      }
+    }
+  }
+  std::sort(out.union_elements.begin(), out.union_elements.end());
+  out.density = out.union_elements.empty()
+                    ? (out.sets.empty()
+                           ? 0.0
+                           : std::numeric_limits<double>::infinity())
+                    : out.weight / static_cast<double>(
+                                       out.union_elements.size());
+  return out;
+}
+
+/// Collects all zero-cost sets (every element free). If any exist they
+/// dominate everything (infinite density).
+std::vector<std::uint32_t> zero_cost_sets(const SetFamily& family,
+                                          const DensestOptions& opts,
+                                          const View& view) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i : view.sets) {
+    bool all_free = true;
+    for (NodeId v : family.elements(i)) {
+      if (view.elem_index[v] != kNone) {
+        all_free = false;
+        break;
+      }
+    }
+    (void)opts;
+    if (all_free) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+DensestResult densest_subfamily_exact(const SetFamily& family,
+                                      const DensestOptions& opts) {
+  const View view = make_view(family, opts);
+  if (view.sets.empty()) return {};
+
+  if (auto zero = zero_cost_sets(family, opts, view); !zero.empty()) {
+    return finish(family, opts, std::move(zero));
+  }
+
+  const auto ns = static_cast<std::uint32_t>(view.sets.size());
+  const auto ne = static_cast<std::uint32_t>(view.elements.size());
+
+  std::uint64_t total_weight = 0;
+  for (std::uint32_t i : view.sets) total_weight += family.multiplicity(i);
+
+  // Dinkelbach / Goldberg iteration: start from the best single set and
+  // repeatedly ask for a subfamily strictly denser than the incumbent.
+  // λ is the exact rational weight/size of the incumbent; capacities are
+  // scaled by its denominator so the network is integral.
+  std::vector<std::uint32_t> best;  // indices into view.sets? store family ids
+  {
+    double best_d = -1.0;
+    std::uint32_t best_set = view.sets[0];
+    for (std::uint32_t i : view.sets) {
+      std::size_t cost = 0;
+      for (NodeId v : family.elements(i)) {
+        if (view.elem_index[v] != kNone) ++cost;
+      }
+      const double d = static_cast<double>(family.multiplicity(i)) /
+                       static_cast<double>(cost);
+      if (d > best_d) {
+        best_d = d;
+        best_set = i;
+      }
+    }
+    best = {best_set};
+  }
+
+  auto weight_and_cost = [&](const std::vector<std::uint32_t>& sets)
+      -> std::pair<std::uint64_t, std::uint64_t> {
+    std::uint64_t w = 0;
+    std::vector<char> seen(ne, 0);
+    std::uint64_t c = 0;
+    for (std::uint32_t i : sets) {
+      w += family.multiplicity(i);
+      for (NodeId v : family.elements(i)) {
+        const std::uint32_t e = view.elem_index[v];
+        if (e != kNone && !seen[e]) {
+          seen[e] = 1;
+          ++c;
+        }
+      }
+    }
+    return {w, c};
+  };
+
+  for (int iter = 0; iter < 64; ++iter) {
+    const auto [num, den] = weight_and_cost(best);
+    AF_ENSURES(den > 0, "zero-cost incumbent should have been handled");
+
+    // Network: source=0, sets=[1, ns], elements=[ns+1, ns+ne], sink=last.
+    MaxFlow flow(ns + ne + 2);
+    const std::uint32_t src = 0;
+    const std::uint32_t snk = ns + ne + 1;
+    for (std::uint32_t k = 0; k < ns; ++k) {
+      const std::uint32_t i = view.sets[k];
+      flow.add_edge(src, 1 + k,
+                    static_cast<double>(family.multiplicity(i)) *
+                        static_cast<double>(den));
+      for (NodeId v : family.elements(i)) {
+        const std::uint32_t e = view.elem_index[v];
+        if (e != kNone) {
+          flow.add_edge(1 + k, 1 + ns + e, MaxFlow::kInfCapacity);
+        }
+      }
+    }
+    for (std::uint32_t e = 0; e < ne; ++e) {
+      flow.add_edge(1 + ns + e, snk, static_cast<double>(num));
+    }
+
+    const double max_flow = flow.solve(src, snk);
+    const double scaled_total =
+        static_cast<double>(total_weight) * static_cast<double>(den);
+    // Surplus > 0 ⟺ some subfamily has density strictly above num/den.
+    if (max_flow >= scaled_total - 0.5) break;  // incumbent is optimal
+
+    const std::vector<char> side = flow.min_cut_source_side(src);
+    std::vector<std::uint32_t> cand;
+    for (std::uint32_t k = 0; k < ns; ++k) {
+      if (side[1 + k]) cand.push_back(view.sets[k]);
+    }
+    AF_ENSURES(!cand.empty(), "positive surplus but empty closure");
+    // Strict progress check against pathological fp behavior.
+    const auto [cw, cc] = weight_and_cost(cand);
+    AF_ENSURES(cc == 0 || cw * den > num * cc,
+               "densest iteration failed to improve");
+    best = std::move(cand);
+    if (cc == 0) break;
+  }
+  return finish(family, opts, std::move(best));
+}
+
+DensestResult densest_subfamily_peeling(const SetFamily& family,
+                                        const DensestOptions& opts) {
+  const View view = make_view(family, opts);
+  if (view.sets.empty()) return {};
+
+  if (auto zero = zero_cost_sets(family, opts, view); !zero.empty()) {
+    return finish(family, opts, std::move(zero));
+  }
+
+  const auto ns = static_cast<std::uint32_t>(view.sets.size());
+  const auto ne = static_cast<std::uint32_t>(view.elements.size());
+
+  // Per eligible set: its dense element list; per element: incident sets.
+  std::vector<std::vector<std::uint32_t>> set_elems(ns);
+  std::vector<std::vector<std::uint32_t>> elem_sets(ne);
+  for (std::uint32_t k = 0; k < ns; ++k) {
+    for (NodeId v : family.elements(view.sets[k])) {
+      const std::uint32_t e = view.elem_index[v];
+      if (e == kNone) continue;
+      set_elems[k].push_back(e);
+      elem_sets[e].push_back(k);
+    }
+  }
+
+  std::vector<char> set_alive(ns, 1);
+  std::vector<char> elem_alive(ne, 1);
+  // kill_weight[e] = Σ multiplicity of alive sets containing e.
+  std::vector<double> kill_weight(ne, 0.0);
+  double alive_weight = 0.0;
+  for (std::uint32_t k = 0; k < ns; ++k) {
+    const double w = static_cast<double>(family.multiplicity(view.sets[k]));
+    alive_weight += w;
+    for (std::uint32_t e : set_elems[k]) kill_weight[e] += w;
+  }
+  // cover_count[e] = # alive sets containing e (union membership test).
+  std::vector<std::uint32_t> cover_count(ne, 0);
+  std::uint64_t union_size = 0;
+  for (std::uint32_t e = 0; e < ne; ++e) {
+    cover_count[e] = static_cast<std::uint32_t>(elem_sets[e].size());
+    if (cover_count[e] > 0) ++union_size;
+  }
+
+  using HeapEntry = std::pair<double, std::uint32_t>;  // (kill_weight, elem)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (std::uint32_t e = 0; e < ne; ++e) heap.emplace(kill_weight[e], e);
+
+  // Peel everything, remembering the best prefix.
+  std::vector<std::uint32_t> death_time(ns, kNone);
+  double best_density = union_size == 0
+                            ? 0.0
+                            : alive_weight / static_cast<double>(union_size);
+  std::uint32_t best_tau = 0;
+  std::uint32_t tau = 0;
+
+  while (!heap.empty()) {
+    auto [kw, e] = heap.top();
+    heap.pop();
+    if (!elem_alive[e] || kw != kill_weight[e]) continue;  // stale entry
+    elem_alive[e] = 0;
+    ++tau;
+    if (cover_count[e] > 0) --union_size;
+    for (std::uint32_t k : elem_sets[e]) {
+      if (!set_alive[k]) continue;
+      set_alive[k] = 0;
+      death_time[k] = tau;
+      const double w = static_cast<double>(family.multiplicity(view.sets[k]));
+      alive_weight -= w;
+      for (std::uint32_t f : set_elems[k]) {
+        if (!elem_alive[f]) continue;
+        kill_weight[f] -= w;
+        if (--cover_count[f] == 0) {
+          // f is no longer in any alive set: it leaves the union for free.
+          --union_size;
+        }
+        heap.emplace(kill_weight[f], f);
+      }
+    }
+    if (union_size > 0) {
+      const double d = alive_weight / static_cast<double>(union_size);
+      if (d > best_density) {
+        best_density = d;
+        best_tau = tau;
+      }
+    }
+  }
+
+  // Reconstruct the subfamily alive after best_tau removals. A set is
+  // alive iff it never died or died strictly later. Sets whose union
+  // membership became redundant remain included (they cost nothing).
+  std::vector<std::uint32_t> chosen;
+  for (std::uint32_t k = 0; k < ns; ++k) {
+    if (death_time[k] == kNone || death_time[k] > best_tau) {
+      chosen.push_back(view.sets[k]);
+    }
+  }
+  return finish(family, opts, std::move(chosen));
+}
+
+}  // namespace af

@@ -1,0 +1,54 @@
+// Densest subhypergraph: given a family of weighted sets over elements,
+// find a subfamily S' maximizing  density(S') = weight(S') / |∪ S'|.
+//
+// This is the core relaxation behind the Chlamtáč et al. approximation
+// for Minimum p-Union (Problem 2): repeatedly extracting dense subfamilies
+// yields unions that grow as slowly as possible.
+//
+// Two engines:
+//  - exact: Goldberg's reduction — binary search the density λ and decide
+//    "∃ S' with weight(S') − λ·|∪S'| > 0" with a min-cut on the bipartite
+//    closure network (source→set cap w_i, set→its elements cap ∞,
+//    element→sink cap λ). Densities are ratios of integers bounded by the
+//    instance size, so the search terminates at machine precision.
+//  - peeling: iteratively remove the element whose removal destroys the
+//    least set weight, tracking the best density along the way. Linear
+//    memory, near-linear time; the classic approximation fallback for
+//    large instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cover/setfamily.hpp"
+
+namespace af {
+
+/// A subfamily together with its union and density.
+struct DensestResult {
+  std::vector<std::uint32_t> sets;     // indices into the family
+  std::vector<NodeId> union_elements;  // sorted
+  double weight = 0.0;                 // Σ multiplicities of chosen sets
+  double density = 0.0;                // weight / |union|
+};
+
+/// Options shared by both engines.
+struct DensestOptions {
+  /// Elements marked "free" cost nothing (they are already in the union
+  /// being built by an MpU solver). Empty = no free elements.
+  std::vector<char> free_elements;
+  /// Sets excluded from consideration (already chosen). Empty = none.
+  std::vector<char> excluded_sets;
+};
+
+/// Exact maximum-density subfamily via flow (empty result if the family
+/// has no eligible sets). Runtime ~ O(binary-search · Dinic) — intended
+/// for families up to ~10^5 total elements.
+DensestResult densest_subfamily_exact(const SetFamily& family,
+                                      const DensestOptions& opts = {});
+
+/// Greedy peeling approximation (guaranteed within max-set-size factor).
+DensestResult densest_subfamily_peeling(const SetFamily& family,
+                                        const DensestOptions& opts = {});
+
+}  // namespace af

@@ -1,0 +1,99 @@
+#include "cover/maxflow.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+MaxFlow::MaxFlow(std::uint32_t num_nodes)
+    : head_(num_nodes, kNil), level_(num_nodes, 0), iter_(num_nodes, kNil) {}
+
+std::uint32_t MaxFlow::add_edge(std::uint32_t from, std::uint32_t to,
+                                double capacity) {
+  AF_EXPECTS(from < head_.size() && to < head_.size(),
+             "flow edge endpoint out of range");
+  AF_EXPECTS(capacity >= 0.0, "negative capacity");
+  const auto id = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(Edge{to, head_[from], capacity});
+  head_[from] = id;
+  edges_.push_back(Edge{from, head_[to], 0.0});
+  head_[to] = id + 1;
+  return id;
+}
+
+bool MaxFlow::build_levels(std::uint32_t s, std::uint32_t t) {
+  std::fill(level_.begin(), level_.end(), kNil);
+  level_[s] = 0;
+  std::vector<std::uint32_t> frontier{s};
+  std::vector<std::uint32_t> next;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (std::uint32_t v : frontier) {
+      for (std::uint32_t e = head_[v]; e != kNil; e = edges_[e].next) {
+        if (edges_[e].cap <= kEps) continue;
+        const std::uint32_t u = edges_[e].to;
+        if (level_[u] != kNil) continue;
+        level_[u] = depth;
+        next.push_back(u);
+      }
+    }
+    frontier.swap(next);
+  }
+  return level_[t] != kNil;
+}
+
+double MaxFlow::push_flow(std::uint32_t v, std::uint32_t t, double limit) {
+  if (v == t) return limit;
+  for (std::uint32_t& e = iter_[v]; e != kNil; e = edges_[e].next) {
+    Edge& fwd = edges_[e];
+    if (fwd.cap <= kEps) continue;
+    const std::uint32_t u = fwd.to;
+    if (level_[u] != level_[v] + 1) continue;
+    const double pushed = push_flow(u, t, std::min(limit, fwd.cap));
+    if (pushed > 0.0) {
+      fwd.cap -= pushed;
+      edges_[e ^ 1].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(std::uint32_t s, std::uint32_t t) {
+  AF_EXPECTS(s < head_.size() && t < head_.size() && s != t,
+             "invalid flow terminals");
+  double total = 0.0;
+  while (build_levels(s, t)) {
+    iter_ = head_;
+    while (true) {
+      const double pushed = push_flow(s, t, kInfCapacity);
+      if (pushed <= 0.0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::vector<char> MaxFlow::min_cut_source_side(std::uint32_t s) const {
+  std::vector<char> side(head_.size(), 0);
+  std::vector<std::uint32_t> stack{s};
+  side[s] = 1;
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    for (std::uint32_t e = head_[v]; e != kNil; e = edges_[e].next) {
+      if (edges_[e].cap <= kEps) continue;
+      const std::uint32_t u = edges_[e].to;
+      if (!side[u]) {
+        side[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace af

@@ -1,0 +1,58 @@
+// Dinic's maximum-flow algorithm.
+//
+// Substrate for the exact densest-subhypergraph computation (Goldberg's
+// binary-search reduction), which in turn powers the Chlamtáč-style MpU
+// solver. Capacities are doubles because the density parameter λ enters
+// the sink capacities; a small epsilon guards saturation tests.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace af {
+
+/// Residual-graph max-flow (Dinic: BFS level graph + blocking DFS).
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::uint32_t num_nodes);
+
+  static constexpr double kInfCapacity =
+      std::numeric_limits<double>::infinity();
+
+  /// Adds a directed edge with the given capacity (reverse capacity 0).
+  /// Returns the edge id (its residual partner is id ^ 1).
+  std::uint32_t add_edge(std::uint32_t from, std::uint32_t to,
+                         double capacity);
+
+  /// Computes the max flow from s to t. May be called once per instance.
+  double solve(std::uint32_t s, std::uint32_t t);
+
+  /// After solve(): nodes reachable from s in the residual graph — the
+  /// source side of a minimum cut.
+  std::vector<char> min_cut_source_side(std::uint32_t s) const;
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(head_.size());
+  }
+
+ private:
+  struct Edge {
+    std::uint32_t to;
+    std::uint32_t next;  // next edge id in the from-node's list
+    double cap;
+  };
+
+  bool build_levels(std::uint32_t s, std::uint32_t t);
+  double push_flow(std::uint32_t v, std::uint32_t t, double limit);
+
+  static constexpr double kEps = 1e-11;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  std::vector<Edge> edges_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> iter_;
+};
+
+}  // namespace af

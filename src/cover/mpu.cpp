@@ -1,0 +1,366 @@
+#include "cover/mpu.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "cover/densest.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+
+namespace {
+
+void check_inputs(const SetFamily& family, std::uint64_t p) {
+  AF_EXPECTS(p >= 1, "coverage target must be positive");
+  AF_EXPECTS(p <= family.total_multiplicity(),
+             "coverage target exceeds the number of input sets");
+}
+
+MpuResult finish_result(const SetFamily& family,
+                        std::vector<std::uint32_t> chosen) {
+  MpuResult out;
+  out.chosen_sets = std::move(chosen);
+  std::vector<char> in_union(family.universe_size(), 0);
+  for (std::uint32_t i : out.chosen_sets) {
+    out.covered += family.multiplicity(i);
+    for (NodeId v : family.elements(i)) {
+      if (!in_union[v]) {
+        in_union[v] = 1;
+        out.union_elements.push_back(v);
+      }
+    }
+  }
+  std::sort(out.union_elements.begin(), out.union_elements.end());
+  return out;
+}
+
+}  // namespace
+
+MpuResult GreedyMpuSolver::solve(const SetFamily& family,
+                                 std::uint64_t p) const {
+  check_inputs(family, p);
+  const auto ns = static_cast<std::uint32_t>(family.num_sets());
+
+  std::vector<std::uint32_t> marginal(ns);
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    marginal[i] = static_cast<std::uint32_t>(family.elements(i).size());
+  }
+  std::vector<char> chosen(ns, 0);
+  std::vector<char> in_union(family.universe_size(), 0);
+
+  // Lazy min-heap keyed by marginal-per-covered-realization. Keys only
+  // decrease; whenever a key changes we push the fresh value, so stale
+  // entries can simply be skipped on pop.
+  struct Entry {
+    double key;
+    std::uint32_t marginal_at_push;
+    std::uint32_t set;
+    bool operator>(const Entry& o) const {
+      if (key != o.key) return key > o.key;
+      return set > o.set;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  auto key_of = [&](std::uint32_t i) {
+    return static_cast<double>(marginal[i]) /
+           static_cast<double>(family.multiplicity(i));
+  };
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    heap.push(Entry{key_of(i), marginal[i], i});
+  }
+
+  std::vector<std::uint32_t> picked;
+  std::uint64_t covered = 0;
+  while (covered < p) {
+    AF_ENSURES(!heap.empty(), "greedy ran out of sets before reaching p");
+    const Entry e = heap.top();
+    heap.pop();
+    if (chosen[e.set] || e.marginal_at_push != marginal[e.set]) continue;
+
+    chosen[e.set] = 1;
+    picked.push_back(e.set);
+    covered += family.multiplicity(e.set);
+    for (NodeId v : family.elements(e.set)) {
+      if (in_union[v]) continue;
+      in_union[v] = 1;
+      for (std::uint32_t j : family.sets_containing(v)) {
+        if (chosen[j]) continue;
+        --marginal[j];
+        heap.push(Entry{key_of(j), marginal[j], j});
+      }
+    }
+  }
+  return finish_result(family, std::move(picked));
+}
+
+MpuResult SmallestSetsSolver::solve(const SetFamily& family,
+                                    std::uint64_t p) const {
+  check_inputs(family, p);
+  const auto ns = static_cast<std::uint32_t>(family.num_sets());
+  std::vector<std::uint32_t> order(ns);
+  for (std::uint32_t i = 0; i < ns; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double ka = static_cast<double>(family.elements(a).size()) /
+                      static_cast<double>(family.multiplicity(a));
+    const double kb = static_cast<double>(family.elements(b).size()) /
+                      static_cast<double>(family.multiplicity(b));
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  std::vector<std::uint32_t> picked;
+  std::uint64_t covered = 0;
+  for (std::uint32_t i : order) {
+    if (covered >= p) break;
+    picked.push_back(i);
+    covered += family.multiplicity(i);
+  }
+  return finish_result(family, std::move(picked));
+}
+
+MpuResult ExactMpuSolver::solve(const SetFamily& family,
+                                std::uint64_t p) const {
+  check_inputs(family, p);
+  const auto ns = static_cast<std::uint32_t>(family.num_sets());
+  AF_EXPECTS(ns <= 30, "exact solver limited to 30 distinct sets");
+  AF_EXPECTS(family.universe_size() <= 512,
+             "exact solver limited to universe 512");
+
+  const std::size_t words = (family.universe_size() + 63) / 64;
+
+  // Order sets by size so cheap sets are branched on first.
+  std::vector<std::uint32_t> order(ns);
+  for (std::uint32_t i = 0; i < ns; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (family.elements(a).size() != family.elements(b).size()) {
+      return family.elements(a).size() < family.elements(b).size();
+    }
+    return a < b;
+  });
+
+  std::vector<std::vector<std::uint64_t>> bits(ns,
+                                               std::vector<std::uint64_t>(words, 0));
+  for (std::uint32_t k = 0; k < ns; ++k) {
+    for (NodeId v : family.elements(order[k])) {
+      bits[k][v / 64] |= (1ULL << (v % 64));
+    }
+  }
+  std::vector<std::uint64_t> suffix_mult(ns + 1, 0);
+  for (std::uint32_t k = ns; k-- > 0;) {
+    suffix_mult[k] = suffix_mult[k + 1] + family.multiplicity(order[k]);
+  }
+
+  std::size_t best_size = family.universe_size() + 1;
+  std::vector<std::uint32_t> best_sets;
+
+  std::vector<std::uint64_t> cur(words, 0);
+  std::vector<std::uint32_t> cur_sets;
+
+  auto popcount_of = [&](const std::vector<std::uint64_t>& x) {
+    std::size_t c = 0;
+    for (std::uint64_t w : x) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  };
+
+  // Depth-first branch and bound over include/exclude decisions.
+  auto dfs = [&](auto&& self, std::uint32_t k, std::uint64_t covered,
+                 std::size_t cur_size) -> void {
+    if (covered >= p) {
+      if (cur_size < best_size) {
+        best_size = cur_size;
+        best_sets.clear();
+        for (std::uint32_t j : cur_sets) best_sets.push_back(order[j]);
+      }
+      return;  // adding more sets can only grow the union
+    }
+    if (k == ns) return;
+    if (covered + suffix_mult[k] < p) return;   // cannot reach target
+    if (cur_size >= best_size) return;          // cannot improve
+
+    // Branch 1: include set k.
+    std::vector<std::uint64_t> saved = cur;
+    std::size_t new_size = cur_size;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t add = bits[k][w] & ~cur[w];
+      new_size += static_cast<std::size_t>(__builtin_popcountll(add));
+      cur[w] |= bits[k][w];
+    }
+    cur_sets.push_back(k);
+    self(self, k + 1, covered + family.multiplicity(order[k]), new_size);
+    cur_sets.pop_back();
+    cur = std::move(saved);
+
+    // Branch 2: exclude set k.
+    self(self, k + 1, covered, cur_size);
+  };
+  dfs(dfs, 0, 0, popcount_of(cur));
+
+  AF_ENSURES(!best_sets.empty() || p == 0, "exact solver found no solution");
+  return finish_result(family, std::move(best_sets));
+}
+
+MpuResult DensestMpuSolver::solve(const SetFamily& family,
+                                  std::uint64_t p) const {
+  check_inputs(family, p);
+  const auto ns = static_cast<std::uint32_t>(family.num_sets());
+
+  const bool use_exact =
+      engine_ == Engine::kExact ||
+      (engine_ == Engine::kAuto &&
+       family.total_elements() <= 20'000 && ns <= 4'000);
+
+  DensestOptions opts;
+  opts.free_elements.assign(family.universe_size(), 0);
+  opts.excluded_sets.assign(ns, 0);
+
+  std::vector<std::uint32_t> picked;
+  std::uint64_t covered = 0;
+  while (covered < p) {
+    const DensestResult dense =
+        use_exact ? densest_subfamily_exact(family, opts)
+                  : densest_subfamily_peeling(family, opts);
+    AF_ENSURES(!dense.sets.empty(),
+               "densest extraction returned nothing before reaching p");
+
+    std::uint64_t block_mult = 0;
+    for (std::uint32_t i : dense.sets) block_mult += family.multiplicity(i);
+
+    if (covered + block_mult <= p) {
+      // Take the whole dense block.
+      for (std::uint32_t i : dense.sets) {
+        picked.push_back(i);
+        opts.excluded_sets[i] = 1;
+        covered += family.multiplicity(i);
+        for (NodeId v : family.elements(i)) opts.free_elements[v] = 1;
+      }
+      continue;
+    }
+
+    // The block overshoots: clip it greedily by min marginal.
+    std::vector<std::uint32_t> block(dense.sets);
+    std::vector<char> taken(block.size(), 0);
+    while (covered < p) {
+      double best_key = 0.0;
+      std::size_t best_idx = block.size();
+      for (std::size_t bi = 0; bi < block.size(); ++bi) {
+        if (taken[bi]) continue;
+        const std::uint32_t i = block[bi];
+        std::size_t marg = 0;
+        for (NodeId v : family.elements(i)) {
+          if (!opts.free_elements[v]) ++marg;
+        }
+        const double key = static_cast<double>(marg) /
+                           static_cast<double>(family.multiplicity(i));
+        if (best_idx == block.size() || key < best_key) {
+          best_key = key;
+          best_idx = bi;
+        }
+      }
+      AF_ENSURES(best_idx < block.size(), "clipping ran out of block sets");
+      taken[best_idx] = 1;
+      const std::uint32_t i = block[best_idx];
+      picked.push_back(i);
+      opts.excluded_sets[i] = 1;
+      covered += family.multiplicity(i);
+      for (NodeId v : family.elements(i)) opts.free_elements[v] = 1;
+    }
+  }
+  return finish_result(family, std::move(picked));
+}
+
+MpuResult refine_local_search(const SetFamily& family, std::uint64_t p,
+                              MpuResult start, int max_rounds) {
+  const auto ns = static_cast<std::uint32_t>(family.num_sets());
+  if (ns > 20'000) return start;  // refinement disabled on huge families
+
+  std::vector<char> chosen(ns, 0);
+  for (std::uint32_t i : start.chosen_sets) chosen[i] = 1;
+  std::uint64_t covered = start.covered;
+
+  // cnt[v] = number of chosen sets containing v.
+  std::vector<std::uint32_t> cnt(family.universe_size(), 0);
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    if (!chosen[i]) continue;
+    for (NodeId v : family.elements(i)) ++cnt[v];
+  }
+
+  auto sole_elements = [&](std::uint32_t i) {
+    // Elements that leave the union if set i is dropped.
+    std::size_t a = 0;
+    for (NodeId v : family.elements(i)) {
+      if (cnt[v] == 1) ++a;
+    }
+    return a;
+  };
+
+  // Scratch marker: in_i[v] = 1 iff v belongs to the set currently being
+  // considered for removal.
+  std::vector<char> in_i(family.universe_size(), 0);
+
+  bool improved = true;
+  for (int round = 0; round < max_rounds && improved; ++round) {
+    improved = false;
+    for (std::uint32_t i = 0; i < ns; ++i) {
+      if (!chosen[i]) continue;
+
+      // Pure removal when coverage stays feasible.
+      if (covered - family.multiplicity(i) >= p) {
+        chosen[i] = 0;
+        covered -= family.multiplicity(i);
+        for (NodeId v : family.elements(i)) --cnt[v];
+        improved = true;
+        continue;
+      }
+
+      const std::size_t freed = sole_elements(i);
+      if (freed == 0) continue;  // no swap can shrink the union
+
+      for (NodeId v : family.elements(i)) in_i[v] = 1;
+
+      // Try swapping i for the best replacement j: after removing i, an
+      // element v remains in the union iff cnt[v] − [v ∈ i] > 0.
+      const std::uint64_t need = p - (covered - family.multiplicity(i));
+      std::uint32_t best_j = ns;
+      std::size_t best_added = freed;  // must strictly beat `freed`
+      for (std::uint32_t j = 0; j < ns; ++j) {
+        if (chosen[j] || j == i) continue;
+        if (family.multiplicity(j) < need) continue;
+        std::size_t added = 0;
+        for (NodeId v : family.elements(j)) {
+          if (cnt[v] - (in_i[v] ? 1u : 0u) == 0) ++added;
+          if (added >= best_added) break;  // cannot win anymore
+        }
+        if (added < best_added) {
+          best_added = added;
+          best_j = j;
+        }
+      }
+
+      for (NodeId v : family.elements(i)) in_i[v] = 0;
+
+      if (best_j < ns) {
+        // Apply the swap i → best_j.
+        chosen[i] = 0;
+        covered -= family.multiplicity(i);
+        for (NodeId v : family.elements(i)) --cnt[v];
+        chosen[best_j] = 1;
+        covered += family.multiplicity(best_j);
+        for (NodeId v : family.elements(best_j)) ++cnt[v];
+        improved = true;
+      }
+    }
+  }
+  // Rebuild the result from the chosen mask.
+  std::vector<std::uint32_t> sets;
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    if (chosen[i]) sets.push_back(i);
+  }
+  return finish_result(family, std::move(sets));
+}
+
+MpuResult solve_msc(const SetFamily& family, std::uint64_t p,
+                    const MpuSolver& solver) {
+  check_inputs(family, p);
+  return solver.solve(family, p);
+}
+
+}  // namespace af

@@ -1,0 +1,97 @@
+// Solvers for Minimum p-Union (Problem 2) and the Minimum Subset Cover
+// reduction (Problem 3 / Remark 2).
+//
+// Task: choose stored sets with total multiplicity ≥ p while minimizing
+// the size of their element union. (With all multiplicities 1 this is the
+// literal MpU: choose p sets.) The paper plugs the Chlamtáč et al.
+// (2√|U|)-approximation in as a black box; DESIGN.md §4.2 documents the
+// solvers implemented here:
+//
+//  - GreedyMpuSolver       lazy min-marginal/multiplicity greedy (default)
+//  - DensestMpuSolver      Chlamtáč-style: repeatedly extract the densest
+//                          subfamily w.r.t. not-yet-paid elements
+//  - SmallestSetsSolver    sort-by-size baseline
+//  - ExactMpuSolver        branch-and-bound oracle for small instances
+//  - refine_local_search   post-pass: swap chosen sets to shrink the union
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cover/setfamily.hpp"
+
+namespace af {
+
+/// Solution of an MpU/MSC run.
+struct MpuResult {
+  std::vector<std::uint32_t> chosen_sets;  // indices into the family
+  std::vector<NodeId> union_elements;      // sorted union of chosen sets
+  std::uint64_t covered = 0;               // Σ multiplicities of chosen
+};
+
+/// Interface shared by all MpU solvers. `p` is the coverage target
+/// (number of input sets, counting multiplicity, that must be covered).
+/// Preconditions: 1 ≤ p ≤ family.total_multiplicity().
+class MpuSolver {
+ public:
+  virtual ~MpuSolver() = default;
+  virtual MpuResult solve(const SetFamily& family, std::uint64_t p) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Greedy: repeatedly add the set minimizing (new elements)/(multiplicity),
+/// with incremental marginal maintenance via the inverted index — total
+/// work O(Σ|set| + S log S).
+class GreedyMpuSolver final : public MpuSolver {
+ public:
+  MpuResult solve(const SetFamily& family, std::uint64_t p) const override;
+  std::string name() const override { return "greedy"; }
+};
+
+/// Chlamtáč-style: repeatedly extract the densest subfamily (sets per new
+/// element), add it wholesale (clipped greedily when it overshoots p).
+class DensestMpuSolver final : public MpuSolver {
+ public:
+  /// use_exact: flow-based exact densest (small/medium instances) vs
+  /// peeling (large). kAuto switches on instance size.
+  enum class Engine { kExact, kPeeling, kAuto };
+
+  explicit DensestMpuSolver(Engine engine = Engine::kAuto)
+      : engine_(engine) {}
+
+  MpuResult solve(const SetFamily& family, std::uint64_t p) const override;
+  std::string name() const override { return "densest"; }
+
+ private:
+  Engine engine_;
+};
+
+/// Baseline: take sets in increasing |set|/multiplicity order.
+class SmallestSetsSolver final : public MpuSolver {
+ public:
+  MpuResult solve(const SetFamily& family, std::uint64_t p) const override;
+  std::string name() const override { return "smallest-sets"; }
+};
+
+/// Exact branch-and-bound over set subsets. Exponential; guarded by
+/// preconditions (≤ 30 distinct sets, ≤ 512 universe). Test oracle.
+class ExactMpuSolver final : public MpuSolver {
+ public:
+  MpuResult solve(const SetFamily& family, std::uint64_t p) const override;
+  std::string name() const override { return "exact"; }
+};
+
+/// Local-search refinement: repeatedly swap one chosen set for one
+/// unchosen set when the swap keeps coverage ≥ p and strictly shrinks the
+/// union. Returns the refined result (at most `max_rounds` sweeps).
+MpuResult refine_local_search(const SetFamily& family, std::uint64_t p,
+                              MpuResult start, int max_rounds = 8);
+
+/// Remark 2: Minimum Subset Cover solved through an MpU solver. Thin
+/// wrapper that exists to keep call sites aligned with the paper's text.
+MpuResult solve_msc(const SetFamily& family, std::uint64_t p,
+                    const MpuSolver& solver);
+
+}  // namespace af

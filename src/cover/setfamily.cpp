@@ -1,0 +1,52 @@
+#include "cover/setfamily.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+namespace {
+
+/// FNV-1a over the sorted element array.
+std::uint64_t hash_elements(const std::vector<NodeId>& xs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (NodeId x : xs) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint32_t SetFamily::add_set(std::span<const NodeId> elements) {
+  AF_EXPECTS(!elements.empty(), "empty sets are not allowed");
+  std::vector<NodeId> sorted(elements.begin(), elements.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (NodeId v : sorted) {
+    AF_EXPECTS(v < universe_, "set element outside the universe");
+  }
+
+  const std::uint64_t h = hash_elements(sorted);
+  auto& bucket = hash_buckets_[h];
+  for (std::uint32_t idx : bucket) {
+    if (sets_[idx] == sorted) {
+      ++mult_[idx];
+      ++total_mult_;
+      return idx;
+    }
+  }
+
+  const auto idx = static_cast<std::uint32_t>(sets_.size());
+  for (NodeId v : sorted) inverted_[v].push_back(idx);
+  total_elements_ += sorted.size();
+  sets_.push_back(std::move(sorted));
+  mult_.push_back(1);
+  ++total_mult_;
+  bucket.push_back(idx);
+  return idx;
+}
+
+}  // namespace af

@@ -1,0 +1,65 @@
+// The set-family (hypergraph) input of the Minimum Subset Cover / Minimum
+// p-Union problems (Problems 2–4).
+//
+// In RAF the sets are the backward paths t(g_1), …, t(g_b) of the sampled
+// type-1 realizations. Identical paths occur frequently (short paths have
+// high probability), so the family deduplicates identical sets and tracks
+// a multiplicity: covering a stored set covers `multiplicity` realizations
+// at once. All solvers account for multiplicities.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace af {
+
+/// A family of subsets of a universe [0, universe_size), deduplicated,
+/// with multiplicities and an element→sets inverted index.
+class SetFamily {
+ public:
+  explicit SetFamily(NodeId universe_size)
+      : universe_(universe_size), inverted_(universe_size) {}
+
+  /// Adds one set (the elements need not be sorted; duplicates within the
+  /// input are collapsed). Identical sets accumulate multiplicity.
+  /// Returns the set's index. Empty sets are rejected: an empty t(g)
+  /// cannot occur (t itself is always in t(g)).
+  std::uint32_t add_set(std::span<const NodeId> elements);
+
+  NodeId universe_size() const { return universe_; }
+  std::size_t num_sets() const { return sets_.size(); }
+
+  /// Sorted elements of set i.
+  const std::vector<NodeId>& elements(std::uint32_t i) const {
+    return sets_[i];
+  }
+
+  /// Number of identical input sets collapsed into set i.
+  std::uint64_t multiplicity(std::uint32_t i) const { return mult_[i]; }
+
+  /// Σ multiplicities — the number of input sets (|B_l^1| in the paper).
+  std::uint64_t total_multiplicity() const { return total_mult_; }
+
+  /// Sets containing element v (indices into the deduplicated family).
+  const std::vector<std::uint32_t>& sets_containing(NodeId v) const {
+    return inverted_[v];
+  }
+
+  /// Σ |set| over distinct sets (input size measure for solvers).
+  std::uint64_t total_elements() const { return total_elements_; }
+
+ private:
+  NodeId universe_;
+  std::vector<std::vector<NodeId>> sets_;
+  std::vector<std::uint64_t> mult_;
+  std::vector<std::vector<std::uint32_t>> inverted_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> hash_buckets_;
+  std::uint64_t total_mult_ = 0;
+  std::uint64_t total_elements_ = 0;
+};
+
+}  // namespace af

@@ -1,0 +1,50 @@
+#include "diffusion/dklr.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+double dklr_upsilon(double epsilon, double delta) {
+  AF_EXPECTS(epsilon > 0.0 && epsilon <= 1.0, "DKLR requires ε ∈ (0,1]");
+  AF_EXPECTS(delta > 0.0 && delta < 1.0, "DKLR requires δ ∈ (0,1)");
+  const double e_minus_2 = std::exp(1.0) - 2.0;
+  return 1.0 +
+         4.0 * e_minus_2 * (1.0 + epsilon) * std::log(2.0 / delta) /
+             (epsilon * epsilon);
+}
+
+DklrResult dklr_estimate(const std::function<bool(Rng&)>& draw, Rng& rng,
+                         const DklrConfig& cfg) {
+  DklrResult out;
+  out.upsilon = dklr_upsilon(cfg.epsilon, cfg.delta);
+
+  // Stopping rule: draw until the success count passes Υ.
+  while (static_cast<double>(out.successes) < out.upsilon) {
+    if (cfg.max_samples != 0 && out.samples_used >= cfg.max_samples) {
+      // Capped: report the plain frequency estimate without the DKLR
+      // guarantee. Callers inspect `converged`.
+      out.estimate = out.samples_used == 0
+                         ? 0.0
+                         : static_cast<double>(out.successes) /
+                               static_cast<double>(out.samples_used);
+      out.converged = false;
+      return out;
+    }
+    ++out.samples_used;
+    if (draw(rng)) ++out.successes;
+  }
+  out.estimate = out.upsilon / static_cast<double>(out.samples_used);
+  out.converged = true;
+  return out;
+}
+
+DklrResult estimate_pmax_dklr(const FriendingInstance& inst, Rng& rng,
+                              const DklrConfig& cfg) {
+  ReversePathSampler sampler(inst);
+  return dklr_estimate(
+      [&sampler](Rng& r) { return sampler.sample(r).type1; }, rng, cfg);
+}
+
+}  // namespace af

@@ -1,0 +1,59 @@
+// The Dagum–Karp–Luby–Ross optimal Monte-Carlo stopping rule (Lemma 3,
+// Algorithm 2).
+//
+// Estimates the mean μ of a [0,1]-valued random variable — here
+// y(ĝ) = 1{ĝ is type-1}, whose mean is p_max (Corollary 2) — to within
+// relative error ε with probability ≥ 1 − δ, using a number of samples
+// adaptive in μ itself: draw until the running sum of outcomes reaches
+//   Υ = 1 + 4(e−2)(1+ε)·ln(2/δ)/ε²,
+// then report Υ / (number of draws). Expected cost Θ(Υ/μ) (Eq. 6).
+//
+// Because μ can be arbitrarily small (or exactly 0 when t is unreachable),
+// the estimator takes a hard sample cap; a capped run reports the best
+// available estimate and flags non-convergence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "diffusion/instance.hpp"
+#include "diffusion/realization.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+/// Configuration of the stopping rule.
+struct DklrConfig {
+  /// Relative error ε ∈ (0, 1].
+  double epsilon = 0.1;
+  /// Failure probability δ ∈ (0, 1). The paper passes δ = 1/N.
+  double delta = 1e-3;
+  /// Hard cap on the number of draws (0 = uncapped; beware μ = 0).
+  std::uint64_t max_samples = 50'000'000;
+};
+
+/// Outcome of a stopping-rule estimation.
+struct DklrResult {
+  /// The estimate Υ/i (or successes/draws when capped).
+  double estimate = 0.0;
+  std::uint64_t samples_used = 0;
+  std::uint64_t successes = 0;
+  /// True iff the stopping condition was reached before the cap.
+  bool converged = false;
+  /// The threshold Υ that was used.
+  double upsilon = 0.0;
+};
+
+/// Computes Υ(ε, δ) = 1 + 4(e−2)(1+ε)·ln(2/δ)/ε².
+double dklr_upsilon(double epsilon, double delta);
+
+/// Runs the stopping rule over an arbitrary Bernoulli oracle.
+DklrResult dklr_estimate(const std::function<bool(Rng&)>& draw, Rng& rng,
+                         const DklrConfig& cfg);
+
+/// Algorithm 2: estimates p_max for an instance by applying the stopping
+/// rule to the type-1 indicator of random realizations.
+DklrResult estimate_pmax_dklr(const FriendingInstance& inst, Rng& rng,
+                              const DklrConfig& cfg);
+
+}  // namespace af

@@ -1,0 +1,63 @@
+#include "diffusion/exact.hpp"
+
+#include <limits>
+
+#include "diffusion/realization.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+
+double enumeration_cost(const Graph& g) {
+  double cost = 1.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    cost *= static_cast<double>(g.degree(v) + 1);
+    if (cost > 1e300) return std::numeric_limits<double>::infinity();
+  }
+  return cost;
+}
+
+double exact_f(const FriendingInstance& inst, const InvitationSet& invited,
+               double budget) {
+  const Graph& g = inst.graph();
+  AF_EXPECTS(enumeration_cost(g) <= budget,
+             "graph too large for exact enumeration");
+  AF_EXPECTS(invited.universe_size() == g.num_nodes(),
+             "invitation set universe mismatch");
+
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> sel(n, kNoNode);
+  double total = 0.0;
+
+  // Depth-first product over per-node selections, weighting each branch
+  // by its selection probability; a leaf contributes its probability
+  // when the traced backward path is type-1 and fully invited.
+  auto rec = [&](auto&& self, NodeId v, double prob) -> void {
+    if (prob <= 0.0) return;
+    if (v == n) {
+      const TgSample tg = trace_tg(inst, sel);
+      if (!tg.type1) return;
+      for (NodeId x : tg.path) {
+        if (!invited.contains(x)) return;
+      }
+      total += prob;
+      return;
+    }
+    sel[v] = kNoNode;
+    self(self, v + 1, prob * (1.0 - g.total_in_weight(v)));
+    auto nbrs = g.neighbors(v);
+    auto ws = g.in_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      sel[v] = nbrs[i];
+      self(self, v + 1, prob * ws[i]);
+    }
+    sel[v] = kNoNode;
+  };
+  rec(rec, 0, 1.0);
+  return total;
+}
+
+double exact_pmax(const FriendingInstance& inst, double budget) {
+  return exact_f(inst, InvitationSet::full(inst), budget);
+}
+
+}  // namespace af

@@ -1,0 +1,33 @@
+// Exact acceptance probabilities by exhaustive realization enumeration.
+//
+// For graphs where Π_v (deg(v)+1) is small, f(I) (and p_max) can be
+// integrated over the entire realization space (Corollary 1) with no
+// Monte-Carlo error. Intended for model validation, unit tests, and
+// worked examples; guarded by an explicit work bound.
+#pragma once
+
+#include <cstdint>
+
+#include "diffusion/instance.hpp"
+#include "diffusion/invitation.hpp"
+
+namespace af {
+
+/// Upper bound on the number of enumerated realizations (Π (deg+1)),
+/// above which exact evaluation refuses to run.
+inline constexpr double kDefaultEnumerationBudget = 5e7;
+
+/// Number of realizations an exact evaluation of this graph would visit:
+/// Π_v (deg(v)+1), saturating at infinity for large graphs.
+double enumeration_cost(const Graph& g);
+
+/// Exact f(I). Throws precondition_error when enumeration_cost exceeds
+/// `budget`.
+double exact_f(const FriendingInstance& inst, const InvitationSet& invited,
+               double budget = kDefaultEnumerationBudget);
+
+/// Exact p_max = f(V).
+double exact_pmax(const FriendingInstance& inst,
+                  double budget = kDefaultEnumerationBudget);
+
+}  // namespace af

@@ -1,0 +1,135 @@
+#include "diffusion/forward_process.hpp"
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+ForwardProcess::ForwardProcess(const FriendingInstance& inst) : inst_(inst) {
+  const NodeId n = inst.graph().num_nodes();
+  stamp_of_.assign(n, 0);
+  acc_weight_.assign(n, 0.0);
+  threshold_.assign(n, 0.0);
+  friend_stamp_.assign(n, 0);
+  queue_.reserve(n);
+}
+
+ForwardRunResult ForwardProcess::run(const InvitationSet& invited, Rng& rng) {
+  AF_EXPECTS(invited.universe_size() == inst_.graph().num_nodes(),
+             "invitation set universe mismatch");
+  const Graph& g = inst_.graph();
+  const NodeId s = inst_.initiator();
+  const NodeId t = inst_.target();
+
+  ++stamp_;
+  queue_.clear();
+  for (NodeId v : inst_.initial_friends()) {
+    friend_stamp_[v] = stamp_;
+    queue_.push_back(v);
+  }
+
+  ForwardRunResult result;
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const NodeId v = queue_[head++];
+    auto nbrs = g.neighbors(v);
+    auto ows = g.out_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId u = nbrs[i];
+      if (friend_stamp_[u] == stamp_) continue;  // already a friend
+      if (u == s || !invited.contains(u)) continue;
+      if (stamp_of_[u] != stamp_) {
+        stamp_of_[u] = stamp_;
+        acc_weight_[u] = 0.0;
+        threshold_[u] = rng.uniform();
+      }
+      acc_weight_[u] += ows[i];
+      if (acc_weight_[u] >= threshold_[u]) {
+        friend_stamp_[u] = stamp_;
+        ++result.new_friends;
+        if (u == t) {
+          result.target_reached = true;
+          return result;
+        }
+        queue_.push_back(u);
+      }
+    }
+  }
+  return result;
+}
+
+DeterministicRunResult ForwardProcess::run_with_thresholds(
+    const InvitationSet& invited, std::span<const double> thresholds) const {
+  const Graph& g = inst_.graph();
+  AF_EXPECTS(thresholds.size() == g.num_nodes(),
+             "need one threshold per node");
+  const NodeId s = inst_.initiator();
+  const NodeId t = inst_.target();
+
+  // Literal Eq. (2): C_{i+1} = C_i ∪ (Φ(C_i) ∩ I), rounds until no change
+  // or t joins. O(rounds · Σdeg) — test-oriented fidelity over speed.
+  std::vector<char> in_c(g.num_nodes(), 0);
+  for (NodeId v : inst_.initial_friends()) in_c[v] = 1;
+
+  DeterministicRunResult result;
+  bool changed = true;
+  while (changed && !result.target_reached) {
+    changed = false;
+    // Φ(C_i): evaluate against the frozen C_i, then merge.
+    std::vector<NodeId> joiners;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (in_c[u] || u == s || !invited.contains(u)) continue;
+      double sum = 0.0;
+      auto nbrs = g.neighbors(u);
+      auto ws = g.in_weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (in_c[nbrs[i]]) sum += ws[i];
+      }
+      if (sum >= thresholds[u]) joiners.push_back(u);
+    }
+    for (NodeId u : joiners) {
+      in_c[u] = 1;
+      result.new_friends.push_back(u);
+      changed = true;
+      if (u == t) result.target_reached = true;
+    }
+  }
+  return result;
+}
+
+ForwardRunResult ForwardProcess::run_under_realization(
+    const InvitationSet& invited, const std::vector<NodeId>& g) {
+  const Graph& graph = inst_.graph();
+  AF_EXPECTS(g.size() == graph.num_nodes(),
+             "realization size mismatch");
+  const NodeId s = inst_.initiator();
+  const NodeId t = inst_.target();
+
+  ++stamp_;
+  queue_.clear();
+  for (NodeId v : inst_.initial_friends()) {
+    friend_stamp_[v] = stamp_;
+    queue_.push_back(v);
+  }
+
+  ForwardRunResult result;
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const NodeId v = queue_[head++];
+    // Ψ(H) = { u ∉ H : g(u) ∈ H }: only neighbors of v can have g(u) = v.
+    for (NodeId u : graph.neighbors(v)) {
+      if (friend_stamp_[u] == stamp_) continue;
+      if (u == s || !invited.contains(u)) continue;
+      if (g[u] != v) continue;
+      friend_stamp_[u] = stamp_;
+      ++result.new_friends;
+      if (u == t) {
+        result.target_reached = true;
+        return result;
+      }
+      queue_.push_back(u);
+    }
+  }
+  return result;
+}
+
+}  // namespace af

@@ -1,0 +1,73 @@
+// Forward simulation of the friending process (Process 1, Sec. II-A).
+//
+// The process starts from C_0 = N_s; in each round, every invited
+// non-friend u whose accumulated familiarity weight from current friends
+// reaches its threshold θ_u ~ U[0,1] becomes a friend. It terminates when
+// no new friend appears or when the target joins.
+//
+// Thresholds are sampled lazily on first contact — equivalent to sampling
+// them all upfront because each θ_u is consulted only against the
+// monotone increasing weight sum. The simulator keeps per-instance
+// scratch buffers (stamp-versioned) so repeated Monte-Carlo runs allocate
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "diffusion/instance.hpp"
+#include "diffusion/invitation.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+/// Single-run result of the forward process.
+struct ForwardRunResult {
+  bool target_reached = false;
+  /// Number of users that became new friends of s (excluding N_s).
+  std::size_t new_friends = 0;
+};
+
+/// Result of a deterministic run with explicit thresholds.
+struct DeterministicRunResult {
+  bool target_reached = false;
+  /// New friends of s in the order they joined (C_∞ ∖ N_s).
+  std::vector<NodeId> new_friends;
+};
+
+/// Reusable forward simulator for one instance.
+class ForwardProcess {
+ public:
+  explicit ForwardProcess(const FriendingInstance& inst);
+
+  /// Simulates Process 1 once with fresh random thresholds.
+  ForwardRunResult run(const InvitationSet& invited, Rng& rng);
+
+  /// Literal round-based Process 1 (Eq. 2) with explicit per-node
+  /// thresholds — fully deterministic. Used to reproduce worked examples
+  /// (e.g. the paper's Example 1) and to cross-check the lazy queue-based
+  /// run() implementation.
+  DeterministicRunResult run_with_thresholds(
+      const InvitationSet& invited, std::span<const double> thresholds) const;
+
+  /// Simulates Process 2 under a fixed realization `g` (Def. 1):
+  /// g[v] is the friend v selected, or kNoNode for "nobody". Deterministic.
+  /// This is f(g, I) evaluated by the literal round-based definition; used
+  /// to validate the Alg. 1 shortcut (Lemma 2).
+  ForwardRunResult run_under_realization(const InvitationSet& invited,
+                                         const std::vector<NodeId>& g);
+
+ private:
+  const FriendingInstance& inst_;
+  // Stamp-versioned scratch: entry valid iff stamp_of_[v] == stamp_.
+  std::vector<std::uint32_t> stamp_of_;
+  std::vector<double> acc_weight_;
+  std::vector<double> threshold_;
+  std::vector<char> is_friend_;
+  std::vector<std::uint32_t> friend_stamp_;
+  std::vector<NodeId> queue_;
+  std::uint32_t stamp_ = 0;
+};
+
+}  // namespace af

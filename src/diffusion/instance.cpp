@@ -1,0 +1,19 @@
+#include "diffusion/instance.hpp"
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+FriendingInstance::FriendingInstance(const Graph& g, NodeId s, NodeId t)
+    : g_(&g), s_(s), t_(t) {
+  AF_EXPECTS(s < g.num_nodes() && t < g.num_nodes(),
+             "instance endpoints out of range");
+  AF_EXPECTS(s != t, "initiator and target must differ");
+  AF_EXPECTS(!g.has_edge(s, t),
+             "target is already a friend of the initiator");
+  ns_.assign(g.neighbors(s).begin(), g.neighbors(s).end());
+  ns_mask_.assign(g.num_nodes(), 0);
+  for (NodeId v : ns_) ns_mask_[v] = 1;
+}
+
+}  // namespace af

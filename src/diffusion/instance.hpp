@@ -1,0 +1,45 @@
+// A friending instance: the graph plus the initiator s and target t.
+//
+// Validates the paper's standing assumptions (Sec. II): s ≠ t and t is
+// not already a friend of s. Caches N_s and a membership mask for it,
+// since every diffusion primitive tests "is this node an initial friend"
+// in its inner loop.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace af {
+
+/// Immutable (graph, s, t) triple with cached initial-friend data.
+/// Holds a reference to the graph; the graph must outlive the instance.
+class FriendingInstance {
+ public:
+  FriendingInstance(const Graph& g, NodeId s, NodeId t);
+
+  const Graph& graph() const { return *g_; }
+  NodeId initiator() const { return s_; }
+  NodeId target() const { return t_; }
+
+  /// N_s — current friends of the initiator (sorted).
+  const std::vector<NodeId>& initial_friends() const { return ns_; }
+
+  /// True iff v ∈ N_s. O(1).
+  bool is_initial_friend(NodeId v) const { return ns_mask_[v]; }
+
+  /// True iff v is eligible to appear in an invitation set: not s, not t's
+  /// trivially excluded nodes — inviting s or an existing friend is a
+  /// no-op in Process 1, so normalized invitation sets exclude them.
+  bool invitable(NodeId v) const { return v != s_ && !ns_mask_[v]; }
+
+ private:
+  const Graph* g_;
+  NodeId s_;
+  NodeId t_;
+  std::vector<NodeId> ns_;
+  std::vector<char> ns_mask_;
+};
+
+}  // namespace af

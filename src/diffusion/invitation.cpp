@@ -1,0 +1,32 @@
+#include "diffusion/invitation.hpp"
+
+#include "diffusion/instance.hpp"
+
+namespace af {
+
+InvitationSet InvitationSet::full(const FriendingInstance& inst) {
+  const NodeId n = inst.graph().num_nodes();
+  InvitationSet out(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (inst.invitable(v)) out.add(v);
+  }
+  return out;
+}
+
+std::size_t InvitationSet::normalize(const FriendingInstance& inst) {
+  std::size_t removed = 0;
+  std::vector<NodeId> kept;
+  kept.reserve(members_.size());
+  for (NodeId v : members_) {
+    if (inst.invitable(v)) {
+      kept.push_back(v);
+    } else {
+      mask_[v] = 0;
+      ++removed;
+    }
+  }
+  members_ = std::move(kept);
+  return removed;
+}
+
+}  // namespace af

@@ -1,0 +1,53 @@
+// Invitation sets I ⊆ V with O(1) membership and a stable member list.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace af {
+
+class FriendingInstance;
+
+/// A set of invited users. Membership is O(1); members() preserves
+/// insertion order (deduplicated).
+class InvitationSet {
+ public:
+  explicit InvitationSet(NodeId num_nodes) : mask_(num_nodes, 0) {}
+
+  InvitationSet(NodeId num_nodes, std::span<const NodeId> nodes)
+      : InvitationSet(num_nodes) {
+    for (NodeId v : nodes) add(v);
+  }
+
+  /// Adds v; returns true if newly inserted.
+  bool add(NodeId v) {
+    if (mask_[v]) return false;
+    mask_[v] = 1;
+    members_.push_back(v);
+    return true;
+  }
+
+  bool contains(NodeId v) const { return mask_[v] != 0; }
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  const std::vector<NodeId>& members() const { return members_; }
+  NodeId universe_size() const { return static_cast<NodeId>(mask_.size()); }
+
+  /// All nodes of the instance's graph that are meaningful to invite
+  /// (everything except s and N_s). This is the "I = V" of the paper:
+  /// f(full_set) = p_max.
+  static InvitationSet full(const FriendingInstance& inst);
+
+  /// Drops members that are no-ops for the instance (s and N_s nodes);
+  /// returns the number removed. Baseline strategies use this to spend
+  /// their size budget only on effective invitations.
+  std::size_t normalize(const FriendingInstance& inst);
+
+ private:
+  std::vector<char> mask_;
+  std::vector<NodeId> members_;
+};
+
+}  // namespace af

@@ -1,0 +1,57 @@
+#include "diffusion/montecarlo.hpp"
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+MonteCarloEvaluator::MonteCarloEvaluator(const FriendingInstance& inst)
+    : inst_(inst), forward_(inst), reverse_(inst) {}
+
+Proportion MonteCarloEvaluator::estimate_f(const InvitationSet& invited,
+                                           std::uint64_t samples, Rng& rng,
+                                           McEngine engine) {
+  AF_EXPECTS(samples > 0, "need at least one sample");
+  Proportion p;
+  p.trials = samples;
+
+  // f(I) = 0 whenever t itself is not invited (only invited users can
+  // become friends); both engines handle it, but short-circuit for speed.
+  if (!invited.contains(inst_.target())) return p;
+
+  if (engine == McEngine::kForward) {
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      if (forward_.run(invited, rng).target_reached) ++p.successes;
+    }
+    return p;
+  }
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const TgSample tg = reverse_.sample(rng);
+    if (!tg.type1) continue;
+    bool covered = true;
+    for (NodeId v : tg.path) {
+      if (!invited.contains(v)) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) ++p.successes;
+  }
+  return p;
+}
+
+Proportion MonteCarloEvaluator::estimate_pmax(std::uint64_t samples, Rng& rng,
+                                              McEngine engine) {
+  AF_EXPECTS(samples > 0, "need at least one sample");
+  if (engine == McEngine::kForward) {
+    const InvitationSet full = InvitationSet::full(inst_);
+    return estimate_f(full, samples, rng, McEngine::kForward);
+  }
+  Proportion p;
+  p.trials = samples;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    if (reverse_.sample(rng).type1) ++p.successes;
+  }
+  return p;
+}
+
+}  // namespace af

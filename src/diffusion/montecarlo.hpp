@@ -1,0 +1,46 @@
+// Fixed-budget Monte-Carlo estimators of the acceptance probability f(I)
+// and of p_max = f(V).
+//
+// Two interchangeable engines:
+//  - Reverse (default): samples t(ĝ) and checks t(ĝ) ⊆ I (Corollary 1).
+//    One sample costs a backward walk — far cheaper than a full cascade.
+//  - Forward: literally runs Process 1. Kept as the ground-truth engine;
+//    the equivalence of the two (Lemma 1) is property-tested.
+#pragma once
+
+#include <cstdint>
+
+#include "diffusion/forward_process.hpp"
+#include "diffusion/instance.hpp"
+#include "diffusion/invitation.hpp"
+#include "diffusion/realization.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace af {
+
+enum class McEngine { kReverse, kForward };
+
+/// Reusable Monte-Carlo evaluator bound to one instance.
+class MonteCarloEvaluator {
+ public:
+  explicit MonteCarloEvaluator(const FriendingInstance& inst);
+
+  /// Estimates f(I) with `samples` independent trials.
+  Proportion estimate_f(const InvitationSet& invited, std::uint64_t samples,
+                        Rng& rng, McEngine engine = McEngine::kReverse);
+
+  /// Estimates p_max = f(V) with `samples` trials (reverse engine: the
+  /// fraction of type-1 realizations, Corollary 2).
+  Proportion estimate_pmax(std::uint64_t samples, Rng& rng,
+                           McEngine engine = McEngine::kReverse);
+
+  const FriendingInstance& instance() const { return inst_; }
+
+ private:
+  const FriendingInstance& inst_;
+  ForwardProcess forward_;
+  ReversePathSampler reverse_;
+};
+
+}  // namespace af

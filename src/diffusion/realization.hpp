@@ -1,0 +1,74 @@
+// Realizations (Definition 1) and the backward trace t(g) (Algorithm 1).
+//
+// A realization maps every user v to at most one selected friend, chosen
+// with probability w(u,v) (and "nobody" — the artificial user ℵ0 — with
+// the leftover probability 1 − Σ_u w(u,v)). Lemma 2 shows the friending
+// process succeeds under g iff the invitation set contains the backward
+// path t(g): t, g(t), g(g(t)), … up to (excluding) the first node of N_s.
+//
+// Two samplers are provided:
+//  - sample_full_realization: materializes g for all nodes (O(n + m)).
+//    Used by tests and by the literal Process-2 evaluation.
+//  - ReversePathSampler: samples only the selections along the backward
+//    walk from t (the reverse-sampling idea of Borgs et al., Remark 3),
+//    which is what makes RAF practical. Worst case O(m), typical cost
+//    proportional to the walk length times average degree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/instance.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+/// Result of tracing t(g): the path nodes and the realization type
+/// (Def. 2: type-1 iff ℵ0 ∉ t(g), i.e. the walk reached N_s).
+struct TgSample {
+  /// true: the backward walk reached a friend of s (the realization is
+  /// type-1 and `path` is exactly t(g) without the artificial ℵ0).
+  bool type1 = false;
+  /// Nodes of t(g) in walk order: path[0] = t, then g(t), g(g(t)), …
+  /// Never contains s or any node of N_s. For type-0 realizations the
+  /// nodes visited before hitting ℵ0/a cycle (diagnostic value only).
+  std::vector<NodeId> path;
+};
+
+/// Samples a full realization: out[v] = selected friend of v, or kNoNode
+/// for "selects nobody" (ℵ0). Each friend u is selected with probability
+/// w(u,v), independently across v.
+std::vector<NodeId> sample_full_realization(const Graph& g, Rng& rng);
+
+/// Traces t(g) (Alg. 1) through an explicit realization. Deterministic.
+TgSample trace_tg(const FriendingInstance& inst,
+                  const std::vector<NodeId>& realization);
+
+/// Lazily samples t(ĝ) for random realizations ĝ without materializing g.
+///
+/// Holds stamp-versioned visit marks so repeated sampling allocates
+/// nothing. Each sample() consumes randomness only for the nodes actually
+/// visited by the backward walk; by independence of per-node selections
+/// this has exactly the distribution of trace_tg(sample_full_realization).
+class ReversePathSampler {
+ public:
+  explicit ReversePathSampler(const FriendingInstance& inst);
+
+  /// Draws one t(ĝ) sample.
+  TgSample sample(Rng& rng);
+
+  /// Number of samples drawn so far (diagnostics).
+  std::uint64_t samples_drawn() const { return samples_; }
+
+ private:
+  /// Samples the selection of node v: an index into neighbors(v) chosen
+  /// with the in-weights, or kNoNode for ℵ0.
+  NodeId sample_selection(NodeId v, Rng& rng) const;
+
+  const FriendingInstance& inst_;
+  std::vector<std::uint32_t> visit_stamp_;
+  std::uint32_t stamp_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace af

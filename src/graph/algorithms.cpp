@@ -1,0 +1,232 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  return bfs_distances(g, std::vector<NodeId>{source});
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                         const std::vector<NodeId>& sources) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier;
+  for (NodeId s : sources) {
+    AF_EXPECTS(s < g.num_nodes(), "BFS source out of range");
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<NodeId> next;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId v : frontier) {
+      for (NodeId u : g.neighbors(v)) {
+        if (dist[u] == kUnreachable) {
+          dist[u] = level;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::uint32_t bfs_distance(const Graph& g, NodeId from, NodeId to) {
+  AF_EXPECTS(from < g.num_nodes() && to < g.num_nodes(),
+             "BFS endpoint out of range");
+  if (from == to) return 0;
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  dist[from] = 0;
+  std::vector<NodeId> frontier{from};
+  std::vector<NodeId> next;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId v : frontier) {
+      for (NodeId u : g.neighbors(v)) {
+        if (dist[u] == kUnreachable) {
+          if (u == to) return level;
+          dist[u] = level;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return kUnreachable;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> comp(n, kUnreachable);
+  std::uint32_t next_label = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != kUnreachable) continue;
+    comp[s] = next_label;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId u : g.neighbors(v)) {
+        if (comp[u] == kUnreachable) {
+          comp[u] = next_label;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return comp;
+}
+
+std::vector<NodeId> component_of(const Graph& g, NodeId v) {
+  AF_EXPECTS(v < g.num_nodes(), "node out of range");
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{v};
+  seen[v] = 1;
+  while (!stack.empty()) {
+    NodeId x = stack.back();
+    stack.pop_back();
+    out.push_back(x);
+    for (NodeId u : g.neighbors(x)) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> dijkstra(const Graph& g, NodeId source, bool use_weights) {
+  AF_EXPECTS(source < g.num_nodes(), "Dijkstra source out of range");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_nodes(), kInf);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId u = nbrs[i];
+      // Arc v→u: the familiarity weight that v contributes toward u is
+      // w(v,u), stored in u's incoming list; look it up symmetrically
+      // from v's list via the graph accessor when weighted.
+      const double cost =
+          use_weights ? -std::log(g.weight(v, u)) : 1.0;
+      const double nd = d + cost;
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        pq.emplace(nd, u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<NodeId>> shortest_path_avoiding(
+    const Graph& g, NodeId from, NodeId to, const std::vector<char>& blocked) {
+  AF_EXPECTS(from < g.num_nodes() && to < g.num_nodes(),
+             "endpoint out of range");
+  AF_EXPECTS(blocked.size() == g.num_nodes(), "blocked mask size mismatch");
+  if (from == to) return std::vector<NodeId>{from};
+
+  std::vector<NodeId> parent(g.num_nodes(), kNoNode);
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> frontier{from};
+  seen[from] = 1;
+  std::vector<NodeId> next;
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    next.clear();
+    for (NodeId v : frontier) {
+      for (NodeId u : g.neighbors(v)) {
+        if (seen[u]) continue;
+        // Intermediate nodes must be unblocked; the terminals are exempt.
+        if (blocked[u] && u != to) continue;
+        seen[u] = 1;
+        parent[u] = v;
+        if (u == to) {
+          found = true;
+          break;
+        }
+        next.push_back(u);
+      }
+      if (found) break;
+    }
+    frontier.swap(next);
+  }
+  if (!found) return std::nullopt;
+
+  std::vector<NodeId> path;
+  for (NodeId v = to; v != kNoNode; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  AF_ENSURES(path.front() == from && path.back() == to,
+             "path reconstruction failed");
+  return path;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<NodeId>& nodes) {
+  InducedSubgraph out;
+  out.to_sub.assign(g.num_nodes(), kNoNode);
+  for (NodeId v : nodes) {
+    AF_EXPECTS(v < g.num_nodes(), "subgraph node out of range");
+    if (out.to_sub[v] != kNoNode) continue;  // collapse duplicates
+    out.to_sub[v] = static_cast<NodeId>(out.to_original.size());
+    out.to_original.push_back(v);
+  }
+
+  Graph::Builder b(static_cast<NodeId>(out.to_original.size()));
+  for (NodeId sv = 0; sv < static_cast<NodeId>(out.to_original.size());
+       ++sv) {
+    const NodeId v = out.to_original[sv];
+    auto nbrs = g.neighbors(v);
+    for (NodeId u : nbrs) {
+      const NodeId su = out.to_sub[u];
+      if (su == kNoNode || su <= sv) continue;  // outside or already added
+      // Copy both directional weights verbatim.
+      b.add_edge(sv, su, g.weight(v, u), g.weight(u, v));
+    }
+  }
+  out.graph = b.build_with_explicit_weights();
+  return out;
+}
+
+std::vector<std::vector<NodeId>> node_disjoint_shortest_paths(
+    const Graph& g, NodeId from, NodeId to, std::size_t max_paths) {
+  std::vector<std::vector<NodeId>> paths;
+  std::vector<char> blocked(g.num_nodes(), 0);
+  while (paths.size() < max_paths) {
+    auto p = shortest_path_avoiding(g, from, to, blocked);
+    if (!p) break;
+    for (NodeId v : *p) {
+      if (v != from && v != to) blocked[v] = 1;
+    }
+    paths.push_back(std::move(*p));
+    // A direct edge from→to yields a path with no intermediates; it can
+    // be found only once meaningfully, so stop to avoid an infinite loop.
+    if (paths.back().size() <= 2) break;
+  }
+  return paths;
+}
+
+}  // namespace af

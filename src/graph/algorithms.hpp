@@ -1,0 +1,72 @@
+// Classic graph algorithms used by the baselines, the pair sampler and
+// the V_max computation: BFS (single- and multi-source), connected
+// components, Dijkstra, and iterative node-disjoint shortest paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace af {
+
+/// Distance value for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+/// BFS hop distances from `source` to every node.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS hop distances from a set of sources (distance 0 for each source).
+std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                         const std::vector<NodeId>& sources);
+
+/// Hop distance between two nodes, or kUnreachable.
+std::uint32_t bfs_distance(const Graph& g, NodeId from, NodeId to);
+
+/// Connected component labels in [0, #components).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// Nodes of the component containing `v`.
+std::vector<NodeId> component_of(const Graph& g, NodeId v);
+
+/// Dijkstra from `source` with arc length = `1 - log(w)`-style costs are a
+/// caller concern; this routine takes the per-target incoming weight as
+/// given and interprets cost(u→v) = cost_fn applied by the caller through
+/// the `use_weights` flag: when false, every arc costs 1 (hop metric);
+/// when true, arc u→v costs -log(w(u,v)) so that shortest paths maximize
+/// the product of familiarity weights along the path.
+std::vector<double> dijkstra(const Graph& g, NodeId source, bool use_weights);
+
+/// One shortest path (hop metric) from `from` to `to`, inclusive of both
+/// endpoints; nodes in `blocked` (bitmask by node id) may not be used as
+/// intermediate nodes. Returns nullopt when no path exists.
+std::optional<std::vector<NodeId>> shortest_path_avoiding(
+    const Graph& g, NodeId from, NodeId to, const std::vector<char>& blocked);
+
+/// Result of induced_subgraph: the new graph plus the id mappings.
+struct InducedSubgraph {
+  Graph graph;
+  /// original id -> new dense id (kNoNode for nodes outside the subset)
+  std::vector<NodeId> to_sub;
+  /// new dense id -> original id
+  std::vector<NodeId> to_original;
+};
+
+/// The subgraph induced by `nodes` (need not be sorted; duplicates are
+/// collapsed). Edge weights are copied per direction, NOT re-normalized:
+/// the familiarity a friend contributes does not change because other
+/// friendships fall outside the analysis window. Per-node incoming
+/// totals can only shrink, so the model invariant Σ ≤ 1 is preserved.
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<NodeId>& nodes);
+
+/// Iteratively extracts up to `max_paths` shortest paths from `from` to
+/// `to` whose *intermediate* nodes are pairwise disjoint (the paper's SP
+/// baseline: "the next shortest path disjoint from those that have been
+/// selected"). Paths include both endpoints. Stops early when `to`
+/// becomes unreachable.
+std::vector<std::vector<NodeId>> node_disjoint_shortest_paths(
+    const Graph& g, NodeId from, NodeId to, std::size_t max_paths);
+
+}  // namespace af

@@ -1,0 +1,177 @@
+#include "graph/blockcut.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+namespace {
+constexpr std::uint32_t kNone = 0xffffffffu;
+}
+
+BlockCutTree::BlockCutTree(const Graph& g) : g_(g) {
+  const NodeId n = g.num_nodes();
+  is_cut_.assign(n, 0);
+  blocks_of_.assign(n, {});
+  cut_index_.assign(n, kNone);
+
+  std::vector<std::uint32_t> disc(n, 0);
+  std::vector<std::uint32_t> low(n, 0);
+  std::uint32_t timer = 1;
+
+  struct Frame {
+    NodeId v;
+    NodeId parent;
+    std::size_t next;  // next neighbor index to visit
+  };
+  std::vector<Frame> frames;
+  std::vector<std::pair<NodeId, NodeId>> estack;
+
+  // Scratch stamp for per-block vertex dedup.
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::uint32_t cur_stamp = 0;
+
+  auto emit_block = [&](NodeId pv, NodeId child) {
+    // Pop edges up to and including (pv, child); their endpoints form one
+    // biconnected component.
+    ++cur_stamp;
+    std::vector<NodeId> verts;
+    while (true) {
+      AF_ENSURES(!estack.empty(), "edge stack underflow in Tarjan BCC");
+      auto [x, y] = estack.back();
+      estack.pop_back();
+      for (NodeId z : {x, y}) {
+        if (stamp[z] != cur_stamp) {
+          stamp[z] = cur_stamp;
+          verts.push_back(z);
+        }
+      }
+      if (x == pv && y == child) break;
+    }
+    const auto bid = static_cast<std::uint32_t>(block_vertices_.size());
+    for (NodeId z : verts) blocks_of_[z].push_back(bid);
+    block_vertices_.push_back(std::move(verts));
+  };
+
+  for (NodeId s = 0; s < n; ++s) {
+    if (disc[s] != 0) continue;
+    disc[s] = low[s] = timer++;
+    frames.push_back(Frame{s, kNoNode, 0});
+    std::uint32_t root_children = 0;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const NodeId v = f.v;
+      auto nbrs = g.neighbors(v);
+      if (f.next < nbrs.size()) {
+        const NodeId u = nbrs[f.next++];
+        if (u == f.parent) continue;  // simple graph: single parent edge
+        if (disc[u] == 0) {
+          estack.emplace_back(v, u);
+          disc[u] = low[u] = timer++;
+          if (v == s) ++root_children;
+          frames.push_back(Frame{u, v, 0});
+        } else if (disc[u] < disc[v]) {
+          // Back edge to an ancestor.
+          estack.emplace_back(v, u);
+          low[v] = std::min(low[v], disc[u]);
+        }
+        continue;
+      }
+
+      // All neighbors of v processed: return to parent.
+      frames.pop_back();
+      if (frames.empty()) break;
+      Frame& pf = frames.back();
+      const NodeId pv = pf.v;
+      low[pv] = std::min(low[pv], low[v]);
+      if (low[v] >= disc[pv]) {
+        // pv separates v's subtree: close a block.
+        if (pv != s) is_cut_[pv] = 1;
+        emit_block(pv, v);
+      }
+    }
+    if (root_children >= 2) is_cut_[s] = 1;
+  }
+
+  // Assign cut-vertex tree ids and build the block-cut tree.
+  std::uint32_t num_cuts = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_cut_[v]) cut_index_[v] = num_cuts++;
+  }
+  const auto num_tree_nodes =
+      static_cast<std::uint32_t>(block_vertices_.size()) + num_cuts;
+  tree_adj_.assign(num_tree_nodes, {});
+  for (std::uint32_t b = 0; b < block_vertices_.size(); ++b) {
+    for (NodeId v : block_vertices_[b]) {
+      if (!is_cut_[v]) continue;
+      const std::uint32_t cnode =
+          static_cast<std::uint32_t>(block_vertices_.size()) + cut_index_[v];
+      tree_adj_[b].push_back(cnode);
+      tree_adj_[cnode].push_back(b);
+    }
+  }
+}
+
+std::uint32_t BlockCutTree::tree_node_of_cut(NodeId v) const {
+  AF_EXPECTS(is_cut_[v], "node is not a cut vertex");
+  return static_cast<std::uint32_t>(block_vertices_.size()) + cut_index_[v];
+}
+
+std::vector<NodeId> BlockCutTree::vertices_on_simple_paths(NodeId a,
+                                                           NodeId t) const {
+  AF_EXPECTS(a < g_.num_nodes() && t < g_.num_nodes(),
+             "terminal out of range");
+  if (a == t) return {a};
+  if (blocks_of_[a].empty() || blocks_of_[t].empty()) return {};
+
+  const std::uint32_t start =
+      is_cut_[a] ? tree_node_of_cut(a) : blocks_of_[a][0];
+  const std::uint32_t goal =
+      is_cut_[t] ? tree_node_of_cut(t) : blocks_of_[t][0];
+
+  // BFS over the block-cut tree.
+  std::vector<std::uint32_t> parent(tree_adj_.size(), kNone);
+  std::vector<char> seen(tree_adj_.size(), 0);
+  std::vector<std::uint32_t> frontier{start};
+  seen[start] = 1;
+  bool found = (start == goal);
+  while (!frontier.empty() && !found) {
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t x : frontier) {
+      for (std::uint32_t y : tree_adj_[x]) {
+        if (seen[y]) continue;
+        seen[y] = 1;
+        parent[y] = x;
+        if (y == goal) {
+          found = true;
+          break;
+        }
+        next.push_back(y);
+      }
+      if (found) break;
+    }
+    frontier.swap(next);
+  }
+  if (!found) return {};
+
+  std::vector<NodeId> out;
+  std::vector<char> taken(g_.num_nodes(), 0);
+  for (std::uint32_t x = goal;; x = parent[x]) {
+    if (x < block_vertices_.size()) {
+      for (NodeId v : block_vertices_[x]) {
+        if (!taken[v]) {
+          taken[v] = 1;
+          out.push_back(v);
+        }
+      }
+    }
+    if (x == start) break;
+    AF_ENSURES(parent[x] != kNone, "broken tree path");
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace af

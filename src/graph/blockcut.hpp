@@ -1,0 +1,66 @@
+// Biconnected components, articulation points and the block-cut tree.
+//
+// Used for the exact V_max computation (Lemma 7): a node u lies on some
+// *simple* path between two terminals a and t iff u belongs to a
+// biconnected component whose block-cut-tree node lies on the unique tree
+// path between a's node and t's node. (Alg. 1's backward walk traces a
+// simple path, so "appears in t(g) for some type-1 realization" is exactly
+// simple-path membership.)
+//
+// The DFS is iterative with an explicit stack so graphs with millions of
+// nodes and long paths do not overflow the call stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace af {
+
+/// Biconnected decomposition of an undirected graph.
+///
+/// Blocks are maximal biconnected subgraphs; a bridge forms a 2-node
+/// block. Isolated vertices belong to no block.
+class BlockCutTree {
+ public:
+  explicit BlockCutTree(const Graph& g);
+
+  std::size_t num_blocks() const { return block_vertices_.size(); }
+
+  /// Vertices of block b (each listed once).
+  const std::vector<NodeId>& block_vertices(std::size_t b) const {
+    return block_vertices_[b];
+  }
+
+  /// True iff v is an articulation point.
+  bool is_cut_vertex(NodeId v) const { return is_cut_[v]; }
+
+  /// Blocks containing v (one block for non-cut vertices in some block,
+  /// several for cut vertices, empty for isolated vertices).
+  const std::vector<std::uint32_t>& blocks_of(NodeId v) const {
+    return blocks_of_[v];
+  }
+
+  /// All vertices lying on at least one simple path from `a` to `t`
+  /// (inclusive of the endpoints). Empty when a and t are disconnected.
+  /// For a == t, returns {a}.
+  std::vector<NodeId> vertices_on_simple_paths(NodeId a, NodeId t) const;
+
+ private:
+  // Block-cut tree node ids: blocks are [0, B), cut vertices are
+  // B + index_in_cut_list.
+  std::uint32_t tree_node_of_block(std::uint32_t b) const { return b; }
+  std::uint32_t tree_node_of_cut(NodeId v) const;
+
+  const Graph& g_;
+  std::vector<std::vector<NodeId>> block_vertices_;
+  std::vector<char> is_cut_;
+  std::vector<std::vector<std::uint32_t>> blocks_of_;
+
+  // Block-cut tree adjacency (tree over blocks + cut vertices).
+  std::vector<std::vector<std::uint32_t>> tree_adj_;
+  std::vector<std::uint32_t> cut_index_;  // node -> index into cut list, or ~0
+};
+
+}  // namespace af

@@ -1,0 +1,249 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+namespace {
+
+/// Packs an unordered node pair into a 64-bit key for dedup sets.
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Graph::Builder gnm_random(NodeId n, std::uint64_t m, Rng& rng) {
+  AF_EXPECTS(n >= 2, "G(n,m) needs at least two nodes");
+  const auto max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  AF_EXPECTS(m <= max_edges, "G(n,m): too many edges requested");
+
+  Graph::Builder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  while (seen.size() < m) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(std::uint64_t{n}));
+    const auto v = static_cast<NodeId>(rng.uniform_int(std::uint64_t{n}));
+    if (u == v) continue;
+    if (seen.insert(pair_key(u, v)).second) b.add_edge(u, v);
+  }
+  return b;
+}
+
+Graph::Builder barabasi_albert(NodeId n, std::size_t attach, Rng& rng) {
+  AF_EXPECTS(attach >= 1, "BA attachment must be >= 1");
+  AF_EXPECTS(n > attach + 1, "BA needs n > attach + 1");
+
+  Graph::Builder b(n);
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree (the standard BA implementation trick).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * attach * 2);
+
+  // Seed clique on attach+1 nodes.
+  const auto seed = static_cast<NodeId>(attach + 1);
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      b.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::unordered_set<NodeId> targets;
+  for (NodeId v = seed; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < attach) {
+      const NodeId u = endpoints[rng.uniform_int(endpoints.size())];
+      targets.insert(u);
+    }
+    for (NodeId u : targets) {
+      b.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return b;
+}
+
+Graph::Builder watts_strogatz(NodeId n, std::size_t k, double beta, Rng& rng) {
+  AF_EXPECTS(k >= 2 && k % 2 == 0, "WS requires even k >= 2");
+  AF_EXPECTS(n > k, "WS requires n > k");
+  AF_EXPECTS(beta >= 0.0 && beta <= 1.0, "WS rewire prob in [0,1]");
+
+  // Start with the ring lattice edge set, then rewire.
+  std::unordered_set<std::uint64_t> present;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      const auto v = static_cast<NodeId>((u + j) % n);
+      edges.emplace_back(u, v);
+      present.insert(pair_key(u, v));
+    }
+  }
+  for (auto& [u, v] : edges) {
+    if (!rng.bernoulli(beta)) continue;
+    // Rewire the far endpoint to a uniformly random non-neighbor.
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto w = static_cast<NodeId>(rng.uniform_int(std::uint64_t{n}));
+      if (w == u || w == v) continue;
+      if (present.count(pair_key(u, w))) continue;
+      present.erase(pair_key(u, v));
+      present.insert(pair_key(u, w));
+      v = w;
+      break;
+    }
+  }
+
+  Graph::Builder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b;
+}
+
+Graph::Builder stochastic_block(NodeId n, std::size_t blocks, double p_in,
+                                double p_out, Rng& rng) {
+  AF_EXPECTS(blocks >= 1 && n >= blocks, "SBM: invalid block count");
+  AF_EXPECTS(p_in >= 0 && p_in <= 1 && p_out >= 0 && p_out <= 1,
+             "SBM: probabilities in [0,1]");
+  Graph::Builder b(n);
+  auto block_of = [&](NodeId v) { return static_cast<std::size_t>(v) % blocks; };
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = block_of(u) == block_of(v) ? p_in : p_out;
+      if (rng.bernoulli(p)) b.add_edge(u, v);
+    }
+  }
+  return b;
+}
+
+Graph::Builder configuration_model(const std::vector<std::size_t>& degrees,
+                                   Rng& rng) {
+  const auto n = static_cast<NodeId>(degrees.size());
+  AF_EXPECTS(n >= 2, "configuration model needs at least two nodes");
+
+  // Stub list: node v appears deg(v) times.
+  std::vector<NodeId> stubs;
+  std::size_t total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    AF_EXPECTS(degrees[v] < n, "degree must be below n");
+    total += degrees[v];
+  }
+  stubs.reserve(total + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  // Odd stub counts cannot pair; drop one stub from a max-degree node.
+  if (stubs.size() % 2 == 1) stubs.pop_back();
+
+  rng.shuffle(stubs);
+
+  Graph::Builder b(n);
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(stubs.size());
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const NodeId u = stubs[i];
+    const NodeId v = stubs[i + 1];
+    if (u == v) continue;                          // erased self-loop
+    if (!present.insert(pair_key(u, v)).second) {  // erased multi-edge
+      continue;
+    }
+    b.add_edge(u, v);
+  }
+  return b;
+}
+
+std::vector<std::size_t> power_law_degrees(NodeId n, double exponent,
+                                           std::size_t min_degree,
+                                           std::size_t max_degree, Rng& rng) {
+  AF_EXPECTS(n >= 2, "need at least two nodes");
+  AF_EXPECTS(exponent > 1.0, "power-law exponent must exceed 1");
+  AF_EXPECTS(min_degree >= 1, "minimum degree must be positive");
+  if (max_degree == 0) {
+    // Natural cutoff keeping the erased configuration model honest.
+    max_degree = static_cast<std::size_t>(
+        std::sqrt(static_cast<double>(n)) * 4.0);
+  }
+  AF_EXPECTS(max_degree >= min_degree, "max_degree below min_degree");
+
+  std::vector<std::size_t> degs(n);
+  const double a = 1.0 / (exponent - 1.0);
+  for (NodeId v = 0; v < n; ++v) {
+    // Inverse-CDF sampling of a discrete Pareto: d = ⌊min·u^(−a)⌋.
+    const double u = 1.0 - rng.uniform();  // (0, 1]
+    const double d = static_cast<double>(min_degree) * std::pow(u, -a);
+    degs[v] = std::min<std::size_t>(
+        max_degree,
+        std::max<std::size_t>(min_degree, static_cast<std::size_t>(d)));
+  }
+  return degs;
+}
+
+Graph::Builder path_graph(NodeId n) {
+  AF_EXPECTS(n >= 2, "path needs >= 2 nodes");
+  Graph::Builder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b;
+}
+
+Graph::Builder cycle_graph(NodeId n) {
+  AF_EXPECTS(n >= 3, "cycle needs >= 3 nodes");
+  Graph::Builder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b;
+}
+
+Graph::Builder star_graph(NodeId n) {
+  AF_EXPECTS(n >= 2, "star needs >= 2 nodes");
+  Graph::Builder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b;
+}
+
+Graph::Builder complete_graph(NodeId n) {
+  AF_EXPECTS(n >= 2, "complete graph needs >= 2 nodes");
+  Graph::Builder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b;
+}
+
+Graph::Builder grid_graph(NodeId rows, NodeId cols) {
+  AF_EXPECTS(rows >= 1 && cols >= 1 && static_cast<std::uint64_t>(rows) * cols >= 2,
+             "grid needs >= 2 nodes");
+  Graph::Builder b(rows * cols);
+  auto id = [&](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b;
+}
+
+Graph::Builder parallel_paths(std::size_t count, std::size_t len) {
+  AF_EXPECTS(count >= 1, "need at least one path");
+  AF_EXPECTS(len >= 1, "paths need at least one intermediate node");
+  const auto n = static_cast<NodeId>(2 + count * len);
+  Graph::Builder b(n);
+  NodeId next = 2;
+  for (std::size_t p = 0; p < count; ++p) {
+    NodeId prev = 0;  // s-side terminal
+    for (std::size_t i = 0; i < len; ++i) {
+      b.add_edge(prev, next);
+      prev = next++;
+    }
+    b.add_edge(prev, 1);  // t-side terminal
+  }
+  return b;
+}
+
+}  // namespace af

@@ -1,0 +1,84 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on four SNAP datasets (Table I) which are not
+// available in this offline environment; DESIGN.md §4 documents the
+// substitution. These generators produce graphs with matched size and
+// degree character:
+//   - Barabási–Albert: heavy-tailed degree distribution (social/citation)
+//   - Erdős–Rényi G(n,m): homogeneous baseline
+//   - Watts–Strogatz: high clustering, short paths
+//   - Stochastic block model: community structure (bridge scenarios)
+//   - Deterministic builders (path/cycle/star/complete/grid/ladder) for
+//     tests and analytically solvable instances.
+//
+// All generators return simple undirected topologies (no self-loops or
+// multi-edges) in a Graph::Builder so callers choose the weight scheme.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace af {
+
+class Rng;
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges chosen uniformly.
+/// Requires m <= n(n-1)/2.
+Graph::Builder gnm_random(NodeId n, std::uint64_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach` + 1 nodes, then each new node attaches to `attach` distinct
+/// existing nodes with probability proportional to degree.
+/// Produces ~ (n - attach - 1) * attach + C(attach+1, 2) edges.
+Graph::Builder barabasi_albert(NodeId n, std::size_t attach, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbors per
+/// side... k must be even; each edge rewired with probability beta.
+Graph::Builder watts_strogatz(NodeId n, std::size_t k, double beta, Rng& rng);
+
+/// Stochastic block model with equally sized blocks. p_in / p_out are the
+/// within/between block edge probabilities.
+Graph::Builder stochastic_block(NodeId n, std::size_t blocks, double p_in,
+                                double p_out, Rng& rng);
+
+/// Erased configuration model: wires a graph whose degrees approximate
+/// the given sequence. Stubs are shuffled and paired; self-loops and
+/// multi-edges are dropped ("erased"), so realized degrees can fall
+/// slightly below the requested ones (mostly at hubs).
+Graph::Builder configuration_model(const std::vector<std::size_t>& degrees,
+                                   Rng& rng);
+
+/// Power-law degree sequence: P(deg ≥ d) ∝ d^(1−exponent), discretized,
+/// clamped to [min_degree, max_degree] (0 = √(n·mean) cap). Real social
+/// and citation graphs are dominated by low-degree nodes — unlike
+/// Barabási–Albert, whose minimum degree equals its attachment
+/// parameter — so pair this with configuration_model for analogs whose
+/// periphery (degree-1 fringe, small biconnected blocks) matters.
+std::vector<std::size_t> power_law_degrees(NodeId n, double exponent,
+                                           std::size_t min_degree,
+                                           std::size_t max_degree, Rng& rng);
+
+/// Path 0-1-2-...-(n-1).
+Graph::Builder path_graph(NodeId n);
+
+/// Cycle 0-1-...-(n-1)-0.
+Graph::Builder cycle_graph(NodeId n);
+
+/// Star with center 0 and n-1 leaves.
+Graph::Builder star_graph(NodeId n);
+
+/// Complete graph K_n.
+Graph::Builder complete_graph(NodeId n);
+
+/// rows x cols grid, node (r,c) = r*cols + c.
+Graph::Builder grid_graph(NodeId rows, NodeId cols);
+
+/// `count` node-disjoint parallel paths of `len` intermediate nodes each,
+/// between node 0 (s-side) and node 1 (t-side). Used heavily by tests:
+/// the acceptance probability through each path is analytically known.
+/// Node layout: 0, 1, then paths of `len` nodes each in order.
+Graph::Builder parallel_paths(std::size_t count, std::size_t len);
+
+}  // namespace af

@@ -1,0 +1,182 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  // Search in the smaller adjacency list.
+  if (degree(u) < degree(v)) std::swap(u, v);
+  auto nbrs = neighbors(v);
+  return std::binary_search(nbrs.begin(), nbrs.end(), u);
+}
+
+double Graph::weight(NodeId u, NodeId v) const {
+  auto nbrs = neighbors(v);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), u);
+  if (it == nbrs.end() || *it != u) return 0.0;
+  return in_weights(v)[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+void Graph::check_invariants() const {
+  constexpr double kTol = 1e-9;
+  const NodeId n = num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    auto nbrs = neighbors(v);
+    auto ws = in_weights(v);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      AF_ENSURES(nbrs[i] < n, "neighbor id out of range");
+      AF_ENSURES(nbrs[i] != v, "self-loop present");
+      if (i > 0) {
+        AF_ENSURES(nbrs[i - 1] < nbrs[i],
+                   "adjacency not strictly sorted (duplicate edge?)");
+      }
+      AF_ENSURES(ws[i] > 0.0 && ws[i] <= 1.0, "weight outside (0,1]");
+      // Symmetry of the edge set (weights may differ per direction).
+      AF_ENSURES(has_edge(v, nbrs[i]), "edge set not symmetric");
+      sum += ws[i];
+    }
+    AF_ENSURES(sum <= 1.0 + kTol, "incoming weights exceed 1 after norm");
+    AF_ENSURES(std::abs(sum - total_in_weight_[v]) <= kTol,
+               "cached total in-weight is stale");
+    auto ows = out_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      AF_ENSURES(std::abs(ows[i] - weight(v, nbrs[i])) <= kTol,
+                 "out-weight mirror is inconsistent");
+    }
+  }
+}
+
+Graph::Builder::Builder(NodeId num_nodes) : num_nodes_(num_nodes) {
+  adj_check_.resize(num_nodes);
+}
+
+Graph::Builder& Graph::Builder::add_edge(NodeId u, NodeId v) {
+  return add_edge(u, v, -1.0, -1.0);
+}
+
+Graph::Builder& Graph::Builder::add_edge(NodeId u, NodeId v, double w_uv,
+                                         double w_vu) {
+  AF_EXPECTS(u < num_nodes_ && v < num_nodes_, "edge endpoint out of range");
+  AF_EXPECTS(u != v, "self-loops are not allowed");
+  edges_.push_back(EdgeRec{u, v, w_uv, w_vu});
+  adj_check_[u].push_back(v);
+  adj_check_[v].push_back(u);
+  return *this;
+}
+
+bool Graph::Builder::has_edge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  const auto& smaller = adj_check_[u].size() <= adj_check_[v].size()
+                            ? adj_check_[u]
+                            : adj_check_[v];
+  const NodeId needle =
+      adj_check_[u].size() <= adj_check_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), needle) != smaller.end();
+}
+
+Graph Graph::Builder::build(const WeightScheme& scheme, Rng* rng) const {
+  AF_EXPECTS(!scheme.is_random() || rng != nullptr,
+             "randomized weight scheme requires an Rng");
+  return assemble(/*use_explicit=*/false, &scheme, rng);
+}
+
+Graph Graph::Builder::build_with_explicit_weights() const {
+  for (const auto& e : edges_) {
+    AF_EXPECTS(e.w_uv > 0.0 && e.w_vu > 0.0,
+               "build_with_explicit_weights: every edge needs weights");
+  }
+  return assemble(/*use_explicit=*/true, nullptr, nullptr);
+}
+
+Graph Graph::Builder::assemble(bool use_explicit, const WeightScheme* scheme,
+                               Rng* rng) const {
+  Graph g;
+  const NodeId n = num_nodes_;
+  g.offsets_.assign(n + 1, 0);
+
+  // Degree counting pass.
+  for (const auto& e : edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  const ArcIndex arcs = g.offsets_[n];
+  g.adjacency_.resize(arcs);
+  g.in_weights_.assign(arcs, 0.0);
+
+  // Scatter pass. The arc stored in v's slice for neighbor u carries
+  // w(u,v): u's contribution toward v.
+  std::vector<ArcIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    const ArcIndex pu = cursor[e.u]++;  // slot in u's list -> neighbor v
+    const ArcIndex pv = cursor[e.v]++;  // slot in v's list -> neighbor u
+    g.adjacency_[pu] = e.v;
+    g.adjacency_[pv] = e.u;
+    if (use_explicit) {
+      g.in_weights_[pu] = e.w_vu;  // weight toward u is w(v,u)
+      g.in_weights_[pv] = e.w_uv;  // weight toward v is w(u,v)
+    }
+  }
+
+  // Sort each node's slice by neighbor id, co-moving weights.
+  std::vector<std::pair<NodeId, double>> scratch;
+  for (NodeId v = 0; v < n; ++v) {
+    const ArcIndex lo = g.offsets_[v];
+    const ArcIndex hi = g.offsets_[v + 1];
+    scratch.clear();
+    scratch.reserve(static_cast<std::size_t>(hi - lo));
+    for (ArcIndex i = lo; i < hi; ++i) {
+      scratch.emplace_back(g.adjacency_[i], g.in_weights_[i]);
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (ArcIndex i = lo; i < hi; ++i) {
+      const auto& [nbr, w] = scratch[static_cast<std::size_t>(i - lo)];
+      g.adjacency_[i] = nbr;
+      g.in_weights_[i] = w;
+    }
+    for (ArcIndex i = lo + 1; i < hi; ++i) {
+      AF_EXPECTS(g.adjacency_[i - 1] != g.adjacency_[i],
+                 "duplicate edge detected during build");
+    }
+    if (!use_explicit) {
+      scheme->assign(
+          v,
+          std::span<double>(g.in_weights_.data() + lo,
+                            static_cast<std::size_t>(hi - lo)),
+          rng);
+    }
+  }
+
+  // Cache per-node totals.
+  g.total_in_weight_.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    double s = 0.0;
+    for (double w : g.in_weights(v)) s += w;
+    g.total_in_weight_[v] = s;
+  }
+
+  // Mirror the weights into outgoing layout: out_weights(v)[i] = w(v, u)
+  // where u = N_v[i], i.e. the entry for v in u's incoming list.
+  g.out_weights_.assign(arcs, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      g.out_weights_[g.offsets_[v] + i] = g.weight(v, nbrs[i]);
+    }
+  }
+
+  g.check_invariants();
+  return g;
+}
+
+}  // namespace af

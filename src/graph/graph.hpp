@@ -1,0 +1,170 @@
+// The social-network substrate: an immutable undirected graph in CSR form
+// with per-direction influence weights.
+//
+// Terminology follows the paper (Sec. II-A): for friends u and v, the
+// weight w(u,v) ∈ (0,1] is "v's familiarity with u" — the amount u
+// contributes toward v's acceptance threshold. Weights are directional
+// (w(u,v) need not equal w(v,u)) and normalized per node:
+// Σ_u w(u,v) ≤ 1.
+//
+// Storage: for every node v we store its sorted neighbor list N_v together
+// with the *incoming* weights aligned to it, i.e. in_weight(v)[i] is
+// w(N_v[i], v). Both the forward friending process (summing mutual-friend
+// weight toward v) and realization sampling (v selects a friend u with
+// probability w(u,v)) consume exactly this layout.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+
+class Rng;
+struct WeightScheme;
+
+/// Immutable undirected social graph with directional weights.
+///
+/// Construct via Graph::Builder. All accessors are O(1) except
+/// has_edge/weight which binary-search the sorted adjacency (O(log deg)).
+class Graph {
+ public:
+  class Builder;
+
+  Graph() = default;
+
+  /// Number of users n = |V|.
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size() - 1); }
+
+  /// Number of undirected friendships m = |E|.
+  std::uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Degree |N_v|.
+  std::size_t degree(NodeId v) const {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list N_v.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Incoming weights aligned with neighbors(v): entry i is w(N_v[i], v).
+  std::span<const double> in_weights(NodeId v) const {
+    return {in_weights_.data() + offsets_[v],
+            in_weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Outgoing weights aligned with neighbors(v): entry i is w(v, N_v[i]) —
+  /// v's contribution toward N_v[i]. Mirrors in_weights; materialized so
+  /// the forward friending process can push influence without per-arc
+  /// binary searches.
+  std::span<const double> out_weights(NodeId v) const {
+    return {out_weights_.data() + offsets_[v],
+            out_weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Σ_u w(u,v); always ≤ 1. The complement 1 − total_in_weight(v) is the
+  /// probability that v selects nobody in a realization (Def. 1).
+  double total_in_weight(NodeId v) const { return total_in_weight_[v]; }
+
+  /// True iff (u,v) ∈ E. O(log deg(v)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// w(u,v) — v's familiarity with u; 0 if u and v are not friends
+  /// (matching the paper's convention for non-friends).
+  double weight(NodeId u, NodeId v) const;
+
+  /// Average degree 2m/n (the statistic reported in Table I).
+  double average_degree() const {
+    return num_nodes() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(num_edges()) / num_nodes();
+  }
+
+  /// Sum of a node's incoming weight restricted to a friend subset; used
+  /// by the forward process tests. O(deg(v)).
+  template <typename Pred>
+  double in_weight_from(NodeId v, Pred&& in_set) const {
+    double s = 0.0;
+    auto nbrs = neighbors(v);
+    auto ws = in_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_set(nbrs[i])) s += ws[i];
+    }
+    return s;
+  }
+
+  /// Validates all class invariants (sorted adjacency, symmetric edge set,
+  /// weights in (0,1], per-node normalization). Called by the builder;
+  /// exposed for tests. Throws postcondition_error on violation.
+  void check_invariants() const;
+
+ private:
+  friend class Builder;
+
+  std::vector<ArcIndex> offsets_{0};    // size n+1
+  std::vector<NodeId> adjacency_;       // size 2m, sorted per node
+  std::vector<double> in_weights_;      // aligned with adjacency_
+  std::vector<double> out_weights_;     // aligned with adjacency_
+  std::vector<double> total_in_weight_; // size n
+};
+
+/// Mutable edge accumulator producing an immutable Graph.
+///
+/// Edges may be added with or without explicit weights:
+///  - add_edge(u, v): weights assigned later by the WeightScheme passed
+///    to build().
+///  - add_edge(u, v, w_uv, w_vu): explicit directional weights, kept by
+///    build_with_explicit_weights(). w_uv is w(u,v) (u's contribution
+///    toward v); w_vu is w(v,u).
+/// Duplicate edges and self-loops are rejected at build time.
+class Graph::Builder {
+ public:
+  explicit Builder(NodeId num_nodes);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_edges_added() const { return edges_.size(); }
+
+  /// Adds an undirected edge; weights to be assigned by a scheme.
+  Builder& add_edge(NodeId u, NodeId v);
+
+  /// Adds an undirected edge with explicit directional weights.
+  Builder& add_edge(NodeId u, NodeId v, double w_uv, double w_vu);
+
+  /// True if the edge was already added (linear scan of u's smaller list —
+  /// intended for generators that need dedup-during-construction).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Builds with weights computed by `scheme`. Schemes that randomize
+  /// require `rng`; deterministic schemes accept nullptr.
+  Graph build(const WeightScheme& scheme, Rng* rng = nullptr) const;
+
+  /// Builds keeping the explicit per-edge weights; every edge must have
+  /// been added with the weighted overload.
+  Graph build_with_explicit_weights() const;
+
+ private:
+  struct EdgeRec {
+    NodeId u;
+    NodeId v;
+    double w_uv;  // w(u,v); negative = "assign by scheme"
+    double w_vu;  // w(v,u)
+  };
+
+  // Shared assembly: builds the CSR, placing explicit weights if
+  // use_explicit, otherwise invoking the scheme per node.
+  Graph assemble(bool use_explicit, const WeightScheme* scheme,
+                 Rng* rng) const;
+
+  NodeId num_nodes_;
+  std::vector<EdgeRec> edges_;
+  // Per-node neighbor lists for has_edge dedup checks.
+  mutable std::vector<std::vector<NodeId>> adj_check_;
+};
+
+}  // namespace af

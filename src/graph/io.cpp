@@ -1,0 +1,165 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+namespace {
+
+/// Parses whitespace-separated tokens from a line; returns the number of
+/// tokens written into out (up to max_tokens).
+std::size_t split_tokens(std::string_view line, std::string_view* out,
+                         std::size_t max_tokens) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  while (i < line.size() && count < max_tokens) {
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    out[count++] = line.substr(start, i - start);
+  }
+  return count;
+}
+
+std::uint64_t parse_u64(std::string_view tok, const std::string& path,
+                        std::size_t line_no) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                             ": expected integer, got '" + std::string(tok) +
+                             "'");
+  }
+  return v;
+}
+
+double parse_double(std::string_view tok, const std::string& path,
+                    std::size_t line_no) {
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                             ": expected number, got '" + std::string(tok) +
+                             "'");
+  }
+  return v;
+}
+
+struct RawEdges {
+  std::vector<std::array<std::uint64_t, 2>> endpoints;
+  std::vector<std::array<double, 2>> weights;  // empty for plain format
+  std::unordered_map<std::uint64_t, NodeId> id_map;
+};
+
+RawEdges read_file(const std::string& path, bool weighted) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "'");
+
+  RawEdges raw;
+  std::string line;
+  std::size_t line_no = 0;
+  std::string_view toks[4];
+  while (std::getline(f, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    if (sv.empty() || sv[0] == '#' || sv[0] == '%') continue;
+    const std::size_t want = weighted ? 4 : 2;
+    const std::size_t got = split_tokens(sv, toks, 4);
+    if (got == 0) continue;  // blank line
+    if (got < want) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": expected " + std::to_string(want) +
+                               " fields");
+    }
+    const std::uint64_t a = parse_u64(toks[0], path, line_no);
+    const std::uint64_t b = parse_u64(toks[1], path, line_no);
+    raw.endpoints.push_back({a, b});
+    if (weighted) {
+      raw.weights.push_back({parse_double(toks[2], path, line_no),
+                             parse_double(toks[3], path, line_no)});
+    }
+  }
+
+  // Compact ids in first-appearance order for determinism.
+  for (const auto& e : raw.endpoints) {
+    for (std::uint64_t x : e) {
+      if (!raw.id_map.count(x)) {
+        raw.id_map.emplace(x, static_cast<NodeId>(raw.id_map.size()));
+      }
+    }
+  }
+  return raw;
+}
+
+}  // namespace
+
+LoadedGraph load_edge_list(const std::string& path, const WeightScheme& scheme,
+                           Rng* rng) {
+  RawEdges raw = read_file(path, /*weighted=*/false);
+  const auto n = static_cast<NodeId>(raw.id_map.size());
+  Graph::Builder b(n);
+  for (const auto& e : raw.endpoints) {
+    const NodeId u = raw.id_map.at(e[0]);
+    const NodeId v = raw.id_map.at(e[1]);
+    if (u == v) continue;           // skip self-loops
+    if (b.has_edge(u, v)) continue; // skip duplicates / reversed repeats
+    b.add_edge(u, v);
+  }
+  return LoadedGraph{b.build(scheme, rng), std::move(raw.id_map)};
+}
+
+LoadedGraph load_weighted_edge_list(const std::string& path) {
+  RawEdges raw = read_file(path, /*weighted=*/true);
+  const auto n = static_cast<NodeId>(raw.id_map.size());
+  Graph::Builder b(n);
+  for (std::size_t i = 0; i < raw.endpoints.size(); ++i) {
+    const NodeId u = raw.id_map.at(raw.endpoints[i][0]);
+    const NodeId v = raw.id_map.at(raw.endpoints[i][1]);
+    if (u == v || b.has_edge(u, v)) continue;
+    b.add_edge(u, v, raw.weights[i][0], raw.weights[i][1]);
+  }
+  return LoadedGraph{b.build_with_explicit_weights(), std::move(raw.id_map)};
+}
+
+bool save_weighted_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "# u v w(u,v) w(v,u)\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId u = nbrs[i];
+      if (u < v) continue;  // emit each undirected edge once, as (v,u)
+      f << v << ' ' << u << ' ' << g.weight(v, u) << ' ' << g.weight(u, v)
+        << '\n';
+    }
+  }
+  return static_cast<bool>(f);
+}
+
+bool save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "# u v\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u > v) f << v << ' ' << u << '\n';
+    }
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace af

@@ -1,0 +1,43 @@
+// Edge-list file I/O.
+//
+// Two text formats are supported, both line-oriented with '#' comments:
+//   plain:    "u v"            (weights assigned by a WeightScheme on load)
+//   weighted: "u v w_uv w_vu"  (explicit directional weights)
+// Node ids in files may be arbitrary non-negative integers; they are
+// compacted to dense [0,n) ids on load (the mapping is returned on demand).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+
+namespace af {
+
+/// Result of loading an edge list: the graph plus the id compaction map.
+struct LoadedGraph {
+  Graph graph;
+  /// original file id -> dense NodeId
+  std::unordered_map<std::uint64_t, NodeId> id_map;
+};
+
+/// Loads a plain edge list and assigns weights with `scheme`.
+/// Duplicate lines and self-loops are skipped (SNAP files contain both);
+/// the file is treated as undirected.
+/// Throws std::runtime_error on I/O or parse failure.
+LoadedGraph load_edge_list(const std::string& path, const WeightScheme& scheme,
+                           Rng* rng = nullptr);
+
+/// Loads a weighted edge list ("u v w_uv w_vu" per line).
+LoadedGraph load_weighted_edge_list(const std::string& path);
+
+/// Writes "u v w_uv w_vu" lines (dense ids). Returns false on I/O failure.
+bool save_weighted_edge_list(const Graph& g, const std::string& path);
+
+/// Writes a plain "u v" edge list. Returns false on I/O failure.
+bool save_edge_list(const Graph& g, const std::string& path);
+
+}  // namespace af

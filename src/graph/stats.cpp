@@ -1,0 +1,151 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats out;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return out;
+  std::vector<std::size_t> degs(n);
+  for (NodeId v = 0; v < n; ++v) degs[v] = g.degree(v);
+  std::sort(degs.begin(), degs.end());
+  out.min = degs.front();
+  out.max = degs.back();
+  out.mean = g.average_degree();
+  out.median = n % 2 ? static_cast<double>(degs[n / 2])
+                     : 0.5 * static_cast<double>(degs[n / 2 - 1] +
+                                                 degs[n / 2]);
+  out.p99 = static_cast<double>(
+      degs[std::min<std::size_t>(n - 1, static_cast<std::size_t>(
+                                            0.99 * static_cast<double>(n)))]);
+  return out;
+}
+
+double local_clustering(const Graph& g, NodeId v) {
+  AF_EXPECTS(v < g.num_nodes(), "node out of range");
+  const auto deg = g.degree(v);
+  if (deg < 2) return 0.0;
+  auto nbrs = g.neighbors(v);
+  std::uint64_t links = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (g.has_edge(nbrs[i], nbrs[j])) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(deg) * static_cast<double>(deg - 1));
+}
+
+double average_clustering(const Graph& g, std::size_t sample_size, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+  if (sample_size == 0 || sample_size >= n) {
+    for (NodeId v = 0; v < n; ++v) {
+      sum += local_clustering(g, v);
+      ++count;
+    }
+  } else {
+    for (auto idx : rng.sample_without_replacement(n, sample_size)) {
+      sum += local_clustering(g, static_cast<NodeId>(idx));
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::vector<std::uint32_t> core_numbers(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::uint32_t>(g.degree(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // Bucket sort nodes by degree (Batagelj–Zaveršnik peeling).
+  std::vector<std::uint32_t> bin(max_deg + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bin[deg[v]];
+  std::uint32_t start = 0;
+  for (std::uint32_t d = 0; d <= max_deg; ++d) {
+    const std::uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> order(n);
+  std::vector<std::uint32_t> pos(n);
+  {
+    std::vector<std::uint32_t> cursor(bin.begin(), bin.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+
+  std::vector<std::uint32_t> core(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    core[v] = deg[v];
+    for (NodeId u : g.neighbors(v)) {
+      if (deg[u] <= deg[v]) continue;
+      // Move u one bucket down: swap it with the first node of its
+      // current bucket, then shrink the bucket boundary.
+      const std::uint32_t du = deg[u];
+      const std::uint32_t pu = pos[u];
+      const std::uint32_t pw = bin[du];
+      const NodeId w = order[pw];
+      if (u != w) {
+        std::swap(order[pu], order[pw]);
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      ++bin[du];
+      --deg[u];
+    }
+  }
+  return core;
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  std::uint32_t best = 0;
+  for (std::uint32_t c : core_numbers(g)) best = std::max(best, c);
+  return best;
+}
+
+std::uint32_t diameter_estimate(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  NodeId start = kNoNode;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) > 0) {
+      start = v;
+      break;
+    }
+  }
+  if (start == kNoNode) return 0;
+
+  auto farthest = [&](NodeId from) {
+    const auto dist = bfs_distances(g, from);
+    NodeId arg = from;
+    std::uint32_t best = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (dist[v] != kUnreachable && dist[v] > best) {
+        best = dist[v];
+        arg = v;
+      }
+    }
+    return std::pair<NodeId, std::uint32_t>{arg, best};
+  };
+  const auto [far1, d1] = farthest(start);
+  const auto [far2, d2] = farthest(far1);
+  (void)far2;
+  return std::max(d1, d2);
+}
+
+}  // namespace af

@@ -1,0 +1,49 @@
+// Structural statistics for characterizing datasets (and validating the
+// synthetic analogs against the originals they stand in for): degree
+// distribution summaries, clustering coefficients, k-core decomposition
+// and a BFS-based diameter estimate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace af {
+
+class Rng;
+
+/// Summary of a graph's degree distribution.
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  /// Degree at the 99th percentile — heavy-tail indicator.
+  double p99 = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Exact local clustering coefficient of one node: triangles through v
+/// divided by deg(v)·(deg(v)−1)/2. O(deg² log deg).
+double local_clustering(const Graph& g, NodeId v);
+
+/// Average local clustering coefficient over `sample_size` uniformly
+/// random nodes (0 = all nodes; beware hubs on large graphs).
+double average_clustering(const Graph& g, std::size_t sample_size, Rng& rng);
+
+/// K-core decomposition: out[v] = core number of v (largest k such that
+/// v belongs to a subgraph of minimum degree k). Linear-time bucket
+/// peeling (Batagelj–Zaveršnik).
+std::vector<std::uint32_t> core_numbers(const Graph& g);
+
+/// Degeneracy = max core number.
+std::uint32_t degeneracy(const Graph& g);
+
+/// Lower-bound diameter estimate by double BFS sweep (exact on trees,
+/// a good heuristic elsewhere). Returns 0 for edgeless graphs; operates
+/// on the component of the first non-isolated node.
+std::uint32_t diameter_estimate(const Graph& g);
+
+}  // namespace af

@@ -1,0 +1,57 @@
+#include "graph/weights.hpp"
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+
+void WeightScheme::assign(NodeId /*v*/, std::span<double> weights,
+                          Rng* rng) const {
+  const std::size_t deg = weights.size();
+  if (deg == 0) return;
+  switch (kind) {
+    case Kind::kInverseDegree: {
+      const double w = 1.0 / static_cast<double>(deg);
+      for (auto& x : weights) x = w;
+      break;
+    }
+    case Kind::kConstantClamped: {
+      AF_EXPECTS(param > 0.0 && param <= 1.0,
+                 "constant weight must lie in (0,1]");
+      const double w =
+          std::min(param, 1.0 / static_cast<double>(deg));
+      for (auto& x : weights) x = w;
+      break;
+    }
+    case Kind::kRandomNormalized: {
+      AF_EXPECTS(rng != nullptr, "random scheme needs an Rng");
+      AF_EXPECTS(param > 0.0 && param <= 1.0,
+                 "normalized total must lie in (0,1]");
+      double sum = 0.0;
+      for (auto& x : weights) {
+        // Strictly positive draw so weights stay in (0,1].
+        x = 1e-9 + rng->uniform();
+        sum += x;
+      }
+      const double scale = param / sum;
+      for (auto& x : weights) x *= scale;
+      break;
+    }
+    case Kind::kTrivalency: {
+      AF_EXPECTS(rng != nullptr, "trivalency scheme needs an Rng");
+      static constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+      double sum = 0.0;
+      for (auto& x : weights) {
+        x = kLevels[rng->uniform_int(std::uint64_t{3})];
+        sum += x;
+      }
+      if (sum > 1.0) {
+        const double scale = 1.0 / sum;
+        for (auto& x : weights) x *= scale;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace af

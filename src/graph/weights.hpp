@@ -1,0 +1,58 @@
+// Influence-weight schemes.
+//
+// The paper's experiments use the "weighted cascade"-style convention
+// w(u,v) = 1/|N_v| (Sec. IV, "Friending Model", following Kempe et al.).
+// The other schemes are standard alternatives from the linear-threshold
+// literature; all of them respect the model requirement Σ_u w(u,v) ≤ 1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "graph/types.hpp"
+
+namespace af {
+
+class Rng;
+
+/// Value-type description of a weight scheme, applied per node over the
+/// node's incoming arcs at Graph build time.
+struct WeightScheme {
+  enum class Kind {
+    /// w(u,v) = 1/|N_v| — the paper's setting; sums to exactly 1.
+    kInverseDegree,
+    /// w(u,v) = min(c, 1/|N_v|) for a constant c = param.
+    kConstantClamped,
+    /// Weights drawn U(0,1) then normalized so Σ_u w(u,v) = param (≤ 1).
+    kRandomNormalized,
+    /// Weights drawn from {0.1, 0.01, 0.001} (trivalency model), rescaled
+    /// only when the sum would exceed 1.
+    kTrivalency,
+  };
+
+  Kind kind = Kind::kInverseDegree;
+  double param = 1.0;
+
+  static WeightScheme inverse_degree() {
+    return {Kind::kInverseDegree, 1.0};
+  }
+  static WeightScheme constant_clamped(double c) {
+    return {Kind::kConstantClamped, c};
+  }
+  static WeightScheme random_normalized(double total = 1.0) {
+    return {Kind::kRandomNormalized, total};
+  }
+  static WeightScheme trivalency() { return {Kind::kTrivalency, 0.0}; }
+
+  /// True iff the scheme consumes randomness (build() then requires a Rng).
+  bool is_random() const {
+    return kind == Kind::kRandomNormalized || kind == Kind::kTrivalency;
+  }
+
+  /// Fills `weights` (the incoming-weight slots of node v, one per
+  /// neighbor) according to the scheme. `rng` may be nullptr for
+  /// deterministic schemes.
+  void assign(NodeId v, std::span<double> weights, Rng* rng) const;
+};
+
+}  // namespace af

@@ -1,0 +1,137 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_int(const std::string& name, std::int64_t def,
+                        const std::string& help) {
+  AF_EXPECTS(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::kInt, help, std::to_string(def)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, double def,
+                           const std::string& help) {
+  AF_EXPECTS(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::kDouble, help, std::to_string(def)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_string(const std::string& name, std::string def,
+                           const std::string& help) {
+  AF_EXPECTS(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::kString, help, std::move(def)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  AF_EXPECTS(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::kFlag, help, "0"};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << program_ << ": unexpected positional argument '" << arg
+                << "'\n";
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::cerr << program_ << ": unknown option '--" << name << "'\n";
+      return false;
+    }
+    if (it->second.kind == Kind::kFlag) {
+      it->second.value = has_value ? value : "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::cerr << program_ << ": option '--" << name
+                  << "' expects a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    // Validate numeric options eagerly so errors point at the bad flag.
+    if (it->second.kind == Kind::kInt) {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::cerr << program_ << ": option '--" << name
+                  << "' expects an integer, got '" << value << "'\n";
+        return false;
+      }
+    } else if (it->second.kind == Kind::kDouble) {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        std::cerr << program_ << ": option '--" << name
+                  << "' expects a number, got '" << value << "'\n";
+        return false;
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  AF_EXPECTS(it != options_.end(), "option was never declared: " + name);
+  AF_EXPECTS(it->second.kind == kind, "option type mismatch: " + name);
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag).value != "0";
+}
+
+void ArgParser::print_help() const {
+  std::cout << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    std::string left = "  --" + name;
+    if (opt.kind != Kind::kFlag) left += " <value>";
+    std::printf("%-34s %s", left.c_str(), opt.help.c_str());
+    if (opt.kind != Kind::kFlag) std::printf(" (default: %s)", opt.value.c_str());
+    std::printf("\n");
+  }
+}
+
+}  // namespace af

@@ -1,0 +1,59 @@
+// Minimal declarative command-line parser for the experiment binaries and
+// examples. Supports `--name value`, `--name=value` and boolean flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace af {
+
+/// Declarative CLI option parser.
+///
+/// Usage:
+///   ArgParser args("exp_fig3", "Reproduces Fig. 3");
+///   args.add_int("pairs", 20, "number of (s,t) pairs per dataset");
+///   args.add_flag("full", "run at paper scale");
+///   if (!args.parse(argc, argv)) return 1;   // printed help or an error
+///   int pairs = args.get_int("pairs");
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  void add_int(const std::string& name, std::int64_t def,
+               const std::string& help);
+  void add_double(const std::string& name, double def, const std::string& help);
+  void add_string(const std::string& name, std::string def,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Returns false if --help was requested or parsing failed (a message is
+  /// printed either way); callers should exit in that case.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  void print_help() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace af

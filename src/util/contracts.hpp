@@ -1,0 +1,61 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw rather than abort so that
+// library users (and tests) can observe and recover from misuse.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace af {
+
+/// Thrown when a precondition (Expects) is violated.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a postcondition or internal invariant (Ensures) is violated.
+class postcondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail_pre(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void contract_fail_post(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "postcondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw postcondition_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace af
+
+/// Precondition check. Usage: AF_EXPECTS(k > 0, "k must be positive").
+#define AF_EXPECTS(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::af::detail::contract_fail_pre(#cond, __FILE__, __LINE__,     \
+                                      std::string(msg));             \
+    }                                                                \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define AF_ENSURES(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::af::detail::contract_fail_post(#cond, __FILE__, __LINE__,    \
+                                       std::string(msg));            \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,35 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+namespace af {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  AF_EXPECTS(k <= n, "cannot sample more elements than the population");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+
+  // For dense draws, a partial Fisher-Yates over an explicit index array is
+  // cheapest; for sparse draws, rejection via a hash set avoids O(n) setup.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + uniform_int(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      std::size_t x = uniform_int(n);
+      if (seen.insert(x).second) out.push_back(x);
+    }
+  }
+  return out;
+}
+
+}  // namespace af

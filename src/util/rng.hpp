@@ -1,0 +1,149 @@
+// Deterministic, fast random number generation.
+//
+// The whole library threads explicit `Rng&` handles instead of global
+// state so that every sampling-based component (realization sampler,
+// Monte-Carlo estimators, graph generators) is reproducible from a seed.
+//
+// The core engine is xoshiro256++ (Blackman & Vigna), seeded through
+// SplitMix64 as its authors recommend. Both are implemented here from
+// scratch — the library has no external dependencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+/// SplitMix64: tiny 64-bit generator used to expand a single seed into
+/// the xoshiro256++ state. Also usable standalone for cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ engine with convenience distributions.
+///
+/// Satisfies the essential parts of UniformRandomBitGenerator so it can be
+/// plugged into <random> facilities when needed, but the built-in helpers
+/// (uniform(), bernoulli(), uniform_int()) avoid libstdc++'s distribution
+/// objects for speed and cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : state_) w = sm.next();
+    // An all-zero state is a fixed point for xoshiro; SplitMix64 cannot
+    // produce four consecutive zeros from any seed, but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+      state_[0] = 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    AF_EXPECTS(lo <= hi, "uniform(lo,hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// true with probability p (p clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t uniform_int(std::uint64_t bound) {
+    AF_EXPECTS(bound > 0, "uniform_int bound must be positive");
+    // Rejection-free fast path is fine for our uses; use 128-bit multiply
+    // with rejection to remove modulo bias exactly.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    AF_EXPECTS(lo <= hi, "uniform_int(lo,hi) requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_int(span));
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// experiment repetition its own deterministic stream.
+  Rng fork() { return Rng(next_u64()); }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace af

@@ -1,0 +1,125 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci_halfwidth(double z) const { return z * stderr_mean(); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0), value_sums_(bins, 0.0) {
+  AF_EXPECTS(hi > lo, "histogram range must be non-empty");
+  AF_EXPECTS(bins > 0, "histogram needs at least one bin");
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  const std::size_t nb = counts_.size();
+  auto b = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                    static_cast<double>(nb));
+  return std::min(b, nb - 1);
+}
+
+void Histogram::add(double x, double weight) { counts_[bin_of(x)] += weight; }
+
+void Histogram::add_xy(double x, double value) {
+  const std::size_t b = bin_of(x);
+  counts_[b] += 1.0;
+  value_sums_[b] += value;
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t b) const {
+  return 0.5 * (bin_lo(b) + bin_hi(b));
+}
+
+double Histogram::bin_mean(std::size_t b) const {
+  return counts_[b] == 0.0 ? 0.0 : value_sums_[b] / counts_[b];
+}
+
+double Proportion::wilson_halfwidth(double z) const {
+  if (trials == 0) return 0.0;
+  const double n = static_cast<double>(trials);
+  const double p = estimate();
+  const double z2 = z * z;
+  return z / (1.0 + z2 / n) *
+         std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+}
+
+double Proportion::wilson_center(double z) const {
+  if (trials == 0) return 0.0;
+  const double n = static_cast<double>(trials);
+  const double p = estimate();
+  const double z2 = z * z;
+  return (p + z2 / (2.0 * n)) / (1.0 + z2 / n);
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double quantile_of(std::vector<double> xs, double q) {
+  AF_EXPECTS(!xs.empty(), "quantile of empty sample");
+  AF_EXPECTS(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+}  // namespace af

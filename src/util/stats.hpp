@@ -1,0 +1,96 @@
+// Streaming statistics and small numeric helpers used throughout the
+// experiment harness (confidence intervals on Monte-Carlo estimates,
+// averaged experiment rows, histograms for ratio binning).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace af {
+
+/// Welford-style streaming mean/variance accumulator.
+///
+/// Numerically stable for long Monte-Carlo runs; O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the normal-approximation confidence interval at the
+  /// given z value (default z=1.96 ~ 95%).
+  double ci_halfwidth(double z = 1.96) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-interval histogram over [lo, hi) with `bins` buckets plus
+/// an overflow bucket. Used for the Fig. 4/5 ratio-binning protocol.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t b) const;
+  double bin_hi(std::size_t b) const;
+  double bin_center(std::size_t b) const;
+  /// Total weight that fell into bin b.
+  double count(std::size_t b) const { return counts_[b]; }
+  /// Mean of the auxiliary values recorded into bin b (0 if empty).
+  double bin_mean(std::size_t b) const;
+
+  /// Records `value` into the bin of `x` (for "average y per x-interval").
+  void add_xy(double x, double value);
+
+ private:
+  std::size_t bin_of(double x) const;
+
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  std::vector<double> value_sums_;
+};
+
+/// Exact binomial confidence interval helpers for Monte-Carlo proportions.
+struct Proportion {
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+
+  double estimate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+  /// Wilson score interval half-width at z (robust near 0/1).
+  double wilson_halfwidth(double z = 1.96) const;
+  /// Wilson score interval center.
+  double wilson_center(double z = 1.96) const;
+};
+
+/// Mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& xs);
+
+/// Population quantile by linear interpolation, q in [0,1].
+double quantile_of(std::vector<double> xs, double q);
+
+}  // namespace af

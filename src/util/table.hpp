@@ -1,0 +1,39 @@
+// Aligned plain-text tables and CSV output for the experiment binaries.
+//
+// Every exp_* binary prints the rows the paper's corresponding table or
+// figure reports, via TableWriter, and can mirror them to CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace af {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(std::size_t v);
+  static std::string fmt(long long v);
+
+  /// Renders the table (header, rule, rows) to the stream.
+  void print(std::ostream& os) const;
+
+  /// Writes header+rows as CSV to `path`. Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace af

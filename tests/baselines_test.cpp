@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baselines.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph build(Graph::Builder b) {
+  return b.build(WeightScheme::inverse_degree());
+}
+
+// ----------------------------------------------------------------------- HD
+
+TEST(HighDegree, AlwaysContainsTarget) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  for (std::size_t k : {1u, 2u, 5u}) {
+    const auto inv = high_degree_invitation(inst, k);
+    EXPECT_TRUE(inv.contains(fx.t));
+    EXPECT_LE(inv.size(), k);
+  }
+}
+
+TEST(HighDegree, PicksHubsFirst) {
+  // Star with an attached path: hub is node 0.
+  //   star 0-(1..4); path 4-5-6; s=1, t=6.
+  Graph::Builder b(7);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3).add_edge(0, 4);
+  b.add_edge(4, 5).add_edge(5, 6);
+  const Graph g = build(std::move(b));
+  const FriendingInstance inst(g, 1, 6);
+  const auto inv = high_degree_invitation(inst, 2);
+  EXPECT_TRUE(inv.contains(6));  // t
+  // N_s = {0}; the highest-degree invitable node is 4 (degree 2)... all
+  // of 2,3,4,5 have degree tie ≤ 2; node 4 has degree 2 and smallest
+  // id among degree-2 nodes is 4? Degrees: 2:1, 3:1, 4:2, 5:2.
+  EXPECT_TRUE(inv.contains(4));
+}
+
+TEST(HighDegree, ExcludesSAndNs) {
+  Rng rng(3);
+  const Graph g = build(barabasi_albert(100, 3, rng));
+  for (NodeId s = 0; s < 100; ++s) {
+    for (NodeId t = 0; t < 100; ++t) {
+      if (s == t || g.has_edge(s, t)) continue;
+      const FriendingInstance inst(g, s, t);
+      const auto inv = high_degree_invitation(inst, 20);
+      EXPECT_EQ(inv.size(), 20u);
+      EXPECT_FALSE(inv.contains(s));
+      for (NodeId v : inst.initial_friends()) EXPECT_FALSE(inv.contains(v));
+      return;
+    }
+  }
+}
+
+TEST(HighDegree, DeterministicOrder) {
+  Rng rng(5);
+  const Graph g = build(barabasi_albert(60, 2, rng));
+  NodeId s = 0, t = 0;
+  for (NodeId a = 0; a < 60 && t == 0; ++a) {
+    for (NodeId c = 1; c < 60; ++c) {
+      if (a != c && !g.has_edge(a, c)) {
+        s = a;
+        t = c;
+        break;
+      }
+    }
+  }
+  const FriendingInstance inst(g, s, t);
+  const auto a = high_degree_invitation(inst, 10);
+  const auto b = high_degree_invitation(inst, 10);
+  EXPECT_EQ(a.members(), b.members());
+}
+
+TEST(HighDegree, BudgetOneIsJustTarget) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const auto inv = high_degree_invitation(inst, 1);
+  EXPECT_EQ(inv.size(), 1u);
+  EXPECT_TRUE(inv.contains(fx.t));
+  EXPECT_THROW(high_degree_invitation(inst, 0), precondition_error);
+}
+
+// ----------------------------------------------------------------------- SP
+
+TEST(ShortestPath, CoversTheShortestRouteFirst) {
+  // Two routes: short (via 2) and long (via 3,4,5).
+  Graph::Builder b(7);
+  b.add_edge(0, 2).add_edge(2, 6);                               // s-2-?
+  b.add_edge(2, 1);                                              // short
+  b.add_edge(0, 3).add_edge(3, 4).add_edge(4, 5).add_edge(5, 1); // long
+  const Graph g = build(std::move(b));
+  const FriendingInstance inst(g, 0, 1);
+  // N_s = {2, 3}: the shortest s→t path is s-2-t (2 ∈ N_s, t adjacent).
+  const auto inv = shortest_path_invitation(inst, 1);
+  EXPECT_EQ(inv.size(), 1u);
+  EXPECT_TRUE(inv.contains(1));  // just t — the short path needs nothing else
+}
+
+TEST(ShortestPath, SecondDisjointPathWhenBudgetAllows) {
+  const auto fx = test::ParallelPathFixture::make(2, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  // Path intermediates: {2,3,4} and {5,6,7}; N_s = {2,5}.
+  // Budget 5: t + both paths' invitable intermediates {3,4} and {6,7}.
+  const auto inv = shortest_path_invitation(inst, 5);
+  EXPECT_EQ(inv.size(), 5u);
+  EXPECT_TRUE(inv.contains(fx.t));
+  EXPECT_TRUE(inv.contains(3));
+  EXPECT_TRUE(inv.contains(4));
+  // One of the second path's nodes must be present too.
+  EXPECT_TRUE(inv.contains(6) || inv.contains(7));
+}
+
+TEST(ShortestPath, ExcludesSAndNs) {
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const auto inv = shortest_path_invitation(inst, 50);
+  EXPECT_FALSE(inv.contains(fx.s));
+  for (NodeId v : inst.initial_friends()) EXPECT_FALSE(inv.contains(v));
+}
+
+TEST(ShortestPath, FillerIsDistanceOrderedAndDeterministic) {
+  Rng rng(7);
+  const Graph g = build(barabasi_albert(80, 3, rng));
+  for (NodeId s = 0; s < 80; ++s) {
+    for (NodeId t = 0; t < 80; ++t) {
+      if (s == t || g.has_edge(s, t)) continue;
+      const FriendingInstance inst(g, s, t);
+      const auto a = shortest_path_invitation(inst, 30);
+      const auto b = shortest_path_invitation(inst, 30);
+      EXPECT_EQ(a.members(), b.members());
+      EXPECT_EQ(a.size(), 30u);
+      return;
+    }
+  }
+}
+
+TEST(ShortestPath, DisconnectedTargetStillReturnsTarget) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(2, 3).add_edge(3, 4);
+  const Graph g = build(std::move(b));
+  const FriendingInstance inst(g, 0, 3);
+  const auto inv = shortest_path_invitation(inst, 3);
+  EXPECT_TRUE(inv.contains(3));
+  // No s→t path and no reachable filler: only t.
+  EXPECT_EQ(inv.size(), 1u);
+}
+
+// ------------------------------------------------------------------- random
+
+TEST(RandomBaseline, SizeAndMembership) {
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(11);
+  const auto inv = random_invitation(inst, 4, rng);
+  EXPECT_EQ(inv.size(), 4u);
+  EXPECT_TRUE(inv.contains(fx.t));
+  EXPECT_FALSE(inv.contains(fx.s));
+  for (NodeId v : inst.initial_friends()) EXPECT_FALSE(inv.contains(v));
+}
+
+TEST(RandomBaseline, BudgetBeyondUniverseIsClamped) {
+  const auto fx = test::ParallelPathFixture::make(1, 1);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(13);
+  const auto inv = random_invitation(inst, 100, rng);
+  // Universe: 3 nodes; invitable: t only (the single intermediate ∈ N_s).
+  EXPECT_EQ(inv.size(), 1u);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/blockcut.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph build(Graph::Builder b) {
+  return b.build(WeightScheme::inverse_degree());
+}
+
+/// Reference: all vertices on some simple a–t path by exhaustive DFS.
+std::vector<NodeId> brute_simple_path_vertices(const Graph& g, NodeId a,
+                                               NodeId t) {
+  std::set<NodeId> result;
+  std::vector<NodeId> path;
+  std::vector<char> on_path(g.num_nodes(), 0);
+  auto dfs = [&](auto&& self, NodeId v) -> void {
+    path.push_back(v);
+    on_path[v] = 1;
+    if (v == t) {
+      for (NodeId x : path) result.insert(x);
+    } else {
+      for (NodeId u : g.neighbors(v)) {
+        if (!on_path[u]) self(self, u);
+      }
+    }
+    on_path[v] = 0;
+    path.pop_back();
+  };
+  dfs(dfs, a);
+  return {result.begin(), result.end()};
+}
+
+// ----------------------------------------------------------- decompositions
+
+TEST(BlockCut, PathGraphBlocksAreEdges) {
+  const Graph g = build(path_graph(5));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.num_blocks(), 4u);
+  // Interior nodes are articulation points; endpoints are not.
+  EXPECT_FALSE(bct.is_cut_vertex(0));
+  EXPECT_TRUE(bct.is_cut_vertex(1));
+  EXPECT_TRUE(bct.is_cut_vertex(2));
+  EXPECT_TRUE(bct.is_cut_vertex(3));
+  EXPECT_FALSE(bct.is_cut_vertex(4));
+}
+
+TEST(BlockCut, CycleIsOneBlockNoCuts) {
+  const Graph g = build(cycle_graph(6));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.num_blocks(), 1u);
+  EXPECT_EQ(bct.block_vertices(0).size(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_FALSE(bct.is_cut_vertex(v));
+}
+
+TEST(BlockCut, StarCenterIsTheOnlyCut) {
+  const Graph g = build(star_graph(5));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.num_blocks(), 4u);
+  EXPECT_TRUE(bct.is_cut_vertex(0));
+  for (NodeId v = 1; v < 5; ++v) EXPECT_FALSE(bct.is_cut_vertex(v));
+  EXPECT_EQ(bct.blocks_of(0).size(), 4u);
+  EXPECT_EQ(bct.blocks_of(1).size(), 1u);
+}
+
+TEST(BlockCut, TwoTrianglesSharingAVertex) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);  // triangle A
+  b.add_edge(2, 3).add_edge(3, 4).add_edge(4, 2);  // triangle B
+  const Graph g = build(std::move(b));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.num_blocks(), 2u);
+  EXPECT_TRUE(bct.is_cut_vertex(2));
+  for (NodeId v : {0u, 1u, 3u, 4u}) EXPECT_FALSE(bct.is_cut_vertex(v));
+  for (std::size_t blk = 0; blk < 2; ++blk) {
+    EXPECT_EQ(bct.block_vertices(blk).size(), 3u);
+  }
+}
+
+TEST(BlockCut, BridgePlusCycle) {
+  // Cycle 0-1-2-3-0 with a pendant path 3-4-5.
+  Graph::Builder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+  b.add_edge(3, 4).add_edge(4, 5);
+  const Graph g = build(std::move(b));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.num_blocks(), 3u);  // cycle + 2 bridges
+  EXPECT_TRUE(bct.is_cut_vertex(3));
+  EXPECT_TRUE(bct.is_cut_vertex(4));
+  EXPECT_FALSE(bct.is_cut_vertex(0));
+  EXPECT_FALSE(bct.is_cut_vertex(5));
+}
+
+TEST(BlockCut, DisconnectedGraphHandled) {
+  Graph::Builder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  b.add_edge(3, 4);
+  const Graph g = build(std::move(b));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.num_blocks(), 2u);
+  EXPECT_TRUE(bct.blocks_of(5).empty());  // isolated vertex
+}
+
+// ------------------------------------------------- simple-path membership
+
+TEST(SimplePaths, OnPathGraphEverythingBetween) {
+  const Graph g = build(path_graph(6));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.vertices_on_simple_paths(1, 4),
+            (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(SimplePaths, CycleIncludesBothArcs) {
+  const Graph g = build(cycle_graph(5));
+  const BlockCutTree bct(g);
+  const auto verts = bct.vertices_on_simple_paths(0, 2);
+  EXPECT_EQ(verts.size(), 5u);  // both arcs of the cycle qualify
+}
+
+TEST(SimplePaths, DeadEndBranchExcluded) {
+  // Path 0-1-2 plus a dead-end branch 1-3.
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(1, 3);
+  const Graph g = build(std::move(b));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.vertices_on_simple_paths(0, 2),
+            (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(SimplePaths, DisconnectedGivesEmpty) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = build(std::move(b));
+  const BlockCutTree bct(g);
+  EXPECT_TRUE(bct.vertices_on_simple_paths(0, 3).empty());
+}
+
+TEST(SimplePaths, SameTerminalReturnsSingleton) {
+  const Graph g = build(path_graph(3));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.vertices_on_simple_paths(1, 1), (std::vector<NodeId>{1}));
+}
+
+TEST(SimplePaths, CutVertexTerminals) {
+  // Star: center 0 to leaf 2 — only those two lie on the path.
+  const Graph g = build(star_graph(5));
+  const BlockCutTree bct(g);
+  EXPECT_EQ(bct.vertices_on_simple_paths(0, 2), (std::vector<NodeId>{0, 2}));
+  // Leaf to leaf passes through the center only.
+  EXPECT_EQ(bct.vertices_on_simple_paths(1, 3),
+            (std::vector<NodeId>{0, 1, 3}));
+}
+
+// Property: exact membership matches exhaustive enumeration on random
+// small graphs across densities.
+class SimplePathProperty : public testing::TestWithParam<int> {};
+
+TEST_P(SimplePathProperty, MatchesBruteForce) {
+  Rng rng(1000 + GetParam());
+  const NodeId n = 9;
+  const std::uint64_t m = 6 + static_cast<std::uint64_t>(GetParam()) % 12;
+  const Graph g = build(gnm_random(n, m, rng));
+  const BlockCutTree bct(g);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (a == t) continue;
+      const auto got = bct.vertices_on_simple_paths(a, t);
+      const auto want = brute_simple_path_vertices(g, a, t);
+      EXPECT_EQ(got, want) << "a=" << a << " t=" << t << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SimplePathProperty,
+                         testing::Range(0, 20));
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "cover/densest.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+SetFamily make_family(NodeId universe,
+                      const std::vector<std::vector<NodeId>>& sets,
+                      const std::vector<std::uint64_t>& mult = {}) {
+  SetFamily fam(universe);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const std::uint64_t reps = mult.empty() ? 1 : mult[i];
+    for (std::uint64_t r = 0; r < reps; ++r) fam.add_set(sets[i]);
+  }
+  return fam;
+}
+
+/// Exhaustive densest subfamily (weight / |union ∖ free|).
+double brute_best_density(const SetFamily& fam,
+                          const std::vector<char>& free_elems = {}) {
+  double best = 0.0;
+  const std::size_t ns = fam.num_sets();
+  for (std::uint64_t mask = 1; mask < (1ULL << ns); ++mask) {
+    double w = 0.0;
+    std::set<NodeId> uni;
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (!(mask >> i & 1)) continue;
+      w += static_cast<double>(fam.multiplicity(static_cast<std::uint32_t>(i)));
+      for (NodeId v : fam.elements(static_cast<std::uint32_t>(i))) {
+        if (free_elems.empty() || !free_elems[v]) uni.insert(v);
+      }
+    }
+    if (uni.empty()) return std::numeric_limits<double>::infinity();
+    best = std::max(best, w / static_cast<double>(uni.size()));
+  }
+  return best;
+}
+
+// ------------------------------------------------------------- exact engine
+
+TEST(DensestExact, SingleSet) {
+  const SetFamily fam = make_family(5, {{0, 1, 2}});
+  const auto res = densest_subfamily_exact(fam);
+  EXPECT_EQ(res.sets.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.density, 1.0 / 3.0);
+}
+
+TEST(DensestExact, OverlappingSetsBeatDisjoint) {
+  // Two sets sharing both elements: density 2/2 = 1; a third disjoint
+  // fat set would only dilute.
+  const SetFamily fam =
+      make_family(10, {{0, 1}, {0, 1}, {4, 5, 6, 7}});
+  const auto res = densest_subfamily_exact(fam);
+  // {0,1} stored once with multiplicity 2 → weight 2, union 2.
+  EXPECT_DOUBLE_EQ(res.density, 1.0);
+  EXPECT_EQ(res.union_elements, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(DensestExact, MultiplicityRaisesDensity) {
+  const SetFamily fam =
+      make_family(10, {{0, 1, 2}, {5}}, {5, 1});
+  const auto res = densest_subfamily_exact(fam);
+  // {0,1,2} with weight 5 → 5/3; {5} alone → 1; both → 6/4.
+  EXPECT_NEAR(res.density, 5.0 / 3.0, 1e-9);
+}
+
+TEST(DensestExact, FreeElementsChangeTheOptimum) {
+  const SetFamily fam = make_family(10, {{0, 1, 2, 3}, {7, 8}});
+  DensestOptions opts;
+  opts.free_elements.assign(10, 0);
+  opts.free_elements[0] = opts.free_elements[1] = opts.free_elements[2] = 1;
+  // First set now costs only {3} → density 1; second still 1/2.
+  const auto res = densest_subfamily_exact(fam, opts);
+  EXPECT_DOUBLE_EQ(res.density, 1.0);
+  EXPECT_EQ(res.union_elements, (std::vector<NodeId>{3}));
+}
+
+TEST(DensestExact, FullyFreeSetIsInfinitelyDense) {
+  const SetFamily fam = make_family(6, {{0, 1}, {3}});
+  DensestOptions opts;
+  opts.free_elements.assign(6, 0);
+  opts.free_elements[0] = opts.free_elements[1] = 1;
+  const auto res = densest_subfamily_exact(fam, opts);
+  EXPECT_TRUE(std::isinf(res.density));
+  EXPECT_EQ(res.sets.size(), 1u);
+  EXPECT_TRUE(res.union_elements.empty());
+}
+
+TEST(DensestExact, ExcludedSetsIgnored) {
+  const SetFamily fam = make_family(6, {{0}, {1, 2, 3}});
+  DensestOptions opts;
+  opts.excluded_sets.assign(2, 0);
+  opts.excluded_sets[0] = 1;  // exclude the dense singleton
+  const auto res = densest_subfamily_exact(fam, opts);
+  ASSERT_EQ(res.sets.size(), 1u);
+  EXPECT_EQ(res.sets[0], 1u);
+}
+
+TEST(DensestExact, EmptyEligibleFamilyGivesEmpty) {
+  const SetFamily fam = make_family(4, {{0}});
+  DensestOptions opts;
+  opts.excluded_sets.assign(1, 1);
+  const auto res = densest_subfamily_exact(fam, opts);
+  EXPECT_TRUE(res.sets.empty());
+}
+
+// Property: exact engine matches brute force on random small families.
+class DensestProperty : public testing::TestWithParam<int> {};
+
+TEST_P(DensestProperty, ExactMatchesBruteForce) {
+  Rng rng(7000 + GetParam());
+  const NodeId universe = 8;
+  const std::size_t num_sets = 2 + rng.uniform_int(std::uint64_t{6});
+  std::vector<std::vector<NodeId>> sets;
+  for (std::size_t i = 0; i < num_sets; ++i) {
+    std::vector<NodeId> s;
+    for (NodeId v = 0; v < universe; ++v) {
+      if (rng.bernoulli(0.35)) s.push_back(v);
+    }
+    if (s.empty()) s.push_back(static_cast<NodeId>(rng.uniform_int(
+        std::uint64_t{universe})));
+    sets.push_back(std::move(s));
+  }
+  const SetFamily fam = make_family(universe, sets);
+  const auto res = densest_subfamily_exact(fam);
+  const double brute = brute_best_density(fam);
+  EXPECT_NEAR(res.density, brute, 1e-9) << "seed " << GetParam();
+}
+
+TEST_P(DensestProperty, PeelingNeverBeatsExactAndIsFeasible) {
+  Rng rng(8000 + GetParam());
+  const NodeId universe = 10;
+  std::vector<std::vector<NodeId>> sets;
+  const std::size_t num_sets = 3 + rng.uniform_int(std::uint64_t{8});
+  for (std::size_t i = 0; i < num_sets; ++i) {
+    std::vector<NodeId> s;
+    for (NodeId v = 0; v < universe; ++v) {
+      if (rng.bernoulli(0.3)) s.push_back(v);
+    }
+    if (s.empty()) s.push_back(0);
+    sets.push_back(std::move(s));
+  }
+  const SetFamily fam = make_family(universe, sets);
+  const auto exact = densest_subfamily_exact(fam);
+  const auto peel = densest_subfamily_peeling(fam);
+  ASSERT_FALSE(peel.sets.empty());
+  EXPECT_LE(peel.density, exact.density + 1e-9);
+  // Peeling's reported density must be internally consistent.
+  double w = 0.0;
+  std::set<NodeId> uni;
+  for (std::uint32_t i : peel.sets) {
+    w += static_cast<double>(fam.multiplicity(i));
+    uni.insert(fam.elements(i).begin(), fam.elements(i).end());
+  }
+  EXPECT_NEAR(peel.density, w / static_cast<double>(uni.size()), 1e-9);
+  // ...and within the max-set-size approximation factor of optimal (the
+  // classic peeling guarantee; set sizes here are ≤ 10).
+  EXPECT_GE(peel.density * 10.0, exact.density);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DensestProperty, testing::Range(0, 25));
+
+// ---------------------------------------------------------------- peeling
+
+TEST(DensestPeeling, FindsTheObviousCore) {
+  // A dense core of 3 sets on 2 elements plus noise singletons.
+  const SetFamily fam = make_family(
+      12, {{0, 1}, {0, 1}, {1, 0}, {5}, {6}, {7}});
+  const auto res = densest_subfamily_peeling(fam);
+  EXPECT_DOUBLE_EQ(res.density, 1.5);  // weight 3 / union 2
+}
+
+TEST(DensestPeeling, HandlesFreeElements) {
+  const SetFamily fam = make_family(6, {{0, 1}, {3}});
+  DensestOptions opts;
+  opts.free_elements.assign(6, 0);
+  opts.free_elements[0] = opts.free_elements[1] = 1;
+  const auto res = densest_subfamily_peeling(fam, opts);
+  EXPECT_TRUE(std::isinf(res.density));
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/dklr.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+TEST(DklrUpsilon, MatchesFormula) {
+  const double eps = 0.1;
+  const double delta = 0.01;
+  const double expected = 1.0 + 4.0 * (std::exp(1.0) - 2.0) * (1.0 + eps) *
+                                    std::log(2.0 / delta) / (eps * eps);
+  EXPECT_NEAR(dklr_upsilon(eps, delta), expected, 1e-9);
+}
+
+TEST(DklrUpsilon, GrowsAsEpsilonShrinks) {
+  EXPECT_GT(dklr_upsilon(0.01, 0.01), dklr_upsilon(0.1, 0.01));
+  EXPECT_GT(dklr_upsilon(0.1, 0.001), dklr_upsilon(0.1, 0.01));
+}
+
+TEST(DklrUpsilon, RejectsBadParameters) {
+  EXPECT_THROW(dklr_upsilon(0.0, 0.1), precondition_error);
+  EXPECT_THROW(dklr_upsilon(1.5, 0.1), precondition_error);
+  EXPECT_THROW(dklr_upsilon(0.1, 0.0), precondition_error);
+  EXPECT_THROW(dklr_upsilon(0.1, 1.0), precondition_error);
+}
+
+// The (ε,δ) guarantee, checked empirically across repetitions: the
+// relative error must stay within ε in (far) more than 1−δ of the runs.
+class DklrGuarantee : public testing::TestWithParam<double> {};
+
+TEST_P(DklrGuarantee, RelativeErrorBound) {
+  const double p = GetParam();
+  DklrConfig cfg;
+  cfg.epsilon = 0.15;
+  cfg.delta = 0.05;
+  cfg.max_samples = 0;  // uncapped: p > 0 guarantees termination
+
+  Rng rng(static_cast<std::uint64_t>(p * 1e6) + 3);
+  int within = 0;
+  const int reps = 25;
+  for (int r = 0; r < reps; ++r) {
+    const auto res = dklr_estimate(
+        [p](Rng& rr) { return rr.bernoulli(p); }, rng, cfg);
+    ASSERT_TRUE(res.converged);
+    EXPECT_GT(res.samples_used, 0u);
+    if (std::abs(res.estimate - p) <= cfg.epsilon * p) ++within;
+  }
+  // δ=5%: allow a little slack over 95% of 25 runs.
+  EXPECT_GE(within, 22) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DklrGuarantee,
+                         testing::Values(0.5, 0.1, 0.02));
+
+TEST(Dklr, SampleCountScalesInverselyWithP) {
+  DklrConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.delta = 0.1;
+  cfg.max_samples = 0;
+  Rng rng(9);
+  const auto hi = dklr_estimate([](Rng& r) { return r.bernoulli(0.5); },
+                                rng, cfg);
+  const auto lo = dklr_estimate([](Rng& r) { return r.bernoulli(0.01); },
+                                rng, cfg);
+  // E[samples] = Υ/p: the low-probability oracle needs ~50x more.
+  EXPECT_GT(lo.samples_used, 10 * hi.samples_used);
+}
+
+TEST(Dklr, ZeroProbabilityHitsCap) {
+  DklrConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.delta = 0.1;
+  cfg.max_samples = 5'000;
+  Rng rng(11);
+  const auto res =
+      dklr_estimate([](Rng&) { return false; }, rng, cfg);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.samples_used, 5'000u);
+  EXPECT_DOUBLE_EQ(res.estimate, 0.0);
+}
+
+TEST(Dklr, CappedRunReportsFrequency) {
+  DklrConfig cfg;
+  cfg.epsilon = 0.05;  // huge Υ → cap will hit first
+  cfg.delta = 0.001;
+  cfg.max_samples = 2'000;
+  Rng rng(13);
+  const auto res = dklr_estimate(
+      [](Rng& r) { return r.bernoulli(0.3); }, rng, cfg);
+  EXPECT_FALSE(res.converged);
+  EXPECT_NEAR(res.estimate, 0.3, 0.05);
+}
+
+TEST(Dklr, PmaxEstimationOnAnalyticInstance) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);  // p_max = 0.5
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  DklrConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.delta = 0.01;
+  Rng rng(17);
+  const auto res = estimate_pmax_dklr(inst, rng, cfg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.estimate, fx.pmax(), 0.1 * fx.pmax() * 1.5);
+}
+
+TEST(Dklr, UnreachableTargetReturnsZeroAtCap) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 2);
+  DklrConfig cfg;
+  cfg.max_samples = 3'000;
+  Rng rng(19);
+  const auto res = estimate_pmax_dklr(inst, rng, cfg);
+  EXPECT_FALSE(res.converged);
+  EXPECT_DOUBLE_EQ(res.estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace af

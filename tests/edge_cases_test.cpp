@@ -1,0 +1,193 @@
+// Degenerate and extreme instances, exercised across every component:
+// isolated initiators, targets one hop from N_s, near-complete graphs,
+// minimal graphs, and randomized-weight models.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/maximizer.hpp"
+#include "core/raf.hpp"
+#include "core/vmax.hpp"
+#include "diffusion/exact.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+RafConfig tiny_config() {
+  RafConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.epsilon = 0.05;
+  cfg.big_n = 100.0;
+  cfg.max_realizations = 5'000;
+  cfg.pmax_max_samples = 50'000;
+  return cfg;
+}
+
+// ------------------------------------------------------ isolated initiator
+
+TEST(EdgeCases, IsolatedInitiatorMeansZeroEverywhere) {
+  Graph::Builder b(4);
+  b.add_edge(1, 2).add_edge(2, 3);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 2);  // s = isolated node 0
+  EXPECT_TRUE(inst.initial_friends().empty());
+
+  EXPECT_DOUBLE_EQ(exact_pmax(inst), 0.0);
+  EXPECT_TRUE(compute_vmax(inst).empty());
+
+  MonteCarloEvaluator mc(inst);
+  Rng rng(1);
+  EXPECT_EQ(mc.estimate_pmax(2'000, rng).successes, 0u);
+  EXPECT_EQ(mc.estimate_pmax(2'000, rng, McEngine::kForward).successes, 0u);
+
+  const RafAlgorithm raf(tiny_config());
+  const RafResult res = raf.run(inst, rng);
+  EXPECT_TRUE(res.invitation.empty());
+  EXPECT_TRUE(res.diag.target_unreachable);
+
+  MaximizerConfig mcfg;
+  mcfg.budget = 3;
+  mcfg.realizations = 1'000;
+  EXPECT_EQ(maximize_friending(inst, mcfg, rng).type1_count, 0u);
+}
+
+// --------------------------------------------------- target one hop away
+
+TEST(EdgeCases, TargetAdjacentToNsIsTrivial) {
+  // Star: s = leaf 1, t = leaf 2; the center is their mutual friend with
+  // w(center, t) = 1 (t has degree 1) — acceptance is certain once t is
+  // invited.
+  const Graph g = star_graph(6).build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 1, 2);
+  EXPECT_DOUBLE_EQ(exact_pmax(inst), 1.0);
+  EXPECT_EQ(compute_vmax(inst), (std::vector<NodeId>{2}));
+
+  InvitationSet just_t(6);
+  just_t.add(2);
+  EXPECT_DOUBLE_EQ(exact_f(inst, just_t), 1.0);
+
+  Rng rng(2);
+  const RafAlgorithm raf(tiny_config());
+  const RafResult res = raf.run(inst, rng);
+  EXPECT_EQ(res.invitation.members(), (std::vector<NodeId>{2}));
+}
+
+TEST(EdgeCases, NearCompleteGraph) {
+  // K6 minus the (s,t) edge: every other node is a mutual friend of s
+  // and t; t's total incoming weight from N_s is 1 → certain acceptance.
+  const NodeId n = 6;
+  Graph::Builder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (u == 0 && v == n - 1) continue;  // omit (s,t)
+      b.add_edge(u, v);
+    }
+  }
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, n - 1);
+  EXPECT_NEAR(exact_pmax(inst), 1.0, 1e-9);
+  EXPECT_EQ(compute_vmax(inst), (std::vector<NodeId>{n - 1}));
+
+  Rng rng(3);
+  const RafAlgorithm raf(tiny_config());
+  const RafResult res = raf.run(inst, rng);
+  EXPECT_EQ(res.invitation.size(), 1u);
+  EXPECT_TRUE(res.invitation.contains(n - 1));
+}
+
+// ------------------------------------------------------- minimal instance
+
+TEST(EdgeCases, SmallestPossibleInstance) {
+  // Three nodes in a path: the smallest valid (s,t) setup.
+  const Graph g = path_graph(3).build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 2);
+
+  // w(1,2) = 1 (node 2 has degree 1): certain acceptance.
+  EXPECT_DOUBLE_EQ(exact_pmax(inst), 1.0);
+
+  Rng rng(4);
+  for (std::size_t k : {1u, 2u, 3u}) {
+    EXPECT_TRUE(high_degree_invitation(inst, k).contains(2));
+    EXPECT_TRUE(shortest_path_invitation(inst, k).contains(2));
+  }
+  const RafAlgorithm raf(tiny_config());
+  EXPECT_EQ(raf.run(inst, rng).invitation.members(),
+            (std::vector<NodeId>{2}));
+}
+
+// --------------------------------------------------- randomized weights
+
+TEST(EdgeCases, RandomizedWeightModelsStayConsistent) {
+  Rng wrng(5);
+  for (auto scheme : {WeightScheme::random_normalized(0.85),
+                      WeightScheme::trivalency()}) {
+    auto builder = gnm_random(9, 14, wrng);
+    const Graph g = builder.build(scheme, &wrng);
+    for (NodeId s = 0; s < 9; ++s) {
+      if (g.degree(s) == 0) continue;
+      for (NodeId t = 0; t < 9; ++t) {
+        if (t == s || g.has_edge(s, t)) continue;
+        const FriendingInstance inst(g, s, t);
+        MonteCarloEvaluator mc(inst);
+        Rng rng(6);
+        const double exact = exact_pmax(inst);
+        const double rev = mc.estimate_pmax(40'000, rng).estimate();
+        const double fwd =
+            mc.estimate_pmax(40'000, rng, McEngine::kForward).estimate();
+        EXPECT_NEAR(rev, exact, 0.02);
+        EXPECT_NEAR(fwd, exact, 0.02);
+        goto next_scheme;  // one instance per scheme keeps this fast
+      }
+    }
+  next_scheme:;
+  }
+}
+
+// ------------------------------------------------------ low-weight targets
+
+TEST(EdgeCases, HighDegreeTargetIsHardToReach) {
+  // The celebrity effect: t with many friends has per-friend weight
+  // 1/deg(t), so a single mutual friend rarely suffices.
+  Graph::Builder b(12);
+  // t = 0 with 10 friends (1..10); s = 11 adjacent to node 1 only.
+  for (NodeId v = 1; v <= 10; ++v) b.add_edge(0, v);
+  b.add_edge(11, 1);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 11, 0);
+  // Exactly one backward route: t selects friend 1 (∈ N_s) w.p. 1/10.
+  EXPECT_NEAR(exact_pmax(inst), 0.1, 1e-12);
+
+  // Low-degree target for contrast: swap roles so t = a leaf... build a
+  // mirrored instance where t has a single friend shared with s.
+  Graph::Builder b2(4);
+  b2.add_edge(0, 1).add_edge(1, 2).add_edge(1, 3);
+  const Graph g2 = b2.build(WeightScheme::inverse_degree());
+  const FriendingInstance easy(g2, 0, 2);
+  EXPECT_DOUBLE_EQ(exact_pmax(easy), 1.0);  // deg(t)=1 → w = 1
+}
+
+TEST(EdgeCases, MutualFriendAccumulationBeatsSingleStrongTie) {
+  // Two mutual friends each with weight 1/2 guarantee acceptance
+  // (sum = 1 ≥ θ); one alone succeeds only half the time.
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(0, 2);          // s's friends
+  b.add_edge(1, 3).add_edge(2, 3);          // both friends know a helper? no:
+  // 3 = t with exactly neighbors 1 and 2.
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 3);
+  EXPECT_DOUBLE_EQ(exact_pmax(inst), 1.0);
+
+  Graph::Builder b1(5);
+  b1.add_edge(0, 1).add_edge(1, 3).add_edge(3, 4);
+  const Graph g1 = b1.build(WeightScheme::inverse_degree());
+  const FriendingInstance single(g1, 0, 3);
+  // t has neighbors 1 and 4 → w(1,3) = 1/2; only route is via 1.
+  EXPECT_DOUBLE_EQ(exact_pmax(single), 0.5);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/eqsystem.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+namespace {
+
+struct Case {
+  double alpha;
+  double epsilon;
+  Eps0Policy policy;
+  std::uint64_t n;
+  std::string name;
+};
+
+class EqSystemSweep : public testing::TestWithParam<Case> {};
+
+TEST_P(EqSystemSweep, SatisfiesEquationSystemOne) {
+  const auto& c = GetParam();
+  const RafParameters p =
+      solve_equation_system(c.alpha, c.epsilon, c.policy, c.n);
+  // check() enforces Eqs. (12), (13) and the parameter ranges.
+  EXPECT_NO_THROW(p.check());
+  EXPECT_LE(std::abs(p.residual()), 1e-9);
+  EXPECT_GT(p.beta, 0.0);
+  EXPECT_LT(p.beta, c.alpha);  // β = (α−τ)/(1+τ) < α for τ > 0
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EqSystemSweep,
+    testing::Values(
+        Case{0.1, 0.01, Eps0Policy::kBalanced, 1000, "a10e1b"},
+        Case{0.1, 0.05, Eps0Policy::kBalanced, 1000, "a10e5b"},
+        Case{0.3, 0.01, Eps0Policy::kBalanced, 7000, "a30e1b"},
+        Case{0.5, 0.1, Eps0Policy::kBalanced, 100, "a50e10b"},
+        Case{0.9, 0.2, Eps0Policy::kBalanced, 10, "a90e20b"},
+        Case{1.0, 0.5, Eps0Policy::kBalanced, 5, "a100e50b"},
+        Case{0.1, 0.01, Eps0Policy::kPaperProportional, 10, "a10e1p10"},
+        Case{0.1, 0.01, Eps0Policy::kPaperProportional, 7000, "a10e1p7k"},
+        Case{0.3, 0.05, Eps0Policy::kPaperProportional, 1000000,
+             "a30e5p1m"},
+        Case{0.99, 0.9, Eps0Policy::kBalanced, 50, "a99e90b"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(EqSystem, BalancedUsesHalfEpsilon) {
+  const RafParameters p =
+      solve_equation_system(0.2, 0.02, Eps0Policy::kBalanced, 500);
+  EXPECT_DOUBLE_EQ(p.eps0, 0.01);
+  EXPECT_FALSE(p.clamped);
+}
+
+TEST(EqSystem, PaperPolicyClampsForLargeN) {
+  const RafParameters p = solve_equation_system(
+      0.1, 0.01, Eps0Policy::kPaperProportional, 1'000'000);
+  // Literal ε0 = n·ε1 would exceed 1 — the clamp must engage and the
+  // system must still hold exactly.
+  EXPECT_TRUE(p.clamped);
+  EXPECT_DOUBLE_EQ(p.eps0, kEps0Max);
+  EXPECT_NO_THROW(p.check());
+}
+
+TEST(EqSystem, PaperPolicyUnclampedForTinyN) {
+  const RafParameters p =
+      solve_equation_system(0.5, 0.4, Eps0Policy::kPaperProportional, 2);
+  if (!p.clamped) {
+    EXPECT_NEAR(p.eps0, 2.0 * p.eps1, 1e-9);
+  }
+  EXPECT_NO_THROW(p.check());
+}
+
+TEST(EqSystem, SmallerEpsilonGivesSmallerEps1) {
+  const auto loose =
+      solve_equation_system(0.2, 0.1, Eps0Policy::kBalanced, 100);
+  const auto tight =
+      solve_equation_system(0.2, 0.01, Eps0Policy::kBalanced, 100);
+  EXPECT_LT(tight.eps1, loose.eps1);
+  // Tighter slack → β closer to α.
+  EXPECT_GT(tight.beta, loose.beta);
+}
+
+TEST(EqSystem, RejectsInvalidInputs) {
+  EXPECT_THROW(solve_equation_system(0.0, 0.01, Eps0Policy::kBalanced, 10),
+               precondition_error);
+  EXPECT_THROW(solve_equation_system(1.2, 0.01, Eps0Policy::kBalanced, 10),
+               precondition_error);
+  EXPECT_THROW(solve_equation_system(0.1, 0.1, Eps0Policy::kBalanced, 10),
+               precondition_error);  // ε ≥ α
+  EXPECT_THROW(solve_equation_system(0.1, 0.01, Eps0Policy::kBalanced, 0),
+               precondition_error);
+}
+
+TEST(EqSystem, DescribeMentionsPolicy) {
+  const auto p = solve_equation_system(0.1, 0.01, Eps0Policy::kBalanced, 10);
+  EXPECT_NE(p.describe().find("balanced"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Eq. (16)
+
+TEST(RequiredRealizations, MonotoneInInputs) {
+  const auto p = solve_equation_system(0.1, 0.01, Eps0Policy::kBalanced, 100);
+  const double base = required_realizations(p, 100, 1e5, 0.05);
+  EXPECT_GT(base, 0.0);
+  // More nodes → more realizations (union bound over 2^n sets).
+  EXPECT_GT(required_realizations(p, 1000, 1e5, 0.05), base);
+  // Larger p_max → fewer realizations.
+  EXPECT_LT(required_realizations(p, 100, 1e5, 0.5), base);
+  // Higher confidence → more realizations.
+  EXPECT_GT(required_realizations(p, 100, 1e8, 0.05), base);
+}
+
+TEST(RequiredRealizations, MatchesFormulaDirectly) {
+  const auto p = solve_equation_system(0.2, 0.05, Eps0Policy::kBalanced, 50);
+  const double n = 50, big_n = 1000, pmax = 0.1;
+  const double expected =
+      (std::log(2.0) + std::log(big_n) + n * std::log(2.0)) *
+      (2.0 + p.eps1 * (1.0 - p.eps0)) /
+      (p.eps1 * p.eps1 * (1.0 - p.eps0) * (1.0 - p.eps0) * pmax);
+  EXPECT_NEAR(required_realizations(p, 50, big_n, pmax), expected, 1e-6);
+}
+
+TEST(RequiredRealizations, RejectsZeroPmax) {
+  const auto p = solve_equation_system(0.1, 0.01, Eps0Policy::kBalanced, 10);
+  EXPECT_THROW(required_realizations(p, 10, 100, 0.0), precondition_error);
+}
+
+TEST(RequiredRealizations, SecIIICVmaxRefinementShrinksBudget) {
+  // Using |V_max| < n in Eq. 16 reduces l* — the Sec. III-C observation.
+  const auto p = solve_equation_system(0.1, 0.01, Eps0Policy::kBalanced, 30);
+  EXPECT_LT(required_realizations(p, 30, 1e5, 0.05),
+            required_realizations(p, 10'000, 1e5, 0.05));
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/exact.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+TEST(EnumerationCost, ProductOfDegreePlusOne) {
+  const Graph g = path_graph(4).build(WeightScheme::inverse_degree());
+  // Degrees 1,2,2,1 → (2)(3)(3)(2) = 36.
+  EXPECT_DOUBLE_EQ(enumeration_cost(g), 36.0);
+}
+
+TEST(EnumerationCost, SaturatesOnHugeGraphs) {
+  Rng rng(1);
+  const Graph g =
+      gnm_random(2000, 8000, rng).build(WeightScheme::inverse_degree());
+  EXPECT_TRUE(enumeration_cost(g) > 1e100);
+}
+
+TEST(ExactF, SinglePathIsWeightProduct) {
+  // s - a - b - t with explicit weights; the only type-1 realization
+  // chain is t→b→a with a selecting the N_s node.
+  Graph::Builder b(4);
+  b.add_edge(0, 1, 0.5, 0.5)
+      .add_edge(1, 2, 0.5, 0.25)
+      .add_edge(2, 3, 0.5, 0.125);
+  const Graph g = b.build_with_explicit_weights();
+  const FriendingInstance inst(g, 0, 3);
+  InvitationSet all(4);
+  all.add(2);
+  all.add(3);
+  // p = w(2,3)·w(1,2) = 0.5 · 0.5  — t selects 2 (w(2,3)=0.5),
+  // 2 selects 1 ∈ N_s (w(1,2)=0.5).
+  EXPECT_NEAR(exact_pmax(inst), 0.25, 1e-12);
+  EXPECT_NEAR(exact_f(inst, all), 0.25, 1e-12);
+}
+
+TEST(ExactF, MatchesAnalyticParallelPaths) {
+  for (std::size_t count : {1u, 2u, 4u}) {
+    for (std::size_t len : {1u, 2u, 3u}) {
+      const auto fx = test::ParallelPathFixture::make(count, len);
+      const FriendingInstance inst(fx.graph, fx.s, fx.t);
+      EXPECT_NEAR(exact_pmax(inst), fx.pmax(), 1e-12)
+          << count << "x" << len;
+    }
+  }
+}
+
+TEST(ExactF, BudgetGuardRejectsLargeGraphs) {
+  Rng rng(2);
+  const Graph g =
+      barabasi_albert(200, 3, rng).build(WeightScheme::inverse_degree());
+  NodeId t = 100;
+  while (g.has_edge(0, t)) ++t;
+  const FriendingInstance inst(g, 0, t);
+  EXPECT_THROW(exact_pmax(inst), precondition_error);
+}
+
+TEST(ExactF, CustomBudgetIsHonored) {
+  const Graph g = path_graph(4).build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 3);
+  EXPECT_THROW(exact_pmax(inst, /*budget=*/10.0), precondition_error);
+  EXPECT_NO_THROW(exact_pmax(inst, /*budget=*/100.0));
+}
+
+TEST(ExactF, AgreesWithForwardMonteCarloOnRandomGraphs) {
+  // Independent mechanisms: threshold cascade vs realization
+  // enumeration, coupled by Lemma 1.
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g =
+        gnm_random(7, 11, rng).build(WeightScheme::inverse_degree());
+    bool done = false;
+    for (NodeId s = 0; s < 7 && !done; ++s) {
+      if (g.degree(s) == 0) continue;
+      for (NodeId t = 0; t < 7 && !done; ++t) {
+        if (t == s || g.has_edge(s, t)) continue;
+        const FriendingInstance inst(g, s, t);
+        MonteCarloEvaluator mc(inst);
+        const double mc_est =
+            mc.estimate_pmax(40'000, rng, McEngine::kForward).estimate();
+        EXPECT_NEAR(exact_pmax(inst), mc_est, 0.02);
+        done = true;
+      }
+    }
+  }
+}
+
+TEST(ExactF, ZeroWhenTargetNotInvited) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  InvitationSet inv(fx.graph.num_nodes());
+  inv.add(3);
+  inv.add(5);
+  EXPECT_DOUBLE_EQ(exact_f(inst, inv), 0.0);
+}
+
+TEST(ExactF, UniverseMismatchRejected) {
+  const auto fx = test::ParallelPathFixture::make(1, 1);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  InvitationSet wrong(2);
+  EXPECT_THROW(exact_f(inst, wrong), precondition_error);
+}
+
+}  // namespace
+}  // namespace af

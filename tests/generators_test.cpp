@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph build(Graph::Builder b) {
+  return b.build(WeightScheme::inverse_degree());
+}
+
+// ------------------------------------------------------------------- G(n,m)
+
+TEST(Gnm, ExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = build(gnm_random(50, 200, rng));
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_EQ(g.num_edges(), 200u);
+}
+
+TEST(Gnm, CompleteGraphAsLimit) {
+  Rng rng(2);
+  const Graph g = build(gnm_random(10, 45, rng));
+  EXPECT_EQ(g.num_edges(), 45u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 9u);
+}
+
+TEST(Gnm, RejectsTooManyEdges) {
+  Rng rng(3);
+  EXPECT_THROW(gnm_random(4, 7, rng), precondition_error);
+}
+
+TEST(Gnm, DeterministicUnderSeed) {
+  Rng a(9), b(9);
+  const Graph ga = build(gnm_random(30, 60, a));
+  const Graph gb = build(gnm_random(30, 60, b));
+  for (NodeId v = 0; v < 30; ++v) {
+    ASSERT_EQ(ga.degree(v), gb.degree(v));
+    auto na = ga.neighbors(v);
+    auto nb = gb.neighbors(v);
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+// ----------------------------------------------------------------------- BA
+
+TEST(BarabasiAlbert, EdgeCountFormula) {
+  Rng rng(4);
+  const NodeId n = 500;
+  const std::size_t a = 5;
+  const Graph g = build(barabasi_albert(n, a, rng));
+  EXPECT_EQ(g.num_nodes(), n);
+  // Seed clique C(a+1,2) + (n - a - 1)·a.
+  const std::uint64_t expected = (a + 1) * a / 2 + (n - a - 1) * a;
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsAttachment) {
+  Rng rng(5);
+  const Graph g = build(barabasi_albert(300, 4, rng));
+  for (NodeId v = 0; v < 300; ++v) EXPECT_GE(g.degree(v), 4u);
+}
+
+TEST(BarabasiAlbert, HeavyTail) {
+  Rng rng(6);
+  const Graph g = build(barabasi_albert(2000, 3, rng));
+  std::size_t max_deg = 0;
+  for (NodeId v = 0; v < 2000; ++v) max_deg = std::max(max_deg, g.degree(v));
+  // Preferential attachment produces hubs far above the average (6).
+  EXPECT_GT(max_deg, 10 * static_cast<std::size_t>(g.average_degree()));
+}
+
+TEST(BarabasiAlbert, RejectsDegenerateParams) {
+  Rng rng(7);
+  EXPECT_THROW(barabasi_albert(5, 0, rng), precondition_error);
+  EXPECT_THROW(barabasi_albert(4, 4, rng), precondition_error);
+}
+
+// ----------------------------------------------------------------------- WS
+
+TEST(WattsStrogatz, RingLatticeWhenNoRewiring) {
+  Rng rng(8);
+  const Graph g = build(watts_strogatz(20, 4, 0.0, rng));
+  EXPECT_EQ(g.num_edges(), 40u);  // n·k/2
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 19));
+  EXPECT_TRUE(g.has_edge(0, 18));
+}
+
+TEST(WattsStrogatz, EdgeCountPreservedUnderRewiring) {
+  Rng rng(9);
+  const Graph g = build(watts_strogatz(100, 6, 0.3, rng));
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(WattsStrogatz, FullRewiringChangesStructure) {
+  Rng rng(10);
+  const Graph g = build(watts_strogatz(200, 4, 1.0, rng));
+  // After full rewiring some lattice edge must be gone.
+  bool any_missing = false;
+  for (NodeId v = 0; v < 200 && !any_missing; ++v) {
+    if (!g.has_edge(v, (v + 1) % 200)) any_missing = true;
+  }
+  EXPECT_TRUE(any_missing);
+  EXPECT_EQ(g.num_edges(), 400u);
+}
+
+TEST(WattsStrogatz, RejectsOddK) {
+  Rng rng(11);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, rng), precondition_error);
+}
+
+// ---------------------------------------------------------------------- SBM
+
+TEST(StochasticBlock, InBlockDenserThanCross) {
+  Rng rng(12);
+  const Graph g = build(stochastic_block(120, 3, 0.5, 0.02, rng));
+  std::uint64_t in = 0, out = 0;
+  for (NodeId v = 0; v < 120; ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u < v) continue;
+      (u % 3 == v % 3 ? in : out) += 1;
+    }
+  }
+  // Within-block pairs are fewer but much denser; absolute counts should
+  // still favor `in` strongly at these parameters.
+  EXPECT_GT(in, out);
+}
+
+TEST(StochasticBlock, ZeroProbabilitiesGiveEmptyGraph) {
+  Rng rng(13);
+  const Graph g = build(stochastic_block(30, 3, 0.0, 0.0, rng));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+// ------------------------------------------------------- config model
+
+TEST(ConfigurationModel, RealizesRegularSequenceExactly) {
+  Rng rng(40);
+  // 3-regular request on 20 nodes: collisions are rare but possible, so
+  // degrees are ≤ requested and the edge count is close to 30.
+  const std::vector<std::size_t> degs(20, 3);
+  const Graph g = build(configuration_model(degs, rng));
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_LE(g.degree(v), 3u);
+    total += g.degree(v);
+  }
+  EXPECT_GE(total, 48u);  // at most a few erased pairings
+}
+
+TEST(ConfigurationModel, HandlesOddStubCount) {
+  Rng rng(41);
+  const std::vector<std::size_t> degs{3, 2, 1, 1};  // sum 7, odd
+  const Graph g = build(configuration_model(degs, rng));
+  EXPECT_LE(g.num_edges(), 3u);  // one stub dropped, no self/multi edges
+}
+
+TEST(ConfigurationModel, ZeroDegreeNodesStayIsolated) {
+  Rng rng(42);
+  const std::vector<std::size_t> degs{2, 2, 0, 2};
+  const Graph g = build(configuration_model(degs, rng));
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(ConfigurationModel, RejectsImpossibleDegrees) {
+  Rng rng(43);
+  EXPECT_THROW(configuration_model({5, 1, 1}, rng), precondition_error);
+  EXPECT_THROW(configuration_model({1}, rng), precondition_error);
+}
+
+TEST(PowerLawDegrees, RespectsBoundsAndSkew) {
+  Rng rng(44);
+  const auto degs = power_law_degrees(5000, 2.3, 1, 200, rng);
+  ASSERT_EQ(degs.size(), 5000u);
+  std::size_t ones = 0, max_deg = 0;
+  for (auto d : degs) {
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 200u);
+    ones += d == 1;
+    max_deg = std::max(max_deg, d);
+  }
+  // Power law with min 1: the majority of nodes sit at the minimum, and
+  // the tail reaches far above the median.
+  EXPECT_GT(ones, 2000u);
+  EXPECT_GT(max_deg, 50u);
+}
+
+TEST(PowerLawDegrees, DefaultCapApplied) {
+  Rng rng(45);
+  const auto degs = power_law_degrees(400, 2.0, 1, 0, rng);
+  const std::size_t cap = static_cast<std::size_t>(std::sqrt(400.0) * 4.0);
+  for (auto d : degs) EXPECT_LE(d, cap);
+}
+
+TEST(PowerLawDegrees, ValidatesArguments) {
+  Rng rng(46);
+  EXPECT_THROW(power_law_degrees(10, 1.0, 1, 0, rng), precondition_error);
+  EXPECT_THROW(power_law_degrees(10, 2.0, 0, 0, rng), precondition_error);
+  EXPECT_THROW(power_law_degrees(10, 2.0, 5, 3, rng), precondition_error);
+}
+
+TEST(ConfigurationModel, PowerLawPipelineProducesFringe) {
+  Rng rng(47);
+  const auto degs = power_law_degrees(2000, 2.2, 1, 0, rng);
+  const Graph g = build(configuration_model(degs, rng));
+  std::size_t deg1 = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) deg1 += g.degree(v) <= 1;
+  // The periphery that BA cannot produce: a large degree-≤1 fraction.
+  EXPECT_GT(deg1, g.num_nodes() / 4);
+}
+
+// ------------------------------------------------------- deterministic kits
+
+TEST(DeterministicBuilders, PathGraph) {
+  const Graph g = build(path_graph(5));
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(0, 4));
+}
+
+TEST(DeterministicBuilders, CycleGraph) {
+  const Graph g = build(cycle_graph(6));
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(5, 0));
+}
+
+TEST(DeterministicBuilders, StarGraph) {
+  const Graph g = build(star_graph(7));
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(DeterministicBuilders, CompleteGraph) {
+  const Graph g = build(complete_graph(6));
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(DeterministicBuilders, GridGraph) {
+  const Graph g = build(grid_graph(3, 4));
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (1,1)
+  EXPECT_TRUE(g.has_edge(0, 4));   // vertical
+  EXPECT_TRUE(g.has_edge(0, 1));   // horizontal
+  EXPECT_FALSE(g.has_edge(3, 4));  // row wrap must not exist
+}
+
+TEST(DeterministicBuilders, ParallelPathsShape) {
+  const Graph g = build(parallel_paths(3, 2));
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 9u);  // 3 paths × 3 edges
+  EXPECT_EQ(g.degree(0), 3u);    // s touches each path's first node
+  EXPECT_EQ(g.degree(1), 3u);    // t touches each path's last node
+  // Path 0: 0-2-3-1.
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+}
+
+TEST(DeterministicBuilders, ParallelPathsSingleIntermediate) {
+  const Graph g = build(parallel_paths(2, 1));
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+}
+
+TEST(DeterministicBuilders, PreconditionsEnforced) {
+  EXPECT_THROW(path_graph(1), precondition_error);
+  EXPECT_THROW(cycle_graph(2), precondition_error);
+  EXPECT_THROW(star_graph(1), precondition_error);
+  EXPECT_THROW(complete_graph(1), precondition_error);
+  EXPECT_THROW(parallel_paths(0, 2), precondition_error);
+  EXPECT_THROW(parallel_paths(2, 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph build(Graph::Builder b) {
+  return b.build(WeightScheme::inverse_degree());
+}
+
+// ---------------------------------------------------------------------- BFS
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = build(path_graph(6));
+  const auto d = bfs_distances(g, NodeId{0});
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, DistancesOnGrid) {
+  const Graph g = build(grid_graph(4, 4));
+  const auto d = bfs_distances(g, NodeId{0});
+  // Manhattan distance from corner (0,0).
+  for (NodeId r = 0; r < 4; ++r) {
+    for (NodeId c = 0; c < 4; ++c) {
+      EXPECT_EQ(d[r * 4 + c], r + c);
+    }
+  }
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1);
+  const Graph g = build(std::move(b));
+  const auto d = bfs_distances(g, NodeId{0});
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Bfs, MultiSourceTakesMinimum) {
+  const Graph g = build(path_graph(7));
+  const auto d = bfs_distances(g, std::vector<NodeId>{0, 6});
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[6], 0u);
+  EXPECT_EQ(d[3], 3u);
+  EXPECT_EQ(d[5], 1u);
+}
+
+TEST(Bfs, PairDistanceMatchesFullBfs) {
+  Rng rng(3);
+  const Graph g = build(gnm_random(60, 120, rng));
+  const auto d = bfs_distances(g, NodeId{0});
+  for (NodeId v : {NodeId{5}, NodeId{17}, NodeId{42}}) {
+    EXPECT_EQ(bfs_distance(g, 0, v), d[v]);
+  }
+  EXPECT_EQ(bfs_distance(g, 7, 7), 0u);
+}
+
+TEST(Bfs, SourceOutOfRangeThrows) {
+  const Graph g = build(path_graph(3));
+  EXPECT_THROW(bfs_distances(g, NodeId{5}), precondition_error);
+}
+
+// --------------------------------------------------------------- components
+
+TEST(Components, LabelsPartitionTheGraph) {
+  Graph::Builder b(7);
+  b.add_edge(0, 1).add_edge(1, 2);  // component A
+  b.add_edge(3, 4);                 // component B
+  // 5, 6 isolated.
+  const Graph g = build(std::move(b));
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[6]);
+  const std::set<std::uint32_t> labels(comp.begin(), comp.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(Components, ComponentOfReturnsMembers) {
+  Graph::Builder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(4, 5);
+  const Graph g = build(std::move(b));
+  auto c = component_of(g, 1);
+  std::sort(c.begin(), c.end());
+  EXPECT_EQ(c, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(component_of(g, 3), (std::vector<NodeId>{3}));
+}
+
+// ----------------------------------------------------------------- Dijkstra
+
+TEST(Dijkstra, HopMetricMatchesBfs) {
+  Rng rng(5);
+  const Graph g = build(gnm_random(80, 200, rng));
+  const auto bd = bfs_distances(g, NodeId{0});
+  const auto dd = dijkstra(g, 0, /*use_weights=*/false);
+  for (NodeId v = 0; v < 80; ++v) {
+    if (bd[v] == kUnreachable) {
+      EXPECT_TRUE(std::isinf(dd[v]));
+    } else {
+      EXPECT_NEAR(dd[v], static_cast<double>(bd[v]), 1e-9);
+    }
+  }
+}
+
+TEST(Dijkstra, WeightedCostIsNegLogProduct) {
+  // Path 0-1-2 with explicit weights: cost(0→1) = -log w(0,1) etc.
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 0.5, 0.5).add_edge(1, 2, 0.25, 0.25);
+  const Graph g = b.build_with_explicit_weights();
+  const auto d = dijkstra(g, 0, /*use_weights=*/true);
+  EXPECT_NEAR(d[1], -std::log(0.5), 1e-12);
+  EXPECT_NEAR(d[2], -std::log(0.5) - std::log(0.25), 1e-12);
+}
+
+// ---------------------------------------------------- shortest path variants
+
+TEST(ShortestPathAvoiding, FindsPathAndRespectsBlocks) {
+  const Graph g = build(grid_graph(3, 3));
+  std::vector<char> blocked(9, 0);
+  auto p = shortest_path_avoiding(g, 0, 8, blocked);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 5u);  // 4 hops
+  EXPECT_EQ(p->front(), 0u);
+  EXPECT_EQ(p->back(), 8u);
+
+  // Block the center: a shortest path around it still has 4 hops.
+  blocked[4] = 1;
+  p = shortest_path_avoiding(g, 0, 8, blocked);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 5u);
+  for (NodeId v : *p) EXPECT_NE(v, 4u);
+}
+
+TEST(ShortestPathAvoiding, NoPathReturnsNullopt) {
+  const Graph g = build(path_graph(5));
+  std::vector<char> blocked(5, 0);
+  blocked[2] = 1;
+  EXPECT_FALSE(shortest_path_avoiding(g, 0, 4, blocked).has_value());
+}
+
+TEST(ShortestPathAvoiding, TerminalsExemptFromBlocking) {
+  const Graph g = build(path_graph(3));
+  std::vector<char> blocked(3, 1);  // everything blocked
+  blocked[1] = 0;                   // except the middle
+  const auto p = shortest_path_avoiding(g, 0, 2, blocked);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 3u);
+}
+
+TEST(DisjointPaths, FindsAllParallelPaths) {
+  const Graph g = build(parallel_paths(3, 3));
+  const auto paths = node_disjoint_shortest_paths(g, 0, 1, 10);
+  ASSERT_EQ(paths.size(), 3u);
+  std::set<NodeId> used;
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.size(), 5u);  // s + 3 intermediates + t
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 1u);
+    for (NodeId v : p) {
+      if (v == 0 || v == 1) continue;
+      EXPECT_TRUE(used.insert(v).second) << "intermediate reused";
+    }
+  }
+}
+
+TEST(DisjointPaths, RespectsMaxPaths) {
+  const Graph g = build(parallel_paths(4, 2));
+  EXPECT_EQ(node_disjoint_shortest_paths(g, 0, 1, 2).size(), 2u);
+}
+
+TEST(DisjointPaths, OrderedByLength) {
+  // Two paths of different lengths between 0 and 1.
+  Graph::Builder b(7);
+  b.add_edge(0, 2).add_edge(2, 1);                  // length 2
+  b.add_edge(0, 3).add_edge(3, 4).add_edge(4, 5).add_edge(5, 6).add_edge(6, 1);
+  const Graph g = build(std::move(b));
+  const auto paths = node_disjoint_shortest_paths(g, 0, 1, 10);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_LT(paths[0].size(), paths[1].size());
+}
+
+TEST(DisjointPaths, NoPathGivesEmpty) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = build(std::move(b));
+  EXPECT_TRUE(node_disjoint_shortest_paths(g, 0, 3, 5).empty());
+}
+
+TEST(DisjointPaths, DirectEdgeHandled) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(2, 1);
+  const Graph g = build(std::move(b));
+  const auto paths = node_disjoint_shortest_paths(g, 0, 1, 5);
+  ASSERT_GE(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 2u);  // the direct edge
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph build(Graph::Builder b) {
+  return b.build(WeightScheme::inverse_degree());
+}
+
+// -------------------------------------------------------------- degrees
+
+TEST(DegreeStats, StarGraph) {
+  const auto ds = degree_stats(build(star_graph(11)));
+  EXPECT_EQ(ds.min, 1u);
+  EXPECT_EQ(ds.max, 10u);
+  EXPECT_NEAR(ds.mean, 20.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ds.median, 1.0);
+}
+
+TEST(DegreeStats, RegularGraph) {
+  const auto ds = degree_stats(build(cycle_graph(10)));
+  EXPECT_EQ(ds.min, 2u);
+  EXPECT_EQ(ds.max, 2u);
+  EXPECT_DOUBLE_EQ(ds.median, 2.0);
+  EXPECT_DOUBLE_EQ(ds.p99, 2.0);
+}
+
+TEST(DegreeStats, HeavyTailShowsInP99) {
+  Rng rng(1);
+  const auto ds = degree_stats(build(barabasi_albert(3000, 3, rng)));
+  EXPECT_GT(ds.p99, 3.0 * ds.median);
+  EXPECT_GT(ds.max, ds.p99);
+}
+
+// ----------------------------------------------------------- clustering
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  const Graph g = build(complete_graph(3));
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering(g, v), 1.0);
+  }
+}
+
+TEST(Clustering, PathHasNoTriangles) {
+  const Graph g = build(path_graph(5));
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering(g, v), 0.0);
+  }
+}
+
+TEST(Clustering, KnownMixedValue) {
+  // Square with one diagonal: 0-1-2-3-0 plus 0-2.
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0).add_edge(0, 2);
+  const Graph g = build(std::move(b));
+  // Node 1: neighbors {0,2}, linked → C = 1.
+  EXPECT_DOUBLE_EQ(local_clustering(g, 1), 1.0);
+  // Node 0: neighbors {1,2,3}; links among them: (1,2),(2,3) → 2/3.
+  EXPECT_NEAR(local_clustering(g, 0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Clustering, AverageFullVsSampledConsistent) {
+  Rng rng(3);
+  const Graph g = build(watts_strogatz(200, 6, 0.0, rng));
+  // WS with β=0: every node identical → sampling must agree exactly.
+  const double full = average_clustering(g, 0, rng);
+  const double sampled = average_clustering(g, 50, rng);
+  EXPECT_NEAR(full, sampled, 1e-12);
+  EXPECT_NEAR(full, 0.6, 1e-9);  // ring lattice k=6: C = 3(k-2)/(4(k-1))
+}
+
+TEST(Clustering, LatticeBeatsRandomGraph) {
+  Rng rng(5);
+  const Graph lattice = build(watts_strogatz(500, 6, 0.0, rng));
+  const Graph random = build(gnm_random(500, 1500, rng));
+  EXPECT_GT(average_clustering(lattice, 0, rng),
+            3.0 * average_clustering(random, 0, rng));
+}
+
+// -------------------------------------------------------------- k-cores
+
+TEST(Cores, PathGraphIsOneCore) {
+  const auto core = core_numbers(build(path_graph(6)));
+  for (auto c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(Cores, CycleIsTwoCore) {
+  const auto core = core_numbers(build(cycle_graph(7)));
+  for (auto c : core) EXPECT_EQ(c, 2u);
+}
+
+TEST(Cores, CompleteGraphCore) {
+  const auto core = core_numbers(build(complete_graph(6)));
+  for (auto c : core) EXPECT_EQ(c, 5u);
+  EXPECT_EQ(degeneracy(build(complete_graph(6))), 5u);
+}
+
+TEST(Cores, CliqueWithPendantPath) {
+  // K4 on {0,1,2,3} plus path 3-4-5.
+  Graph::Builder b(6);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) b.add_edge(u, v);
+  }
+  b.add_edge(3, 4).add_edge(4, 5);
+  const auto core = core_numbers(build(std::move(b)));
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(Cores, IsolatedNodesAreZeroCore) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  const auto core = core_numbers(build(std::move(b)));
+  EXPECT_EQ(core[2], 0u);
+  EXPECT_EQ(core[0], 1u);
+}
+
+TEST(Cores, DefinitionHoldsOnRandomGraphs) {
+  // Every node's core number k: the subgraph induced by {v: core ≥ k}
+  // has min degree ≥ k (the defining property of the k-core).
+  Rng rng(7);
+  const Graph g = build(gnm_random(60, 180, rng));
+  const auto core = core_numbers(g);
+  const auto kmax = *std::max_element(core.begin(), core.end());
+  for (std::uint32_t k = 1; k <= kmax; ++k) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (core[v] < k) continue;
+      std::size_t deg_in = 0;
+      for (NodeId u : g.neighbors(v)) {
+        if (core[u] >= k) ++deg_in;
+      }
+      EXPECT_GE(deg_in, k) << "node " << v << " in " << k << "-core";
+    }
+  }
+}
+
+TEST(Cores, BaDegeneracyEqualsAttachment) {
+  Rng rng(9);
+  // BA attaches each new node with `a` edges: degeneracy is exactly a
+  // (the last node has degree a; the seed clique has degree a).
+  const Graph g = build(barabasi_albert(500, 4, rng));
+  EXPECT_EQ(degeneracy(g), 4u);
+}
+
+// ------------------------------------------------------------- diameter
+
+TEST(Diameter, PathGraphExact) {
+  EXPECT_EQ(diameter_estimate(build(path_graph(9))), 8u);
+}
+
+TEST(Diameter, StarGraph) {
+  EXPECT_EQ(diameter_estimate(build(star_graph(10))), 2u);
+}
+
+TEST(Diameter, CompleteGraph) {
+  EXPECT_EQ(diameter_estimate(build(complete_graph(5))), 1u);
+}
+
+TEST(Diameter, EdgelessGraphIsZero) {
+  Graph::Builder b(4);
+  EXPECT_EQ(diameter_estimate(build(std::move(b))), 0u);
+}
+
+TEST(Diameter, GridLowerBoundIsTight) {
+  // Double sweep is exact on many bipartite-ish structures; on a grid
+  // it must reach the full corner-to-corner distance.
+  EXPECT_EQ(diameter_estimate(build(grid_graph(4, 7))), 9u);
+}
+
+}  // namespace
+}  // namespace af

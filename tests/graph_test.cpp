@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/weights.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph triangle_inverse_degree() {
+  Graph::Builder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  return b.build(WeightScheme::inverse_degree());
+}
+
+// -------------------------------------------------------------- builder/CSR
+
+TEST(GraphBuilder, BasicCounts) {
+  const Graph g = triangle_inverse_degree();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(GraphBuilder, AdjacencySortedAndSymmetric) {
+  Graph::Builder b(5);
+  b.add_edge(4, 0).add_edge(2, 0).add_edge(0, 3);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 2u);
+  EXPECT_EQ(nbrs[1], 3u);
+  EXPECT_EQ(nbrs[2], 4u);
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(4, 0));
+  EXPECT_FALSE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  Graph::Builder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), precondition_error);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  Graph::Builder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), precondition_error);
+}
+
+TEST(GraphBuilder, RejectsDuplicateEdgeAtBuild) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge
+  EXPECT_THROW(b.build(WeightScheme::inverse_degree()), precondition_error);
+}
+
+TEST(GraphBuilder, HasEdgeDuringConstruction) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1);
+  EXPECT_TRUE(b.has_edge(0, 1));
+  EXPECT_TRUE(b.has_edge(1, 0));
+  EXPECT_FALSE(b.has_edge(0, 2));
+}
+
+TEST(GraphBuilder, EmptyGraphIsValid) {
+  Graph::Builder b(4);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_DOUBLE_EQ(g.total_in_weight(0), 0.0);
+}
+
+TEST(GraphBuilder, IsolatedNodesCoexistWithEdges) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+// ------------------------------------------------------------------ weights
+
+TEST(Weights, InverseDegreeSumsToOne) {
+  const Graph g = triangle_inverse_degree();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(g.total_in_weight(v), 1.0);
+    for (double w : g.in_weights(v)) EXPECT_DOUBLE_EQ(w, 0.5);
+  }
+}
+
+TEST(Weights, InverseDegreeOnStar) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  // Center has degree 3 → each leaf contributes 1/3 toward it.
+  for (double w : g.in_weights(0)) EXPECT_DOUBLE_EQ(w, 1.0 / 3.0);
+  // Leaves have degree 1 → the center contributes 1.
+  EXPECT_DOUBLE_EQ(g.in_weights(1)[0], 1.0);
+}
+
+TEST(Weights, ConstantClampedRespectsNormalization) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+  const Graph g = b.build(WeightScheme::constant_clamped(0.5));
+  // Center degree 3: min(0.5, 1/3) = 1/3 each.
+  EXPECT_NEAR(g.weight(1, 0), 1.0 / 3.0, 1e-12);
+  // Leaf degree 1: min(0.5, 1) = 0.5.
+  EXPECT_NEAR(g.weight(0, 1), 0.5, 1e-12);
+}
+
+TEST(Weights, ConstantClampedRejectsBadParam) {
+  Graph::Builder b(2);
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.build(WeightScheme::constant_clamped(0.0)),
+               precondition_error);
+  EXPECT_THROW(b.build(WeightScheme::constant_clamped(1.5)),
+               precondition_error);
+}
+
+TEST(Weights, RandomNormalizedSumsToParam) {
+  Rng rng(5);
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3).add_edge(0, 4);
+  const Graph g = b.build(WeightScheme::random_normalized(0.8), &rng);
+  EXPECT_NEAR(g.total_in_weight(0), 0.8, 1e-9);
+  for (double w : g.in_weights(0)) EXPECT_GT(w, 0.0);
+}
+
+TEST(Weights, RandomSchemesRequireRng) {
+  Graph::Builder b(2);
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.build(WeightScheme::random_normalized(1.0)),
+               precondition_error);
+  EXPECT_THROW(b.build(WeightScheme::trivalency()), precondition_error);
+}
+
+TEST(Weights, TrivalencyWithinModelBounds) {
+  Rng rng(7);
+  Graph::Builder b(30);
+  for (NodeId v = 1; v < 30; ++v) b.add_edge(0, v);
+  const Graph g = b.build(WeightScheme::trivalency(), &rng);
+  EXPECT_LE(g.total_in_weight(0), 1.0 + 1e-9);
+  for (double w : g.in_weights(0)) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 0.1 + 1e-12);
+  }
+}
+
+TEST(Weights, ExplicitDirectionalWeights) {
+  Graph::Builder b(2);
+  b.add_edge(0, 1, /*w_uv=*/0.7, /*w_vu=*/0.2);
+  const Graph g = b.build_with_explicit_weights();
+  EXPECT_DOUBLE_EQ(g.weight(0, 1), 0.7);  // w(0,1): 0's contribution to 1
+  EXPECT_DOUBLE_EQ(g.weight(1, 0), 0.2);
+  EXPECT_DOUBLE_EQ(g.weight(0, 0), 0.0);  // non-edge convention
+}
+
+TEST(Weights, ExplicitBuildRequiresAllWeights) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 0.5, 0.5);
+  b.add_edge(1, 2);  // weightless
+  EXPECT_THROW(b.build_with_explicit_weights(), precondition_error);
+}
+
+TEST(Weights, ExplicitOverNormalizedIsRejected) {
+  Graph::Builder b(3);
+  b.add_edge(0, 2, 0.8, 0.8);
+  b.add_edge(1, 2, 0.8, 0.8);  // node 2 would receive 1.6 total
+  EXPECT_THROW(b.build_with_explicit_weights(), postcondition_error);
+}
+
+TEST(Weights, OutWeightsMirrorInWeights) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 0.3, 0.6).add_edge(1, 2, 0.4, 0.2);
+  const Graph g = b.build_with_explicit_weights();
+  // out_weights(0)[0] is w(0,1) = 0.3.
+  EXPECT_DOUBLE_EQ(g.out_weights(0)[0], 0.3);
+  // out_weights(1): neighbors are {0, 2}; w(1,0)=0.6, w(1,2)=0.4.
+  EXPECT_DOUBLE_EQ(g.out_weights(1)[0], 0.6);
+  EXPECT_DOUBLE_EQ(g.out_weights(1)[1], 0.4);
+}
+
+TEST(Weights, WeightLookupForNonEdgesIsZero) {
+  const Graph g = triangle_inverse_degree();
+  Graph::Builder b(5);
+  b.add_edge(0, 1);
+  const Graph g2 = b.build(WeightScheme::inverse_degree());
+  EXPECT_DOUBLE_EQ(g2.weight(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(g2.weight(3, 4), 0.0);
+}
+
+TEST(Weights, InWeightFromPredicate) {
+  const Graph g = triangle_inverse_degree();
+  // Node 2's incoming from only node 0: 0.5.
+  const double w =
+      g.in_weight_from(2, [](NodeId u) { return u == 0; });
+  EXPECT_DOUBLE_EQ(w, 0.5);
+}
+
+// ----------------------------------------------------------------------- io
+
+TEST(GraphIo, PlainEdgeListRoundTrip) {
+  const std::string path = testing::TempDir() + "/af_plain.txt";
+  {
+    std::ofstream f(path);
+    f << "# a comment\n"
+      << "10 20\n"
+      << "20 30\n"
+      << "\n"
+      << "30 10\n"
+      << "10 20\n"   // duplicate: skipped
+      << "20 10\n"   // reversed duplicate: skipped
+      << "10 10\n";  // self loop: skipped
+  }
+  const LoadedGraph lg = load_edge_list(path, WeightScheme::inverse_degree());
+  EXPECT_EQ(lg.graph.num_nodes(), 3u);
+  EXPECT_EQ(lg.graph.num_edges(), 3u);
+  EXPECT_EQ(lg.id_map.size(), 3u);
+  // First-appearance compaction: 10→0, 20→1, 30→2.
+  EXPECT_EQ(lg.id_map.at(10), 0u);
+  EXPECT_EQ(lg.id_map.at(30), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, WeightedRoundTripPreservesGraph) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1, 0.25, 0.5).add_edge(1, 2, 0.125, 0.25).add_edge(2, 3, 0.75,
+                                                                   0.0625);
+  const Graph g = b.build_with_explicit_weights();
+
+  const std::string path = testing::TempDir() + "/af_weighted.txt";
+  ASSERT_TRUE(save_weighted_edge_list(g, path));
+  const LoadedGraph lg = load_weighted_edge_list(path);
+  const Graph& h = lg.graph;
+
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  // Ids may be re-compacted; map through id_map.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      const NodeId hv = lg.id_map.at(v);
+      const NodeId hu = lg.id_map.at(u);
+      EXPECT_TRUE(h.has_edge(hv, hu));
+      EXPECT_NEAR(h.weight(hu, hv), g.weight(u, v), 1e-12);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, PlainSaveLoad) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1).add_edge(1, 2);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const std::string path = testing::TempDir() + "/af_plain_save.txt";
+  ASSERT_TRUE(save_edge_list(g, path));
+  const LoadedGraph lg = load_edge_list(path, WeightScheme::inverse_degree());
+  EXPECT_EQ(lg.graph.num_nodes(), 3u);
+  EXPECT_EQ(lg.graph.num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/no/such/file.txt",
+                              WeightScheme::inverse_degree()),
+               std::runtime_error);
+}
+
+TEST(GraphIo, MalformedLineThrows) {
+  const std::string path = testing::TempDir() + "/af_bad.txt";
+  {
+    std::ofstream f(path);
+    f << "1 notanumber\n";
+  }
+  EXPECT_THROW(load_edge_list(path, WeightScheme::inverse_degree()),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, WeightedFormatRequiresFourFields) {
+  const std::string path = testing::TempDir() + "/af_short.txt";
+  {
+    std::ofstream f(path);
+    f << "1 2 0.5\n";
+  }
+  EXPECT_THROW(load_weighted_edge_list(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------- invariants
+
+TEST(GraphInvariants, CheckPassesOnValidGraph) {
+  const Graph g = triangle_inverse_degree();
+  EXPECT_NO_THROW(g.check_invariants());
+}
+
+}  // namespace
+}  // namespace af

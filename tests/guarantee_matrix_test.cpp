@@ -1,0 +1,115 @@
+// The Theorem-1 contract, swept over the full configuration matrix:
+// α × ε0-policy × cover solver × fixture shape, each combination checked
+// against the exact-enumeration oracle. This is the closest executable
+// statement of "RAF delivers f(I*) ≥ (α−ε)·p_max" the library has.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/raf.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+struct MatrixCase {
+  double alpha;
+  Eps0Policy policy;
+  CoverSolverKind solver;
+  std::size_t paths;
+  std::size_t len;
+};
+
+std::string case_name(const testing::TestParamInfo<MatrixCase>& info) {
+  const auto& c = info.param;
+  std::string s = "a" + std::to_string(static_cast<int>(c.alpha * 100));
+  s += c.policy == Eps0Policy::kBalanced ? "_bal" : "_pap";
+  switch (c.solver) {
+    case CoverSolverKind::kGreedy: s += "_greedy"; break;
+    case CoverSolverKind::kDensest: s += "_densest"; break;
+    case CoverSolverKind::kSmallestSets: s += "_small"; break;
+    case CoverSolverKind::kExact: s += "_exact"; break;
+  }
+  s += "_p" + std::to_string(c.paths) + "l" + std::to_string(c.len);
+  return s;
+}
+
+class GuaranteeMatrix : public testing::TestWithParam<MatrixCase> {};
+
+TEST_P(GuaranteeMatrix, TheoremOneContractHolds) {
+  const auto& c = GetParam();
+  const auto fx = test::ParallelPathFixture::make(c.paths, c.len);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+
+  RafConfig cfg;
+  cfg.alpha = c.alpha;
+  cfg.epsilon = c.alpha / 10.0;
+  cfg.big_n = 1'000.0;
+  cfg.policy = c.policy;
+  cfg.solver = c.solver;
+  cfg.max_realizations = 30'000;
+  cfg.pmax_max_samples = 400'000;
+  const RafAlgorithm raf(cfg);
+
+  Rng rng(6100 + static_cast<std::uint64_t>(c.alpha * 1000) +
+          c.paths * 7 + c.len);
+  const RafResult res = raf.run(inst, rng);
+
+  // Structure: a nonempty plan on these always-reachable fixtures,
+  // containing t, never touching s or N_s.
+  ASSERT_FALSE(res.invitation.empty());
+  EXPECT_TRUE(res.invitation.contains(fx.t));
+  EXPECT_FALSE(res.invitation.contains(fx.s));
+  for (NodeId v : inst.initial_friends()) {
+    EXPECT_FALSE(res.invitation.contains(v));
+  }
+
+  // Diagnostics are internally consistent.
+  EXPECT_NO_THROW(res.diag.params.check());
+  EXPECT_GE(res.diag.covered, res.diag.coverage_target);
+  EXPECT_GT(res.diag.type1_count, 0u);
+  EXPECT_LE(res.diag.l_used, cfg.max_realizations);
+
+  // The contract itself, against the exact oracle. The realization cap
+  // sits below l*, so allow a small relative slack on top of ε — the
+  // fixtures' concentrated path mass keeps the capped run honest.
+  const double f = test::exact_f(inst, res.invitation);
+  const double target = (c.alpha - cfg.epsilon) * fx.pmax();
+  EXPECT_GE(f, target * 0.9 - 1e-12)
+      << "f=" << f << " target=" << target << " pmax=" << fx.pmax();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuaranteeMatrix,
+    testing::Values(
+        // α sweep on the canonical 3×2 fixture, both policies, greedy.
+        MatrixCase{0.1, Eps0Policy::kBalanced, CoverSolverKind::kGreedy, 3, 2},
+        MatrixCase{0.3, Eps0Policy::kBalanced, CoverSolverKind::kGreedy, 3, 2},
+        MatrixCase{0.5, Eps0Policy::kBalanced, CoverSolverKind::kGreedy, 3, 2},
+        MatrixCase{0.7, Eps0Policy::kBalanced, CoverSolverKind::kGreedy, 3, 2},
+        MatrixCase{0.9, Eps0Policy::kBalanced, CoverSolverKind::kGreedy, 3, 2},
+        MatrixCase{0.3, Eps0Policy::kPaperProportional,
+                   CoverSolverKind::kGreedy, 3, 2},
+        MatrixCase{0.7, Eps0Policy::kPaperProportional,
+                   CoverSolverKind::kGreedy, 3, 2},
+        // Solver sweep at mid α.
+        MatrixCase{0.5, Eps0Policy::kBalanced, CoverSolverKind::kDensest, 3,
+                   2},
+        MatrixCase{0.5, Eps0Policy::kBalanced,
+                   CoverSolverKind::kSmallestSets, 3, 2},
+        MatrixCase{0.5, Eps0Policy::kBalanced, CoverSolverKind::kExact, 3, 2},
+        // Shape sweep: more paths, longer paths, single path.
+        MatrixCase{0.4, Eps0Policy::kBalanced, CoverSolverKind::kGreedy, 5, 2},
+        MatrixCase{0.4, Eps0Policy::kBalanced, CoverSolverKind::kGreedy, 2, 4},
+        MatrixCase{0.4, Eps0Policy::kBalanced, CoverSolverKind::kGreedy, 1, 3},
+        MatrixCase{0.4, Eps0Policy::kBalanced, CoverSolverKind::kDensest, 4,
+                   3},
+        MatrixCase{0.8, Eps0Policy::kPaperProportional,
+                   CoverSolverKind::kExact, 2, 2},
+        MatrixCase{0.2, Eps0Policy::kPaperProportional,
+                   CoverSolverKind::kSmallestSets, 4, 2}),
+    case_name);
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,163 @@
+// End-to-end pipeline tests on realistic (small) social graphs: the full
+// paper protocol — sample pairs, run RAF, evaluate against HD/SP at equal
+// size — plus cross-component consistency checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baselines.hpp"
+#include "core/pair_sampler.hpp"
+#include "core/raf.hpp"
+#include "core/vmax.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace af {
+namespace {
+
+struct Pipeline {
+  Graph graph;
+  std::vector<SampledPair> pairs;
+};
+
+Pipeline make_pipeline(std::uint64_t seed, std::size_t pair_count) {
+  Rng rng(seed);
+  Pipeline p{
+      barabasi_albert(800, 4, rng).build(WeightScheme::inverse_degree()),
+      {}};
+  PairSamplerConfig cfg;
+  cfg.estimate_samples = 2'000;
+  p.pairs = sample_pairs(p.graph, pair_count, cfg, rng);
+  return p;
+}
+
+TEST(Integration, RafBeatsOrMatchesBaselinesAtEqualSize) {
+  const Pipeline p = make_pipeline(101, 4);
+  ASSERT_GE(p.pairs.size(), 2u);
+  Rng rng(5);
+
+  RafConfig cfg;
+  cfg.alpha = 0.3;
+  cfg.epsilon = 0.03;
+  cfg.big_n = 1000;
+  cfg.max_realizations = 30'000;
+  cfg.pmax_max_samples = 300'000;
+  const RafAlgorithm raf(cfg);
+
+  RunningStats raf_f, hd_f, sp_f;
+  for (const auto& pair : p.pairs) {
+    const FriendingInstance inst(p.graph, pair.s, pair.t);
+    const RafResult res = raf.run(inst, rng);
+    if (res.invitation.empty()) continue;
+    const std::size_t k = res.invitation.size();
+
+    MonteCarloEvaluator mc(inst);
+    const std::uint64_t samples = 30'000;
+    raf_f.add(mc.estimate_f(res.invitation, samples, rng).estimate());
+    hd_f.add(
+        mc.estimate_f(high_degree_invitation(inst, k), samples, rng)
+            .estimate());
+    sp_f.add(
+        mc.estimate_f(shortest_path_invitation(inst, k), samples, rng)
+            .estimate());
+  }
+  ASSERT_GT(raf_f.count(), 0u);
+  // The paper's headline shape (Fig. 3): RAF ≥ SP and RAF ≥ HD on
+  // average at equal invitation size. Allow MC slack.
+  EXPECT_GE(raf_f.mean() + 0.01, sp_f.mean());
+  EXPECT_GE(raf_f.mean() + 0.01, hd_f.mean());
+}
+
+TEST(Integration, RafReachesRequestedShareOfPmax) {
+  const Pipeline p = make_pipeline(202, 3);
+  ASSERT_GE(p.pairs.size(), 1u);
+  Rng rng(7);
+
+  RafConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.epsilon = 0.05;
+  cfg.big_n = 1000;
+  cfg.max_realizations = 40'000;
+  const RafAlgorithm raf(cfg);
+
+  for (const auto& pair : p.pairs) {
+    const FriendingInstance inst(p.graph, pair.s, pair.t);
+    const RafResult res = raf.run(inst, rng);
+    if (res.invitation.empty()) continue;
+    MonteCarloEvaluator mc(inst);
+    const double pmax = mc.estimate_pmax(60'000, rng).estimate();
+    const double f = mc.estimate_f(res.invitation, 60'000, rng).estimate();
+    // Guarantee: f ≥ (α−ε)·p_max, plus Monte-Carlo slack on both sides.
+    EXPECT_GE(f, (cfg.alpha - cfg.epsilon) * pmax - 0.02)
+        << "pair (" << pair.s << "," << pair.t << ")";
+  }
+}
+
+TEST(Integration, RafInvitationWithinVmaxAndSmaller) {
+  const Pipeline p = make_pipeline(303, 3);
+  ASSERT_GE(p.pairs.size(), 1u);
+  Rng rng(9);
+
+  RafConfig cfg;
+  cfg.alpha = 0.1;
+  cfg.epsilon = 0.01;
+  cfg.big_n = 1000;
+  cfg.max_realizations = 30'000;
+  const RafAlgorithm raf(cfg);
+
+  for (const auto& pair : p.pairs) {
+    const FriendingInstance inst(p.graph, pair.s, pair.t);
+    const auto vmax = compute_vmax(inst);
+    const RafResult res = raf.run(inst, rng);
+    if (res.invitation.empty()) continue;
+    // Table II's phenomenon: |I_RAF| well below |V_max|; and containment
+    // holds structurally (every t(g) ⊆ V_max).
+    EXPECT_LE(res.invitation.size(), vmax.size());
+    for (NodeId v : res.invitation.members()) {
+      EXPECT_TRUE(std::binary_search(vmax.begin(), vmax.end(), v));
+    }
+  }
+}
+
+TEST(Integration, ForwardAndReverseEnginesAgreeOnRealGraph) {
+  const Pipeline p = make_pipeline(404, 2);
+  ASSERT_GE(p.pairs.size(), 1u);
+  Rng rng(11);
+  const auto& pair = p.pairs.front();
+  const FriendingInstance inst(p.graph, pair.s, pair.t);
+
+  const InvitationSet inv = high_degree_invitation(inst, 25);
+  MonteCarloEvaluator mc(inst);
+  const double fwd =
+      mc.estimate_f(inv, 40'000, rng, McEngine::kForward).estimate();
+  const double rev =
+      mc.estimate_f(inv, 40'000, rng, McEngine::kReverse).estimate();
+  EXPECT_NEAR(fwd, rev, 0.015);
+}
+
+TEST(Integration, HigherAlphaCostsMoreInvitations) {
+  const Pipeline p = make_pipeline(505, 2);
+  ASSERT_GE(p.pairs.size(), 1u);
+  Rng rng(13);
+  const auto& pair = p.pairs.front();
+  const FriendingInstance inst(p.graph, pair.s, pair.t);
+
+  auto run_alpha = [&](double alpha) {
+    RafConfig cfg;
+    cfg.alpha = alpha;
+    cfg.epsilon = alpha / 10;
+    cfg.big_n = 1000;
+    cfg.max_realizations = 20'000;
+    Rng local(99);
+    return RafAlgorithm(cfg).run(inst, local).invitation.size();
+  };
+  const auto low = run_alpha(0.1);
+  const auto high = run_alpha(0.9);
+  EXPECT_LE(low, high + 1);  // near-monotone; identical sample noise only
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+
+namespace af {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel lvl : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                       LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(lvl);
+    EXPECT_EQ(log_level(), lvl);
+  }
+}
+
+TEST(Log, EmissionBelowThresholdIsSuppressed) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Nothing observable to assert on stderr portably; the contract is
+  // simply that suppressed logging is safe and cheap.
+  testing::internal::CaptureStderr();
+  log_debug() << "hidden " << 42;
+  log_error() << "also hidden";
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, EmissionAtThresholdIsWritten) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_info() << "visible " << 7;
+  log_debug() << "filtered";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[info] visible 7"), std::string::npos);
+  EXPECT_EQ(err.find("filtered"), std::string::npos);
+}
+
+TEST(Log, StreamFormatsArbitraryTypes) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  log_warn() << "x=" << 1.5 << " y=" << std::string("abc") << " z=" << true;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[warn] x=1.5 y=abc z=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace af

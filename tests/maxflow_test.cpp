@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "cover/maxflow.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow f(2);
+  f.add_edge(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(f.solve(0, 1), 3.5);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  MaxFlow f(3);
+  f.add_edge(0, 1, 5.0);
+  f.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(f.solve(0, 2), 2.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 3.0);
+  f.add_edge(1, 3, 3.0);
+  f.add_edge(0, 2, 4.0);
+  f.add_edge(2, 3, 4.0);
+  EXPECT_DOUBLE_EQ(f.solve(0, 3), 7.0);
+}
+
+TEST(MaxFlow, ClassicTextbookNetwork) {
+  // CLRS-style example with a crossing edge requiring augmentation.
+  MaxFlow f(6);
+  f.add_edge(0, 1, 16);
+  f.add_edge(0, 2, 13);
+  f.add_edge(1, 3, 12);
+  f.add_edge(2, 1, 4);
+  f.add_edge(3, 2, 9);
+  f.add_edge(2, 4, 14);
+  f.add_edge(4, 3, 7);
+  f.add_edge(3, 5, 20);
+  f.add_edge(4, 5, 4);
+  EXPECT_DOUBLE_EQ(f.solve(0, 5), 23.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 5.0);
+  f.add_edge(2, 3, 5.0);
+  EXPECT_DOUBLE_EQ(f.solve(0, 3), 0.0);
+}
+
+TEST(MaxFlow, ParallelDuplicateEdgesSupported) {
+  MaxFlow f(2);
+  f.add_edge(0, 1, 1.0);
+  f.add_edge(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(f.solve(0, 1), 3.0);
+}
+
+TEST(MaxFlow, InfiniteMiddleCapacity) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 5.0);
+  f.add_edge(1, 2, MaxFlow::kInfCapacity);
+  f.add_edge(2, 3, 2.5);
+  EXPECT_DOUBLE_EQ(f.solve(0, 3), 2.5);
+}
+
+TEST(MaxFlow, MinCutSeparatesSourceSide) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 10.0);
+  f.add_edge(1, 2, 1.0);  // bottleneck
+  f.add_edge(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(f.solve(0, 3), 1.0);
+  const auto side = f.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, BipartiteMatchingValue) {
+  // 3x3 bipartite with a perfect matching: L={1,2,3}, R={4,5,6}.
+  MaxFlow f(8);
+  for (int l = 1; l <= 3; ++l) f.add_edge(0, l, 1.0);
+  for (int r = 4; r <= 6; ++r) f.add_edge(r, 7, 1.0);
+  f.add_edge(1, 4, 1.0);
+  f.add_edge(1, 5, 1.0);
+  f.add_edge(2, 4, 1.0);
+  f.add_edge(3, 6, 1.0);
+  EXPECT_DOUBLE_EQ(f.solve(0, 7), 3.0);
+}
+
+TEST(MaxFlow, RejectsInvalidInputs) {
+  MaxFlow f(3);
+  EXPECT_THROW(f.add_edge(0, 5, 1.0), precondition_error);
+  EXPECT_THROW(f.add_edge(0, 1, -1.0), precondition_error);
+  EXPECT_THROW(f.solve(1, 1), precondition_error);
+}
+
+TEST(MaxFlow, ZeroCapacityEdgeCarriesNothing) {
+  MaxFlow f(2);
+  f.add_edge(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(f.solve(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace af

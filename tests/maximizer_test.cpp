@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/maximizer.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "testutil.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+TEST(Maximizer, RespectsBudget) {
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(1);
+  for (std::size_t budget : {1u, 2u, 3u, 5u, 10u}) {
+    MaximizerConfig cfg;
+    cfg.budget = budget;
+    cfg.realizations = 5'000;
+    const auto res = maximize_friending(inst, cfg, rng);
+    EXPECT_LE(res.invitation.size(), budget);
+  }
+}
+
+TEST(Maximizer, BudgetBelowCheapestPathGivesNothingUseful) {
+  // Shortest completable path needs t + 2 intermediates = 3 nodes.
+  const auto fx = test::ParallelPathFixture::make(2, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(2);
+  MaximizerConfig cfg;
+  cfg.budget = 2;
+  cfg.realizations = 5'000;
+  const auto res = maximize_friending(inst, cfg, rng);
+  EXPECT_DOUBLE_EQ(res.sample_coverage, 0.0);
+  EXPECT_DOUBLE_EQ(test::exact_f(inst, res.invitation), 0.0);
+}
+
+TEST(Maximizer, SufficientBudgetCoversOnePath) {
+  const auto fx = test::ParallelPathFixture::make(2, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(3);
+  MaximizerConfig cfg;
+  cfg.budget = 3;  // t + 2 invitable intermediates
+  cfg.realizations = 20'000;
+  const auto res = maximize_friending(inst, cfg, rng);
+  EXPECT_EQ(res.invitation.size(), 3u);
+  // One of two paths: f = pmax/2 = 0.125.
+  EXPECT_NEAR(test::exact_f(inst, res.invitation), fx.pmax() / 2.0, 1e-12);
+  EXPECT_NEAR(res.sample_coverage, fx.pmax() / 2.0, 0.02);
+}
+
+TEST(Maximizer, LargeBudgetApproachesPmax) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(4);
+  MaximizerConfig cfg;
+  cfg.budget = 10;  // enough for all paths (t + 3 nodes needed)
+  cfg.realizations = 20'000;
+  const auto res = maximize_friending(inst, cfg, rng);
+  EXPECT_NEAR(test::exact_f(inst, res.invitation), fx.pmax(), 1e-12);
+}
+
+TEST(Maximizer, CoverageMonotoneInBudget) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(5);
+  double prev = -1.0;
+  for (std::size_t budget : {1u, 2u, 3u, 4u, 5u}) {
+    MaximizerConfig cfg;
+    cfg.budget = budget;
+    cfg.realizations = 20'000;
+    Rng local(42);  // same realization sample per budget
+    const auto res = maximize_friending(inst, cfg, local);
+    const double f = test::exact_f(inst, res.invitation);
+    EXPECT_GE(f, prev - 1e-12) << "budget " << budget;
+    prev = f;
+  }
+}
+
+TEST(Maximizer, InSampleCoverageTracksOutOfSample) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(6);
+  MaximizerConfig cfg;
+  cfg.budget = 2;
+  cfg.realizations = 30'000;
+  const auto res = maximize_friending(inst, cfg, rng);
+  EXPECT_NEAR(res.sample_coverage, test::exact_f(inst, res.invitation),
+              0.02);
+}
+
+TEST(Maximizer, UnreachableTargetGivesZero) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 2);
+  Rng rng(7);
+  MaximizerConfig cfg;
+  cfg.budget = 4;
+  cfg.realizations = 2'000;
+  const auto res = maximize_friending(inst, cfg, rng);
+  EXPECT_EQ(res.type1_count, 0u);
+  EXPECT_TRUE(res.invitation.empty());
+}
+
+TEST(Maximizer, RejectsBadConfig) {
+  const auto fx = test::ParallelPathFixture::make(1, 1);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(8);
+  MaximizerConfig cfg;
+  cfg.budget = 0;
+  EXPECT_THROW(maximize_friending(inst, cfg, rng), precondition_error);
+}
+
+}  // namespace
+}  // namespace af

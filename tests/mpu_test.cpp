@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cover/mpu.hpp"
+#include "testutil.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+SetFamily make_family(NodeId universe,
+                      const std::vector<std::vector<NodeId>>& sets,
+                      const std::vector<std::uint64_t>& mult = {}) {
+  SetFamily fam(universe);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const std::uint64_t reps = mult.empty() ? 1 : mult[i];
+    for (std::uint64_t r = 0; r < reps; ++r) fam.add_set(sets[i]);
+  }
+  return fam;
+}
+
+void expect_feasible(const SetFamily& fam, const MpuResult& res,
+                     std::uint64_t p) {
+  EXPECT_GE(res.covered, p);
+  // covered must equal the multiplicity sum of chosen sets.
+  std::uint64_t check = 0;
+  std::set<NodeId> uni;
+  for (std::uint32_t i : res.chosen_sets) {
+    check += fam.multiplicity(i);
+    uni.insert(fam.elements(i).begin(), fam.elements(i).end());
+  }
+  EXPECT_EQ(check, res.covered);
+  EXPECT_EQ(std::vector<NodeId>(uni.begin(), uni.end()), res.union_elements);
+}
+
+// -------------------------------------------------------------- greedy
+
+TEST(GreedyMpu, PrefersSmallSets) {
+  const SetFamily fam =
+      make_family(10, {{0}, {1, 2, 3, 4}, {5}, {6, 7}});
+  const auto res = GreedyMpuSolver().solve(fam, 2);
+  expect_feasible(fam, res, 2);
+  EXPECT_EQ(res.union_elements.size(), 2u);  // the two singletons
+}
+
+TEST(GreedyMpu, ExploitsOverlap) {
+  // Overlapping pair {0,1},{1,2} has union 3; disjoint {5,6},{7,8} has 4.
+  const SetFamily fam =
+      make_family(10, {{0, 1}, {1, 2}, {5, 6}, {7, 8}});
+  const auto res = GreedyMpuSolver().solve(fam, 2);
+  expect_feasible(fam, res, 2);
+  EXPECT_LE(res.union_elements.size(), 3u);
+}
+
+TEST(GreedyMpu, MultiplicityCountsTowardCoverage) {
+  const SetFamily fam = make_family(10, {{0, 1, 2}, {5}}, {4, 1});
+  // p=3: the multiplicity-4 set alone suffices.
+  const auto res = GreedyMpuSolver().solve(fam, 3);
+  expect_feasible(fam, res, 3);
+  EXPECT_EQ(res.chosen_sets.size(), 1u);
+  EXPECT_EQ(res.covered, 4u);
+}
+
+TEST(GreedyMpu, FullCoverageTakesEverythingNeeded) {
+  const SetFamily fam = make_family(6, {{0}, {1}, {2}});
+  const auto res = GreedyMpuSolver().solve(fam, 3);
+  expect_feasible(fam, res, 3);
+  EXPECT_EQ(res.chosen_sets.size(), 3u);
+}
+
+TEST(GreedyMpu, RejectsInfeasibleTargets) {
+  const SetFamily fam = make_family(6, {{0}});
+  EXPECT_THROW(GreedyMpuSolver().solve(fam, 2), precondition_error);
+  EXPECT_THROW(GreedyMpuSolver().solve(fam, 0), precondition_error);
+}
+
+// --------------------------------------------------------------- exact
+
+TEST(ExactMpu, FindsOptimalOverlap) {
+  // Optimal 2-of: {0,1} + {1,2} → union 3. Greedy might do the same;
+  // exact must.
+  const SetFamily fam =
+      make_family(10, {{0, 1}, {1, 2}, {5, 6}, {7, 8}});
+  const auto res = ExactMpuSolver().solve(fam, 2);
+  expect_feasible(fam, res, 2);
+  EXPECT_EQ(res.union_elements.size(), 3u);
+}
+
+TEST(ExactMpu, GreedyTrapInstance) {
+  // Greedy takes the singleton {9} first, then must add a 3-set.
+  // Optimal pair: {0,1} + {0,1} (stored as multiplicity 2) → union 2.
+  const SetFamily fam =
+      make_family(10, {{9}, {0, 1}, {0, 1}, {2, 3, 4}});
+  const auto res = ExactMpuSolver().solve(fam, 2);
+  expect_feasible(fam, res, 2);
+  EXPECT_EQ(res.union_elements.size(), 2u);
+}
+
+TEST(ExactMpu, EnforcesSizeLimits) {
+  std::vector<std::vector<NodeId>> sets(31, {0});
+  const SetFamily fam = make_family(4, sets);
+  // 31 identical sets collapse to one set with multiplicity 31 — fine.
+  EXPECT_NO_THROW(ExactMpuSolver().solve(fam, 1));
+
+  // 31 distinct sets exceed the solver's bound.
+  SetFamily big(40);
+  for (NodeId v = 0; v < 31; ++v) big.add_set(std::vector<NodeId>{v});
+  EXPECT_THROW(ExactMpuSolver().solve(big, 1), precondition_error);
+}
+
+// ---------------------------------------------------- smallest-sets/densest
+
+TEST(SmallestSets, FeasibleAndOrdered) {
+  const SetFamily fam =
+      make_family(10, {{0, 1, 2, 3}, {4}, {5, 6}});
+  const auto res = SmallestSetsSolver().solve(fam, 2);
+  expect_feasible(fam, res, 2);
+  EXPECT_EQ(res.union_elements.size(), 3u);  // {4} then {5,6}
+}
+
+TEST(DensestMpu, FeasibleOnOverlapInstance) {
+  const SetFamily fam =
+      make_family(10, {{0, 1}, {1, 2}, {5, 6}, {7, 8}});
+  for (auto engine : {DensestMpuSolver::Engine::kExact,
+                      DensestMpuSolver::Engine::kPeeling}) {
+    const auto res = DensestMpuSolver(engine).solve(fam, 2);
+    expect_feasible(fam, res, 2);
+    EXPECT_LE(res.union_elements.size(), 4u);
+  }
+}
+
+TEST(DensestMpu, HandlesOvershootClipping) {
+  // A dense block of 3 sets; p = 2 forces clipping inside the block.
+  const SetFamily fam =
+      make_family(8, {{0, 1}, {0, 1, 2}, {1, 2}, {5, 6, 7}});
+  const auto res =
+      DensestMpuSolver(DensestMpuSolver::Engine::kExact).solve(fam, 2);
+  expect_feasible(fam, res, 2);
+  EXPECT_LE(res.union_elements.size(), 3u);
+}
+
+// -------------------------------------------------------- local search
+
+TEST(LocalSearch, DropsRedundantSets) {
+  const SetFamily fam = make_family(10, {{0}, {1}, {2}});
+  MpuResult start;
+  start.chosen_sets = {0, 1, 2};
+  start.union_elements = {0, 1, 2};
+  start.covered = 3;
+  const auto refined = refine_local_search(fam, 2, start);
+  expect_feasible(fam, refined, 2);
+  EXPECT_EQ(refined.chosen_sets.size(), 2u);
+}
+
+TEST(LocalSearch, SwapsToShrinkUnion) {
+  // Start with the fat set; swapping it for the singleton keeps p=1
+  // and shrinks the union from 3 to 1.
+  const SetFamily fam = make_family(10, {{0, 1, 2}, {5}});
+  MpuResult start;
+  start.chosen_sets = {0};
+  start.union_elements = {0, 1, 2};
+  start.covered = 1;
+  const auto refined = refine_local_search(fam, 1, start);
+  expect_feasible(fam, refined, 1);
+  EXPECT_EQ(refined.union_elements.size(), 1u);
+}
+
+TEST(LocalSearch, NeverWorsens) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<NodeId>> sets;
+    for (int i = 0; i < 8; ++i) {
+      std::vector<NodeId> s;
+      for (NodeId v = 0; v < 12; ++v) {
+        if (rng.bernoulli(0.3)) s.push_back(v);
+      }
+      if (s.empty()) s.push_back(0);
+      sets.push_back(std::move(s));
+    }
+    const SetFamily fam = make_family(12, sets);
+    const std::uint64_t p = 1 + rng.uniform_int(fam.total_multiplicity());
+    const auto start = GreedyMpuSolver().solve(fam, p);
+    const auto refined = refine_local_search(fam, p, start);
+    expect_feasible(fam, refined, p);
+    EXPECT_LE(refined.union_elements.size(), start.union_elements.size());
+  }
+}
+
+// ------------------------------------------------------------ properties
+
+struct SolverCase {
+  std::string name;
+  const MpuSolver* solver;
+};
+
+class MpuPropertySweep : public testing::TestWithParam<int> {};
+
+TEST_P(MpuPropertySweep, AllSolversFeasibleAndWithinChlamtacRatio) {
+  Rng rng(3000 + GetParam());
+  const NodeId universe = 10;
+  const std::size_t num_sets = 3 + rng.uniform_int(std::uint64_t{7});
+  std::vector<std::vector<NodeId>> sets;
+  for (std::size_t i = 0; i < num_sets; ++i) {
+    std::vector<NodeId> s;
+    for (NodeId v = 0; v < universe; ++v) {
+      if (rng.bernoulli(0.35)) s.push_back(v);
+    }
+    if (s.empty()) s.push_back(static_cast<NodeId>(
+        rng.uniform_int(std::uint64_t{universe})));
+    sets.push_back(std::move(s));
+  }
+  const SetFamily fam = make_family(universe, sets);
+  const std::uint64_t total = fam.total_multiplicity();
+  const std::uint64_t p = 1 + rng.uniform_int(total);
+
+  // Brute-force optimum (on distinct sets with multiplicities).
+  std::vector<std::vector<NodeId>> distinct;
+  std::vector<std::uint64_t> mult;
+  for (std::uint32_t i = 0; i < fam.num_sets(); ++i) {
+    distinct.push_back(fam.elements(i));
+    mult.push_back(fam.multiplicity(i));
+  }
+  const std::size_t opt = test::brute_force_mpu_size(distinct, mult, p);
+
+  const GreedyMpuSolver greedy;
+  const SmallestSetsSolver smallest;
+  const DensestMpuSolver densest(DensestMpuSolver::Engine::kExact);
+  const ExactMpuSolver exact;
+  const double ratio_bound =
+      2.0 * std::sqrt(static_cast<double>(fam.num_sets()));
+
+  for (const MpuSolver* solver :
+       std::vector<const MpuSolver*>{&greedy, &smallest, &densest, &exact}) {
+    const auto res = solver->solve(fam, p);
+    expect_feasible(fam, res, p);
+    EXPECT_GE(res.union_elements.size(), opt) << solver->name();
+    EXPECT_LE(static_cast<double>(res.union_elements.size()),
+              ratio_bound * static_cast<double>(opt) + 1e-9)
+        << solver->name() << " exceeded the 2√|U| ratio";
+  }
+
+  // The exact solver must hit the brute-force optimum.
+  EXPECT_EQ(exact.solve(fam, p).union_elements.size(), opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MpuPropertySweep, testing::Range(0, 30));
+
+TEST(Msc, WrapperDelegates) {
+  const SetFamily fam = make_family(6, {{0}, {1, 2}});
+  const GreedyMpuSolver solver;
+  const auto res = solve_msc(fam, 1, solver);
+  EXPECT_GE(res.covered, 1u);
+  EXPECT_THROW(solve_msc(fam, 5, solver), precondition_error);
+}
+
+}  // namespace
+}  // namespace af

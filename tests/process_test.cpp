@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "diffusion/forward_process.hpp"
+#include "diffusion/instance.hpp"
+#include "diffusion/invitation.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+// ------------------------------------------------------------- instance
+
+TEST(Instance, CachesInitialFriends) {
+  const Graph g = star_graph(5).build(WeightScheme::inverse_degree());
+  // s = leaf 1; N_s = {0}; t = leaf 2.
+  const FriendingInstance inst(g, 1, 2);
+  EXPECT_EQ(inst.initial_friends(), (std::vector<NodeId>{0}));
+  EXPECT_TRUE(inst.is_initial_friend(0));
+  EXPECT_FALSE(inst.is_initial_friend(3));
+  EXPECT_FALSE(inst.invitable(1));  // s
+  EXPECT_FALSE(inst.invitable(0));  // N_s
+  EXPECT_TRUE(inst.invitable(2));
+}
+
+TEST(Instance, RejectsDegenerateEndpoints) {
+  const Graph g = path_graph(4).build(WeightScheme::inverse_degree());
+  EXPECT_THROW(FriendingInstance(g, 1, 1), precondition_error);  // s == t
+  EXPECT_THROW(FriendingInstance(g, 1, 2), precondition_error);  // friends
+  EXPECT_THROW(FriendingInstance(g, 0, 9), precondition_error);  // range
+}
+
+// ------------------------------------------------------------- invitations
+
+TEST(InvitationSet, AddContainsDedup) {
+  InvitationSet inv(5);
+  EXPECT_TRUE(inv.add(3));
+  EXPECT_FALSE(inv.add(3));
+  EXPECT_TRUE(inv.contains(3));
+  EXPECT_FALSE(inv.contains(1));
+  EXPECT_EQ(inv.size(), 1u);
+}
+
+TEST(InvitationSet, FullExcludesSAndNs) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const InvitationSet full = InvitationSet::full(inst);
+  EXPECT_FALSE(full.contains(fx.s));
+  for (NodeId v : inst.initial_friends()) EXPECT_FALSE(full.contains(v));
+  EXPECT_TRUE(full.contains(fx.t));
+  EXPECT_EQ(full.size(),
+            fx.graph.num_nodes() - 1 - inst.initial_friends().size());
+}
+
+TEST(InvitationSet, NormalizeDropsNoOps) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  InvitationSet inv(fx.graph.num_nodes());
+  inv.add(fx.s);
+  inv.add(inst.initial_friends()[0]);
+  inv.add(fx.t);
+  EXPECT_EQ(inv.normalize(inst), 2u);
+  EXPECT_EQ(inv.size(), 1u);
+  EXPECT_TRUE(inv.contains(fx.t));
+}
+
+// ------------------------------------------------------- forward process
+
+TEST(ForwardProcess, TargetNotInvitedNeverSucceeds) {
+  const auto fx = test::ParallelPathFixture::make(1, 1);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  ForwardProcess proc(inst);
+  InvitationSet inv(fx.graph.num_nodes());  // empty
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(proc.run(inv, rng).target_reached);
+  }
+}
+
+TEST(ForwardProcess, DegreeOneChainAlwaysActivates) {
+  // s=0 — 1 — t=2 with w(1,2) = 1.0: node 2's threshold is always ≤ 1 →
+  // it activates as soon as it is invited (1 ∈ N_s from the start).
+  Graph::Builder b2(3);
+  b2.add_edge(0, 1, 0.5, 1.0).add_edge(1, 2, 1.0, 0.5);
+  const Graph g = b2.build_with_explicit_weights();
+  const FriendingInstance inst(g, 0, 2);
+  ForwardProcess proc(inst);
+  InvitationSet inv(3);
+  inv.add(2);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto r = proc.run(inv, rng);
+    EXPECT_TRUE(r.target_reached);
+    EXPECT_EQ(r.new_friends, 1u);
+  }
+}
+
+TEST(ForwardProcess, FrequencyMatchesArcWeight) {
+  // s=0 — 1 — t=2 with w(1,2) = 0.3: t activates iff θ_t ≤ 0.3.
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 0.5, 1.0).add_edge(1, 2, 0.3, 0.5);
+  const Graph g = b.build_with_explicit_weights();
+  const FriendingInstance inst(g, 0, 2);
+  ForwardProcess proc(inst);
+  InvitationSet inv(3);
+  inv.add(2);
+  Rng rng(11);
+  int hits = 0;
+  const int n = 60'000;
+  for (int i = 0; i < n; ++i) hits += proc.run(inv, rng).target_reached;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.012);
+}
+
+TEST(ForwardProcess, MutualFriendWeightsAccumulate) {
+  // t=3 is adjacent to v1=1 and v2=2, each contributing 0.5; s adjacent
+  // to both v1,v2 with weight 1 → both always become friends... they are
+  // already N_s. So t always accumulates 1.0 ≥ θ: success certain.
+  Graph::Builder b(4);
+  b.add_edge(0, 1, 0.6, 0.4).add_edge(0, 2, 0.6, 0.4);
+  b.add_edge(1, 3, 0.5, 0.3).add_edge(2, 3, 0.5, 0.3);
+  const Graph g = b.build_with_explicit_weights();
+  const FriendingInstance inst(g, 0, 3);
+  ForwardProcess proc(inst);
+  InvitationSet inv(4);
+  inv.add(3);
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(proc.run(inv, rng).target_reached);
+  }
+}
+
+TEST(ForwardProcess, UniverseMismatchThrows) {
+  const auto fx = test::ParallelPathFixture::make(1, 1);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  ForwardProcess proc(inst);
+  InvitationSet wrong(2);
+  Rng rng(1);
+  EXPECT_THROW(proc.run(wrong, rng), precondition_error);
+}
+
+// -------------------------------------------- deterministic threshold runs
+
+TEST(DeterministicProcess, ExampleOneStyleCascade) {
+  // A reconstruction of the paper's Example 1 mechanics: uniform weight
+  // 0.1 per ordered pair, thresholds 0.15 — a node joins when TWO current
+  // friends are its neighbors.
+  //
+  // Layout: s(0); N_s = {1, 2}; chain: v3(3) adjacent to both 1 and 2;
+  // v4(4) adjacent to 3 and 1; t(5) adjacent to 3 and 4.
+  Graph::Builder b(6);
+  const double w = 0.1;
+  b.add_edge(0, 1, w, w).add_edge(0, 2, w, w);
+  b.add_edge(1, 3, w, w).add_edge(2, 3, w, w);
+  b.add_edge(1, 4, w, w).add_edge(3, 4, w, w);
+  b.add_edge(3, 5, w, w).add_edge(4, 5, w, w);
+  const Graph g = b.build_with_explicit_weights();
+  const FriendingInstance inst(g, 0, 5);
+  ForwardProcess proc(inst);
+
+  const std::vector<double> theta(6, 0.15);
+
+  // Everyone invited: 3 joins (friends 1,2 → 0.2 ≥ 0.15), then 4
+  // (friends 1,3), then t (friends 3,4).
+  InvitationSet all(6);
+  all.add(3);
+  all.add(4);
+  all.add(5);
+  auto r = proc.run_with_thresholds(all, theta);
+  EXPECT_TRUE(r.target_reached);
+  EXPECT_EQ(r.new_friends, (std::vector<NodeId>{3, 4, 5}));
+
+  // Like v2 in Example 1: node 4 invited but 3 is not — 4 has only one
+  // current friend (1) → 0.1 < 0.15, cascade stalls, t unreachable.
+  InvitationSet partial(6);
+  partial.add(4);
+  partial.add(5);
+  r = proc.run_with_thresholds(partial, theta);
+  EXPECT_FALSE(r.target_reached);
+  EXPECT_TRUE(r.new_friends.empty());
+
+  // Like v3 in Example 1: node 3 could join but is not invited.
+  InvitationSet no3(6);
+  no3.add(5);
+  r = proc.run_with_thresholds(no3, theta);
+  EXPECT_FALSE(r.target_reached);
+}
+
+TEST(DeterministicProcess, RoundsMatterNotOrder) {
+  // The literal Eq. (2) evaluates Φ against the frozen C_i; nodes
+  // unlocked by this round's joiners join the NEXT round.
+  Graph::Builder b(4);
+  b.add_edge(0, 1, 0.7, 0.6).add_edge(1, 2, 0.6, 0.3).add_edge(2, 3, 0.6,
+                                                               0.3);
+  const Graph g = b.build_with_explicit_weights();
+  const FriendingInstance inst(g, 0, 3);
+  ForwardProcess proc(inst);
+  InvitationSet inv(4);
+  inv.add(2);
+  inv.add(3);
+  const std::vector<double> theta{0.5, 0.5, 0.5, 0.5};
+  const auto r = proc.run_with_thresholds(inv, theta);
+  EXPECT_TRUE(r.target_reached);
+  EXPECT_EQ(r.new_friends, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(DeterministicProcess, ThresholdBoundaryIsInclusive) {
+  // Acceptance requires Σw ≥ θ (Eq. 1): equality counts.
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 0.5, 0.5).add_edge(1, 2, 0.4, 0.5);
+  const Graph g = b.build_with_explicit_weights();
+  const FriendingInstance inst(g, 0, 2);
+  ForwardProcess proc(inst);
+  InvitationSet inv(3);
+  inv.add(2);
+  EXPECT_TRUE(
+      proc.run_with_thresholds(inv, std::vector<double>{1, 1, 0.4})
+          .target_reached);
+  EXPECT_FALSE(
+      proc.run_with_thresholds(inv, std::vector<double>{1, 1, 0.41})
+          .target_reached);
+}
+
+TEST(DeterministicProcess, WrongThresholdArityThrows) {
+  const auto fx = test::ParallelPathFixture::make(1, 1);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  ForwardProcess proc(inst);
+  InvitationSet inv(fx.graph.num_nodes());
+  EXPECT_THROW(proc.run_with_thresholds(inv, std::vector<double>{0.5}),
+               precondition_error);
+}
+
+// -------------------------------------------------- realization-based runs
+
+TEST(ProcessUnderRealization, FollowsSelectedEdges) {
+  const auto fx = test::ParallelPathFixture::make(1, 2);
+  // Nodes: s=0, t=1, intermediates 2 (s-side), 3 (t-side).
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  ForwardProcess proc(inst);
+  InvitationSet inv(fx.graph.num_nodes());
+  inv.add(3);
+  inv.add(1);
+
+  // Realization where 3 selected 2 (∈ N_s) and t selected 3: success.
+  std::vector<NodeId> g1(fx.graph.num_nodes(), kNoNode);
+  g1[3] = 2;
+  g1[1] = 3;
+  EXPECT_TRUE(proc.run_under_realization(inv, g1).target_reached);
+
+  // Realization where 3 selected t instead: no chain from N_s.
+  std::vector<NodeId> g2(fx.graph.num_nodes(), kNoNode);
+  g2[3] = 1;
+  g2[1] = 3;
+  EXPECT_FALSE(proc.run_under_realization(inv, g2).target_reached);
+
+  // Success realization but node 3 not invited: blocked.
+  InvitationSet only_t(fx.graph.num_nodes());
+  only_t.add(1);
+  EXPECT_FALSE(proc.run_under_realization(only_t, g1).target_reached);
+}
+
+}  // namespace
+}  // namespace af

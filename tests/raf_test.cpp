@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/raf.hpp"
+#include "core/vmax.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+RafConfig fast_config(double alpha = 0.3) {
+  RafConfig cfg;
+  cfg.alpha = alpha;
+  cfg.epsilon = alpha / 10.0;
+  cfg.big_n = 1000.0;
+  cfg.max_realizations = 20'000;
+  cfg.pmax_max_samples = 200'000;
+  return cfg;
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(RafConfigValidation, RejectsBadParameters) {
+  RafConfig cfg;
+  cfg.alpha = 0.0;
+  EXPECT_THROW(RafAlgorithm{cfg}, precondition_error);
+  cfg = RafConfig{};
+  cfg.epsilon = cfg.alpha;
+  EXPECT_THROW(RafAlgorithm{cfg}, precondition_error);
+  cfg = RafConfig{};
+  cfg.big_n = 1.0;
+  EXPECT_THROW(RafAlgorithm{cfg}, precondition_error);
+}
+
+// --------------------------------------------------------------- guarantee
+
+TEST(Raf, MeetsGuaranteeOnParallelPaths) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config(0.3));
+  Rng rng(1);
+  const RafResult res = raf.run(inst, rng);
+
+  ASSERT_FALSE(res.invitation.empty());
+  EXPECT_TRUE(res.invitation.contains(fx.t));
+
+  const double f = test::exact_f(inst, res.invitation);
+  const double pmax = fx.pmax();
+  EXPECT_GE(f, (raf.config().alpha - raf.config().epsilon) * pmax - 1e-12);
+}
+
+TEST(Raf, SmallAlphaPicksOnePathNotAll) {
+  // With α = 0.3 on 3 equal paths, covering one path suffices
+  // (each path covers 1/3 of type-1 realizations).
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config(0.3));
+  Rng rng(2);
+  const RafResult res = raf.run(inst, rng);
+  // One path: t + 2 invitable intermediates = 3 nodes. Allow the solver
+  // an extra node of slack but it must not invite everything (7 nodes).
+  EXPECT_LE(res.invitation.size(), 5u);
+  EXPECT_GE(res.invitation.size(), 3u);
+}
+
+TEST(Raf, HighAlphaNeedsAllPaths) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  RafConfig cfg = fast_config(0.95);
+  cfg.epsilon = 0.01;
+  const RafAlgorithm raf(cfg);
+  Rng rng(3);
+  const RafResult res = raf.run(inst, rng);
+  // Covering ≥ ~94% of realizations requires both paths: 2·1 + t = 3.
+  EXPECT_EQ(res.invitation.size(), 3u);
+  const double f = test::exact_f(inst, res.invitation);
+  EXPECT_GE(f, (0.95 - 0.01) * fx.pmax() - 1e-9);
+}
+
+TEST(Raf, InvitationIsSubsetOfVmax) {
+  // Every t(g) path lies inside V_max, hence so does the union.
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const auto vmax = compute_vmax(inst);
+  const RafAlgorithm raf(fast_config(0.5));
+  Rng rng(4);
+  const RafResult res = raf.run(inst, rng);
+  for (NodeId v : res.invitation.members()) {
+    EXPECT_TRUE(std::binary_search(vmax.begin(), vmax.end(), v));
+  }
+}
+
+TEST(Raf, NeverInvitesSOrNs) {
+  Rng rng(5);
+  const Graph g =
+      barabasi_albert(120, 3, rng).build(WeightScheme::inverse_degree());
+  for (NodeId s = 0; s < 120; ++s) {
+    for (NodeId t = 0; t < 120; ++t) {
+      if (s == t || g.has_edge(s, t)) continue;
+      const FriendingInstance inst(g, s, t);
+      if (compute_vmax(inst).empty()) continue;
+      const RafAlgorithm raf(fast_config(0.2));
+      const RafResult res = raf.run(inst, rng);
+      EXPECT_FALSE(res.invitation.contains(s));
+      for (NodeId v : inst.initial_friends()) {
+        EXPECT_FALSE(res.invitation.contains(v));
+      }
+      return;
+    }
+  }
+}
+
+// -------------------------------------------------------------- diagnostics
+
+TEST(RafDiag, ReportsPipelineState) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config(0.4));
+  Rng rng(6);
+  const RafResult res = raf.run(inst, rng);
+
+  EXPECT_GT(res.diag.pmax.estimate, 0.0);
+  EXPECT_NEAR(res.diag.pmax.estimate, fx.pmax(), 0.15);
+  EXPECT_GT(res.diag.l_star, 0.0);
+  EXPECT_GT(res.diag.l_used, 0u);
+  EXPECT_LE(res.diag.l_used, raf.config().max_realizations);
+  EXPECT_GT(res.diag.type1_count, 0u);
+  EXPECT_GE(res.diag.covered, res.diag.coverage_target);
+  EXPECT_EQ(res.diag.vmax_size, 3u);  // t + 2 t-side intermediates
+  EXPECT_NO_THROW(res.diag.params.check());
+}
+
+TEST(RafDiag, CoverageTargetIsCeilBetaB1) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config(0.4));
+  Rng rng(7);
+  const RafResult res = raf.run(inst, rng);
+  const auto expected = static_cast<std::uint64_t>(
+      std::ceil(res.diag.params.beta *
+                static_cast<double>(res.diag.type1_count)));
+  EXPECT_EQ(res.diag.coverage_target, std::max<std::uint64_t>(expected, 1));
+}
+
+TEST(RafDiag, UnreachableTargetShortCircuits) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(2, 3).add_edge(3, 4);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 3);
+  const RafAlgorithm raf(fast_config());
+  Rng rng(8);
+  const RafResult res = raf.run(inst, rng);
+  EXPECT_TRUE(res.diag.target_unreachable);
+  EXPECT_TRUE(res.invitation.empty());
+  EXPECT_EQ(res.diag.vmax_size, 0u);
+}
+
+TEST(RafDiag, UndetectablySmallPmaxIsNotUnreachable) {
+  // A 25-hop chain: p_max = 2^-24 ≈ 6e-8, far below any practical
+  // sampling cap — but reachable, which V_max certifies.
+  const auto fx = test::ParallelPathFixture::make(1, 25);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  RafConfig cfg = fast_config(0.5);
+  cfg.pmax_max_samples = 10'000;
+  const RafAlgorithm raf(cfg);
+  Rng rng(77);
+  const RafResult res = raf.run(inst, rng);
+  EXPECT_TRUE(res.invitation.empty());
+  EXPECT_TRUE(res.diag.pmax_below_detection);
+  EXPECT_FALSE(res.diag.target_unreachable);
+  EXPECT_EQ(res.diag.vmax_size, 25u);  // t + 24 invitable intermediates
+}
+
+TEST(RafDiag, DeterministicGivenSeed) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config(0.3));
+  Rng r1(99), r2(99);
+  const auto a = raf.run(inst, r1);
+  const auto b = raf.run(inst, r2);
+  EXPECT_EQ(a.invitation.members(), b.invitation.members());
+  EXPECT_EQ(a.diag.l_used, b.diag.l_used);
+}
+
+// ----------------------------------------------------------- run_with_pmax
+
+TEST(RafWithPmax, MatchesFullRunGivenGoodEstimate) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config(0.3));
+  Rng rng(21);
+  // Supply the exact p_max and |V_max|; the result must meet the same
+  // guarantee without spending any DKLR samples.
+  const auto vmax = compute_vmax(inst);
+  const RafResult res =
+      raf.run_with_pmax(inst, fx.pmax(), vmax.size(), rng);
+  ASSERT_FALSE(res.invitation.empty());
+  const double f = test::exact_f(inst, res.invitation);
+  EXPECT_GE(f, (0.3 - 0.03) * fx.pmax() - 1e-12);
+  EXPECT_DOUBLE_EQ(res.diag.pmax.estimate, fx.pmax());
+  EXPECT_EQ(res.diag.vmax_size, vmax.size());
+}
+
+TEST(RafWithPmax, ZeroVmaxFallsBackToN) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config(0.3));
+  Rng r1(5), r2(5);
+  const auto with_n = raf.run_with_pmax(inst, 0.5, 0, r1);
+  const auto with_vmax = raf.run_with_pmax(inst, 0.5, 3, r2);
+  // Smaller effective n shrinks l*.
+  EXPECT_LT(with_vmax.diag.l_star, with_n.diag.l_star);
+}
+
+TEST(RafWithPmax, RejectsBadEstimate) {
+  const auto fx = test::ParallelPathFixture::make(1, 1);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config());
+  Rng rng(1);
+  EXPECT_THROW(raf.run_with_pmax(inst, 0.0, 0, rng), precondition_error);
+  EXPECT_THROW(raf.run_with_pmax(inst, 1.5, 0, rng), precondition_error);
+}
+
+// ----------------------------------------------------------- run_framework
+
+TEST(RafFramework, MeetsCoverageTarget) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config());
+  Rng rng(9);
+  const RafResult res = raf.run_framework(inst, 0.7, 5'000, rng);
+  EXPECT_GT(res.diag.type1_count, 0u);
+  EXPECT_GE(res.diag.covered, res.diag.coverage_target);
+  EXPECT_GE(res.diag.coverage_target,
+            static_cast<std::uint64_t>(0.7 * res.diag.type1_count));
+}
+
+TEST(RafFramework, MoreRealizationsNeverHurtQuality) {
+  // Fig. 6's knob: quality (f of the output) should be roughly
+  // non-decreasing in l. Compare a tiny and a large budget.
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config());
+  Rng rng(10);
+  const auto small = raf.run_framework(inst, 0.9, 50, rng);
+  const auto large = raf.run_framework(inst, 0.9, 20'000, rng);
+  const double f_small = test::exact_f(inst, small.invitation);
+  const double f_large = test::exact_f(inst, large.invitation);
+  EXPECT_GE(f_large + 0.05, f_small);
+}
+
+TEST(RafFramework, RejectsBadArguments) {
+  const auto fx = test::ParallelPathFixture::make(1, 1);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const RafAlgorithm raf(fast_config());
+  Rng rng(11);
+  EXPECT_THROW(raf.run_framework(inst, 0.0, 100, rng), precondition_error);
+  EXPECT_THROW(raf.run_framework(inst, 1.5, 100, rng), precondition_error);
+  EXPECT_THROW(raf.run_framework(inst, 0.5, 0, rng), precondition_error);
+}
+
+// -------------------------------------------------------------- solvers
+
+class RafSolverSweep : public testing::TestWithParam<CoverSolverKind> {};
+
+TEST_P(RafSolverSweep, AllBackendsMeetTheTarget) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  RafConfig cfg = fast_config(0.3);
+  cfg.solver = GetParam();
+  cfg.max_realizations = 3'000;  // keep the exact solver's family small?
+  // The exact solver caps at 30 distinct sets: with 3 paths there are
+  // exactly 3 distinct t(g) path sets — safe at any sample count.
+  const RafAlgorithm raf(cfg);
+  Rng rng(12);
+  const RafResult res = raf.run(inst, rng);
+  EXPECT_GE(res.diag.covered, res.diag.coverage_target);
+  const double f = test::exact_f(inst, res.invitation);
+  EXPECT_GE(f, (cfg.alpha - cfg.epsilon) * fx.pmax() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, RafSolverSweep,
+                         testing::Values(CoverSolverKind::kGreedy,
+                                         CoverSolverKind::kDensest,
+                                         CoverSolverKind::kSmallestSets,
+                                         CoverSolverKind::kExact),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CoverSolverKind::kGreedy: return "greedy";
+                             case CoverSolverKind::kDensest: return "densest";
+                             case CoverSolverKind::kSmallestSets:
+                               return "smallest";
+                             case CoverSolverKind::kExact: return "exact";
+                           }
+                           return "?";
+                         });
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baselines.hpp"
+#include "core/ranked_eval.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+// --------------------------------------------------------------- rankings
+
+TEST(Rankings, TargetIsAlwaysFirst) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(1);
+  EXPECT_EQ(high_degree_ranking(inst).front(), fx.t);
+  EXPECT_EQ(shortest_path_ranking(inst).front(), fx.t);
+  EXPECT_EQ(random_ranking(inst, rng).front(), fx.t);
+}
+
+TEST(Rankings, CoverAllInvitableNodesExactlyOnce) {
+  Rng rng(2);
+  const Graph g =
+      gnm_random(50, 120, rng).build(WeightScheme::inverse_degree());
+  for (NodeId s = 0; s < 50; ++s) {
+    if (g.degree(s) == 0) continue;
+    for (NodeId t = 0; t < 50; ++t) {
+      if (t == s || g.has_edge(s, t)) continue;
+      const FriendingInstance inst(g, s, t);
+      std::size_t invitable = 0;
+      for (NodeId v = 0; v < 50; ++v) invitable += inst.invitable(v);
+
+      const auto hd = high_degree_ranking(inst);
+      EXPECT_EQ(hd.size(), invitable);
+      auto sorted = hd;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                  sorted.end());
+
+      const auto rnd = random_ranking(inst, rng);
+      EXPECT_EQ(rnd.size(), invitable);
+      return;
+    }
+  }
+}
+
+TEST(Rankings, PrefixMatchesBudgetApi) {
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const auto ranking = high_degree_ranking(inst);
+  for (std::size_t k : {1u, 3u, 5u, 100u}) {
+    const auto via_prefix = ranking_prefix(inst, ranking, k);
+    const auto via_budget = high_degree_invitation(inst, k);
+    EXPECT_EQ(via_prefix.members(), via_budget.members()) << "k=" << k;
+  }
+}
+
+TEST(Rankings, SpRankingUnreachableFillerOmitted) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(2, 3).add_edge(3, 4);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 3);
+  const auto sp = shortest_path_ranking(inst);
+  // Only t: no s→t path, and no node is BFS-reachable from N_s.
+  EXPECT_EQ(sp, (InvitationRanking{3}));
+}
+
+// ------------------------------------------------------------ curve basics
+
+TEST(RankedCurve, MonotoneAndBounded) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(3);
+  const auto ranking = high_degree_ranking(inst);
+  const RankedCurve curve =
+      evaluate_ranked_prefixes(inst, ranking, 50'000, rng);
+  double prev = -1.0;
+  for (std::size_t k = 0; k <= ranking.size() + 2; ++k) {
+    const double f = curve.f_at(k);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(curve.f_at(ranking.size()), curve.ceiling());
+  EXPECT_DOUBLE_EQ(curve.f_at(0), 0.0);
+}
+
+TEST(RankedCurve, MatchesDirectMonteCarloAtEveryPrefix) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(4);
+  const auto ranking = high_degree_ranking(inst);
+  const RankedCurve curve =
+      evaluate_ranked_prefixes(inst, ranking, 200'000, rng);
+  for (std::size_t k = 1; k <= ranking.size(); ++k) {
+    const double exact = test::exact_f(inst, ranking_prefix(inst, ranking, k));
+    EXPECT_NEAR(curve.f_at(k), exact, 0.01) << "k=" << k;
+  }
+}
+
+TEST(RankedCurve, CeilingIsPmaxForFullRanking) {
+  // The full invitable ranking covers every coverable realization.
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(5);
+  const RankedCurve curve = evaluate_ranked_prefixes(
+      inst, high_degree_ranking(inst), 100'000, rng);
+  EXPECT_NEAR(curve.ceiling(), fx.pmax(), 0.01);
+}
+
+TEST(RankedCurve, SizeToReachInvertsFAt) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(6);
+  const auto ranking = high_degree_ranking(inst);
+  const RankedCurve curve =
+      evaluate_ranked_prefixes(inst, ranking, 50'000, rng);
+  for (double target : {0.05, 0.1, 0.2, 0.4}) {
+    const auto k = curve.size_to_reach(target);
+    if (!k) {
+      EXPECT_LT(curve.ceiling(), target);
+      continue;
+    }
+    EXPECT_GE(curve.f_at(*k), target);
+    if (*k > 0) {
+      EXPECT_LT(curve.f_at(*k - 1), target);
+    }
+  }
+}
+
+TEST(RankedCurve, UnreachableTargetGivesZeroCurve) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(2, 3).add_edge(3, 4);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 3);
+  Rng rng(7);
+  const RankedCurve curve = evaluate_ranked_prefixes(
+      inst, shortest_path_ranking(inst), 5'000, rng);
+  EXPECT_DOUBLE_EQ(curve.ceiling(), 0.0);
+  EXPECT_FALSE(curve.size_to_reach(0.01).has_value());
+  EXPECT_EQ(curve.size_to_reach(0.0), std::size_t{0});
+}
+
+TEST(RankedCurve, RejectsMalformedInput) {
+  const auto fx = test::ParallelPathFixture::make(1, 1);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(8);
+  EXPECT_THROW(evaluate_ranked_prefixes(inst, {}, 100, rng),
+               precondition_error);
+  InvitationRanking dup{fx.t, fx.t};
+  EXPECT_THROW(evaluate_ranked_prefixes(inst, dup, 100, rng),
+               precondition_error);
+}
+
+TEST(RankedCurve, PartialRankingCapsTheCeiling) {
+  // Ranking that omits one path's nodes can never cover those paths.
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(9);
+  // Only t and path 0's t-side intermediate (node 3).
+  const InvitationRanking partial{fx.t, 3};
+  const RankedCurve curve =
+      evaluate_ranked_prefixes(inst, partial, 100'000, rng);
+  EXPECT_NEAR(curve.ceiling(), fx.pmax() / 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace af

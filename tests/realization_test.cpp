@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "diffusion/realization.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+// --------------------------------------------------- full realizations
+
+TEST(FullRealization, SelectionsAreFriendsOrNobody) {
+  Rng rng(1);
+  const Graph g =
+      gnm_random(30, 60, rng).build(WeightScheme::inverse_degree());
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto real = sample_full_realization(g, rng);
+    ASSERT_EQ(real.size(), g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (real[v] == kNoNode) continue;
+      EXPECT_TRUE(g.has_edge(real[v], v));
+    }
+  }
+}
+
+TEST(FullRealization, SelectionFrequenciesMatchWeights) {
+  // Node 2's in-weights on a triangle are 0.5 / 0.5; "nobody" has mass 0.
+  Graph::Builder b(3);
+  b.add_edge(0, 2, 0.3, 0.1).add_edge(1, 2, 0.5, 0.1);
+  const Graph g = b.build_with_explicit_weights();
+  Rng rng(5);
+  std::map<NodeId, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sample_full_realization(g, rng)[2]];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[kNoNode] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(FullRealization, IsolatedNodesSelectNobody) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sample_full_realization(g, rng)[2], kNoNode);
+  }
+}
+
+// ------------------------------------------------------------ trace_tg
+
+TEST(TraceTg, ReachingNsIsTypeOne) {
+  const auto fx = test::ParallelPathFixture::make(1, 2);
+  // s=0, t=1, intermediates 2 (∈ N_s side) and 3.
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  std::vector<NodeId> real(fx.graph.num_nodes(), kNoNode);
+  real[1] = 3;  // t selects 3
+  real[3] = 2;  // 3 selects 2 ∈ N_s
+  const TgSample tg = trace_tg(inst, real);
+  EXPECT_TRUE(tg.type1);
+  EXPECT_EQ(tg.path, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(TraceTg, DeadEndIsTypeZero) {
+  const auto fx = test::ParallelPathFixture::make(1, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  std::vector<NodeId> real(fx.graph.num_nodes(), kNoNode);
+  real[1] = 3;  // t selects 3, 3 selects nobody
+  const TgSample tg = trace_tg(inst, real);
+  EXPECT_FALSE(tg.type1);
+}
+
+TEST(TraceTg, CycleIsTypeZero) {
+  // Cycle among non-friend nodes: t→a→b→t.
+  Graph::Builder b(6);
+  b.add_edge(0, 1);                                  // s-N_s edge
+  b.add_edge(2, 3).add_edge(3, 4).add_edge(4, 2);    // triangle t,a,b
+  b.add_edge(1, 2);                                  // connect components
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 3);  // t = 3
+  std::vector<NodeId> real(g.num_nodes(), kNoNode);
+  real[3] = 4;
+  real[4] = 2;
+  real[2] = 3;  // closes the cycle back into the path
+  const TgSample tg = trace_tg(inst, real);
+  EXPECT_FALSE(tg.type1);
+}
+
+TEST(TraceTg, TargetAdjacentToNs) {
+  // t's selection lands directly in N_s: path is just {t}.
+  Graph::Builder b(3);
+  b.add_edge(0, 1).add_edge(1, 2);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 2);
+  std::vector<NodeId> real(3, kNoNode);
+  real[2] = 1;  // 1 ∈ N_s
+  const TgSample tg = trace_tg(inst, real);
+  EXPECT_TRUE(tg.type1);
+  EXPECT_EQ(tg.path, (std::vector<NodeId>{2}));
+}
+
+// -------------------------------------------------- reverse path sampler
+
+TEST(ReverseSampler, PathsAreValidWalks) {
+  Rng rng(11);
+  const Graph g =
+      gnm_random(40, 120, rng).build(WeightScheme::inverse_degree());
+  // Find a valid instance.
+  NodeId s = 0, t = 0;
+  bool found = false;
+  for (NodeId a = 0; a < 40 && !found; ++a) {
+    for (NodeId c = 0; c < 40 && !found; ++c) {
+      if (a == c || g.has_edge(a, c) || g.degree(a) == 0) continue;
+      s = a;
+      t = c;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  const FriendingInstance inst(g, s, t);
+  ReversePathSampler sampler(inst);
+  for (int i = 0; i < 2000; ++i) {
+    const TgSample tg = sampler.sample(rng);
+    ASSERT_FALSE(tg.path.empty());
+    EXPECT_EQ(tg.path.front(), t);
+    for (NodeId v : tg.path) {
+      EXPECT_NE(v, s);
+      EXPECT_FALSE(inst.is_initial_friend(v));
+    }
+    // Consecutive path nodes must be graph-adjacent (the walk follows
+    // selection arcs, which exist only between friends).
+    for (std::size_t k = 1; k < tg.path.size(); ++k) {
+      EXPECT_TRUE(g.has_edge(tg.path[k - 1], tg.path[k]));
+    }
+    if (tg.type1) {
+      // The walk ended by selecting an N_s node: the last path node must
+      // be adjacent to N_s.
+      bool adj = false;
+      for (NodeId u : g.neighbors(tg.path.back())) {
+        if (inst.is_initial_friend(u)) adj = true;
+      }
+      EXPECT_TRUE(adj);
+    }
+  }
+  EXPECT_EQ(sampler.samples_drawn(), 2000u);
+}
+
+TEST(ReverseSampler, TypeOneRateMatchesAnalyticPmax) {
+  // Parallel paths: p_max = (1/2)^(len-1).
+  for (std::size_t len : {1u, 2u, 3u}) {
+    const auto fx = test::ParallelPathFixture::make(3, len);
+    const FriendingInstance inst(fx.graph, fx.s, fx.t);
+    ReversePathSampler sampler(inst);
+    Rng rng(13 + len);
+    int type1 = 0;
+    const int n = 40'000;
+    for (int i = 0; i < n; ++i) type1 += sampler.sample(rng).type1;
+    EXPECT_NEAR(type1 / static_cast<double>(n), fx.pmax(), 0.01)
+        << "len=" << len;
+  }
+}
+
+TEST(ReverseSampler, AgreesWithFullRealizationTrace) {
+  // The lazy sampler must induce the same distribution over (type,
+  // path) as tracing a fully materialized realization.
+  Rng rng(17);
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  ReversePathSampler sampler(inst);
+
+  auto key_of = [](const TgSample& tg) {
+    std::string k = tg.type1 ? "1:" : "0:";
+    if (tg.type1) {
+      for (NodeId v : tg.path) k += std::to_string(v) + ",";
+    }
+    return k;
+  };
+
+  std::map<std::string, int> lazy_counts, full_counts;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    lazy_counts[key_of(sampler.sample(rng))]++;
+    full_counts[key_of(
+        trace_tg(inst, sample_full_realization(fx.graph, rng)))]++;
+  }
+  // Compare the two empirical distributions on every observed key.
+  for (const auto& [k, c] : full_counts) {
+    const double pf = c / static_cast<double>(n);
+    const double pl = lazy_counts[k] / static_cast<double>(n);
+    EXPECT_NEAR(pf, pl, 0.015) << "key " << k;
+  }
+}
+
+TEST(ReverseSampler, UnreachableTargetAlwaysTypeZero) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1);          // s-component
+  b.add_edge(2, 3).add_edge(3, 4);  // t-component
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const FriendingInstance inst(g, 0, 3);
+  ReversePathSampler sampler(inst);
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(sampler.sample(rng).type1);
+  }
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cover/setfamily.hpp"
+#include "util/contracts.hpp"
+
+namespace af {
+namespace {
+
+TEST(SetFamily, AddAndQuery) {
+  SetFamily fam(10);
+  const auto a = fam.add_set(std::vector<NodeId>{3, 1, 2});
+  EXPECT_EQ(fam.num_sets(), 1u);
+  EXPECT_EQ(fam.elements(a), (std::vector<NodeId>{1, 2, 3}));  // sorted
+  EXPECT_EQ(fam.multiplicity(a), 1u);
+  EXPECT_EQ(fam.total_multiplicity(), 1u);
+  EXPECT_EQ(fam.total_elements(), 3u);
+}
+
+TEST(SetFamily, DuplicatesAccumulateMultiplicity) {
+  SetFamily fam(10);
+  const auto a = fam.add_set(std::vector<NodeId>{1, 2});
+  const auto b = fam.add_set(std::vector<NodeId>{2, 1});  // same set
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(fam.num_sets(), 1u);
+  EXPECT_EQ(fam.multiplicity(a), 2u);
+  EXPECT_EQ(fam.total_multiplicity(), 2u);
+  EXPECT_EQ(fam.total_elements(), 2u);  // distinct storage only
+}
+
+TEST(SetFamily, InputDuplicatesCollapsed) {
+  SetFamily fam(10);
+  const auto a = fam.add_set(std::vector<NodeId>{5, 5, 5});
+  EXPECT_EQ(fam.elements(a), (std::vector<NodeId>{5}));
+}
+
+TEST(SetFamily, DistinctSetsGetDistinctIds) {
+  SetFamily fam(10);
+  const auto a = fam.add_set(std::vector<NodeId>{1});
+  const auto b = fam.add_set(std::vector<NodeId>{2});
+  const auto c = fam.add_set(std::vector<NodeId>{1, 2});
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(fam.num_sets(), 3u);
+}
+
+TEST(SetFamily, InvertedIndexTracksMembership) {
+  SetFamily fam(6);
+  const auto a = fam.add_set(std::vector<NodeId>{0, 1});
+  const auto b = fam.add_set(std::vector<NodeId>{1, 2});
+  EXPECT_EQ(fam.sets_containing(0), (std::vector<std::uint32_t>{a}));
+  EXPECT_EQ(fam.sets_containing(1), (std::vector<std::uint32_t>{a, b}));
+  EXPECT_TRUE(fam.sets_containing(5).empty());
+}
+
+TEST(SetFamily, InvertedIndexNotDuplicatedByMultiplicity) {
+  SetFamily fam(4);
+  fam.add_set(std::vector<NodeId>{0});
+  fam.add_set(std::vector<NodeId>{0});
+  EXPECT_EQ(fam.sets_containing(0).size(), 1u);
+}
+
+TEST(SetFamily, RejectsEmptySet) {
+  SetFamily fam(4);
+  EXPECT_THROW(fam.add_set(std::vector<NodeId>{}), precondition_error);
+}
+
+TEST(SetFamily, RejectsOutOfUniverse) {
+  SetFamily fam(4);
+  EXPECT_THROW(fam.add_set(std::vector<NodeId>{4}), precondition_error);
+}
+
+TEST(SetFamily, ManySetsStressDedup) {
+  SetFamily fam(100);
+  // 50 distinct singletons, each added 3 times.
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId v = 0; v < 50; ++v) {
+      fam.add_set(std::vector<NodeId>{v});
+    }
+  }
+  EXPECT_EQ(fam.num_sets(), 50u);
+  EXPECT_EQ(fam.total_multiplicity(), 150u);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(fam.multiplicity(i), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace af

