@@ -1,4 +1,4 @@
-// Ablation (DESIGN.md §4.1 / EXPERIMENTS.md): topology sensitivity of the
+// Ablation (DESIGN.md §3, §4.1): topology sensitivity of the
 // Table-II quantities. Barabási–Albert analogs have minimum degree equal
 // to the attachment parameter, so nearly the whole graph is one giant
 // biconnected core and |V_max| ≈ n. Real SNAP graphs have a large

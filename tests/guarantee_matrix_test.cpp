@@ -23,7 +23,10 @@ struct MatrixCase {
 
 std::string case_name(const testing::TestParamInfo<MatrixCase>& info) {
   const auto& c = info.param;
-  std::string s = "a" + std::to_string(static_cast<int>(c.alpha * 100));
+  // Built with append() rather than operator+ to dodge a GCC 12
+  // -Wrestrict false positive on `const char* + std::string&&`.
+  std::string s = "a";
+  s += std::to_string(static_cast<int>(c.alpha * 100));
   s += c.policy == Eps0Policy::kBalanced ? "_bal" : "_pap";
   switch (c.solver) {
     case CoverSolverKind::kGreedy: s += "_greedy"; break;
@@ -31,7 +34,10 @@ std::string case_name(const testing::TestParamInfo<MatrixCase>& info) {
     case CoverSolverKind::kSmallestSets: s += "_small"; break;
     case CoverSolverKind::kExact: s += "_exact"; break;
   }
-  s += "_p" + std::to_string(c.paths) + "l" + std::to_string(c.len);
+  s += "_p";
+  s += std::to_string(c.paths);
+  s += "l";
+  s += std::to_string(c.len);
   return s;
 }
 
