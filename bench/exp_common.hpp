@@ -15,51 +15,17 @@
 
 namespace af::bench {
 
-/// Experiment-wide knobs shared by every exp_* binary.
-struct ExperimentEnv {
-  bool full = false;
-  std::uint64_t seed = 20190707;  // ICDCS'19 vintage
-  std::size_t pairs = 0;          // per dataset; 0 = binary default
-  std::uint64_t eval_samples = 20'000;
-  std::string datasets = "wiki,hepth,hepph,youtube";
-  std::string csv;  // optional CSV mirror path prefix
-};
+// The experiment flag bundle lives in util/cli (shared with the
+// flag-driven examples); these aliases keep the historical bench names.
+using af::ExperimentEnv;
+using af::split_csv_list;
 
-/// Registers the shared flags on a parser.
 inline void add_common_flags(ArgParser& args, std::size_t default_pairs) {
-  args.add_flag("full", "paper-scale parameters (slow)");
-  args.add_int("seed", 20190707, "experiment RNG seed");
-  args.add_int("pairs", static_cast<std::int64_t>(default_pairs),
-               "number of (s,t) pairs per dataset (paper: 500)");
-  args.add_int("eval-samples", 20'000,
-               "Monte-Carlo samples per f(I) evaluation");
-  args.add_string("datasets", "wiki,hepth,hepph,youtube",
-                  "comma-separated dataset analogs to run");
-  args.add_string("csv", "", "also write results to this CSV path prefix");
+  add_experiment_flags(args, default_pairs);
 }
 
 inline ExperimentEnv read_env(const ArgParser& args) {
-  ExperimentEnv env;
-  env.full = args.get_flag("full");
-  env.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  env.pairs = static_cast<std::size_t>(args.get_int("pairs"));
-  env.eval_samples = static_cast<std::uint64_t>(args.get_int("eval-samples"));
-  env.datasets = args.get_string("datasets");
-  env.csv = args.get_string("csv");
-  return env;
-}
-
-inline std::vector<std::string> split_csv_list(const std::string& s) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t comma = s.find(',', start);
-    const std::size_t end = comma == std::string::npos ? s.size() : comma;
-    if (end > start) out.push_back(s.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
+  return read_experiment_env(args);
 }
 
 /// A generated dataset with its accepted pairs.

@@ -12,7 +12,7 @@
 #include <string>
 
 #include "core/baselines.hpp"
-#include "core/raf.hpp"
+#include "core/planner.hpp"
 #include "core/ranked_eval.hpp"
 #include "exp_common.hpp"
 #include "util/stats.hpp"
@@ -45,13 +45,16 @@ inline void run_ratio_experiment(const std::string& title,
       continue;
     }
 
-    RafConfig cfg;
-    cfg.alpha = rcfg.alpha;
-    cfg.epsilon = rcfg.alpha / 10.0;
-    cfg.big_n = 1000.0;
-    cfg.max_realizations = rcfg.max_realizations;
-    cfg.pmax_max_samples = 200'000;
-    const RafAlgorithm raf(cfg);
+    PlannerOptions options;
+    options.base_seed = env.seed;
+    options.pmax_max_samples = 200'000;
+    Planner planner(data.graph, options);
+
+    MinimizeSpec spec;
+    spec.alpha = rcfg.alpha;
+    spec.epsilon = rcfg.alpha / 10.0;
+    spec.big_n = 1000.0;
+    spec.max_realizations = rcfg.max_realizations;
 
     // Paper's five x-intervals over the acceptance ratio (0, 1].
     Histogram bins(0.0, 1.0, 5);
@@ -60,8 +63,8 @@ inline void run_ratio_experiment(const std::string& title,
 
     for (const auto& pair : data.pairs) {
       const FriendingInstance inst(data.graph, pair.s, pair.t);
-      const RafResult res = raf.run(inst, rng);
-      if (res.invitation.empty()) continue;
+      const PlanResult res = planner.plan({pair.s, pair.t, spec});
+      if (!res.ok() || res.invitation.empty()) continue;
       const auto k_raf = static_cast<double>(res.invitation.size());
 
       MonteCarloEvaluator mc(inst);

@@ -1,7 +1,7 @@
 // af_cli — command-line active friending planner.
 //
 // Loads a graph from an edge list (or generates a synthetic one), then
-// plans and evaluates an invitation strategy for a given (s, t) pair:
+// answers (s, t) friending queries through the af::Planner facade:
 //
 //   # plan on a generated Barabási–Albert graph
 //   ./af_cli --generate ba --nodes 5000 --attach 5 --s 17 --t 4242
@@ -9,13 +9,21 @@
 //   # plan on your own edge list ("u v" per line, '#' comments)
 //   ./af_cli --graph friends.txt --s 10 --t 999 --alpha 0.5
 //
-// Prints the RAF invitation list, its estimated acceptance probability,
+//   # sweep several targets at once (batched, shared per-pair caches)
+//   ./af_cli --s 0 --t 1000 --alphas 0.1,0.3,0.5
+//
+//   # the budgeted maximization mode instead
+//   ./af_cli --s 0 --t 1000 --budget 16
+//
+// Prints the invitation list, its estimated acceptance probability,
 // p_max, |V_max| and a comparison against the HD/SP baselines.
+#include <algorithm>
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "core/baselines.hpp"
-#include "core/raf.hpp"
-#include "core/vmax.hpp"
+#include "core/planner.hpp"
 #include "diffusion/montecarlo.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -36,10 +44,15 @@ int main(int argc, char** argv) {
   args.add_int("s", 0, "initiator node id");
   args.add_int("t", 1'000, "target node id");
   args.add_double("alpha", 0.3, "target share of p_max");
-  args.add_double("epsilon", 0.03, "slack (guarantee is (alpha-eps)p_max)");
+  args.add_string("alphas", "",
+                  "comma-separated alpha sweep (overrides --alpha)");
+  args.add_double("epsilon", 0.0,
+                  "slack; 0 = alpha/10 (guarantee is (alpha-eps)p_max)");
+  args.add_int("budget", 0,
+               "maximize f(I) under this invitation budget instead");
   args.add_int("realizations", 100'000, "cap on sampled realizations");
-  args.add_int("eval-samples", 100'000, "Monte-Carlo evaluation samples");
-  args.add_int("seed", 1, "RNG seed");
+  args.add_int("threads", 0, "batch worker threads (0 = hardware)");
+  add_sampling_flags(args, /*default_seed=*/1, /*default_eval_samples=*/100'000);
   if (!args.parse(argc, argv)) return 1;
 
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
@@ -77,52 +90,99 @@ int main(int argc, char** argv) {
 
   const auto s = static_cast<NodeId>(args.get_int("s"));
   const auto t = static_cast<NodeId>(args.get_int("t"));
-  if (s >= graph.num_nodes() || t >= graph.num_nodes() || s == t ||
-      graph.has_edge(s, t)) {
-    std::cerr << "invalid (s,t): need distinct, non-adjacent, in-range ids\n";
-    return 1;
-  }
-  const FriendingInstance instance(graph, s, t);
-
+  const auto realizations =
+      static_cast<std::uint64_t>(args.get_int("realizations"));
   const auto eval_samples =
       static_cast<std::uint64_t>(args.get_int("eval-samples"));
-  MonteCarloEvaluator mc(instance);
-  const double pmax = mc.estimate_pmax(eval_samples, rng).estimate();
-  const auto vmax = compute_vmax(instance);
-  std::cout << "p_max ≈ " << pmax << ", |V_max| = " << vmax.size() << "\n";
-  if (vmax.empty()) {
-    std::cout << "target unreachable from s's friends — no strategy can "
-                 "succeed\n";
-    return 0;
+
+  PlannerOptions options;
+  options.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  options.threads = static_cast<std::size_t>(args.get_int("threads"));
+  Planner planner(graph, options);
+
+  // Assemble the query list: a budget query, one alpha, or a sweep.
+  std::vector<QuerySpec> queries;
+  if (args.get_int("budget") > 0) {
+    MaximizeSpec spec;
+    spec.budget = static_cast<std::size_t>(args.get_int("budget"));
+    spec.realizations = realizations;
+    queries.push_back({s, t, spec});
+  } else {
+    std::vector<double> alphas;
+    if (!args.get_string("alphas").empty()) {
+      try {
+        alphas = parse_double_list(args.get_string("alphas"));
+      } catch (const std::exception& e) {
+        std::cerr << "bad --alphas: " << e.what() << "\n";
+        return 1;
+      }
+    } else {
+      alphas.push_back(args.get_double("alpha"));
+    }
+    for (double alpha : alphas) {
+      MinimizeSpec spec;
+      spec.alpha = alpha;
+      // An explicit --epsilon passes through unchanged so a bad value
+      // surfaces as the planner's kInvalidSpec instead of being patched;
+      // only the 0 default means "derive from alpha".
+      const double eps = args.get_double("epsilon");
+      spec.epsilon = eps != 0.0 ? eps : alpha / 10.0;
+      spec.max_realizations = realizations;
+      queries.push_back({s, t, spec});
+    }
   }
 
-  RafConfig cfg;
-  cfg.alpha = args.get_double("alpha");
-  cfg.epsilon = args.get_double("epsilon");
-  cfg.max_realizations =
-      static_cast<std::uint64_t>(args.get_int("realizations"));
-  const RafAlgorithm raf(cfg);
-  const RafResult res = raf.run(instance, rng);
-  if (res.invitation.empty()) {
-    std::cout << "RAF produced an empty plan (estimated p_max too small)\n";
-    return 0;
+  const std::vector<PlanResult> results = planner.plan_batch(queries);
+
+  std::optional<FriendingInstance> instance;
+  std::optional<MonteCarloEvaluator> mc;
+  double pmax = 0.0;  // evaluated once: every query shares one (s,t)
+  bool any_ok = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PlanResult& res = results[i];
+    std::cout << "\n== query " << i + 1 << "/" << results.size()
+              << " — status: " << to_string(res.status) << " ==\n";
+    if (!res.ok()) {
+      std::cout << res.message << "\n";
+      continue;
+    }
+    any_ok = true;
+    if (!mc) {
+      instance.emplace(graph, s, t);
+      mc.emplace(*instance);
+      pmax = mc->estimate_pmax(eval_samples, rng).estimate();
+    }
+    // Maximize-mode queries never run the DKLR stage; only report the
+    // planner's p*max when it actually estimated one.
+    if (res.diag.pmax.samples_used > 0) {
+      std::cout << "p_max ≈ " << res.diag.pmax.estimate
+                << (res.timings.pmax_cache_hit ? " (cached)" : "") << ", ";
+    }
+    std::cout << "|V_max| = " << res.diag.vmax_size << "\n";
+    std::cout << "invite, in this order of priority:\n  ";
+    for (NodeId v : res.invitation.members()) std::cout << v << ' ';
+    std::cout << "\n";
+
+    const std::size_t k = res.invitation.size();
+    TableWriter table({"strategy", "size", "acceptance-prob", "% of p_max"});
+    auto add = [&](const std::string& name, const InvitationSet& inv) {
+      const double f = mc->estimate_f(inv, eval_samples, rng).estimate();
+      table.add_row({name, TableWriter::fmt(inv.size()),
+                     TableWriter::fmt(f, 4),
+                     TableWriter::fmt(pmax > 0 ? f / pmax * 100 : 0.0, 1)});
+    };
+    add("Planner", res.invitation);
+    add("HighDegree", high_degree_invitation(*instance, k));
+    add("ShortestPath", shortest_path_invitation(*instance, k));
+    table.print(std::cout);
   }
-
-  std::cout << "\ninvite, in this order of priority:\n  ";
-  for (NodeId v : res.invitation.members()) std::cout << v << ' ';
-  std::cout << "\n\n";
-
-  const std::size_t k = res.invitation.size();
-  TableWriter table({"strategy", "size", "acceptance-prob", "% of p_max"});
-  auto add = [&](const std::string& name, const InvitationSet& inv) {
-    const double f = mc.estimate_f(inv, eval_samples, rng).estimate();
-    table.add_row({name, TableWriter::fmt(inv.size()),
-                   TableWriter::fmt(f, 4),
-                   TableWriter::fmt(pmax > 0 ? f / pmax * 100 : 0.0, 1)});
-  };
-  add("RAF", res.invitation);
-  add("HighDegree", high_degree_invitation(instance, k));
-  add("ShortestPath", shortest_path_invitation(instance, k));
-  table.print(std::cout);
-  return 0;
+  // Exit non-zero only when a query was rejected as invalid input (the
+  // pre-planner contract); an unreachable or undetectable target is a
+  // legitimate planning outcome and keeps exit 0.
+  const bool any_invalid = std::any_of(
+      results.begin(), results.end(), [](const PlanResult& r) {
+        return r.status == PlanStatus::kInvalidSpec ||
+               r.status == PlanStatus::kInvalidPair;
+      });
+  return any_ok || !any_invalid ? 0 : 1;
 }

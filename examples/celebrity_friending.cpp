@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "core/baselines.hpp"
-#include "core/raf.hpp"
+#include "core/planner.hpp"
 #include "diffusion/montecarlo.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
@@ -51,16 +51,23 @@ int main() {
   const double pmax = mc.estimate_pmax(100'000, rng).estimate();
   std::cout << "p_max = " << pmax << "\n\n";
   if (pmax <= 0.0) {
+    // The report below divides by this estimate; with p_max under the
+    // Monte-Carlo detection limit there is nothing meaningful to plan.
     std::cout << "celebrity unreachable — nothing to plan\n";
     return 0;
   }
 
-  RafConfig config;
-  config.alpha = 0.3;
-  config.epsilon = 0.03;
-  config.max_realizations = 60'000;
-  const RafAlgorithm raf(config);
-  const RafResult res = raf.run(instance, rng);
+  Planner planner(graph, PlannerOptions{.base_seed = 42});
+  MinimizeSpec spec;
+  spec.alpha = 0.3;
+  spec.epsilon = 0.03;
+  spec.max_realizations = 60'000;
+  const PlanResult res = planner.plan({fan, celebrity, spec});
+  if (!res.ok()) {
+    std::cout << "celebrity not plannable: " << to_string(res.status)
+              << " — " << res.message << "\n";
+    return 0;
+  }
   const std::size_t budget = std::max<std::size_t>(res.invitation.size(), 1);
 
   TableWriter table({"strategy", "invitations", "acceptance-prob",

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "core/baselines.hpp"
-#include "core/raf.hpp"
+#include "core/planner.hpp"
 #include "diffusion/montecarlo.hpp"
 #include "graph/graph.hpp"
 #include "graph/weights.hpp"
@@ -48,12 +48,16 @@ int main() {
 
   // Sweep the invitation budget for each strategy: acceptance stays ~0
   // until a whole bridge (plus the B-side approach to t) is covered.
-  RafConfig config;
-  config.alpha = 0.3;
-  config.epsilon = 0.03;
-  config.max_realizations = 60'000;
-  const RafAlgorithm raf(config);
-  const RafResult res = raf.run(instance, rng);
+  Planner planner(graph, PlannerOptions{.base_seed = 9});
+  MinimizeSpec spec;
+  spec.alpha = 0.3;
+  spec.epsilon = 0.03;
+  spec.max_realizations = 60'000;
+  const PlanResult res = planner.plan({s, t, spec});
+  if (!res.ok()) {
+    std::cout << "planning failed: " << to_string(res.status) << "\n";
+    return 0;
+  }
 
   // Head-to-head at RAF's own size.
   const std::size_t k = res.invitation.size();

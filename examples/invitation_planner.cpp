@@ -1,14 +1,15 @@
-// Invitation planner: the maximization-flavored workflow built on the
-// same machinery (the paper's future-work direction). Given a budget of
-// invitations the user is willing to send, report the acceptance
-// probability the budget buys — and, inversely, use RAF to price a target
-// probability in invitations.
+// Invitation planner: both problem modes through one af::Planner. Given
+// a budget of invitations the user is willing to send, report the
+// acceptance probability the budget buys — and, inversely, price a
+// target probability in invitations (RAF). Each direction is a single
+// plan_batch on the same (s, t) pair, so the realization pool, the
+// p*max estimate and V_max are computed once and shared by every row.
 //
 // Run:  ./invitation_planner
 #include <iostream>
+#include <vector>
 
-#include "core/maximizer.hpp"
-#include "core/raf.hpp"
+#include "core/planner.hpp"
 #include "diffusion/montecarlo.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
@@ -32,47 +33,59 @@ int main() {
   const double pmax = mc.estimate_pmax(150'000, rng).estimate();
   std::cout << "planning invitations from " << s << " to " << t
             << " (p_max=" << pmax << ")\n\n";
-  if (pmax <= 0.0) {
-    std::cout << "target unreachable; no invitation strategy can work\n";
-    return 0;
-  }
+
+  Planner planner(graph, PlannerOptions{.base_seed = 2024});
 
   // Forward direction: budget → achievable acceptance probability.
+  std::vector<QuerySpec> forward;
+  for (std::size_t budget : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    forward.push_back(
+        {s, t, MaximizeSpec{.budget = budget, .realizations = 40'000}});
+  }
   std::cout << "budget → acceptance probability (greedy maximizer):\n";
   TableWriter fwd({"budget", "invited", "acceptance-prob", "% of p_max"});
-  for (std::size_t budget : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    MaximizerConfig mcfg;
-    mcfg.budget = budget;
-    mcfg.realizations = 40'000;
-    const MaximizerResult res = maximize_friending(instance, mcfg, rng);
+  const std::vector<PlanResult> fwd_results = planner.plan_batch(forward);
+  for (std::size_t i = 0; i < fwd_results.size(); ++i) {
+    const PlanResult& res = fwd_results[i];
+    if (!res.ok()) {
+      std::cout << "budget query failed: " << to_string(res.status) << " — "
+                << res.message << "\n";
+      return 0;
+    }
     const double f =
         res.invitation.empty()
             ? 0.0
             : mc.estimate_f(res.invitation, 60'000, rng).estimate();
-    fwd.add_row({TableWriter::fmt(budget),
+    fwd.add_row({TableWriter::fmt(
+                     std::get<MaximizeSpec>(forward[i].mode).budget),
                  TableWriter::fmt(res.invitation.size()),
                  TableWriter::fmt(f, 4),
-                 TableWriter::fmt(f / pmax * 100.0, 1)});
+                 TableWriter::fmt(pmax > 0 ? f / pmax * 100.0 : 0.0, 1)});
   }
   fwd.print(std::cout);
 
   // Inverse direction: target share of p_max → invitations needed (RAF).
-  std::cout << "\ntarget share of p_max → invitations needed (RAF):\n";
-  TableWriter inv({"alpha", "invitations", "achieved-prob"});
+  std::vector<QuerySpec> inverse;
   for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    RafConfig cfg;
-    cfg.alpha = alpha;
-    cfg.epsilon = alpha / 10.0;
-    cfg.max_realizations = 40'000;
-    const RafAlgorithm raf(cfg);
-    const RafResult res = raf.run(instance, rng);
+    MinimizeSpec spec;
+    spec.alpha = alpha;
+    spec.epsilon = alpha / 10.0;
+    spec.max_realizations = 40'000;
+    inverse.push_back({s, t, spec});
+  }
+  std::cout << "\ntarget share of p_max → invitations needed (RAF):\n";
+  TableWriter inv({"alpha", "invitations", "achieved-prob", "status"});
+  const std::vector<PlanResult> inv_results = planner.plan_batch(inverse);
+  for (std::size_t i = 0; i < inv_results.size(); ++i) {
+    const PlanResult& res = inv_results[i];
     const double f =
         res.invitation.empty()
             ? 0.0
             : mc.estimate_f(res.invitation, 60'000, rng).estimate();
-    inv.add_row({TableWriter::fmt(alpha, 1),
+    inv.add_row({TableWriter::fmt(
+                     std::get<MinimizeSpec>(inverse[i].mode).alpha, 1),
                  TableWriter::fmt(res.invitation.size()),
-                 TableWriter::fmt(f, 4)});
+                 TableWriter::fmt(f, 4), to_string(res.status)});
   }
   inv.print(std::cout);
   return 0;

@@ -1,17 +1,19 @@
 // Quickstart: the library's public API end-to-end on a small network.
 //
 //  1. Build a social graph (Graph::Builder + a weight scheme).
-//  2. Pose a friending instance (initiator s, target t).
-//  3. Run RAF to get a minimal invitation list for a target share of
-//     p_max.
-//  4. Evaluate the result with the Monte-Carlo engine and compare
-//     against what inviting everyone could achieve.
+//  2. Construct an af::Planner for the graph — the one query facade.
+//  3. plan() a minimize query: the smallest invitation list reaching a
+//     target share of p_max, with status + diagnostics.
+//  4. plan_batch() an α-sweep on the same pair: the planner's per-pair
+//     caches (p*max, V_max, realization pool) make the sweep nearly
+//     free after the first query.
+//  5. Evaluate the result with the Monte-Carlo engine.
 //
 // Run:  ./quickstart
 #include <iostream>
+#include <vector>
 
-#include "core/raf.hpp"
-#include "core/vmax.hpp"
+#include "core/planner.hpp"
 #include "diffusion/montecarlo.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
@@ -30,38 +32,58 @@ int main() {
   const NodeId s = 0;
   NodeId t = 30;
   while (graph.has_edge(s, t)) ++t;  // must not already be friends
-  const FriendingInstance instance(graph, s, t);
-  std::cout << "user " << s << " wants to friend user " << t << " ("
-            << instance.initial_friends().size() << " current friends)\n";
 
-  // How good could it possibly get? p_max = f(V).
-  MonteCarloEvaluator mc(instance);
-  const double pmax = mc.estimate_pmax(100'000, rng).estimate();
-  std::cout << "p_max (inviting everyone): " << pmax << "\n";
-
-  // The minimum set achieving exactly p_max (Lemma 7).
-  const auto vmax = compute_vmax(instance);
-  std::cout << "V_max (minimum set reaching p_max): " << vmax.size()
-            << " users\n";
+  // One planner per graph; every (s,t) query goes through it.
+  Planner planner(graph, PlannerOptions{.base_seed = 7});
 
   // RAF: reach 30% of p_max with as few invitations as possible.
-  RafConfig config;
-  config.alpha = 0.3;
-  config.epsilon = 0.03;
-  config.max_realizations = 50'000;
-  const RafAlgorithm raf(config);
-  const RafResult result = raf.run(instance, rng);
+  MinimizeSpec spec;
+  spec.alpha = 0.3;
+  spec.epsilon = 0.03;
+  spec.max_realizations = 50'000;
+  const PlanResult result = planner.plan({s, t, spec});
+  if (!result.ok()) {
+    std::cout << "planning failed: " << to_string(result.status) << " — "
+              << result.message << "\n";
+    return 0;
+  }
 
-  std::cout << "\nRAF invitation list (" << result.invitation.size()
+  std::cout << "user " << s << " wants to friend user " << t << "\n";
+  std::cout << "p_max ≈ " << result.diag.pmax.estimate << ", |V_max| = "
+            << result.diag.vmax_size << "\n";
+  std::cout << "invitation list (" << result.invitation.size()
             << " users): ";
   for (NodeId v : result.invitation.members()) std::cout << v << " ";
-  std::cout << "\n";
+  std::cout << "\nrealizations used: " << result.diag.l_used
+            << " (theoretical l* = " << result.diag.l_star << ")\n";
 
+  // Check the plan against the ceiling with the Monte-Carlo engine.
+  const FriendingInstance instance(graph, s, t);
+  MonteCarloEvaluator mc(instance);
   const double f = mc.estimate_f(result.invitation, 100'000, rng).estimate();
+  const double pmax = result.diag.pmax.estimate;
   std::cout << "estimated acceptance probability: " << f << " ("
             << (pmax > 0 ? f / pmax * 100.0 : 0.0) << "% of p_max, target "
-            << config.alpha * 100 << "%)\n";
-  std::cout << "realizations used: " << result.diag.l_used
-            << " (theoretical l* = " << result.diag.l_star << ")\n";
+            << spec.alpha * 100 << "%)\n";
+
+  // An α-sweep on the same pair: one batch, shared caches. Only the
+  // first query pays for p*max, V_max and the realization pool.
+  std::vector<QuerySpec> sweep;
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    MinimizeSpec q = spec;
+    q.alpha = alpha;
+    q.epsilon = alpha / 10.0;
+    sweep.push_back({s, t, q});
+  }
+  std::cout << "\nalpha sweep (plan_batch, cached per-pair state):\n";
+  const std::vector<PlanResult> sweep_results = planner.plan_batch(sweep);
+  for (std::size_t i = 0; i < sweep_results.size(); ++i) {
+    const PlanResult& r = sweep_results[i];
+    std::cout << "  alpha=" << std::get<MinimizeSpec>(sweep[i].mode).alpha
+              << ": " << r.invitation.size() << " invitations, status "
+              << to_string(r.status)
+              << (r.timings.pmax_cache_hit ? " (cached p*max)" : "")
+              << "\n";
+  }
   return 0;
 }

@@ -2,8 +2,8 @@
 
 #include <queue>
 
+#include "core/raf.hpp"
 #include "cover/setfamily.hpp"
-#include "diffusion/realization.hpp"
 #include "util/contracts.hpp"
 
 namespace af {
@@ -13,14 +13,19 @@ MaximizerResult maximize_friending(const FriendingInstance& inst,
   AF_EXPECTS(cfg.budget >= 1, "budget must be positive");
   AF_EXPECTS(cfg.realizations >= 1, "need at least one realization");
 
-  MaximizerResult out{InvitationSet(inst.graph().num_nodes()), 0.0, 0};
+  return maximize_with_family(inst,
+                              sample_type1_family(inst, cfg.realizations, rng),
+                              cfg.realizations, cfg.budget);
+}
 
-  ReversePathSampler sampler(inst);
-  SetFamily family(inst.graph().num_nodes());
-  for (std::uint64_t i = 0; i < cfg.realizations; ++i) {
-    const TgSample tg = sampler.sample(rng);
-    if (tg.type1) family.add_set(tg.path);
-  }
+MaximizerResult maximize_with_family(const FriendingInstance& inst,
+                                     const SetFamily& family,
+                                     std::uint64_t realizations,
+                                     std::size_t budget) {
+  AF_EXPECTS(budget >= 1, "budget must be positive");
+  AF_EXPECTS(realizations >= 1, "need at least one realization");
+
+  MaximizerResult out{InvitationSet(inst.graph().num_nodes()), 0.0, 0};
   out.type1_count = family.total_multiplicity();
   if (out.type1_count == 0) return out;
 
@@ -49,7 +54,7 @@ MaximizerResult maximize_friending(const FriendingInstance& inst,
   }
 
   std::uint64_t covered_mult = 0;
-  std::size_t budget_left = cfg.budget;
+  std::size_t budget_left = budget;
   while (!heap.empty() && budget_left > 0) {
     const Entry e = heap.top();
     heap.pop();
@@ -75,7 +80,7 @@ MaximizerResult maximize_friending(const FriendingInstance& inst,
   }
 
   out.sample_coverage = static_cast<double>(covered_mult) /
-                        static_cast<double>(cfg.realizations);
+                        static_cast<double>(realizations);
   return out;
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "cover/setfamily.hpp"
 #include "diffusion/instance.hpp"
 #include "diffusion/invitation.hpp"
 #include "util/rng.hpp"
@@ -39,5 +40,13 @@ struct MaximizerResult {
 /// Greedy cheapest-path-completion maximizer.
 MaximizerResult maximize_friending(const FriendingInstance& inst,
                                    const MaximizerConfig& cfg, Rng& rng);
+
+/// The greedy on a pre-sampled family of type-1 backward paths (the
+/// Planner's pooled path). `realizations` is the number of realizations
+/// the family was drawn from — the denominator of sample_coverage.
+MaximizerResult maximize_with_family(const FriendingInstance& inst,
+                                     const SetFamily& family,
+                                     std::uint64_t realizations,
+                                     std::size_t budget);
 
 }  // namespace af

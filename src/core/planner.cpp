@@ -1,0 +1,333 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "core/vmax.hpp"
+#include "diffusion/dklr.hpp"
+#include "diffusion/instance.hpp"
+#include "diffusion/realization.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace af {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) { return SplitMix64(x).next(); }
+
+/// One-way combine of (base, s, t, stream) into a seed. Stream constants
+/// keep the pool and the p*max estimator on independent streams.
+std::uint64_t derive_seed(std::uint64_t base, NodeId s, NodeId t,
+                          std::uint64_t stream) {
+  std::uint64_t h = mix64(base ^ 0x6a09e667f3bcc909ULL);
+  h = mix64(h ^ (static_cast<std::uint64_t>(s) + 0x9e3779b97f4a7c15ULL));
+  h = mix64(h ^ (static_cast<std::uint64_t>(t) + 0xbf58476d1ce4e5b9ULL));
+  return mix64(h ^ stream);
+}
+
+constexpr std::uint64_t kPoolStream = 0x706f6f6cULL;  // "pool"
+constexpr std::uint64_t kPmaxStream = 0x706d6178ULL;  // "pmax"
+
+}  // namespace
+
+const char* to_string(PlanStatus status) {
+  switch (status) {
+    case PlanStatus::kOk: return "ok";
+    case PlanStatus::kInvalidSpec: return "invalid-spec";
+    case PlanStatus::kInvalidPair: return "invalid-pair";
+    case PlanStatus::kTargetUnreachable: return "target-unreachable";
+    case PlanStatus::kPmaxBelowDetection: return "pmax-below-detection";
+    case PlanStatus::kInternalError: return "internal-error";
+  }
+  return "?";
+}
+
+/// Everything the planner remembers about one (s,t) pair. All fields are
+/// guarded by `mu`; the instance itself is immutable after construction.
+struct Planner::PairCache {
+  PairCache(const Graph& g, NodeId s, NodeId t, std::uint64_t pool_seed)
+      : inst(g, s, t), pool_rng(pool_seed) {}
+
+  FriendingInstance inst;
+  std::mutex mu;
+
+  /// V_max (empty = target unreachable, certified). nullopt = not yet run.
+  std::optional<std::vector<NodeId>> vmax;
+  /// Cached DKLR estimate at the planner's tolerance.
+  std::optional<DklrResult> pmax;
+
+  /// Realization pool: the pair's deterministic sample stream. Growth
+  /// always continues pool_rng, so sample #i is the same no matter which
+  /// query (or thread) triggered the growth. Only type-1 backward paths
+  /// are materialized; type1_pos[k] is the stream index of the k-th.
+  Rng pool_rng;
+  std::uint64_t pool_drawn = 0;
+  std::vector<std::uint64_t> type1_pos;
+  std::vector<std::vector<NodeId>> type1_paths;
+};
+
+Planner::Planner(const Graph& graph, PlannerOptions options)
+    : graph_(&graph), options_(options) {}
+
+Planner::~Planner() = default;
+
+std::uint64_t Planner::derive_pool_seed(std::uint64_t base_seed, NodeId s,
+                                        NodeId t) {
+  return derive_seed(base_seed, s, t, kPoolStream);
+}
+
+std::uint64_t Planner::derive_pmax_seed(std::uint64_t base_seed, NodeId s,
+                                        NodeId t) {
+  return derive_seed(base_seed, s, t, kPmaxStream);
+}
+
+std::optional<std::string> Planner::validate(const QuerySpec& query) {
+  if (const auto* min = std::get_if<MinimizeSpec>(&query.mode)) {
+    if (!(min->alpha > 0.0 && min->alpha <= 1.0)) {
+      return "alpha must lie in (0,1]";
+    }
+    if (!(min->epsilon > 0.0 && min->epsilon < min->alpha)) {
+      return "epsilon must lie in (0, alpha)";
+    }
+    if (!(min->big_n > 2.0)) {
+      return "N must exceed 2 (success probability is 1 - 2/N)";
+    }
+    return std::nullopt;
+  }
+  const auto& max = std::get<MaximizeSpec>(query.mode);
+  if (max.budget == 0) return "budget must be positive";
+  if (max.realizations == 0) return "realizations must be positive";
+  return std::nullopt;
+}
+
+void Planner::clear_caches() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+std::shared_ptr<Planner::PairCache> Planner::cache_for(NodeId s, NodeId t) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | t;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(key, std::make_shared<PairCache>(
+                               *graph_, s, t,
+                               derive_pool_seed(options_.base_seed, s, t)))
+             .first;
+  }
+  return it->second;
+}
+
+PlanResult Planner::plan(const QuerySpec& query) {
+  PlanResult out;
+  if (auto error = validate(query)) {
+    out.status = PlanStatus::kInvalidSpec;
+    out.message = *error;
+    return out;
+  }
+  if (query.s >= graph_->num_nodes() || query.t >= graph_->num_nodes()) {
+    out.status = PlanStatus::kInvalidPair;
+    out.message = "node id out of range";
+    return out;
+  }
+  if (query.s == query.t) {
+    out.status = PlanStatus::kInvalidPair;
+    out.message = "initiator and target must differ";
+    return out;
+  }
+  if (graph_->has_edge(query.s, query.t)) {
+    out.status = PlanStatus::kInvalidPair;
+    out.message = "target is already a friend of the initiator";
+    return out;
+  }
+
+  const std::shared_ptr<PairCache> cache = cache_for(query.s, query.t);
+  try {
+    if (const auto* min = std::get_if<MinimizeSpec>(&query.mode)) {
+      return plan_minimize(*cache, *min);
+    }
+    return plan_maximize(*cache, std::get<MaximizeSpec>(query.mode));
+  } catch (const std::exception& e) {
+    out.status = PlanStatus::kInternalError;
+    out.message = e.what();
+    return out;
+  }
+}
+
+std::vector<PlanResult> Planner::plan_batch(
+    std::span<const QuerySpec> queries) {
+  std::vector<PlanResult> results;
+  results.reserve(queries.size());
+  if (queries.size() <= 1) {
+    for (const QuerySpec& q : queries) results.push_back(plan(q));
+    return results;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  std::vector<std::future<PlanResult>> futures;
+  futures.reserve(queries.size());
+  for (const QuerySpec& q : queries) {
+    const QuerySpec* query = &q;  // span outlives the batch
+    futures.push_back(pool_->submit([this, query] { return plan(*query); }));
+  }
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+std::optional<PlanResult> Planner::ensure_vmax(PairCache& cache,
+                                               PlanResult& out) {
+  if (cache.vmax) {
+    out.timings.vmax_cache_hit = true;
+  } else {
+    WallTimer timer;
+    cache.vmax = compute_vmax(cache.inst);
+    out.timings.vmax_seconds = timer.elapsed_seconds();
+  }
+  out.diag.vmax_size = cache.vmax->size();
+  if (cache.vmax->empty()) {
+    out.status = PlanStatus::kTargetUnreachable;
+    out.message = "V_max is empty: the target is unreachable from the "
+                  "initiator's friends (p_max = 0)";
+    out.diag.target_unreachable = true;
+    return out;
+  }
+  return std::nullopt;
+}
+
+void Planner::ensure_pmax(PairCache& cache, PlanResult& out) {
+  if (cache.pmax) {
+    out.timings.pmax_cache_hit = true;
+  } else {
+    WallTimer timer;
+    DklrConfig cfg;
+    cfg.epsilon = options_.pmax_epsilon;
+    cfg.delta = options_.pmax_delta;
+    cfg.max_samples = options_.pmax_max_samples;
+    Rng rng(derive_pmax_seed(options_.base_seed, cache.inst.initiator(),
+                             cache.inst.target()));
+    cache.pmax = estimate_pmax_dklr(cache.inst, rng, cfg);
+    out.timings.pmax_seconds = timer.elapsed_seconds();
+  }
+  out.diag.pmax = *cache.pmax;
+}
+
+SetFamily Planner::pooled_family(PairCache& cache, std::uint64_t l,
+                                 PlanResult& out) {
+  if (cache.pool_drawn < l) {
+    WallTimer timer;
+    ReversePathSampler sampler(cache.inst);
+    for (std::uint64_t i = cache.pool_drawn; i < l; ++i) {
+      TgSample tg = sampler.sample(cache.pool_rng);
+      if (tg.type1) {
+        cache.type1_pos.push_back(i);
+        cache.type1_paths.push_back(std::move(tg.path));
+      }
+    }
+    out.timings.pool_reused = cache.pool_drawn;
+    out.timings.pool_sampled = l - cache.pool_drawn;
+    out.timings.sample_seconds = timer.elapsed_seconds();
+    cache.pool_drawn = l;
+  } else {
+    out.timings.pool_reused = l;
+  }
+
+  SetFamily family(graph_->num_nodes());
+  for (std::size_t k = 0;
+       k < cache.type1_pos.size() && cache.type1_pos[k] < l; ++k) {
+    family.add_set(cache.type1_paths[k]);
+  }
+  return family;
+}
+
+PlanResult Planner::plan_minimize(PairCache& cache,
+                                  const MinimizeSpec& spec) {
+  PlanResult out;
+  std::unique_lock<std::mutex> lock(cache.mu);
+  if (auto terminal = ensure_vmax(cache, out)) return *terminal;
+  ensure_pmax(cache, out);
+  if (out.diag.pmax.estimate <= 0.0) {
+    // Reachability was certified by V_max above, so a zero estimate only
+    // means p_max sits below the planner's sampling caps.
+    out.status = PlanStatus::kPmaxBelowDetection;
+    out.message = "p*max estimate is 0 within the sampling caps";
+    out.diag.pmax_below_detection = true;
+    return out;
+  }
+
+  RafConfig cfg;
+  cfg.alpha = spec.alpha;
+  cfg.epsilon = spec.epsilon;
+  cfg.big_n = spec.big_n;
+  cfg.policy = spec.policy;
+  cfg.max_realizations = spec.max_realizations;
+  cfg.pmax_max_samples = options_.pmax_max_samples;
+  cfg.solver = spec.solver;
+  cfg.local_search = spec.local_search;
+  cfg.use_vmax_in_l = true;  // the planner always certifies via V_max
+  const RafAlgorithm engine(cfg);
+
+  // The engine owns the parameter/budget derivation; the pool supplies
+  // the family (and drops the pair lock once it has been read, so the
+  // covering step runs outside it).
+  WallTimer timer;
+  RafResult res = engine.run_with_pmax_source(
+      cache.inst, out.diag.pmax.estimate, cache.vmax->size(),
+      [&](std::uint64_t l) {
+        SetFamily family = pooled_family(cache, l, out);
+        lock.unlock();
+        return family;
+      });
+  out.timings.solve_seconds =
+      timer.elapsed_seconds() - out.timings.sample_seconds;
+
+  const StageTimings timings = out.timings;
+  const DklrResult pmax = out.diag.pmax;
+  out.invitation = std::move(res.invitation);
+  out.diag = res.diag;
+  out.diag.pmax = pmax;  // keep the full cached DKLR record
+  out.timings = timings;
+
+  if (out.diag.type1_count == 0) {
+    out.status = PlanStatus::kPmaxBelowDetection;
+    out.message = "no type-1 realization among the pooled samples";
+    out.diag.pmax_below_detection = true;
+    return out;
+  }
+  out.status = PlanStatus::kOk;
+  return out;
+}
+
+PlanResult Planner::plan_maximize(PairCache& cache,
+                                  const MaximizeSpec& spec) {
+  PlanResult out;
+  std::unique_lock<std::mutex> lock(cache.mu);
+  if (auto terminal = ensure_vmax(cache, out)) return *terminal;
+  const SetFamily family = pooled_family(cache, spec.realizations, out);
+  lock.unlock();
+
+  WallTimer timer;
+  MaximizerResult res =
+      maximize_with_family(cache.inst, family, spec.realizations,
+                           spec.budget);
+  out.timings.solve_seconds = timer.elapsed_seconds();
+
+  out.invitation = std::move(res.invitation);
+  out.sample_coverage = res.sample_coverage;
+  out.diag.type1_count = res.type1_count;
+  out.diag.l_used = spec.realizations;
+  if (out.diag.type1_count == 0) {
+    out.status = PlanStatus::kPmaxBelowDetection;
+    out.message = "no type-1 realization among the pooled samples";
+    out.diag.pmax_below_detection = true;
+    return out;
+  }
+  out.status = PlanStatus::kOk;
+  return out;
+}
+
+}  // namespace af

@@ -1,0 +1,227 @@
+// af::Planner — the unified query facade over one social graph.
+//
+// The paper's pipeline answers a single (s,t) query; a serving system
+// answers many against the same graph. The Planner is constructed once
+// per Graph and exposes one entry point for both problem modes:
+//
+//   Planner planner(graph);
+//   PlanResult r = planner.plan({s, t, MinimizeSpec{.alpha = 0.3}});
+//   std::vector<PlanResult> rs = planner.plan_batch(queries);
+//
+// A QuerySpec is (s, t, mode) where mode is either a MinimizeSpec
+// (Problem 1 / RAF: smallest set reaching α·p_max) or a MaximizeSpec
+// (budgeted extension: best set of ≤ k invitations). Results carry a
+// structured Status instead of the engines' bool flags, plus per-stage
+// timings and cache diagnostics.
+//
+// Shared per-pair caches (DESIGN.md §6):
+//  - |V_max| / reachability certificate (block-cut analysis), computed
+//    once per (s,t);
+//  - the DKLR p*max estimate, computed once per (s,t) at the planner's
+//    tolerance (PlannerOptions::pmax_epsilon/pmax_delta) — set it at or
+//    below the smallest ε0 your queries will solve for if you want
+//    Theorem 1 to carry over verbatim;
+//  - a realization pool: backward-path samples drawn from one
+//    pair-deterministic stream and shared by every query on the pair. A
+//    query needing l realizations reads the pool's first l samples,
+//    growing it on demand — an α-sweep pays the sampling cost once.
+//
+// Determinism: all randomness derives from PlannerOptions::base_seed via
+// per-(s,t) seed derivation (derive_pool_seed / derive_pmax_seed), and
+// pool growth always continues the same stream. Hence results depend
+// only on (graph, options, query) — never on query order, interleaving,
+// or thread count — and plan_batch is bit-identical to sequential plan
+// calls. plan_batch fans queries across a fixed-size util::ThreadPool;
+// queries on the same pair serialize on the pair cache.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/maximizer.hpp"
+#include "core/raf.hpp"
+#include "diffusion/invitation.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace af {
+
+/// Problem 1 (RAF): the smallest invitation set reaching α·p_max.
+/// A trimmed RafConfig: p*max estimation and V_max are planner-level
+/// (cached per pair), so their knobs live in PlannerOptions.
+struct MinimizeSpec {
+  /// Quality target α ∈ (0,1].
+  double alpha = 0.1;
+  /// Slack ε ∈ (0, α): the guarantee becomes f(I*) ≥ (α−ε)·p_max.
+  double epsilon = 0.005;
+  /// Confidence parameter N > 2: success probability ≥ 1 − 2/N.
+  double big_n = 100'000.0;
+  /// ε0/ε1 coupling policy (DESIGN.md §4.4).
+  Eps0Policy policy = Eps0Policy::kBalanced;
+  /// Hard cap on l (0 = no cap — will faithfully attempt l*).
+  std::uint64_t max_realizations = 200'000;
+  /// MpU solver for the covering step.
+  CoverSolverKind solver = CoverSolverKind::kGreedy;
+  /// Run the local-search shrink pass after the solver.
+  bool local_search = true;
+};
+
+/// Budgeted extension: maximize f(I) subject to |I| ≤ budget.
+struct MaximizeSpec {
+  /// Invitation budget k ≥ 1 (must include room for t itself).
+  std::size_t budget = 10;
+  /// Realizations read from the pair's pool to build the path family.
+  std::uint64_t realizations = 50'000;
+};
+
+/// One query: the (s,t) pair plus the problem mode.
+struct QuerySpec {
+  NodeId s = 0;
+  NodeId t = 0;
+  std::variant<MinimizeSpec, MaximizeSpec> mode = MinimizeSpec{};
+};
+
+/// Structured outcome classification; kOk is the only success.
+enum class PlanStatus {
+  /// The query produced an invitation set meeting its contract.
+  kOk,
+  /// The spec's parameters are out of range (message says which).
+  kInvalidSpec,
+  /// The (s,t) pair is out of range, s = t, or already friends.
+  kInvalidPair,
+  /// V_max is empty: p_max = 0, certified — no strategy can succeed.
+  kTargetUnreachable,
+  /// p_max is positive (or unknown) but below the sampling caps; the
+  /// empty result is a capped best effort, not a certificate.
+  kPmaxBelowDetection,
+  /// An engine violated a contract; message carries the exception text.
+  kInternalError,
+};
+
+/// Short stable name ("ok", "invalid-spec", …) for logs and tables.
+const char* to_string(PlanStatus status);
+
+/// Per-stage wall-clock and cache diagnostics for one query.
+struct StageTimings {
+  double vmax_seconds = 0.0;
+  double pmax_seconds = 0.0;
+  /// Growing the realization pool (0 when fully served from cache).
+  double sample_seconds = 0.0;
+  /// The covering / greedy-selection stage.
+  double solve_seconds = 0.0;
+  /// True when the stage was served from the pair cache.
+  bool vmax_cache_hit = false;
+  bool pmax_cache_hit = false;
+  /// Pool samples reused vs newly drawn for this query.
+  std::uint64_t pool_reused = 0;
+  std::uint64_t pool_sampled = 0;
+};
+
+/// Result of one query: status + invitation set + diagnostics.
+struct PlanResult {
+  PlanStatus status = PlanStatus::kInternalError;
+  /// Human-readable detail for non-kOk statuses.
+  std::string message;
+  InvitationSet invitation{0};
+  /// Pipeline diagnostics (minimize mode fills all fields; maximize mode
+  /// fills vmax_size, l_used and type1_count).
+  RafDiagnostics diag;
+  /// Maximize mode: in-sample coverage estimate of f(I).
+  double sample_coverage = 0.0;
+  StageTimings timings;
+
+  bool ok() const { return status == PlanStatus::kOk; }
+};
+
+/// Planner-wide knobs, fixed at construction.
+struct PlannerOptions {
+  /// Root of every derived per-pair stream; same base seed ⟹ bit-identical
+  /// results for the same (graph, query), in any order, on any thread.
+  std::uint64_t base_seed = 20190707;
+  /// Worker threads for plan_batch (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// DKLR tolerance for the cached per-pair p*max estimate.
+  double pmax_epsilon = 0.05;
+  /// DKLR failure probability δ for the cached estimate.
+  double pmax_delta = 1e-5;
+  /// Hard cap on DKLR draws per pair.
+  std::uint64_t pmax_max_samples = 2'000'000;
+};
+
+/// The facade. Thread-safe: plan() may be called concurrently (that is
+/// exactly what plan_batch does). Holds a reference to the graph; the
+/// graph must outlive the planner and stay unmodified.
+///
+/// Memory: each queried (s,t) pair retains its cache entry — including
+/// the pooled type-1 backward paths — for the planner's lifetime, so a
+/// long-lived planner serving many distinct pairs grows without bound
+/// unless clear_caches() is called at the caller's eviction policy.
+class Planner {
+ public:
+  explicit Planner(const Graph& graph, PlannerOptions options = {});
+  ~Planner();
+
+  Planner(const Planner&) = delete;
+  Planner& operator=(const Planner&) = delete;
+
+  const Graph& graph() const { return *graph_; }
+  const PlannerOptions& options() const { return options_; }
+
+  /// Answers one query. Never throws for bad input — returns kInvalidSpec
+  /// / kInvalidPair with a message instead.
+  PlanResult plan(const QuerySpec& query);
+
+  /// Answers independent queries concurrently on the planner's thread
+  /// pool; results are positionally aligned with `queries` and
+  /// bit-identical to sequential plan() calls.
+  std::vector<PlanResult> plan_batch(std::span<const QuerySpec> queries);
+
+  /// Drops every per-pair cache entry, releasing its memory. Safe to
+  /// call concurrently with plan(): in-flight queries keep their entry
+  /// alive; later queries rebuild from the same derived seeds, so
+  /// results are unchanged — only the cached work is paid again.
+  void clear_caches();
+
+  /// Spec-only validation (the API-boundary check): the message that a
+  /// plan() on this spec would return with kInvalidSpec, if any.
+  static std::optional<std::string> validate(const QuerySpec& query);
+
+  /// The derived seeds behind a pair's realization pool / p*max estimate
+  /// (the seeding contract, exposed for tests and reproducibility).
+  static std::uint64_t derive_pool_seed(std::uint64_t base_seed, NodeId s,
+                                        NodeId t);
+  static std::uint64_t derive_pmax_seed(std::uint64_t base_seed, NodeId s,
+                                        NodeId t);
+
+ private:
+  struct PairCache;
+
+  std::shared_ptr<PairCache> cache_for(NodeId s, NodeId t);
+  PlanResult plan_minimize(PairCache& cache, const MinimizeSpec& spec);
+  PlanResult plan_maximize(PairCache& cache, const MaximizeSpec& spec);
+  /// Stages shared by both modes, run under the pair lock: V_max
+  /// certificate and (minimize only) the cached p*max. Returns a non-ok
+  /// result to propagate, or nullopt to continue.
+  std::optional<PlanResult> ensure_vmax(PairCache& cache, PlanResult& out);
+  void ensure_pmax(PairCache& cache, PlanResult& out);
+  /// Grows the pair's pool to ≥ l samples and builds the family of
+  /// type-1 paths among the first l.
+  SetFamily pooled_family(PairCache& cache, std::uint64_t l,
+                          PlanResult& out);
+
+  const Graph* graph_;
+  PlannerOptions options_;
+  std::mutex mu_;  // guards cache_ and pool_ creation
+  std::map<std::uint64_t, std::shared_ptr<PairCache>> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace af

@@ -15,7 +15,17 @@ RafAlgorithm::RafAlgorithm(RafConfig cfg) : cfg_(cfg) {
   AF_EXPECTS(cfg_.alpha > 0.0 && cfg_.alpha <= 1.0, "α must lie in (0,1]");
   AF_EXPECTS(cfg_.epsilon > 0.0 && cfg_.epsilon < cfg_.alpha,
              "ε must lie in (0,α)");
-  AF_EXPECTS(cfg_.big_n > 1.0, "N must exceed 1");
+  // N ≤ 2 makes the success probability 1 − 2/N vacuous.
+  AF_EXPECTS(cfg_.big_n > 2.0, "N must exceed 2");
+}
+
+std::uint64_t RafAlgorithm::capped_realizations(double l_star) const {
+  const auto l_theory =
+      static_cast<std::uint64_t>(std::min(l_star, 9.0e18));
+  const std::uint64_t l = cfg_.max_realizations == 0
+                              ? l_theory
+                              : std::min(cfg_.max_realizations, l_theory);
+  return std::max<std::uint64_t>(l, 1);
 }
 
 const MpuSolver& RafAlgorithm::solver() const {
@@ -28,22 +38,35 @@ const MpuSolver& RafAlgorithm::solver() const {
   return greedy_;
 }
 
-RafResult RafAlgorithm::run_framework(const FriendingInstance& inst,
-                                      double beta, std::uint64_t l,
-                                      Rng& rng) const {
-  AF_EXPECTS(beta > 0.0 && beta <= 1.0, "β must lie in (0,1]");
-  AF_EXPECTS(l >= 1, "need at least one realization");
-
-  RafResult out{InvitationSet(inst.graph().num_nodes()), {}};
-  out.diag.l_used = l;
-
-  // Alg. 3 line 2: draw l realizations, keep the type-1 backward paths.
+SetFamily sample_type1_family(const FriendingInstance& inst, std::uint64_t l,
+                              Rng& rng) {
   ReversePathSampler sampler(inst);
   SetFamily family(inst.graph().num_nodes());
   for (std::uint64_t i = 0; i < l; ++i) {
     const TgSample tg = sampler.sample(rng);
     if (tg.type1) family.add_set(tg.path);
   }
+  return family;
+}
+
+RafResult RafAlgorithm::run_framework(const FriendingInstance& inst,
+                                      double beta, std::uint64_t l,
+                                      Rng& rng) const {
+  AF_EXPECTS(beta > 0.0 && beta <= 1.0, "β must lie in (0,1]");
+  AF_EXPECTS(l >= 1, "need at least one realization");
+
+  // Alg. 3 line 2: draw l realizations, keep the type-1 backward paths.
+  return run_covering(inst, sample_type1_family(inst, l, rng), beta, l);
+}
+
+RafResult RafAlgorithm::run_covering(const FriendingInstance& inst,
+                                     const SetFamily& family, double beta,
+                                     std::uint64_t l_used) const {
+  AF_EXPECTS(beta > 0.0 && beta <= 1.0, "β must lie in (0,1]");
+  AF_EXPECTS(l_used >= 1, "need at least one realization");
+
+  RafResult out{InvitationSet(inst.graph().num_nodes()), {}};
+  out.diag.l_used = l_used;
   out.diag.type1_count = family.total_multiplicity();
   if (out.diag.type1_count == 0) {
     // No covered realization exists in the sample; the empty set already
@@ -69,10 +92,10 @@ RafResult RafAlgorithm::run_framework(const FriendingInstance& inst,
   return out;
 }
 
-RafResult RafAlgorithm::run_with_pmax(const FriendingInstance& inst,
-                                      double pmax_estimate,
-                                      std::size_t vmax_size,
-                                      Rng& rng) const {
+RafResult RafAlgorithm::run_with_pmax_source(const FriendingInstance& inst,
+                                             double pmax_estimate,
+                                             std::size_t vmax_size,
+                                             const FamilySource& source) const {
   AF_EXPECTS(pmax_estimate > 0.0 && pmax_estimate <= 1.0,
              "p*max estimate must lie in (0,1]");
 
@@ -90,21 +113,28 @@ RafResult RafAlgorithm::run_with_pmax(const FriendingInstance& inst,
 
   out.diag.l_star = required_realizations(out.diag.params, n_eff, cfg_.big_n,
                                           pmax_estimate);
-  std::uint64_t l = cfg_.max_realizations == 0
-                        ? static_cast<std::uint64_t>(
-                              std::min(out.diag.l_star, 9.0e18))
-                        : std::min<std::uint64_t>(
-                              cfg_.max_realizations,
-                              static_cast<std::uint64_t>(
-                                  std::min(out.diag.l_star, 9.0e18)));
-  l = std::max<std::uint64_t>(l, 1);
+  const std::uint64_t l = capped_realizations(out.diag.l_star);
+  if (static_cast<double>(l) < out.diag.l_star) {
+    log_debug() << "RAF: capping l* = " << out.diag.l_star << " to " << l;
+  }
 
-  RafResult framework = run_framework(inst, out.diag.params.beta, l, rng);
+  const SetFamily family = source(l);
+  RafResult framework = run_covering(inst, family, out.diag.params.beta, l);
   framework.diag.params = out.diag.params;
   framework.diag.pmax = out.diag.pmax;
   framework.diag.l_star = out.diag.l_star;
   framework.diag.vmax_size = vmax_size;
   return framework;
+}
+
+RafResult RafAlgorithm::run_with_pmax(const FriendingInstance& inst,
+                                      double pmax_estimate,
+                                      std::size_t vmax_size,
+                                      Rng& rng) const {
+  return run_with_pmax_source(inst, pmax_estimate, vmax_size,
+                              [&](std::uint64_t l) {
+                                return sample_type1_family(inst, l, rng);
+                              });
 }
 
 RafResult RafAlgorithm::run(const FriendingInstance& inst, Rng& rng) const {
@@ -143,28 +173,12 @@ RafResult RafAlgorithm::run(const FriendingInstance& inst, Rng& rng) const {
     return out;
   }
 
-  // Step 3: realization budget l* (Eq. 16), capped for practicality.
-  out.diag.l_star = required_realizations(out.diag.params, n_eff, cfg_.big_n,
-                                          out.diag.pmax.estimate);
-  std::uint64_t l = cfg_.max_realizations == 0
-                        ? static_cast<std::uint64_t>(
-                              std::min(out.diag.l_star, 9.0e18))
-                        : std::min<std::uint64_t>(
-                              cfg_.max_realizations,
-                              static_cast<std::uint64_t>(
-                                  std::min(out.diag.l_star, 9.0e18)));
-  l = std::max<std::uint64_t>(l, 1);
-  if (static_cast<double>(l) < out.diag.l_star) {
-    log_debug() << "RAF: capping l* = " << out.diag.l_star << " to " << l;
-  }
-
-  // Step 4: the covering framework (Alg. 3).
-  RafResult framework =
-      run_framework(inst, out.diag.params.beta, l, rng);
-  framework.diag.params = out.diag.params;
-  framework.diag.pmax = out.diag.pmax;
-  framework.diag.l_star = out.diag.l_star;
-  framework.diag.vmax_size = out.diag.vmax_size;
+  // Steps 3–4: budget derivation + the covering framework (Alg. 3),
+  // shared with the other entry points via run_with_pmax.
+  RafResult framework = run_with_pmax(inst, out.diag.pmax.estimate,
+                                      cfg_.use_vmax_in_l ? vmax.size() : 0,
+                                      rng);
+  framework.diag.pmax = out.diag.pmax;  // keep the full DKLR record
   return framework;
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "core/eqsystem.hpp"
@@ -90,6 +91,12 @@ struct RafResult {
   RafDiagnostics diag;
 };
 
+/// Alg. 3 line 2: draw l realizations and collect the type-1 backward
+/// paths into a family. The one sampling loop shared by the RAF engine,
+/// run_with_pmax's fallback source, and the maximizer.
+SetFamily sample_type1_family(const FriendingInstance& inst, std::uint64_t l,
+                              Rng& rng);
+
 /// The RAF algorithm (Alg. 4). Stateless apart from configuration;
 /// every run draws its randomness from the caller-supplied Rng.
 class RafAlgorithm {
@@ -111,10 +118,37 @@ class RafAlgorithm {
   RafResult run_with_pmax(const FriendingInstance& inst, double pmax_estimate,
                           std::size_t vmax_size, Rng& rng) const;
 
+  /// Produces the type-1 path family for a realization budget l. The
+  /// planner plugs its shared realization pool in here; run_with_pmax
+  /// wraps fresh Rng-driven sampling.
+  using FamilySource = std::function<SetFamily(std::uint64_t l)>;
+
+  /// run_with_pmax with the sampling stage abstracted: solves the
+  /// equation system, derives l* (Eq. 16) and the capped l, asks
+  /// `source` for the family of the first l realizations, and covers
+  /// it. Single home of the parameter/budget derivation shared by
+  /// run(), run_with_pmax() and the Planner.
+  RafResult run_with_pmax_source(const FriendingInstance& inst,
+                                 double pmax_estimate, std::size_t vmax_size,
+                                 const FamilySource& source) const;
+
   /// Alg. 3 alone with explicit β and l — the knob Sec. IV-E (Fig. 6)
   /// turns. Shared by run() internally.
   RafResult run_framework(const FriendingInstance& inst, double beta,
                           std::uint64_t l, Rng& rng) const;
+
+  /// Alg. 3 line 3 on a pre-sampled family: solves MSC for
+  /// ⌈β·total_multiplicity⌉ (plus the configured local search) over the
+  /// type-1 backward paths in `family`, which were kept from `l_used`
+  /// sampled realizations. This is the covering engine the Planner's
+  /// realization pool feeds; run_framework() is sample-then-cover.
+  RafResult run_covering(const FriendingInstance& inst,
+                         const SetFamily& family, double beta,
+                         std::uint64_t l_used) const;
+
+  /// Applies cfg.max_realizations to the theoretical budget l* (Eq. 16):
+  /// the l actually sampled, always ≥ 1.
+  std::uint64_t capped_realizations(double l_star) const;
 
  private:
   const MpuSolver& solver() const;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 #include "util/contracts.hpp"
 
@@ -120,6 +121,60 @@ const std::string& ArgParser::get_string(const std::string& name) const {
 
 bool ArgParser::get_flag(const std::string& name) const {
   return find(name, Kind::kFlag).value != "0";
+}
+
+void add_sampling_flags(ArgParser& args, std::uint64_t default_seed,
+                        std::uint64_t default_eval_samples) {
+  args.add_int("seed", static_cast<std::int64_t>(default_seed), "RNG seed");
+  args.add_int("eval-samples", static_cast<std::int64_t>(default_eval_samples),
+               "Monte-Carlo samples per f(I) evaluation");
+}
+
+void add_experiment_flags(ArgParser& args, std::size_t default_pairs) {
+  args.add_flag("full", "paper-scale parameters (slow)");
+  add_sampling_flags(args, ExperimentEnv{}.seed, ExperimentEnv{}.eval_samples);
+  args.add_int("pairs", static_cast<std::int64_t>(default_pairs),
+               "number of (s,t) pairs per dataset (paper: 500)");
+  args.add_string("datasets", ExperimentEnv{}.datasets,
+                  "comma-separated dataset analogs to run");
+  args.add_string("csv", "", "also write results to this CSV path prefix");
+}
+
+ExperimentEnv read_experiment_env(const ArgParser& args) {
+  ExperimentEnv env;
+  env.full = args.get_flag("full");
+  env.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  env.pairs = static_cast<std::size_t>(args.get_int("pairs"));
+  env.eval_samples = static_cast<std::uint64_t>(args.get_int("eval-samples"));
+  env.datasets = args.get_string("datasets");
+  env.csv = args.get_string("csv");
+  return env;
+}
+
+std::vector<std::string> split_csv_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& s) {
+  std::vector<double> out;
+  for (const std::string& tok : split_csv_list(s)) {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) {
+      throw std::invalid_argument("malformed number in list: '" + tok + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
 }
 
 void ArgParser::print_help() const {

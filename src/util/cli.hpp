@@ -56,4 +56,35 @@ class ArgParser {
   std::vector<std::string> order_;
 };
 
+/// Experiment-wide knobs shared by the bench exp_* binaries and the
+/// flag-driven examples — one definition, one parser (previously each
+/// binary family declared its own copy).
+struct ExperimentEnv {
+  bool full = false;
+  std::uint64_t seed = 20190707;  // ICDCS'19 vintage
+  std::size_t pairs = 0;          // per dataset; 0 = binary default
+  std::uint64_t eval_samples = 20'000;
+  std::string datasets = "wiki,hepth,hepph,youtube";
+  std::string csv;  // optional CSV mirror path prefix
+};
+
+/// Registers the flags every randomized binary shares: --seed and
+/// --eval-samples.
+void add_sampling_flags(ArgParser& args, std::uint64_t default_seed,
+                        std::uint64_t default_eval_samples);
+
+/// Registers the full experiment-harness flag set (sampling flags plus
+/// --full, --pairs, --datasets, --csv).
+void add_experiment_flags(ArgParser& args, std::size_t default_pairs);
+
+/// Reads the values registered by add_experiment_flags.
+ExperimentEnv read_experiment_env(const ArgParser& args);
+
+/// Splits "a,b,c" into {"a","b","c"}; empty items are dropped.
+std::vector<std::string> split_csv_list(const std::string& s);
+
+/// Splits and parses a comma-separated list of doubles ("0.1,0.2").
+/// Throws std::invalid_argument on malformed items.
+std::vector<double> parse_double_list(const std::string& s);
+
 }  // namespace af

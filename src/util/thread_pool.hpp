@@ -1,0 +1,64 @@
+// A fixed-size worker-thread pool for fanning independent jobs out across
+// cores (util layer: no dependency above it).
+//
+// Deliberately minimal — no work stealing, no priorities, no resizing: a
+// locked FIFO queue drained by `threads` workers. The planner's batch
+// queries are coarse (milliseconds to seconds each), so queue contention
+// is negligible and a deterministic, auditable pool beats a clever one.
+// Results and exceptions travel through std::future: a task that throws
+// stores the exception in its future instead of taking the process down.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace af {
+
+/// Fixed-size FIFO thread pool. Construction spawns the workers; the
+/// destructor drains the queue, then joins them.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every queued task, then joins the workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. The future also
+  /// carries any exception `fn` throws.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace af

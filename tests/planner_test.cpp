@@ -1,0 +1,359 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/raf.hpp"
+#include "core/vmax.hpp"
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+PlannerOptions fast_options(std::uint64_t base_seed = 20190707) {
+  PlannerOptions opts;
+  opts.base_seed = base_seed;
+  opts.threads = 4;
+  opts.pmax_max_samples = 200'000;
+  return opts;
+}
+
+MinimizeSpec fast_minimize(double alpha = 0.3) {
+  MinimizeSpec spec;
+  spec.alpha = alpha;
+  spec.epsilon = alpha / 10.0;
+  spec.big_n = 1000.0;
+  spec.max_realizations = 20'000;
+  return spec;
+}
+
+// ---------------------------------------------------------------- statuses
+
+TEST(PlannerValidation, RejectsBadMinimizeSpecs) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  Planner planner(fx.graph, fast_options());
+
+  MinimizeSpec bad = fast_minimize();
+  bad.alpha = 0.0;
+  PlanResult r = planner.plan({fx.s, fx.t, bad});
+  EXPECT_EQ(r.status, PlanStatus::kInvalidSpec);
+  EXPECT_FALSE(r.message.empty());
+
+  bad = fast_minimize();
+  bad.alpha = 1.5;
+  EXPECT_EQ(planner.plan({fx.s, fx.t, bad}).status,
+            PlanStatus::kInvalidSpec);
+
+  bad = fast_minimize();
+  bad.epsilon = bad.alpha;  // ε ≥ α
+  EXPECT_EQ(planner.plan({fx.s, fx.t, bad}).status,
+            PlanStatus::kInvalidSpec);
+
+  bad = fast_minimize();
+  bad.epsilon = 0.0;
+  EXPECT_EQ(planner.plan({fx.s, fx.t, bad}).status,
+            PlanStatus::kInvalidSpec);
+
+  bad = fast_minimize();
+  bad.big_n = 2.0;  // success probability 1 − 2/N would be 0
+  EXPECT_EQ(planner.plan({fx.s, fx.t, bad}).status,
+            PlanStatus::kInvalidSpec);
+}
+
+TEST(PlannerValidation, RejectsBadMaximizeSpecs) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  Planner planner(fx.graph, fast_options());
+
+  MaximizeSpec zero_budget;
+  zero_budget.budget = 0;
+  PlanResult r = planner.plan({fx.s, fx.t, zero_budget});
+  EXPECT_EQ(r.status, PlanStatus::kInvalidSpec);
+  EXPECT_NE(r.message.find("budget"), std::string::npos);
+
+  MaximizeSpec zero_realizations;
+  zero_realizations.realizations = 0;
+  EXPECT_EQ(planner.plan({fx.s, fx.t, zero_realizations}).status,
+            PlanStatus::kInvalidSpec);
+}
+
+TEST(PlannerValidation, RejectsBadPairs) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  Planner planner(fx.graph, fast_options());
+
+  // s == t.
+  EXPECT_EQ(planner.plan({fx.s, fx.s, fast_minimize()}).status,
+            PlanStatus::kInvalidPair);
+  // Out of range.
+  EXPECT_EQ(planner.plan({fx.graph.num_nodes(), fx.t, fast_minimize()})
+                .status,
+            PlanStatus::kInvalidPair);
+  // Already friends: s is adjacent to the s-side intermediate (node 2).
+  ASSERT_TRUE(fx.graph.has_edge(fx.s, 2));
+  EXPECT_EQ(planner.plan({fx.s, 2, fast_minimize()}).status,
+            PlanStatus::kInvalidPair);
+}
+
+TEST(PlannerStatus, UnreachableTargetIsCertified) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(2, 3).add_edge(3, 4);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  Planner planner(g, fast_options());
+
+  const PlanResult min = planner.plan({0, 3, fast_minimize()});
+  EXPECT_EQ(min.status, PlanStatus::kTargetUnreachable);
+  EXPECT_TRUE(min.diag.target_unreachable);
+  EXPECT_TRUE(min.invitation.empty());
+  EXPECT_EQ(min.diag.vmax_size, 0u);
+
+  const PlanResult max = planner.plan({0, 3, MaximizeSpec{}});
+  EXPECT_EQ(max.status, PlanStatus::kTargetUnreachable);
+}
+
+TEST(PlannerStatus, UndetectablySmallPmaxIsNotUnreachable) {
+  // A 26-hop chain: p_max = 2^-24, far below the sampling cap.
+  const auto fx = test::ParallelPathFixture::make(1, 25);
+  PlannerOptions opts = fast_options();
+  opts.pmax_max_samples = 10'000;
+  Planner planner(fx.graph, opts);
+
+  const PlanResult r = planner.plan({fx.s, fx.t, fast_minimize(0.5)});
+  EXPECT_EQ(r.status, PlanStatus::kPmaxBelowDetection);
+  EXPECT_TRUE(r.diag.pmax_below_detection);
+  EXPECT_FALSE(r.diag.target_unreachable);
+  EXPECT_EQ(r.diag.vmax_size, 25u);
+  EXPECT_TRUE(r.invitation.empty());
+}
+
+TEST(PlannerStatus, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(PlanStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(PlanStatus::kInvalidSpec), "invalid-spec");
+  EXPECT_STREQ(to_string(PlanStatus::kTargetUnreachable),
+               "target-unreachable");
+}
+
+// ---------------------------------------------------------------- minimize
+
+TEST(PlannerMinimize, MeetsGuaranteeOnParallelPaths) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  Planner planner(fx.graph, fast_options());
+  const MinimizeSpec spec = fast_minimize(0.3);
+  const PlanResult r = planner.plan({fx.s, fx.t, spec});
+
+  ASSERT_EQ(r.status, PlanStatus::kOk);
+  ASSERT_FALSE(r.invitation.empty());
+  EXPECT_TRUE(r.invitation.contains(fx.t));
+  const double f = test::exact_f(FriendingInstance(fx.graph, fx.s, fx.t),
+                                 r.invitation);
+  EXPECT_GE(f, (spec.alpha - spec.epsilon) * fx.pmax() - 1e-12);
+
+  EXPECT_GT(r.diag.pmax.estimate, 0.0);
+  EXPECT_GT(r.diag.l_star, 0.0);
+  EXPECT_GT(r.diag.l_used, 0u);
+  EXPECT_EQ(r.diag.vmax_size, 4u);  // t + one t-side intermediate per path
+  EXPECT_GE(r.diag.covered, r.diag.coverage_target);
+  EXPECT_NO_THROW(r.diag.params.check());
+  EXPECT_FALSE(r.timings.pmax_cache_hit);
+  EXPECT_FALSE(r.timings.vmax_cache_hit);
+  EXPECT_EQ(r.timings.pool_sampled, r.diag.l_used);
+  EXPECT_EQ(r.timings.pool_reused, 0u);
+}
+
+TEST(PlannerMinimize, SecondPlanOnPairIsServedFromCaches) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  Planner planner(fx.graph, fast_options());
+  const QuerySpec q{fx.s, fx.t, fast_minimize(0.3)};
+
+  const PlanResult first = planner.plan(q);
+  const PlanResult second = planner.plan(q);
+  ASSERT_EQ(first.status, PlanStatus::kOk);
+  ASSERT_EQ(second.status, PlanStatus::kOk);
+
+  // Bit-identical output, but every stage served from the pair cache.
+  EXPECT_EQ(first.invitation.members(), second.invitation.members());
+  EXPECT_DOUBLE_EQ(first.diag.pmax.estimate, second.diag.pmax.estimate);
+  EXPECT_TRUE(second.timings.pmax_cache_hit);
+  EXPECT_TRUE(second.timings.vmax_cache_hit);
+  EXPECT_EQ(second.timings.pool_sampled, 0u);
+  EXPECT_EQ(second.timings.pool_reused, second.diag.l_used);
+}
+
+TEST(PlannerMinimize, ClearCachesRebuildsDeterministically) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  Planner planner(fx.graph, fast_options());
+  const QuerySpec q{fx.s, fx.t, fast_minimize(0.3)};
+
+  const PlanResult before = planner.plan(q);
+  planner.clear_caches();
+  const PlanResult after = planner.plan(q);
+  ASSERT_EQ(after.status, PlanStatus::kOk);
+  // The caches were dropped (everything recomputed)…
+  EXPECT_FALSE(after.timings.pmax_cache_hit);
+  EXPECT_FALSE(after.timings.vmax_cache_hit);
+  EXPECT_GT(after.timings.pool_sampled, 0u);
+  // …but the derived seeds rebuild identical state.
+  EXPECT_EQ(before.invitation.members(), after.invitation.members());
+  EXPECT_DOUBLE_EQ(before.diag.pmax.estimate, after.diag.pmax.estimate);
+}
+
+TEST(PlannerMinimize, CachedPathMatchesRunWithPmaxEngine) {
+  // The planner's pooled covering is exactly RafAlgorithm::run_with_pmax
+  // fed with the cached estimate and the pool stream's seed.
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const std::uint64_t base_seed = 42;
+  Planner planner(fx.graph, fast_options(base_seed));
+  const MinimizeSpec spec = fast_minimize(0.3);
+  const PlanResult r = planner.plan({fx.s, fx.t, spec});
+  ASSERT_EQ(r.status, PlanStatus::kOk);
+
+  RafConfig cfg;
+  cfg.alpha = spec.alpha;
+  cfg.epsilon = spec.epsilon;
+  cfg.big_n = spec.big_n;
+  cfg.policy = spec.policy;
+  cfg.max_realizations = spec.max_realizations;
+  cfg.solver = spec.solver;
+  cfg.local_search = spec.local_search;
+  const RafAlgorithm engine(cfg);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  Rng rng(Planner::derive_pool_seed(base_seed, fx.s, fx.t));
+  const RafResult reference = engine.run_with_pmax(
+      inst, r.diag.pmax.estimate, compute_vmax(inst).size(), rng);
+
+  EXPECT_EQ(r.invitation.members(), reference.invitation.members());
+  EXPECT_EQ(r.diag.l_used, reference.diag.l_used);
+  EXPECT_EQ(r.diag.type1_count, reference.diag.type1_count);
+  EXPECT_DOUBLE_EQ(r.diag.l_star, reference.diag.l_star);
+}
+
+// ------------------------------------------------------------------- batch
+
+TEST(PlannerBatch, AlphaSweepMatchesSequentialAndReusesCaches) {
+  // The acceptance-criterion scenario: an α-sweep on one (s,t) pair.
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const std::vector<double> alphas{0.15, 0.3, 0.45, 0.6, 0.75};
+
+  std::vector<QuerySpec> queries;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    MinimizeSpec spec = fast_minimize(alphas[i]);
+    // Varying realization caps force pool growth mid-sweep.
+    spec.max_realizations = 4'000 + 3'000 * i;
+    queries.push_back({fx.s, fx.t, spec});
+  }
+
+  Planner batch_planner(fx.graph, fast_options());
+  const std::vector<PlanResult> batch = batch_planner.plan_batch(queries);
+
+  Planner seq_planner(fx.graph, fast_options());
+  std::vector<PlanResult> sequential;
+  for (const QuerySpec& q : queries) sequential.push_back(seq_planner.plan(q));
+
+  ASSERT_EQ(batch.size(), queries.size());
+  std::size_t pmax_misses = 0;
+  std::size_t vmax_misses = 0;
+  std::uint64_t sampled_total = 0;
+  std::uint64_t max_l = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(batch[i].status, PlanStatus::kOk) << "query " << i;
+    // Bit-identical invitation sets, batch vs sequential.
+    EXPECT_EQ(batch[i].invitation.members(),
+              sequential[i].invitation.members())
+        << "query " << i;
+    EXPECT_EQ(batch[i].diag.l_used, sequential[i].diag.l_used);
+    EXPECT_DOUBLE_EQ(batch[i].diag.pmax.estimate,
+                     sequential[i].diag.pmax.estimate);
+    pmax_misses += batch[i].timings.pmax_cache_hit ? 0 : 1;
+    vmax_misses += batch[i].timings.vmax_cache_hit ? 0 : 1;
+    sampled_total += batch[i].timings.pool_sampled;
+    max_l = std::max(max_l, batch[i].diag.l_used);
+  }
+  // The DKLR estimate and the block-cut V_max ran exactly once for the
+  // whole sweep; every other query hit the pair cache.
+  EXPECT_EQ(pmax_misses, 1u);
+  EXPECT_EQ(vmax_misses, 1u);
+  // Pool growth is monotone: the sweep samples exactly max-l realizations
+  // in total, never resampling a prefix.
+  EXPECT_EQ(sampled_total, max_l);
+}
+
+TEST(PlannerBatch, HeterogeneousBatchKeepsOrderAndStatuses) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  MinimizeSpec bad = fast_minimize();
+  bad.alpha = -1.0;
+
+  std::vector<QuerySpec> queries{
+      {fx.s, fx.t, fast_minimize(0.3)},
+      {fx.s, fx.t, MaximizeSpec{.budget = 4, .realizations = 10'000}},
+      {fx.s, fx.t, bad},
+      {fx.s, fx.s, fast_minimize(0.3)},
+  };
+  Planner planner(fx.graph, fast_options());
+  const std::vector<PlanResult> results = planner.plan_batch(queries);
+
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].status, PlanStatus::kOk);
+  EXPECT_EQ(results[1].status, PlanStatus::kOk);
+  EXPECT_EQ(results[2].status, PlanStatus::kInvalidSpec);
+  EXPECT_EQ(results[3].status, PlanStatus::kInvalidPair);
+}
+
+TEST(PlannerBatch, EmptyAndSingletonBatches) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  Planner planner(fx.graph, fast_options());
+  EXPECT_TRUE(planner.plan_batch({}).empty());
+
+  const std::vector<QuerySpec> one{{fx.s, fx.t, fast_minimize(0.3)}};
+  const auto results = planner.plan_batch(one);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, PlanStatus::kOk);
+}
+
+// ---------------------------------------------------------------- maximize
+
+TEST(PlannerMaximize, RespectsBudgetAndSharesThePool) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  Planner planner(fx.graph, fast_options());
+
+  MaximizeSpec spec;
+  spec.budget = 2;  // one backward path: t + its t-side intermediate
+  spec.realizations = 10'000;
+  const PlanResult r = planner.plan({fx.s, fx.t, spec});
+  ASSERT_EQ(r.status, PlanStatus::kOk);
+  EXPECT_LE(r.invitation.size(), spec.budget);
+  EXPECT_TRUE(r.invitation.contains(fx.t));
+  EXPECT_GT(r.sample_coverage, 0.0);
+  EXPECT_EQ(r.diag.l_used, spec.realizations);
+
+  // A minimize query on the same pair reuses the maximize query's pool.
+  MinimizeSpec min_spec = fast_minimize(0.3);
+  min_spec.max_realizations = 10'000;
+  const PlanResult m = planner.plan({fx.s, fx.t, min_spec});
+  ASSERT_EQ(m.status, PlanStatus::kOk);
+  EXPECT_EQ(m.timings.pool_sampled, 0u);
+  EXPECT_EQ(m.timings.pool_reused, 10'000u);
+  EXPECT_TRUE(m.timings.vmax_cache_hit);
+}
+
+TEST(PlannerMaximize, DeterministicAcrossPlanners) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  MaximizeSpec spec;
+  spec.budget = 4;
+  spec.realizations = 5'000;
+
+  Planner a(fx.graph, fast_options(7));
+  Planner b(fx.graph, fast_options(7));
+  const PlanResult ra = a.plan({fx.s, fx.t, spec});
+  const PlanResult rb = b.plan({fx.s, fx.t, spec});
+  ASSERT_EQ(ra.status, PlanStatus::kOk);
+  EXPECT_EQ(ra.invitation.members(), rb.invitation.members());
+  EXPECT_DOUBLE_EQ(ra.sample_coverage, rb.sample_coverage);
+}
+
+}  // namespace
+}  // namespace af
