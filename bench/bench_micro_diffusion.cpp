@@ -1,21 +1,45 @@
 // Micro-benchmarks: diffusion primitives — reverse path sampling (the
 // inner loop of RAF), forward Process-1 simulation, full realization
 // materialization, and DKLR estimation.
+//
+// The sampling hot path carries explicit ablations (DESIGN.md §7):
+//   *_Scan vs *_Alias   — O(deg) cumulative scan vs O(1) alias tables,
+//                         on the youtube analog at default scale (200k
+//                         nodes), where backward walks keep hitting hubs;
+//   *_VectorPaths vs *_Arena — per-path std::vector collection vs the
+//                         flat PathArena;
+//   BM_BulkType1Sample/T — counter-stream bulk sampling at T pool threads
+//                         (bit-identical output at every T).
+//
+// Run with --json to additionally write BENCH_sampling.json (the Google
+// Benchmark JSON report); CI uploads it as the perf-trajectory artifact.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "core/datasets.hpp"
 #include "core/pair_sampler.hpp"
+#include "cover/setfamily.hpp"
+#include "diffusion/bulk_sampler.hpp"
 #include "diffusion/dklr.hpp"
 #include "diffusion/forward_process.hpp"
 #include "diffusion/montecarlo.hpp"
+#include "diffusion/path_arena.hpp"
 #include "diffusion/realization.hpp"
+#include "diffusion/sampling_index.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace af;
 
+/// Wiki-analog scale (Table I row 1): cheap enough for the evaluator and
+/// forward-process benches.
 struct Fixture {
   Graph graph;
   NodeId s = 0;
@@ -38,17 +62,130 @@ struct Fixture {
   }
 };
 
-void BM_ReversePathSample(benchmark::State& state) {
-  const auto& fx = Fixture::get();
+/// The youtube analog at default scale (200k nodes, BA attach 5) — the
+/// ROADMAP's scale target for the sampling hot path.
+struct YoutubeFixture {
+  Graph graph;
+  NodeId s = 0;
+  NodeId t = 0;
+
+  static const YoutubeFixture& get() {
+    static YoutubeFixture fx = [] {
+      YoutubeFixture f;
+      Rng rng(2);
+      f.graph = make_dataset(dataset_spec("youtube"), rng);
+      PairSamplerConfig cfg;
+      cfg.estimate_samples = 2'000;
+      const auto pair = sample_pair(f.graph, cfg, rng);
+      f.s = pair ? pair->s : 0;
+      f.t = pair ? pair->t : 2;
+      return f;
+    }();
+    return fx;
+  }
+};
+
+// ------------------------------------------------- alias vs scan (walks)
+
+void BM_ReversePathSample_Scan(benchmark::State& state) {
+  const auto& fx = YoutubeFixture::get();
   const FriendingInstance inst(fx.graph, fx.s, fx.t);
-  ReversePathSampler sampler(inst);
+  const ScanSelectionSampler scan(fx.graph);
+  ReversePathSampler sampler(inst, scan);
+  std::vector<NodeId> path;
   Rng rng(2);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.sample(rng).type1);
+    benchmark::DoNotOptimize(sampler.sample_into(rng, path));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_ReversePathSample);
+BENCHMARK(BM_ReversePathSample_Scan);
+
+void BM_ReversePathSample_Alias(benchmark::State& state) {
+  const auto& fx = YoutubeFixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  ReversePathSampler sampler(inst, index);
+  std::vector<NodeId> path;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_into(rng, path));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReversePathSample_Alias);
+
+void BM_SamplingIndexBuild(benchmark::State& state) {
+  const auto& fx = YoutubeFixture::get();
+  for (auto _ : state) {
+    const SamplingIndex index(fx.graph);
+    benchmark::DoNotOptimize(index.num_slots());
+  }
+}
+BENCHMARK(BM_SamplingIndexBuild);
+
+// ---------------------------------------------- arena vs vector (paths)
+
+constexpr std::uint64_t kFamilyDraws = 20'000;
+
+void BM_Type1Paths_VectorPaths(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  ReversePathSampler sampler(inst, index);
+  Rng rng(3);
+  for (auto _ : state) {
+    // The pre-refactor collection: one heap vector per kept path.
+    std::vector<std::vector<NodeId>> paths;
+    for (std::uint64_t i = 0; i < kFamilyDraws; ++i) {
+      TgSample tg = sampler.sample(rng);
+      if (tg.type1) paths.push_back(std::move(tg.path));
+    }
+    benchmark::DoNotOptimize(paths.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kFamilyDraws));
+}
+BENCHMARK(BM_Type1Paths_VectorPaths);
+
+void BM_Type1Paths_Arena(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  ReversePathSampler sampler(inst, index);
+  Rng rng(3);
+  std::vector<NodeId> buf;
+  for (auto _ : state) {
+    PathArena arena;
+    for (std::uint64_t i = 0; i < kFamilyDraws; ++i) {
+      if (sampler.sample_into(rng, buf)) arena.push_path(buf);
+    }
+    benchmark::DoNotOptimize(arena.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kFamilyDraws));
+}
+BENCHMARK(BM_Type1Paths_Arena);
+
+// ------------------------------------------- threaded bulk fan-out
+
+void BM_BulkType1Sample(benchmark::State& state) {
+  const auto& fx = YoutubeFixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  constexpr std::uint64_t kCount = 16'384;
+  for (auto _ : state) {
+    const BulkType1Paths bulk =
+        sample_type1_bulk(inst, index, 0, kCount, 7, &pool);
+    benchmark::DoNotOptimize(bulk.positions.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kCount));
+}
+BENCHMARK(BM_BulkType1Sample)->Arg(1)->Arg(2)->Arg(4);
+
+// -------------------------------------------------- classic primitives
 
 void BM_ForwardProcessFullInvite(benchmark::State& state) {
   const auto& fx = Fixture::get();
@@ -66,8 +203,10 @@ BENCHMARK(BM_ForwardProcessFullInvite);
 void BM_FullRealization(benchmark::State& state) {
   const auto& fx = Fixture::get();
   Rng rng(4);
+  std::vector<NodeId> real;  // out-param overload: no per-draw alloc
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sample_full_realization(fx.graph, rng).size());
+    sample_full_realization(fx.graph, rng, real);
+    benchmark::DoNotOptimize(real.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -88,17 +227,45 @@ BENCHMARK(BM_EstimateF_Reverse10k);
 void BM_DklrPmax(benchmark::State& state) {
   const auto& fx = Fixture::get();
   const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
   Rng rng(6);
   DklrConfig cfg;
   cfg.epsilon = 0.2;
   cfg.delta = 0.05;
   cfg.max_samples = 500'000;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(estimate_pmax_dklr(inst, rng, cfg).estimate);
+    benchmark::DoNotOptimize(
+        estimate_pmax_dklr(inst, index, rng, cfg).estimate);
   }
 }
 BENCHMARK(BM_DklrPmax);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json: additionally write BENCH_sampling.json (Google Benchmark's
+  // JSON reporter) — the file CI uploads as the perf-trajectory artifact.
+  std::vector<char*> args(argv, argv + argc);
+  bool json = false;
+  args.erase(std::remove_if(args.begin(), args.end(),
+                            [&](char* a) {
+                              if (std::string_view(a) == "--json") {
+                                json = true;
+                                return true;
+                              }
+                              return false;
+                            }),
+             args.end());
+  std::string out_flag = "--benchmark_out=BENCH_sampling.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (json) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

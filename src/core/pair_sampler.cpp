@@ -1,6 +1,7 @@
 #include "core/pair_sampler.hpp"
 
 #include "diffusion/montecarlo.hpp"
+#include "diffusion/sampling_index.hpp"
 #include "util/contracts.hpp"
 
 namespace af {
@@ -32,12 +33,14 @@ std::vector<NodeId> candidate_targets(const Graph& g, NodeId s,
   return out;
 }
 
-}  // namespace
-
-std::optional<SampledPair> sample_pair(const Graph& g,
-                                       const PairSamplerConfig& cfg,
-                                       Rng& rng) {
-  AF_EXPECTS(g.num_nodes() >= 3, "graph too small for pair sampling");
+/// One acceptance attempt loop over a prebuilt alias index: the index is
+/// graph-wide (O(n + m) to build), so sharing it across the attempt loop
+/// — and across every pair of a sample_pairs batch — keeps an attempt's
+/// cost at its `estimate_samples` short walks.
+std::optional<SampledPair> sample_pair_indexed(const Graph& g,
+                                               const SamplingIndex& index,
+                                               const PairSamplerConfig& cfg,
+                                               Rng& rng) {
   for (std::uint64_t attempt = 0; attempt < cfg.max_attempts; ++attempt) {
     const auto s =
         static_cast<NodeId>(rng.uniform_int(std::uint64_t{g.num_nodes()}));
@@ -47,7 +50,7 @@ std::optional<SampledPair> sample_pair(const Graph& g,
     const NodeId t = targets[rng.uniform_int(targets.size())];
 
     const FriendingInstance inst(g, s, t);
-    MonteCarloEvaluator mc(inst);
+    MonteCarloEvaluator mc(inst, index);
     const Proportion est = mc.estimate_pmax(cfg.estimate_samples, rng);
     if (est.estimate() >= cfg.pmax_threshold &&
         est.estimate() <= cfg.pmax_upper) {
@@ -57,13 +60,25 @@ std::optional<SampledPair> sample_pair(const Graph& g,
   return std::nullopt;
 }
 
+}  // namespace
+
+std::optional<SampledPair> sample_pair(const Graph& g,
+                                       const PairSamplerConfig& cfg,
+                                       Rng& rng) {
+  AF_EXPECTS(g.num_nodes() >= 3, "graph too small for pair sampling");
+  const SamplingIndex index(g);
+  return sample_pair_indexed(g, index, cfg, rng);
+}
+
 std::vector<SampledPair> sample_pairs(const Graph& g, std::size_t count,
                                       const PairSamplerConfig& cfg,
                                       Rng& rng) {
+  AF_EXPECTS(g.num_nodes() >= 3, "graph too small for pair sampling");
+  const SamplingIndex index(g);
   std::vector<SampledPair> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    auto pair = sample_pair(g, cfg, rng);
+    auto pair = sample_pair_indexed(g, index, cfg, rng);
     if (!pair) break;
     out.push_back(*pair);
   }

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "core/vmax.hpp"
+#include "diffusion/bulk_sampler.hpp"
 #include "diffusion/dklr.hpp"
 #include "diffusion/instance.hpp"
+#include "diffusion/path_arena.hpp"
 #include "diffusion/realization.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -48,7 +50,7 @@ const char* to_string(PlanStatus status) {
 /// guarded by `mu`; the instance itself is immutable after construction.
 struct Planner::PairCache {
   PairCache(const Graph& g, NodeId s, NodeId t, std::uint64_t pool_seed)
-      : inst(g, s, t), pool_rng(pool_seed) {}
+      : inst(g, s, t), stream_root(Rng(pool_seed).next_u64()) {}
 
   FriendingInstance inst;
   std::mutex mu;
@@ -58,18 +60,21 @@ struct Planner::PairCache {
   /// Cached DKLR estimate at the planner's tolerance.
   std::optional<DklrResult> pmax;
 
-  /// Realization pool: the pair's deterministic sample stream. Growth
-  /// always continues pool_rng, so sample #i is the same no matter which
-  /// query (or thread) triggered the growth. Only type-1 backward paths
-  /// are materialized; type1_pos[k] is the stream index of the k-th.
-  Rng pool_rng;
+  /// Realization pool: the pair's deterministic sample stream. Sample #i
+  /// draws from its own counter-derived Rng (stream_sample_seed(
+  /// stream_root, i)), so it is the same no matter which query, thread,
+  /// or growth step produced it — and matches the engine-level
+  /// sample_type1_family seeded from Rng(pool_seed) exactly. Only type-1
+  /// backward paths are materialized, packed into a flat arena;
+  /// type1_pos[k] is the stream index of arena path k.
+  const std::uint64_t stream_root;
   std::uint64_t pool_drawn = 0;
   std::vector<std::uint64_t> type1_pos;
-  std::vector<std::vector<NodeId>> type1_paths;
+  PathArena type1_paths;
 };
 
 Planner::Planner(const Graph& graph, PlannerOptions options)
-    : graph_(&graph), options_(options) {}
+    : graph_(&graph), options_(options), index_(graph) {}
 
 Planner::~Planner() = default;
 
@@ -199,6 +204,14 @@ std::optional<PlanResult> Planner::ensure_vmax(PairCache& cache,
   return std::nullopt;
 }
 
+ThreadPool* Planner::sample_pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sample_pool_) {
+    sample_pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  return sample_pool_.get();
+}
+
 void Planner::ensure_pmax(PairCache& cache, PlanResult& out) {
   if (cache.pmax) {
     out.timings.pmax_cache_hit = true;
@@ -210,7 +223,8 @@ void Planner::ensure_pmax(PairCache& cache, PlanResult& out) {
     cfg.max_samples = options_.pmax_max_samples;
     Rng rng(derive_pmax_seed(options_.base_seed, cache.inst.initiator(),
                              cache.inst.target()));
-    cache.pmax = estimate_pmax_dklr(cache.inst, rng, cfg);
+    cache.pmax = estimate_pmax_dklr(cache.inst, index_, rng, cfg,
+                                    sample_pool());
     out.timings.pmax_seconds = timer.elapsed_seconds();
   }
   out.diag.pmax = *cache.pmax;
@@ -220,14 +234,13 @@ SetFamily Planner::pooled_family(PairCache& cache, std::uint64_t l,
                                  PlanResult& out) {
   if (cache.pool_drawn < l) {
     WallTimer timer;
-    ReversePathSampler sampler(cache.inst);
-    for (std::uint64_t i = cache.pool_drawn; i < l; ++i) {
-      TgSample tg = sampler.sample(cache.pool_rng);
-      if (tg.type1) {
-        cache.type1_pos.push_back(i);
-        cache.type1_paths.push_back(std::move(tg.path));
-      }
-    }
+    const BulkType1Paths grown =
+        sample_type1_bulk(cache.inst, index_, cache.pool_drawn,
+                          l - cache.pool_drawn, cache.stream_root,
+                          sample_pool());
+    cache.type1_paths.append(grown.paths);
+    cache.type1_pos.insert(cache.type1_pos.end(), grown.positions.begin(),
+                           grown.positions.end());
     out.timings.pool_reused = cache.pool_drawn;
     out.timings.pool_sampled = l - cache.pool_drawn;
     out.timings.sample_seconds = timer.elapsed_seconds();

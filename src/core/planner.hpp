@@ -21,18 +21,26 @@
 //    tolerance (PlannerOptions::pmax_epsilon/pmax_delta) — set it at or
 //    below the smallest ε0 your queries will solve for if you want
 //    Theorem 1 to carry over verbatim;
-//  - a realization pool: backward-path samples drawn from one
-//    pair-deterministic stream and shared by every query on the pair. A
-//    query needing l realizations reads the pool's first l samples,
-//    growing it on demand — an α-sweep pays the sampling cost once.
+//  - a realization pool: backward-path samples kept in a flat PathArena
+//    and shared by every query on the pair. A query needing l
+//    realizations reads the pool's first l samples, growing it on demand
+//    — an α-sweep pays the sampling cost once.
+//
+// One SamplingIndex (per-node alias tables, DESIGN.md §7) is built per
+// planner and shared by all pairs: every walk step is O(1) instead of an
+// O(deg) scan.
 //
 // Determinism: all randomness derives from PlannerOptions::base_seed via
-// per-(s,t) seed derivation (derive_pool_seed / derive_pmax_seed), and
-// pool growth always continues the same stream. Hence results depend
-// only on (graph, options, query) — never on query order, interleaving,
-// or thread count — and plan_batch is bit-identical to sequential plan
-// calls. plan_batch fans queries across a fixed-size util::ThreadPool;
-// queries on the same pair serialize on the pair cache.
+// per-(s,t) seed derivation (derive_pool_seed / derive_pmax_seed);
+// sample #i of a pair's pool (and of its DKLR estimate) draws from its
+// own counter-derived stream (util/rng.hpp: stream_sample_seed), so pool
+// growth continues the stream exactly and bulk sampling is bit-identical
+// at every thread count. Hence results depend only on (graph, options,
+// query) — never on query order, interleaving, or thread count — and
+// plan_batch is bit-identical to sequential plan calls. plan_batch fans
+// queries across a fixed-size util::ThreadPool; queries on the same pair
+// serialize on the pair cache, while their bulk sampling fans out over a
+// second, dedicated pool.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +56,7 @@
 #include "core/maximizer.hpp"
 #include "core/raf.hpp"
 #include "diffusion/invitation.hpp"
+#include "diffusion/sampling_index.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 #include "util/thread_pool.hpp"
@@ -217,11 +226,22 @@ class Planner {
   SetFamily pooled_family(PairCache& cache, std::uint64_t l,
                           PlanResult& out);
 
+  /// The worker pool that bulk sampling (pool growth, the DKLR loop)
+  /// fans out over. Distinct from the query pool `pool_`: query workers
+  /// block on sampling futures, so serving both job kinds from one pool
+  /// could deadlock with every worker waiting on a queued shard.
+  ThreadPool* sample_pool();
+
   const Graph* graph_;
   PlannerOptions options_;
-  std::mutex mu_;  // guards cache_ and pool_ creation
+  /// Per-node alias tables (DESIGN.md §7). Depends only on the graph's
+  /// in-weights, so one index serves every pair cache and worker thread;
+  /// immutable after construction, shared without locks.
+  SamplingIndex index_;
+  std::mutex mu_;  // guards cache_ and the lazy pools' creation
   std::map<std::uint64_t, std::shared_ptr<PairCache>> cache_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> sample_pool_;
 };
 
 }  // namespace af

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/vmax.hpp"
 #include "cover/setfamily.hpp"
-#include "diffusion/realization.hpp"
+#include "diffusion/bulk_sampler.hpp"
+#include "diffusion/sampling_index.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 
@@ -38,15 +40,45 @@ const MpuSolver& RafAlgorithm::solver() const {
   return greedy_;
 }
 
-SetFamily sample_type1_family(const FriendingInstance& inst, std::uint64_t l,
-                              Rng& rng) {
-  ReversePathSampler sampler(inst);
+namespace {
+
+/// Transient-pool threshold for the engine-level entry points (which own
+/// no pool): spawning hardware threads costs milliseconds, so only fan
+/// out when the sampling window dwarfs that. Distinct from
+/// bulk_sampler's kMinParallelSamples, which gates sharding on an
+/// already-running pool; mid-sized windows below this still get the
+/// alias + interleaved-lane speedups, just single-threaded.
+constexpr std::uint64_t kTransientPoolSamples = 32'768;
+
+/// sample_type1_family over a shared index, with the transient-pool
+/// policy applied. The per-sample streams make the result identical at
+/// any pool size.
+SetFamily engine_family(const FriendingInstance& inst,
+                        const SamplingIndex& index, std::uint64_t l,
+                        Rng& rng) {
+  std::unique_ptr<ThreadPool> pool;
+  if (l >= kTransientPoolSamples) pool = std::make_unique<ThreadPool>();
+  return sample_type1_family(inst, index, l, rng, pool.get());
+}
+
+}  // namespace
+
+SetFamily sample_type1_family(const FriendingInstance& inst,
+                              const SelectionSampler& sel, std::uint64_t l,
+                              Rng& rng, ThreadPool* pool) {
+  const BulkType1Paths bulk =
+      sample_type1_bulk(inst, sel, 0, l, rng.next_u64(), pool);
   SetFamily family(inst.graph().num_nodes());
-  for (std::uint64_t i = 0; i < l; ++i) {
-    const TgSample tg = sampler.sample(rng);
-    if (tg.type1) family.add_set(tg.path);
+  for (std::size_t k = 0; k < bulk.paths.size(); ++k) {
+    family.add_set(bulk.paths[k]);
   }
   return family;
+}
+
+SetFamily sample_type1_family(const FriendingInstance& inst, std::uint64_t l,
+                              Rng& rng) {
+  const SamplingIndex index(inst.graph());
+  return engine_family(inst, index, l, rng);
 }
 
 RafResult RafAlgorithm::run_framework(const FriendingInstance& inst,
@@ -131,9 +163,10 @@ RafResult RafAlgorithm::run_with_pmax(const FriendingInstance& inst,
                                       double pmax_estimate,
                                       std::size_t vmax_size,
                                       Rng& rng) const {
+  const SamplingIndex index(inst.graph());
   return run_with_pmax_source(inst, pmax_estimate, vmax_size,
                               [&](std::uint64_t l) {
-                                return sample_type1_family(inst, l, rng);
+                                return engine_family(inst, index, l, rng);
                               });
 }
 
@@ -158,12 +191,15 @@ RafResult RafAlgorithm::run(const FriendingInstance& inst, Rng& rng) const {
   out.diag.params =
       solve_equation_system(cfg_.alpha, cfg_.epsilon, cfg_.policy, n_eff);
 
+  // One alias index serves both sampling stages of this run.
+  const SamplingIndex index(inst.graph());
+
   // Step 2: p*max by the stopping rule with ε0 and δ = 1/N (Lemma 3).
   DklrConfig dklr;
   dklr.epsilon = out.diag.params.eps0;
   dklr.delta = 1.0 / cfg_.big_n;
   dklr.max_samples = cfg_.pmax_max_samples;
-  out.diag.pmax = estimate_pmax_dklr(inst, rng, dklr);
+  out.diag.pmax = estimate_pmax_dklr(inst, index, rng, dklr);
   if (out.diag.pmax.estimate <= 0.0) {
     // Reachability was certified by V_max (when enabled), so a zero
     // estimate only means p_max sits below the sampling caps.
@@ -174,10 +210,10 @@ RafResult RafAlgorithm::run(const FriendingInstance& inst, Rng& rng) const {
   }
 
   // Steps 3–4: budget derivation + the covering framework (Alg. 3),
-  // shared with the other entry points via run_with_pmax.
-  RafResult framework = run_with_pmax(inst, out.diag.pmax.estimate,
-                                      cfg_.use_vmax_in_l ? vmax.size() : 0,
-                                      rng);
+  // shared with the other entry points via run_with_pmax_source.
+  RafResult framework = run_with_pmax_source(
+      inst, out.diag.pmax.estimate, cfg_.use_vmax_in_l ? vmax.size() : 0,
+      [&](std::uint64_t l) { return engine_family(inst, index, l, rng); });
   framework.diag.pmax = out.diag.pmax;  // keep the full DKLR record
   return framework;
 }

@@ -29,7 +29,9 @@
 #include "diffusion/dklr.hpp"
 #include "diffusion/instance.hpp"
 #include "diffusion/invitation.hpp"
+#include "diffusion/realization.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace af {
 
@@ -94,6 +96,16 @@ struct RafResult {
 /// Alg. 3 line 2: draw l realizations and collect the type-1 backward
 /// paths into a family. The one sampling loop shared by the RAF engine,
 /// run_with_pmax's fallback source, and the maximizer.
+///
+/// Draws through `sel` (alias index or scan oracle) with per-sample
+/// counter streams rooted at one draw from `rng`, fanned out over `pool`
+/// when given — bit-identical at every pool size (diffusion/bulk_sampler).
+SetFamily sample_type1_family(const FriendingInstance& inst,
+                              const SelectionSampler& sel, std::uint64_t l,
+                              Rng& rng, ThreadPool* pool = nullptr);
+
+/// Convenience overload: builds a private alias index, and for large l
+/// fans out over a transient hardware-sized pool.
 SetFamily sample_type1_family(const FriendingInstance& inst, std::uint64_t l,
                               Rng& rng);
 
@@ -115,6 +127,13 @@ class RafAlgorithm {
   /// satisfy Eq. (10) for the theoretical guarantee to carry over —
   /// callers sweeping α on one instance typically reuse the DKLR result
   /// of the first run (its diag.pmax).
+  ///
+  /// Builds a fresh alias index per call (amortized over the run's l
+  /// walks). Callers sweeping many runs on one graph who want to share
+  /// one SamplingIndex should use run_with_pmax_source with a family
+  /// source built on the SelectionSampler overload of
+  /// sample_type1_family — that is exactly how the Planner serves its
+  /// cached queries.
   RafResult run_with_pmax(const FriendingInstance& inst, double pmax_estimate,
                           std::size_t vmax_size, Rng& rng) const;
 

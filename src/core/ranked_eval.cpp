@@ -23,16 +23,18 @@ RankedCurve evaluate_ranked_prefixes(const FriendingInstance& inst,
     rank_of[ranking[i]] = i;
   }
 
-  // One pass: minimal covering prefix size per sampled type-1 path.
+  // One pass: minimal covering prefix size per sampled type-1 path. The
+  // alias-backed sampler makes each walk step O(1); the reused path
+  // buffer keeps the loop allocation-free.
   std::vector<std::size_t> needs;
   needs.reserve(static_cast<std::size_t>(samples) / 8);
   ReversePathSampler sampler(inst);
+  std::vector<NodeId> path;
   for (std::uint64_t i = 0; i < samples; ++i) {
-    const TgSample tg = sampler.sample(rng);
-    if (!tg.type1) continue;
+    if (!sampler.sample_into(rng, path)) continue;
     std::size_t need = 0;
     bool coverable = true;
-    for (NodeId v : tg.path) {
+    for (NodeId v : path) {
       const std::size_t r = rank_of[v];
       if (r == kOutside) {
         coverable = false;

@@ -1,0 +1,186 @@
+#include "diffusion/bulk_sampler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <future>
+#include <numeric>
+
+namespace af {
+
+namespace {
+
+/// Below this many samples the walk work cannot amortize shard setup:
+/// run inline.
+constexpr std::uint64_t kMinParallelSamples = 4096;
+
+/// Interleaved walks per shard. The walk is a serial pointer-chase
+/// (offsets → alias slot → N_s mask per step); running independent walks
+/// in lockstep overlaps their cache misses (memory-level parallelism), so
+/// even one thread sustains several in-flight loads. 16 lanes ≈ the
+/// per-core miss parallelism of current hardware.
+constexpr std::size_t kLanes = 16;
+
+/// One in-flight walk of the interleaved loop.
+struct Lane {
+  Rng rng{0};
+  std::uint64_t index = 0;
+  NodeId cur = 0;
+  std::vector<NodeId> path;
+  bool active = false;
+};
+
+/// Runs samples [first, first+count) through kLanes interleaved walks,
+/// invoking finish(index, type1, path) as each walk completes. A sample's
+/// outcome depends only on its counter-derived stream (never on lane
+/// scheduling), so interleaving — like sharding — cannot change any
+/// result; only the completion ORDER varies, and callers needing stream
+/// order sort by index. The per-step case analysis is the shared
+/// classify_walk_step, so this stays equivalent to
+/// ReversePathSampler::sample_into by construction.
+template <typename FinishFn>
+void run_lanes(const FriendingInstance& inst, const SelectionSampler& sel,
+               std::uint64_t first, std::uint64_t count, std::uint64_t root,
+               FinishFn&& finish) {
+  const NodeId t = inst.target();
+  std::array<Lane, kLanes> lanes;
+  std::uint64_t next = first;
+  const std::uint64_t end = first + count;
+  const auto launch = [&](Lane& ln) {
+    if (next >= end) {
+      ln.active = false;
+      return;
+    }
+    ln.index = next++;
+    ln.rng.reseed(stream_sample_seed(root, ln.index));
+    ln.cur = t;
+    ln.path.clear();
+    ln.path.push_back(t);
+    ln.active = true;
+  };
+  for (auto& ln : lanes) launch(ln);
+
+  bool any = true;
+  while (any) {
+    any = false;
+    for (auto& ln : lanes) {
+      if (!ln.active) continue;
+      any = true;
+      const NodeId nxt = sel.sample_selection(ln.cur, ln.rng);
+      const WalkStep step = classify_walk_step(inst, nxt, ln.path);
+      if (step == WalkStep::kContinue) {
+        ln.path.push_back(nxt);
+        ln.cur = nxt;
+        continue;
+      }
+      finish(ln.index, step == WalkStep::kReachedNs, ln.path);
+      launch(ln);
+    }
+  }
+}
+
+/// Samples one contiguous stream window, returning type-1 paths in
+/// stream order.
+BulkType1Paths sample_shard(const FriendingInstance& inst,
+                            const SelectionSampler& sel, std::uint64_t first,
+                            std::uint64_t count, std::uint64_t root) {
+  // Capture in completion order, then restore stream order.
+  PathArena unordered;
+  std::vector<std::uint64_t> pos;
+  run_lanes(inst, sel, first, count, root,
+            [&](std::uint64_t idx, bool type1,
+                const std::vector<NodeId>& path) {
+              if (!type1) return;
+              unordered.push_path(path);
+              pos.push_back(idx);
+            });
+
+  std::vector<std::uint32_t> perm(pos.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return pos[a] < pos[b]; });
+
+  BulkType1Paths out;
+  out.paths.reserve(unordered.size(), unordered.total_nodes());
+  out.positions.reserve(pos.size());
+  for (const std::uint32_t k : perm) {
+    out.paths.push_path(unordered[k]);
+    out.positions.push_back(pos[k]);
+  }
+  return out;
+}
+
+/// Splits [first, first+count) into shards sized so every worker gets a
+/// few, runs `task` per shard on the pool, returns results in stream
+/// order.
+template <typename ShardFn>
+auto run_sharded(std::uint64_t first, std::uint64_t count, ThreadPool* pool,
+                 ShardFn&& task) {
+  using Result = decltype(task(first, count));
+  const std::uint64_t shards = std::min<std::uint64_t>(
+      count, static_cast<std::uint64_t>(pool->size()) * 4);
+  const std::uint64_t per_shard = (count + shards - 1) / shards;
+  std::vector<std::future<Result>> futures;
+  futures.reserve(shards);
+  for (std::uint64_t lo = 0; lo < count; lo += per_shard) {
+    const std::uint64_t hi = std::min(lo + per_shard, count);
+    futures.push_back(pool->submit(
+        [&task, first, lo, hi] { return task(first + lo, hi - lo); }));
+  }
+  std::vector<Result> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace
+
+BulkType1Paths sample_type1_bulk(const FriendingInstance& inst,
+                                 const SelectionSampler& sel,
+                                 std::uint64_t first, std::uint64_t count,
+                                 std::uint64_t root, ThreadPool* pool) {
+  if (count == 0) return {};
+  if (pool == nullptr || pool->size() <= 1 || count < kMinParallelSamples) {
+    return sample_shard(inst, sel, first, count, root);
+  }
+  auto shards = run_sharded(
+      first, count, pool, [&](std::uint64_t lo, std::uint64_t cnt) {
+        return sample_shard(inst, sel, lo, cnt, root);
+      });
+  BulkType1Paths out;
+  std::size_t paths = 0, nodes = 0;
+  for (const auto& s : shards) {
+    paths += s.paths.size();
+    nodes += s.paths.total_nodes();
+  }
+  out.paths.reserve(paths, nodes);
+  out.positions.reserve(paths);
+  for (const auto& s : shards) {
+    out.paths.append(s.paths);
+    out.positions.insert(out.positions.end(), s.positions.begin(),
+                         s.positions.end());
+  }
+  return out;
+}
+
+void sample_type1_flags(const FriendingInstance& inst,
+                        const SelectionSampler& sel, std::uint64_t first,
+                        std::uint64_t count, std::uint64_t root,
+                        ThreadPool* pool, std::uint8_t* out) {
+  if (count == 0) return;
+  const auto fill = [&](std::uint64_t lo, std::uint64_t cnt) {
+    // Shard windows are disjoint, so concurrent writes never overlap;
+    // each flag's slot is fixed, so completion order is irrelevant.
+    run_lanes(inst, sel, lo, cnt, root,
+              [&](std::uint64_t idx, bool type1, const std::vector<NodeId>&) {
+                out[idx - first] = type1 ? 1 : 0;
+              });
+    return true;
+  };
+  if (pool == nullptr || pool->size() <= 1 || count < kMinParallelSamples) {
+    fill(first, count);
+    return;
+  }
+  run_sharded(first, count, pool, fill);
+}
+
+}  // namespace af

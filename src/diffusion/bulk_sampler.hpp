@@ -1,0 +1,52 @@
+// Deterministic bulk reverse-path sampling over a worker pool.
+//
+// Extends the Planner's batch-of-queries determinism contract down to
+// batch-of-samples: sample #i of a bulk draw is generated from its own
+// Rng seeded by stream_sample_seed(root, i) (util/rng.hpp), so its
+// outcome depends only on (instance, strategy, root, i). Sharding across
+// util::ThreadPool workers — or running inline with no pool at all —
+// cannot change any sample, which makes threaded bulk sampling
+// bit-identical to sequential at every thread count, and lets a
+// realization pool grow monotonically ([0,k) then [k,l)) while matching a
+// one-shot [0,l) draw exactly.
+//
+// Consumers: Algorithm 3's type-1 family (core/raf), the DKLR p*max loop
+// (diffusion/dklr), and the Planner's shared realization pool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/instance.hpp"
+#include "diffusion/path_arena.hpp"
+#include "diffusion/realization.hpp"
+#include "util/thread_pool.hpp"
+
+namespace af {
+
+/// Type-1 backward paths kept from a contiguous window of sample streams.
+struct BulkType1Paths {
+  /// The paths, in stream order, packed into a flat arena.
+  PathArena paths;
+  /// positions[k] = absolute stream index of paths[k].
+  std::vector<std::uint64_t> positions;
+};
+
+/// Draws samples [first, first+count) of the stream rooted at `root`,
+/// keeping the type-1 backward paths. Fans shards out over `pool` when
+/// given and worthwhile (nullptr = inline); the result is bit-identical
+/// either way.
+BulkType1Paths sample_type1_bulk(const FriendingInstance& inst,
+                                 const SelectionSampler& sel,
+                                 std::uint64_t first, std::uint64_t count,
+                                 std::uint64_t root, ThreadPool* pool);
+
+/// Same stream windows, but records only the type-1 indicator:
+/// out[i] = 1 iff sample (first + i) is type-1. `out` must hold `count`
+/// bytes. The DKLR stopping rule consumes this (it needs no paths).
+void sample_type1_flags(const FriendingInstance& inst,
+                        const SelectionSampler& sel, std::uint64_t first,
+                        std::uint64_t count, std::uint64_t root,
+                        ThreadPool* pool, std::uint8_t* out);
+
+}  // namespace af

@@ -1,7 +1,11 @@
 #include "diffusion/dklr.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "diffusion/bulk_sampler.hpp"
+#include "diffusion/sampling_index.hpp"
 #include "util/contracts.hpp"
 
 namespace af {
@@ -40,11 +44,53 @@ DklrResult dklr_estimate(const std::function<bool(Rng&)>& draw, Rng& rng,
   return out;
 }
 
+DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
+                              const SelectionSampler& sel, Rng& rng,
+                              const DklrConfig& cfg, ThreadPool* pool) {
+  DklrResult out;
+  out.upsilon = dklr_upsilon(cfg.epsilon, cfg.delta);
+  const std::uint64_t root = rng.next_u64();
+
+  // Generate type-1 indicators in blocks of counter-seeded samples and
+  // scan each block sequentially for the stopping condition. The scan
+  // stops at exactly the draw the sequential rule would have stopped at;
+  // indicators past it are discarded, so blocking (and any sharding
+  // inside sample_type1_flags) never shows in the result.
+  constexpr std::uint64_t kBlock = 8192;
+  std::vector<std::uint8_t> flags;
+  while (static_cast<double>(out.successes) < out.upsilon) {
+    if (cfg.max_samples != 0 && out.samples_used >= cfg.max_samples) {
+      // Capped: report the plain frequency estimate without the DKLR
+      // guarantee. Callers inspect `converged`.
+      out.estimate = out.samples_used == 0
+                         ? 0.0
+                         : static_cast<double>(out.successes) /
+                               static_cast<double>(out.samples_used);
+      out.converged = false;
+      return out;
+    }
+    std::uint64_t block = kBlock;
+    if (cfg.max_samples != 0) {
+      block = std::min(block, cfg.max_samples - out.samples_used);
+    }
+    flags.resize(block);
+    sample_type1_flags(inst, sel, out.samples_used, block, root, pool,
+                       flags.data());
+    for (std::uint64_t i = 0; i < block; ++i) {
+      ++out.samples_used;
+      if (flags[i]) ++out.successes;
+      if (static_cast<double>(out.successes) >= out.upsilon) break;
+    }
+  }
+  out.estimate = out.upsilon / static_cast<double>(out.samples_used);
+  out.converged = true;
+  return out;
+}
+
 DklrResult estimate_pmax_dklr(const FriendingInstance& inst, Rng& rng,
                               const DklrConfig& cfg) {
-  ReversePathSampler sampler(inst);
-  return dklr_estimate(
-      [&sampler](Rng& r) { return sampler.sample(r).type1; }, rng, cfg);
+  const SamplingIndex index(inst.graph());
+  return estimate_pmax_dklr(inst, index, rng, cfg, nullptr);
 }
 
 }  // namespace af

@@ -19,6 +19,7 @@
 #include "diffusion/instance.hpp"
 #include "diffusion/realization.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace af {
 
@@ -47,12 +48,28 @@ struct DklrResult {
 /// Computes Υ(ε, δ) = 1 + 4(e−2)(1+ε)·ln(2/δ)/ε².
 double dklr_upsilon(double epsilon, double delta);
 
-/// Runs the stopping rule over an arbitrary Bernoulli oracle.
+/// Runs the stopping rule over an arbitrary Bernoulli oracle, drawing
+/// sequentially from `rng`. The generic single-threaded engine.
 DklrResult dklr_estimate(const std::function<bool(Rng&)>& draw, Rng& rng,
                          const DklrConfig& cfg);
 
-/// Algorithm 2: estimates p_max for an instance by applying the stopping
-/// rule to the type-1 indicator of random realizations.
+/// Algorithm 2: estimates p_max by applying the stopping rule to the
+/// type-1 indicator of random realizations drawn through `sel`.
+///
+/// Samples are generated in blocks with per-sample counter-derived
+/// streams (diffusion/bulk_sampler) — rooted at one draw from `rng` —
+/// and the stopping condition is applied by a sequential scan over the
+/// block, so the result is bit-identical whether the block was filled
+/// inline or sharded across `pool` (any size). Draws past the stopping
+/// point are discarded, exactly as if sampling had been sequential.
+DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
+                              const SelectionSampler& sel, Rng& rng,
+                              const DklrConfig& cfg,
+                              ThreadPool* pool = nullptr);
+
+/// Convenience overload: builds a private alias index (O(n + m)) and runs
+/// inline. Callers holding a shared SamplingIndex or a worker pool (the
+/// Planner) should use the strategy overload.
 DklrResult estimate_pmax_dklr(const FriendingInstance& inst, Rng& rng,
                               const DklrConfig& cfg);
 

@@ -7,6 +7,10 @@ namespace af {
 MonteCarloEvaluator::MonteCarloEvaluator(const FriendingInstance& inst)
     : inst_(inst), forward_(inst), reverse_(inst) {}
 
+MonteCarloEvaluator::MonteCarloEvaluator(const FriendingInstance& inst,
+                                         const SelectionSampler& sel)
+    : inst_(inst), forward_(inst), reverse_(inst, sel) {}
+
 Proportion MonteCarloEvaluator::estimate_f(const InvitationSet& invited,
                                            std::uint64_t samples, Rng& rng,
                                            McEngine engine) {
@@ -25,10 +29,9 @@ Proportion MonteCarloEvaluator::estimate_f(const InvitationSet& invited,
     return p;
   }
   for (std::uint64_t i = 0; i < samples; ++i) {
-    const TgSample tg = reverse_.sample(rng);
-    if (!tg.type1) continue;
+    if (!reverse_.sample_into(rng, path_buf_)) continue;
     bool covered = true;
-    for (NodeId v : tg.path) {
+    for (NodeId v : path_buf_) {
       if (!invited.contains(v)) {
         covered = false;
         break;
@@ -49,7 +52,7 @@ Proportion MonteCarloEvaluator::estimate_pmax(std::uint64_t samples, Rng& rng,
   Proportion p;
   p.trials = samples;
   for (std::uint64_t i = 0; i < samples; ++i) {
-    if (reverse_.sample(rng).type1) ++p.successes;
+    if (reverse_.sample_into(rng, path_buf_)) ++p.successes;
   }
   return p;
 }

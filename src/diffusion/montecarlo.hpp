@@ -24,7 +24,15 @@ enum class McEngine { kReverse, kForward };
 /// Reusable Monte-Carlo evaluator bound to one instance.
 class MonteCarloEvaluator {
  public:
+  /// Builds and owns a per-graph alias index (O(n + m)) for the reverse
+  /// engine. Callers evaluating many instances of ONE graph should use
+  /// the borrowing overload to share a single SamplingIndex instead.
   explicit MonteCarloEvaluator(const FriendingInstance& inst);
+
+  /// Borrows a selection strategy (shared alias index, or the scan
+  /// oracle); `sel` must outlive the evaluator.
+  MonteCarloEvaluator(const FriendingInstance& inst,
+                      const SelectionSampler& sel);
 
   /// Estimates f(I) with `samples` independent trials.
   Proportion estimate_f(const InvitationSet& invited, std::uint64_t samples,
@@ -41,6 +49,7 @@ class MonteCarloEvaluator {
   const FriendingInstance& inst_;
   ForwardProcess forward_;
   ReversePathSampler reverse_;
+  std::vector<NodeId> path_buf_;  // reused across draws: no per-sample alloc
 };
 
 }  // namespace af

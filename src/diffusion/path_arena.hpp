@@ -1,0 +1,71 @@
+// A flat arena of node paths: one contiguous NodeId buffer plus offsets.
+//
+// The sampling hot path produces millions of short type-1 backward paths
+// (average length ≈ walk depth, typically 2–6 nodes). Storing each in its
+// own std::vector costs one heap allocation plus pointer-chasing per
+// path; the arena packs them back to back so bulk sampling appends with
+// amortized O(1) and consumers (cover/SetFamily, the planner's
+// realization pool) read each path as a std::span without touching the
+// allocator. Memory: exactly 4 bytes per path node + 8 per path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace af {
+
+/// Append-only flat storage for a sequence of NodeId paths.
+class PathArena {
+ public:
+  /// Number of paths stored.
+  std::size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return offsets_.size() == 1; }
+
+  /// Total nodes across all paths (the arena's payload size).
+  std::size_t total_nodes() const { return nodes_.size(); }
+
+  /// Path i as a view into the arena. Valid until the arena is destroyed
+  /// (appends never invalidate: offsets index, they don't point).
+  std::span<const NodeId> operator[](std::size_t i) const {
+    return {nodes_.data() + offsets_[i],
+            nodes_.data() + offsets_[i + 1]};
+  }
+
+  /// Appends one path.
+  void push_path(std::span<const NodeId> path) {
+    nodes_.insert(nodes_.end(), path.begin(), path.end());
+    offsets_.push_back(nodes_.size());
+  }
+
+  /// Appends every path of `other`, preserving order.
+  void append(const PathArena& other) {
+    const std::size_t base = nodes_.size();
+    nodes_.insert(nodes_.end(), other.nodes_.begin(), other.nodes_.end());
+    offsets_.reserve(offsets_.size() + other.size());
+    for (std::size_t i = 1; i < other.offsets_.size(); ++i) {
+      offsets_.push_back(base + other.offsets_[i]);
+    }
+  }
+
+  void clear() {
+    nodes_.clear();
+    offsets_.assign(1, 0);
+  }
+
+  /// Pre-allocates for `paths` paths totalling `nodes` nodes.
+  void reserve(std::size_t paths, std::size_t nodes) {
+    offsets_.reserve(paths + 1);
+    nodes_.reserve(nodes);
+  }
+
+  friend bool operator==(const PathArena&, const PathArena&) = default;
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::vector<std::size_t> offsets_{0};
+};
+
+}  // namespace af

@@ -1,85 +1,12 @@
 #include "diffusion/realization.hpp"
 
+#include "diffusion/sampling_index.hpp"
 #include "util/contracts.hpp"
 
 namespace af {
 
-std::vector<NodeId> sample_full_realization(const Graph& g, Rng& rng) {
-  const NodeId n = g.num_nodes();
-  std::vector<NodeId> out(n, kNoNode);
-  for (NodeId v = 0; v < n; ++v) {
-    // Select friend i with probability w(N_v[i], v); nobody with the
-    // leftover 1 − Σ w. One uniform draw, cumulative scan.
-    const double x = rng.uniform();
-    double acc = 0.0;
-    auto nbrs = g.neighbors(v);
-    auto ws = g.in_weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      acc += ws[i];
-      if (x < acc) {
-        out[v] = nbrs[i];
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-namespace {
-
-/// Shared core of Alg. 1: walks backward from t through `select(v)`,
-/// classifying the realization. `select` returns the selected friend of v
-/// or kNoNode. `visited(v)` / `mark(v)` implement the cycle check.
-template <typename SelectFn, typename VisitedFn, typename MarkFn>
-TgSample walk_back(const FriendingInstance& inst, SelectFn&& select,
-                   VisitedFn&& visited, MarkFn&& mark) {
-  TgSample out;
-  NodeId cur = inst.target();
-  out.path.push_back(cur);
-  mark(cur);
-  while (true) {
-    const NodeId nxt = select(cur);
-    if (nxt == kNoNode) {
-      // Case a: the walk dies before reaching N_s — t(g) contains ℵ0.
-      out.type1 = false;
-      return out;
-    }
-    if (inst.is_initial_friend(nxt)) {
-      // Case c: reached a friend of s. t(g) is complete (the N_s node
-      // itself is NOT part of t(g): it is already a friend).
-      out.type1 = true;
-      return out;
-    }
-    if (visited(nxt)) {
-      // Case b: a cycle — equivalent to ℵ0 (Alg. 1 line 6).
-      out.type1 = false;
-      return out;
-    }
-    out.path.push_back(nxt);
-    mark(nxt);
-    cur = nxt;
-  }
-}
-
-}  // namespace
-
-TgSample trace_tg(const FriendingInstance& inst,
-                  const std::vector<NodeId>& realization) {
-  AF_EXPECTS(realization.size() == inst.graph().num_nodes(),
-             "realization size mismatch");
-  std::vector<char> seen(inst.graph().num_nodes(), 0);
-  return walk_back(
-      inst, [&](NodeId v) { return realization[v]; },
-      [&](NodeId v) { return seen[v] != 0; }, [&](NodeId v) { seen[v] = 1; });
-}
-
-ReversePathSampler::ReversePathSampler(const FriendingInstance& inst)
-    : inst_(inst) {
-  visit_stamp_.assign(inst.graph().num_nodes(), 0);
-}
-
-NodeId ReversePathSampler::sample_selection(NodeId v, Rng& rng) const {
-  const Graph& g = inst_.graph();
+NodeId ScanSelectionSampler::sample_selection(NodeId v, Rng& rng) const {
+  const Graph& g = *g_;
   const double x = rng.uniform();
   // Early exit on the no-selection mass, which dominates for low-weight
   // nodes: if x lands beyond the total in-weight, v selects nobody.
@@ -96,13 +23,77 @@ NodeId ReversePathSampler::sample_selection(NodeId v, Rng& rng) const {
   return nbrs.empty() ? kNoNode : nbrs.back();
 }
 
-TgSample ReversePathSampler::sample(Rng& rng) {
+void sample_full_realization(const Graph& g, const SelectionSampler& sel,
+                             Rng& rng, std::vector<NodeId>& out) {
+  const NodeId n = g.num_nodes();
+  out.assign(n, kNoNode);
+  for (NodeId v = 0; v < n; ++v) out[v] = sel.sample_selection(v, rng);
+}
+
+void sample_full_realization(const Graph& g, Rng& rng,
+                             std::vector<NodeId>& out) {
+  sample_full_realization(g, ScanSelectionSampler(g), rng, out);
+}
+
+std::vector<NodeId> sample_full_realization(const Graph& g, Rng& rng) {
+  std::vector<NodeId> out;
+  sample_full_realization(g, rng, out);
+  return out;
+}
+
+TgSample trace_tg(const FriendingInstance& inst,
+                  const std::vector<NodeId>& realization) {
+  AF_EXPECTS(realization.size() == inst.graph().num_nodes(),
+             "realization size mismatch");
+  TgSample out;
+  NodeId cur = inst.target();
+  out.path.push_back(cur);
+  while (true) {
+    const NodeId nxt = realization[cur];
+    const WalkStep step = classify_walk_step(inst, nxt, out.path);
+    if (step == WalkStep::kReachedNs) {
+      out.type1 = true;
+      return out;
+    }
+    if (step != WalkStep::kContinue) return out;
+    out.path.push_back(nxt);
+    cur = nxt;
+  }
+}
+
+ReversePathSampler::ReversePathSampler(const FriendingInstance& inst)
+    : inst_(inst),
+      owned_index_(std::make_unique<SamplingIndex>(inst.graph())) {
+  sel_ = owned_index_.get();
+}
+
+ReversePathSampler::ReversePathSampler(const FriendingInstance& inst,
+                                       const SelectionSampler& sel)
+    : inst_(inst), sel_(&sel) {}
+
+ReversePathSampler::~ReversePathSampler() = default;
+ReversePathSampler::ReversePathSampler(ReversePathSampler&&) noexcept =
+    default;
+
+bool ReversePathSampler::sample_into(Rng& rng, std::vector<NodeId>& path) {
   ++samples_;
-  ++stamp_;
-  return walk_back(
-      inst_, [&](NodeId v) { return sample_selection(v, rng); },
-      [&](NodeId v) { return visit_stamp_[v] == stamp_; },
-      [&](NodeId v) { visit_stamp_[v] = stamp_; });
+  path.clear();
+  NodeId cur = inst_.target();
+  path.push_back(cur);
+  while (true) {
+    const NodeId nxt = sel_->sample_selection(cur, rng);
+    const WalkStep step = classify_walk_step(inst_, nxt, path);
+    if (step == WalkStep::kReachedNs) return true;
+    if (step != WalkStep::kContinue) return false;
+    path.push_back(nxt);
+    cur = nxt;
+  }
+}
+
+TgSample ReversePathSampler::sample(Rng& rng) {
+  TgSample out;
+  out.type1 = sample_into(rng, out.path);
+  return out;
 }
 
 }  // namespace af

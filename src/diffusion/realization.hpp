@@ -6,22 +6,89 @@
 // process succeeds under g iff the invitation set contains the backward
 // path t(g): t, g(t), g(g(t)), … up to (excluding) the first node of N_s.
 //
-// Two samplers are provided:
-//  - sample_full_realization: materializes g for all nodes (O(n + m)).
-//    Used by tests and by the literal Process-2 evaluation.
+// Per-node selection sampling is a strategy (the MpuSolver pattern):
+//  - ScanSelectionSampler: the original O(deg) cumulative scan, kept as
+//    the equivalence oracle for tests and ablation benchmarks.
+//  - SamplingIndex (diffusion/sampling_index.hpp): Vose alias tables
+//    with O(1) selection — the production engine.
+//
+// Two walk drivers consume a strategy:
+//  - sample_full_realization: materializes g for all nodes (O(n) draws).
+//    Used by tests and by the literal Process-2 evaluation. The
+//    out-parameter overload reuses the caller's n-sized buffer.
 //  - ReversePathSampler: samples only the selections along the backward
 //    walk from t (the reverse-sampling idea of Borgs et al., Remark 3),
-//    which is what makes RAF practical. Worst case O(m), typical cost
-//    proportional to the walk length times average degree.
+//    which is what makes RAF practical. With the alias strategy one walk
+//    step costs O(1); sample_into() reuses the caller's path buffer so
+//    repeated draws allocate nothing.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "diffusion/instance.hpp"
 #include "util/rng.hpp"
 
 namespace af {
+
+class SamplingIndex;
+
+/// Strategy for sampling one node's realization selection: the friend v
+/// selects (an element of neighbors(v)), or kNoNode for ℵ0. Implementations
+/// must realize exactly the distribution {w(N_v[i], v)} ∪ {leftover}.
+class SelectionSampler {
+ public:
+  virtual ~SelectionSampler() = default;
+
+  /// Draws v's selection, consuming `rng`.
+  virtual NodeId sample_selection(NodeId v, Rng& rng) const = 0;
+};
+
+/// The original O(deg) cumulative-scan selection. Superseded on the hot
+/// path by SamplingIndex; retained as the equivalence oracle (its
+/// correctness is a three-line argument from Def. 1) and as the
+/// alias-vs-scan baseline in bench_micro_diffusion.
+class ScanSelectionSampler final : public SelectionSampler {
+ public:
+  explicit ScanSelectionSampler(const Graph& g) : g_(&g) {}
+
+  NodeId sample_selection(NodeId v, Rng& rng) const override;
+
+ private:
+  const Graph* g_;
+};
+
+/// Outcome of one backward-walk step — Alg. 1's case analysis, shared by
+/// every walk driver (ReversePathSampler, trace_tg, the bulk sampler's
+/// interleaved lanes) so the classification cannot drift between them.
+enum class WalkStep {
+  /// Case a: the selection was ℵ0 — the realization is type-0.
+  kDied,
+  /// Case c: the selection is a friend of s — type-1, walk complete (the
+  /// N_s node itself is NOT part of t(g): it is already a friend).
+  kReachedNs,
+  /// Case b: the selection revisits the walk — a cycle, equivalent to ℵ0
+  /// (Alg. 1 line 6).
+  kCycle,
+  /// The walk extends to the selected node.
+  kContinue,
+};
+
+/// Classifies the selection `nxt` of the current walk head against the
+/// visited path. The path IS the visited set (every visited node is
+/// pushed, starting with t), short and cache-hot, so the revisit check
+/// scans it instead of an n-sized mark array.
+inline WalkStep classify_walk_step(const FriendingInstance& inst, NodeId nxt,
+                                   std::span<const NodeId> path) {
+  if (nxt == kNoNode) return WalkStep::kDied;
+  if (inst.is_initial_friend(nxt)) return WalkStep::kReachedNs;
+  for (NodeId u : path) {
+    if (u == nxt) return WalkStep::kCycle;
+  }
+  return WalkStep::kContinue;
+}
 
 /// Result of tracing t(g): the path nodes and the realization type
 /// (Def. 2: type-1 iff ℵ0 ∉ t(g), i.e. the walk reached N_s).
@@ -35,9 +102,17 @@ struct TgSample {
   std::vector<NodeId> path;
 };
 
-/// Samples a full realization: out[v] = selected friend of v, or kNoNode
-/// for "selects nobody" (ℵ0). Each friend u is selected with probability
-/// w(u,v), independently across v.
+/// Samples a full realization into `out` (resized to n): out[v] = selected
+/// friend of v, or kNoNode for "selects nobody" (ℵ0), drawn through `sel`.
+void sample_full_realization(const Graph& g, const SelectionSampler& sel,
+                             Rng& rng, std::vector<NodeId>& out);
+
+/// Out-parameter overload with the scan strategy — reuses the caller's
+/// buffer so repeated draws (Monte-Carlo loops, tests) allocate nothing.
+void sample_full_realization(const Graph& g, Rng& rng,
+                             std::vector<NodeId>& out);
+
+/// Allocating convenience overload.
 std::vector<NodeId> sample_full_realization(const Graph& g, Rng& rng);
 
 /// Traces t(g) (Alg. 1) through an explicit realization. Deterministic.
@@ -46,28 +121,43 @@ TgSample trace_tg(const FriendingInstance& inst,
 
 /// Lazily samples t(ĝ) for random realizations ĝ without materializing g.
 ///
-/// Holds stamp-versioned visit marks so repeated sampling allocates
-/// nothing. Each sample() consumes randomness only for the nodes actually
-/// visited by the backward walk; by independence of per-node selections
-/// this has exactly the distribution of trace_tg(sample_full_realization).
+/// Each sample() consumes randomness only for the nodes actually visited
+/// by the backward walk; by independence of per-node selections this has
+/// exactly the distribution of trace_tg(sample_full_realization). The
+/// cycle check scans the walk's own (short, cache-hot) path instead of an
+/// n-sized mark array: construction is O(1) and a walk step touches no
+/// per-sampler memory — worst case O(len²) per walk, with len the walk
+/// length, which the type-0 absorption keeps tiny in practice.
 class ReversePathSampler {
  public:
+  /// Builds and owns a per-node alias index (O(n + m)); every walk step is
+  /// then O(1). Use the borrowing constructor to share one index across
+  /// samplers (the Planner does) or to plug in the scan oracle.
   explicit ReversePathSampler(const FriendingInstance& inst);
+
+  /// Borrows a selection strategy; `sel` must outlive the sampler.
+  ReversePathSampler(const FriendingInstance& inst,
+                     const SelectionSampler& sel);
+
+  ~ReversePathSampler();
+  ReversePathSampler(ReversePathSampler&&) noexcept;
+  ReversePathSampler& operator=(ReversePathSampler&&) noexcept = delete;
 
   /// Draws one t(ĝ) sample.
   TgSample sample(Rng& rng);
+
+  /// Draws one sample into the caller's buffer (cleared first) and returns
+  /// whether the realization is type-1. The allocation-free hot-path form:
+  /// bulk loops reuse one buffer for millions of draws.
+  bool sample_into(Rng& rng, std::vector<NodeId>& path);
 
   /// Number of samples drawn so far (diagnostics).
   std::uint64_t samples_drawn() const { return samples_; }
 
  private:
-  /// Samples the selection of node v: an index into neighbors(v) chosen
-  /// with the in-weights, or kNoNode for ℵ0.
-  NodeId sample_selection(NodeId v, Rng& rng) const;
-
   const FriendingInstance& inst_;
-  std::vector<std::uint32_t> visit_stamp_;
-  std::uint32_t stamp_ = 0;
+  std::unique_ptr<const SamplingIndex> owned_index_;
+  const SelectionSampler* sel_;
   std::uint64_t samples_ = 0;
 };
 

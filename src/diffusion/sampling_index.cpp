@@ -1,0 +1,96 @@
+#include "diffusion/sampling_index.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+namespace {
+
+/// prob ∈ [0,1] → the 2⁶⁴-scaled coin threshold. Full slots saturate to
+/// 2⁶⁴−1; their alias is set equal to accept, so the 2⁻⁶⁴ "miss" lands on
+/// the same node and full slots stay exact.
+std::uint64_t scale_threshold(double prob) {
+  if (prob >= 1.0) return ~std::uint64_t{0};
+  if (prob <= 0.0) return 0;
+  return static_cast<std::uint64_t>(prob * 0x1p64);
+}
+
+}  // namespace
+
+SamplingIndex::SamplingIndex(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  offsets_.resize(static_cast<std::size_t>(n) + 1);
+  offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + g.degree(v) + 1;
+  }
+  slots_.resize(offsets_[n]);
+
+  // Vose's construction per node over deg(v)+1 outcomes (local outcome
+  // deg(v) is ℵ0). The work arrays are reused across nodes; everything is
+  // O(deg + 1) per node with no allocation after the first high-degree
+  // node.
+  std::vector<double> prob;
+  std::vector<std::uint32_t> alias;
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.in_weights(v);
+    const auto k = static_cast<std::uint32_t>(ws.size() + 1);
+
+    // Normalize defensively by the actual outcome total (≈ 1, but the
+    // weights are sums of doubles), then scale by k so "fair share" = 1.
+    double total = g.leftover_mass(v);
+    for (double w : ws) total += w;
+    AF_EXPECTS(total > 0.0, "node outcome mass must be positive");
+    const double scale = static_cast<double>(k) / total;
+    prob.assign(k, 0.0);
+    for (std::uint32_t i = 0; i + 1 < k; ++i) prob[i] = ws[i] * scale;
+    prob[k - 1] = g.leftover_mass(v) * scale;
+
+    alias.assign(k, 0);
+    small.clear();
+    large.clear();
+    for (std::uint32_t i = 0; i < k; ++i) {
+      (prob[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint32_t s = small.back();
+      const std::uint32_t l = large.back();
+      small.pop_back();
+      large.pop_back();
+      alias[s] = l;
+      // l donates (1 − prob[s]) of its mass to fill s's slot.
+      prob[l] = (prob[l] + prob[s]) - 1.0;
+      (prob[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Leftover entries are exactly full up to rounding: accept always.
+    while (!large.empty()) {
+      prob[large.back()] = 1.0;
+      alias[large.back()] = large.back();
+      large.pop_back();
+    }
+    while (!small.empty()) {
+      prob[small.back()] = 1.0;
+      alias[small.back()] = small.back();
+      small.pop_back();
+    }
+
+    // Resolve each local outcome to its node id and pack the slots.
+    Slot* out = slots_.data() + offsets_[v];
+    const auto outcome_node = [&](std::uint32_t i) {
+      return i + 1 == k ? kNoNode : nbrs[i];
+    };
+    for (std::uint32_t i = 0; i < k; ++i) {
+      out[i].threshold = scale_threshold(prob[i]);
+      out[i].accept = outcome_node(i);
+      out[i].alias =
+          prob[i] >= 1.0 ? out[i].accept : outcome_node(alias[i]);
+    }
+  }
+}
+
+}  // namespace af

@@ -1,0 +1,80 @@
+// SamplingIndex — per-node Walker/Vose alias tables for O(1) realization
+// selection sampling.
+//
+// Every sampling primitive in the pipeline (DKLR p*max estimation, the
+// Eq. 16 realization budget, Algorithm 3's type-1 family, Monte-Carlo
+// evaluation) reduces to drawing per-node selections: node v selects
+// neighbor N_v[i] with probability w(N_v[i], v) or the artificial user ℵ0
+// with the leftover mass (Def. 1). The cumulative scan pays O(deg(v)) per
+// draw; on the youtube analog the backward walk is memory-latency-bound,
+// so what matters is touches per draw as much as arithmetic.
+//
+// The alias method preprocesses each node's (deg + 1)-outcome distribution
+// — the extra outcome is ℵ0 — so that one uniform slot pick plus one
+// biased coin flip samples it. This implementation fuses everything one
+// draw needs into a single 16-byte slot {threshold, accept, alias}: the
+// coin is an integer compare against the 2⁶⁴-scaled threshold, and both
+// coin outcomes store the *resolved* NodeId (kNoNode for ℵ0). A selection
+// is therefore ONE 64-bit rng draw, ONE 128-bit multiply (Lemire
+// multiply-shift slot pick) and ONE cache-line probe — it never touches
+// the graph's adjacency or weight arrays at all. Build cost
+// O(Σ(deg + 1)) = O(n + m); per-draw bias from reusing the multiply's low
+// word as the coin is O(deg · 2⁻⁶⁴) — unobservable.
+//
+// Layout is a CSR mirror of the graph: node v's slots live at
+// [offsets[v], offsets[v+1]), slot deg(v) is ℵ0. The index depends only
+// on the graph's in-weights, so one instance serves every (s,t) pair —
+// af::Planner builds one and shares it across all pair caches and worker
+// threads (all accessors are const and thread-safe after construction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/realization.hpp"
+#include "graph/graph.hpp"
+
+namespace af {
+
+/// Vose alias tables over every node's selection distribution.
+class SamplingIndex final : public SelectionSampler {
+ public:
+  /// Builds the tables from g.in_weights / g.leftover_mass. O(n + m).
+  explicit SamplingIndex(const Graph& g);
+
+  /// Draws v's selection in O(1): a neighbor of v, or kNoNode for ℵ0.
+  /// Consumes exactly one draw from `rng`.
+  NodeId sample_selection(NodeId v, Rng& rng) const override {
+    const std::uint64_t off = offsets_[v];
+    const std::uint64_t k = offsets_[v + 1] - off;
+    // Lemire multiply-shift: high word picks the slot, low word is the
+    // alias coin — uniform given the slot up to O(k·2⁻⁶⁴).
+    const auto m = static_cast<__uint128_t>(rng.next_u64()) * k;
+    const Slot& s = slots_[off + static_cast<std::uint64_t>(m >> 64)];
+    return static_cast<std::uint64_t>(m) < s.threshold ? s.accept : s.alias;
+  }
+
+  /// Number of alias slots (Σ_v (deg(v) + 1) = 2m + n).
+  std::size_t num_slots() const { return slots_.size(); }
+
+  /// Resident size of the tables, for capacity planning.
+  std::size_t memory_bytes() const {
+    return slots_.size() * sizeof(Slot) +
+           offsets_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  /// One alias slot, fully resolved: the coin threshold (probability
+  /// scaled to 2⁶⁴) and the selected node for either coin outcome.
+  struct Slot {
+    std::uint64_t threshold;
+    NodeId accept;
+    NodeId alias;
+  };
+  static_assert(sizeof(Slot) == 16, "one probe must stay one cache touch");
+
+  std::vector<std::uint64_t> offsets_;  // size n+1; node v owns deg(v)+1 slots
+  std::vector<Slot> slots_;
+};
+
+}  // namespace af

@@ -72,6 +72,15 @@ class Graph {
   /// probability that v selects nobody in a realization (Def. 1).
   double total_in_weight(NodeId v) const { return total_in_weight_[v]; }
 
+  /// 1 − Σ_u w(u,v), clamped at 0: the probability mass of the artificial
+  /// user ℵ0 ("v selects nobody") in a realization. The alias-table build
+  /// (diffusion/sampling_index) treats this as one more outcome of v's
+  /// selection distribution.
+  double leftover_mass(NodeId v) const {
+    const double rest = 1.0 - total_in_weight_[v];
+    return rest < 0.0 ? 0.0 : rest;
+  }
+
   /// True iff (u,v) ∈ E. O(log deg(v)).
   bool has_edge(NodeId u, NodeId v) const;
 

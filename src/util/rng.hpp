@@ -35,6 +35,20 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Seed of sample #index in a counter-derived stream rooted at `root`.
+///
+/// Bulk samplers give every sample its own Rng seeded by this function, so
+/// sample #i's outcome depends only on (root, i) — never on which thread
+/// drew it or how a batch was sharded. This is the per-sample determinism
+/// contract behind diffusion/bulk_sampler (DESIGN.md §7): threaded bulk
+/// sampling is bit-identical to sequential at every thread count.
+inline std::uint64_t stream_sample_seed(std::uint64_t root,
+                                        std::uint64_t index) {
+  // root + golden·(index+1) is a bijection per root; SplitMix64 then mixes
+  // all 64 bits, so nearby indices map to unrelated seeds.
+  return SplitMix64(root + 0x9e3779b97f4a7c15ULL * (index + 1)).next();
+}
+
 /// xoshiro256++ engine with convenience distributions.
 ///
 /// Satisfies the essential parts of UniformRandomBitGenerator so it can be

@@ -6,6 +6,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
+#include "testutil.hpp"
 #include "util/rng.hpp"
 
 namespace af {
@@ -37,11 +38,15 @@ TEST(PairSampler, AcceptedPairsAreValidInstances) {
 }
 
 TEST(PairSampler, ThresholdTooHighYieldsNothing) {
+  // A path with uniform arc weight 0.3: every admissible pair is at
+  // distance ≥ 2, so p_max ≤ 0.3 and a 0.999 threshold is provably
+  // unattainable for any sampling stream. (A BA graph does NOT work
+  // here: hubs yield genuine p_max = 1 pairs — every neighbor of t
+  // already a friend of s.)
   Rng rng(2);
-  const Graph g =
-      barabasi_albert(200, 3, rng).build(WeightScheme::inverse_degree());
+  const Graph g = test::weighted_path(40, 0.3);
   PairSamplerConfig cfg;
-  cfg.pmax_threshold = 0.999;  // essentially impossible on this graph
+  cfg.pmax_threshold = 0.999;
   cfg.estimate_samples = 500;
   cfg.max_attempts = 300;
   EXPECT_FALSE(sample_pair(g, cfg, rng).has_value());

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "diffusion/realization.hpp"
+#include "diffusion/sampling_index.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "testutil.hpp"
@@ -18,14 +19,49 @@ TEST(FullRealization, SelectionsAreFriendsOrNobody) {
   Rng rng(1);
   const Graph g =
       gnm_random(30, 60, rng).build(WeightScheme::inverse_degree());
+  // Out-parameter overload: one buffer across draws, no per-draw alloc.
+  std::vector<NodeId> real;
   for (int rep = 0; rep < 20; ++rep) {
-    const auto real = sample_full_realization(g, rng);
+    sample_full_realization(g, rng, real);
     ASSERT_EQ(real.size(), g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (real[v] == kNoNode) continue;
       EXPECT_TRUE(g.has_edge(real[v], v));
     }
   }
+}
+
+TEST(FullRealization, OutParamMatchesAllocatingOverloadStream) {
+  // Same rng state ⟹ identical draw: the overloads share one sampler.
+  Rng build_rng(23);
+  const Graph g =
+      gnm_random(25, 50, build_rng).build(WeightScheme::inverse_degree());
+  Rng rng_a(31), rng_b(31);
+  std::vector<NodeId> buf;
+  for (int rep = 0; rep < 5; ++rep) {
+    sample_full_realization(g, rng_b, buf);
+    EXPECT_EQ(sample_full_realization(g, rng_a), buf);
+  }
+}
+
+TEST(FullRealization, AliasStrategyMatchesWeights) {
+  // The SelectionSampler overload with alias tables realizes the same
+  // per-node law as the scan (triangle: 0.3 / 0.5 / leftover 0.2).
+  Graph::Builder b(3);
+  b.add_edge(0, 2, 0.3, 0.1).add_edge(1, 2, 0.5, 0.1);
+  const Graph g = b.build_with_explicit_weights();
+  const SamplingIndex index(g);
+  Rng rng(29);
+  std::vector<NodeId> real;
+  std::map<NodeId, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sample_full_realization(g, index, rng, real);
+    ++counts[real[2]];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[kNoNode] / static_cast<double>(n), 0.2, 0.01);
 }
 
 TEST(FullRealization, SelectionFrequenciesMatchWeights) {
@@ -35,9 +71,11 @@ TEST(FullRealization, SelectionFrequenciesMatchWeights) {
   const Graph g = b.build_with_explicit_weights();
   Rng rng(5);
   std::map<NodeId, int> counts;
+  std::vector<NodeId> real;
   const int n = 100'000;
   for (int i = 0; i < n; ++i) {
-    ++counts[sample_full_realization(g, rng)[2]];
+    sample_full_realization(g, rng, real);
+    ++counts[real[2]];
   }
   EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.3, 0.01);
   EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.01);

@@ -1,0 +1,360 @@
+// Tier-1 coverage for the rebuilt sampling hot path (DESIGN.md §7):
+// alias-table correctness (chi-square against the exact per-neighbor
+// probabilities), the PathArena layout, and the per-sample counter-stream
+// determinism contract of bulk sampling (bit-identical at every thread
+// count, windowed growth matches one-shot draws).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/raf.hpp"
+#include "cover/setfamily.hpp"
+#include "diffusion/bulk_sampler.hpp"
+#include "diffusion/dklr.hpp"
+#include "diffusion/path_arena.hpp"
+#include "diffusion/realization.hpp"
+#include "diffusion/sampling_index.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace af {
+namespace {
+
+// ------------------------------------------------------- chi-square GOF
+
+/// χ² statistic of `draws` selections of node v against the exact
+/// distribution {in_weights(v)} ∪ {leftover_mass(v)}.
+double chi_square_for_node(const Graph& g, const SelectionSampler& sel,
+                           NodeId v, int draws, std::uint64_t seed) {
+  Rng rng(seed);
+  auto nbrs = g.neighbors(v);
+  // counts[i] = times neighbor i was selected; counts.back() = ℵ0.
+  std::vector<int> counts(nbrs.size() + 1, 0);
+  for (int i = 0; i < draws; ++i) {
+    const NodeId pick = sel.sample_selection(v, rng);
+    if (pick == kNoNode) {
+      ++counts.back();
+      continue;
+    }
+    bool found = false;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (nbrs[k] == pick) {
+        ++counts[k];
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "selection is not a neighbor of " << v;
+  }
+
+  auto ws = g.in_weights(v);
+  double chi2 = 0.0;
+  for (std::size_t k = 0; k <= nbrs.size(); ++k) {
+    const double p = k < nbrs.size() ? ws[k] : g.leftover_mass(v);
+    const double expected = p * draws;
+    if (expected == 0.0) {
+      // Zero-probability outcomes must never occur.
+      EXPECT_EQ(counts[k], 0);
+      continue;
+    }
+    const double d = counts[k] - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+/// Loose χ² critical value (Wilson–Hilferty, z ≈ 5 ⟹ p ≪ 1e-5). The
+/// seeds are fixed so this never flakes; a buggy table overshoots by
+/// orders of magnitude.
+double chi_square_critical(std::size_t df) {
+  const double d = static_cast<double>(df);
+  const double t = 1.0 - 2.0 / (9.0 * d) + 5.0 * std::sqrt(2.0 / (9.0 * d));
+  return d * t * t * t;
+}
+
+/// Runs the chi-square check for every non-isolated node of g.
+void expect_exact_distribution(const Graph& g, const SelectionSampler& sel,
+                               std::uint64_t seed) {
+  const int draws = 200'000;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) == 0) continue;
+    // df = (#outcomes with positive mass) − 1.
+    std::size_t df = g.degree(v) + (g.leftover_mass(v) > 0.0 ? 1 : 0) - 1;
+    if (df == 0) continue;
+    const double chi2 = chi_square_for_node(g, sel, v, draws, seed + v);
+    EXPECT_LT(chi2, chi_square_critical(df)) << "node " << v;
+  }
+}
+
+TEST(SamplingIndex, ChiSquareOnExplicitWeights) {
+  // Node 2's outcomes: select 0 w.p. 0.3, select 1 w.p. 0.5, ℵ0 w.p. 0.2.
+  Graph::Builder b(3);
+  b.add_edge(0, 2, 0.3, 0.1).add_edge(1, 2, 0.5, 0.1);
+  const Graph g = b.build_with_explicit_weights();
+  const SamplingIndex index(g);
+  expect_exact_distribution(g, index, 101);
+}
+
+TEST(SamplingIndex, ChiSquareOnRandomGraphWithLeftoverMass) {
+  Rng rng(7);
+  // random_normalized(0.7): Σ_u w(u,v) = 0.7, leftover 0.3 per node.
+  const Graph g =
+      gnm_random(24, 60, rng).build(WeightScheme::random_normalized(0.7),
+                                    &rng);
+  const SamplingIndex index(g);
+  expect_exact_distribution(g, index, 202);
+}
+
+TEST(SamplingIndex, ScanOracleMatchesSameDistribution) {
+  // The equivalence oracle passes the identical harness: alias and scan
+  // realize the same per-node law, only the per-draw cost differs.
+  Rng rng(7);
+  const Graph g =
+      gnm_random(24, 60, rng).build(WeightScheme::random_normalized(0.7),
+                                    &rng);
+  const ScanSelectionSampler scan(g);
+  expect_exact_distribution(g, scan, 303);
+}
+
+TEST(SamplingIndex, IsolatedNodeAlwaysSelectsNobody) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const SamplingIndex index(g);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(index.sample_selection(2, rng), kNoNode);
+  }
+}
+
+TEST(SamplingIndex, FullInWeightNodeNeverSelectsNobody) {
+  // inverse_degree weights sum to 1 (up to double rounding: deg × 1/deg
+  // can leave an ulp): the ℵ0 slot has at most ~2⁻⁵² mass and must not
+  // show up in any realistic number of draws.
+  Rng rng(13);
+  const Graph g =
+      gnm_random(20, 50, rng).build(WeightScheme::inverse_degree());
+  const SamplingIndex index(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) == 0) continue;
+    ASSERT_LT(g.leftover_mass(v), 1e-12);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_NE(index.sample_selection(v, rng), kNoNode) << "node " << v;
+    }
+  }
+}
+
+TEST(SamplingIndex, SlotLayoutIsCsrMirror) {
+  Rng rng(17);
+  const Graph g =
+      gnm_random(30, 70, rng).build(WeightScheme::inverse_degree());
+  const SamplingIndex index(g);
+  EXPECT_EQ(index.num_slots(), 2 * g.num_edges() + g.num_nodes());
+  EXPECT_GT(index.memory_bytes(), index.num_slots() * sizeof(double));
+}
+
+// ------------------------------------------------------------ PathArena
+
+TEST(PathArena, PushAppendAndViews) {
+  PathArena a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+
+  const std::vector<NodeId> p0{1, 3, 5};
+  const std::vector<NodeId> p1{2};
+  a.push_path(p0);
+  a.push_path(p1);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.total_nodes(), 4u);
+  EXPECT_EQ(std::vector<NodeId>(a[0].begin(), a[0].end()), p0);
+  EXPECT_EQ(std::vector<NodeId>(a[1].begin(), a[1].end()), p1);
+
+  PathArena b;
+  b.push_path(std::vector<NodeId>{7, 8});
+  b.append(a);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(std::vector<NodeId>(b[1].begin(), b[1].end()), p0);
+  EXPECT_EQ(std::vector<NodeId>(b[2].begin(), b[2].end()), p1);
+
+  PathArena c = b;
+  EXPECT_EQ(b, c);
+  c.push_path(p1);
+  EXPECT_NE(b, c);
+
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.total_nodes(), 0u);
+}
+
+// ----------------------------------------------- bulk sampling contract
+
+TEST(BulkSampler, BitIdenticalAcrossThreadCounts) {
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  const std::uint64_t root = 99;
+  const std::uint64_t count = 9000;  // above the parallel threshold
+
+  const BulkType1Paths inline_run =
+      sample_type1_bulk(inst, index, 0, count, root, nullptr);
+  EXPECT_GT(inline_run.paths.size(), 0u);
+  for (std::size_t threads : {1u, 2u, 3u, 7u}) {
+    ThreadPool pool(threads);
+    const BulkType1Paths run =
+        sample_type1_bulk(inst, index, 0, count, root, &pool);
+    EXPECT_EQ(run.positions, inline_run.positions) << threads << " threads";
+    EXPECT_EQ(run.paths, inline_run.paths) << threads << " threads";
+  }
+}
+
+TEST(BulkSampler, WindowedGrowthMatchesOneShot) {
+  // The realization-pool contract: growing [0,k) then [k,l) yields
+  // exactly the one-shot [0,l) draw.
+  const auto fx = test::ParallelPathFixture::make(2, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  const std::uint64_t root = 1234;
+  const std::uint64_t k = 700, l = 2000;
+
+  const BulkType1Paths whole =
+      sample_type1_bulk(inst, index, 0, l, root, nullptr);
+  BulkType1Paths grown = sample_type1_bulk(inst, index, 0, k, root, nullptr);
+  const BulkType1Paths tail =
+      sample_type1_bulk(inst, index, k, l - k, root, nullptr);
+  grown.paths.append(tail.paths);
+  grown.positions.insert(grown.positions.end(), tail.positions.begin(),
+                         tail.positions.end());
+  EXPECT_EQ(grown.positions, whole.positions);
+  EXPECT_EQ(grown.paths, whole.paths);
+}
+
+TEST(BulkSampler, FlagsAgreeWithPathsAndThreadCounts) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  const std::uint64_t root = 5, count = 8192;
+
+  std::vector<std::uint8_t> inline_flags(count);
+  sample_type1_flags(inst, index, 0, count, root, nullptr,
+                     inline_flags.data());
+
+  // Flags mark exactly the positions the path collector keeps.
+  const BulkType1Paths bulk =
+      sample_type1_bulk(inst, index, 0, count, root, nullptr);
+  std::vector<std::uint64_t> flagged;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (inline_flags[i]) flagged.push_back(i);
+  }
+  EXPECT_EQ(flagged, bulk.positions);
+
+  ThreadPool pool(4);
+  std::vector<std::uint8_t> pooled_flags(count);
+  sample_type1_flags(inst, index, 0, count, root, &pool, pooled_flags.data());
+  EXPECT_EQ(pooled_flags, inline_flags);
+}
+
+TEST(BulkSampler, ScanAndAliasAgreeOnTypeOneRate) {
+  // Alias vs scan draw different per-stream values (they consume
+  // randomness differently) but identical distributions: both type-1
+  // rates must match the analytic p_max = (1/2)^(len-1) = 0.25.
+  const auto fx = test::ParallelPathFixture::make(3, 3);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  const ScanSelectionSampler scan(fx.graph);
+  const std::uint64_t count = 60'000;
+
+  const auto rate = [&](const SelectionSampler& sel, std::uint64_t root) {
+    const BulkType1Paths b = sample_type1_bulk(inst, sel, 0, count, root,
+                                               nullptr);
+    return static_cast<double>(b.positions.size()) / count;
+  };
+  EXPECT_NEAR(rate(index, 21), fx.pmax(), 0.012);
+  EXPECT_NEAR(rate(scan, 22), fx.pmax(), 0.012);
+}
+
+// ------------------------------------------------- DKLR over the index
+
+TEST(BulkDklr, DeterministicAcrossPoolSizesAndNearAnalytic) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);  // p_max = 0.5
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  DklrConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.delta = 0.01;
+
+  Rng rng0(31);
+  const DklrResult inline_res = estimate_pmax_dklr(inst, index, rng0, cfg);
+  EXPECT_TRUE(inline_res.converged);
+  EXPECT_NEAR(inline_res.estimate, fx.pmax(), 0.15 * fx.pmax());
+
+  for (std::size_t threads : {1u, 3u, 6u}) {
+    ThreadPool pool(threads);
+    Rng rng(31);
+    const DklrResult res = estimate_pmax_dklr(inst, index, rng, cfg, &pool);
+    EXPECT_EQ(res.samples_used, inline_res.samples_used);
+    EXPECT_EQ(res.successes, inline_res.successes);
+    EXPECT_DOUBLE_EQ(res.estimate, inline_res.estimate);
+  }
+}
+
+TEST(BulkDklr, CappedRunReportsFrequencyAtExactCap) {
+  const auto fx = test::ParallelPathFixture::make(1, 25);  // p_max = 2^-24
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  DklrConfig cfg;
+  cfg.max_samples = 10'000;
+  Rng rng(37);
+  const DklrResult res = estimate_pmax_dklr(inst, index, rng, cfg);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.samples_used, 10'000u);
+}
+
+// ------------------------------------------ engine-level family drawing
+
+TEST(SampleTypeOneFamily, PoolInvariantAndSeedDeterministic) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  const std::uint64_t l = 12'000;
+
+  Rng rng_a(77);
+  const SetFamily a = sample_type1_family(inst, index, l, rng_a, nullptr);
+  ASSERT_GT(a.num_sets(), 0u);
+
+  for (std::size_t threads : {2u, 5u}) {
+    ThreadPool pool(threads);
+    Rng rng_b(77);
+    const SetFamily b = sample_type1_family(inst, index, l, rng_b, &pool);
+    ASSERT_EQ(b.num_sets(), a.num_sets());
+    EXPECT_EQ(b.total_multiplicity(), a.total_multiplicity());
+    for (std::uint32_t i = 0; i < a.num_sets(); ++i) {
+      EXPECT_EQ(b.elements(i), a.elements(i)) << "set " << i;
+      EXPECT_EQ(b.multiplicity(i), a.multiplicity(i)) << "set " << i;
+    }
+  }
+
+  // The index-free overload roots its stream the same way.
+  Rng rng_c(77);
+  const SetFamily c = sample_type1_family(inst, l, rng_c);
+  EXPECT_EQ(c.num_sets(), a.num_sets());
+  EXPECT_EQ(c.total_multiplicity(), a.total_multiplicity());
+}
+
+// --------------------------------------------------- seed-stream basics
+
+TEST(StreamSampleSeed, DeterministicAndSpread) {
+  EXPECT_EQ(stream_sample_seed(42, 7), stream_sample_seed(42, 7));
+  // Nearby indices and roots land on unrelated seeds.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_NE(stream_sample_seed(42, i), stream_sample_seed(42, i + 1));
+    EXPECT_NE(stream_sample_seed(42, i), stream_sample_seed(43, i));
+  }
+}
+
+}  // namespace
+}  // namespace af
