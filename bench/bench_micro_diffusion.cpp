@@ -2,17 +2,26 @@
 // inner loop of RAF), forward Process-1 simulation, full realization
 // materialization, and DKLR estimation.
 //
-// The sampling hot path carries explicit ablations (DESIGN.md §7):
+// The sampling hot path carries explicit ablations (DESIGN.md §7–§8):
 //   *_Scan vs *_Alias   — O(deg) cumulative scan vs O(1) alias tables,
 //                         on the youtube analog at default scale (200k
 //                         nodes), where backward walks keep hitting hubs;
+//   *_Alias vs *_CompactAlias — 16-byte exact-threshold slots vs the
+//                         12-byte float32 compact index;
 //   *_VectorPaths vs *_Arena — per-path std::vector collection vs the
 //                         flat PathArena;
 //   BM_BulkType1Sample/T — counter-stream bulk sampling at T pool threads
 //                         (bit-identical output at every T).
 //
+// Governance telemetry rides along as benchmark counters so the perf
+// trajectory records it per run: index bytes/slot (BM_SamplingIndexBuild*),
+// DKLR samples drawn vs used under the adaptive schedule (BM_DklrPmax),
+// and the Planner governor's eviction/charged-byte counters
+// (BM_PlannerGovernedServe).
+//
 // Run with --json to additionally write BENCH_sampling.json (the Google
-// Benchmark JSON report); CI uploads it as the perf-trajectory artifact.
+// Benchmark JSON report); CI uploads it as the perf-trajectory artifact
+// and asserts the governance counters are present.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,6 +30,7 @@
 
 #include "core/datasets.hpp"
 #include "core/pair_sampler.hpp"
+#include "core/planner.hpp"
 #include "cover/setfamily.hpp"
 #include "diffusion/bulk_sampler.hpp"
 #include "diffusion/dklr.hpp"
@@ -115,14 +125,49 @@ void BM_ReversePathSample_Alias(benchmark::State& state) {
 }
 BENCHMARK(BM_ReversePathSample_Alias);
 
+void BM_ReversePathSample_CompactAlias(benchmark::State& state) {
+  const auto& fx = YoutubeFixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const CompactSamplingIndex index(fx.graph);
+  ReversePathSampler sampler(inst, index);
+  std::vector<NodeId> path;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_into(rng, path));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["index_bytes_per_slot"] =
+      static_cast<double>(CompactSamplingIndex::bytes_per_slot());
+}
+BENCHMARK(BM_ReversePathSample_CompactAlias);
+
 void BM_SamplingIndexBuild(benchmark::State& state) {
   const auto& fx = YoutubeFixture::get();
+  std::size_t bytes = 0;
   for (auto _ : state) {
     const SamplingIndex index(fx.graph);
     benchmark::DoNotOptimize(index.num_slots());
+    bytes = index.memory_bytes();
   }
+  state.counters["index_total_bytes"] = static_cast<double>(bytes);
+  state.counters["index_bytes_per_slot"] =
+      static_cast<double>(SamplingIndex::bytes_per_slot());
 }
 BENCHMARK(BM_SamplingIndexBuild);
+
+void BM_SamplingIndexBuild_Compact(benchmark::State& state) {
+  const auto& fx = YoutubeFixture::get();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const CompactSamplingIndex index(fx.graph);
+    benchmark::DoNotOptimize(index.num_slots());
+    bytes = index.memory_bytes();
+  }
+  state.counters["index_total_bytes"] = static_cast<double>(bytes);
+  state.counters["index_bytes_per_slot"] =
+      static_cast<double>(CompactSamplingIndex::bytes_per_slot());
+}
+BENCHMARK(BM_SamplingIndexBuild_Compact);
 
 // ---------------------------------------------- arena vs vector (paths)
 
@@ -233,12 +278,66 @@ void BM_DklrPmax(benchmark::State& state) {
   cfg.epsilon = 0.2;
   cfg.delta = 0.05;
   cfg.max_samples = 500'000;
+  DklrResult last;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        estimate_pmax_dklr(inst, index, rng, cfg).estimate);
+    last = estimate_pmax_dklr(inst, index, rng, cfg);
+    benchmark::DoNotOptimize(last.estimate);
   }
+  // Adaptive-schedule telemetry (DESIGN.md §8): walks generated vs the
+  // stopping draw, and what the old fixed 8192-sample blocks would have
+  // generated for the same stream.
+  state.counters["dklr_samples_used"] =
+      static_cast<double>(last.samples_used);
+  state.counters["dklr_samples_drawn"] =
+      static_cast<double>(last.samples_drawn);
+  state.counters["dklr_fixed_block_drawn"] = static_cast<double>(
+      std::min((last.samples_used + 8191) / 8192 * 8192, cfg.max_samples));
 }
 BENCHMARK(BM_DklrPmax);
+
+// ------------------------------------------- governed planner serving
+
+void BM_PlannerGovernedServe(benchmark::State& state) {
+  // The memory-governor scenario: many pairs served under a byte budget
+  // sized to half the ungoverned footprint, so the LRU must keep
+  // evicting and re-admitting pair pools (bit-identically) while
+  // serving. Counters expose the governor's accounting for the perf
+  // trajectory.
+  const auto& fx = Fixture::get();
+  std::vector<QuerySpec> queries;
+  for (NodeId u = 0; queries.size() < 6 && u < 100; ++u) {
+    const NodeId v = 3000 + u;
+    if (fx.graph.has_edge(u, v)) continue;
+    queries.push_back(
+        {u, v, MaximizeSpec{.budget = 4, .realizations = 4'000}});
+  }
+
+  PlannerOptions opts;
+  opts.threads = 2;
+  {
+    Planner unbounded(fx.graph, opts);
+    unbounded.plan_batch(queries);
+    opts.cache_budget_bytes =
+        unbounded.cache_stats().charged_bytes / 2;
+  }
+
+  PlannerCacheStats stats;
+  for (auto _ : state) {
+    Planner governed(fx.graph, opts);
+    const auto results = governed.plan_batch(queries);
+    benchmark::DoNotOptimize(results.size());
+    stats = governed.cache_stats();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * queries.size()));
+  state.counters["cache_evictions"] = static_cast<double>(stats.evictions);
+  state.counters["cache_charged_bytes"] =
+      static_cast<double>(stats.charged_bytes);
+  state.counters["cache_budget_bytes"] =
+      static_cast<double>(stats.budget_bytes);
+  state.counters["cache_entries"] = static_cast<double>(stats.entries);
+}
+BENCHMARK(BM_PlannerGovernedServe);
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <type_traits>
 #include <utility>
 
 #include "core/vmax.hpp"
@@ -71,10 +72,38 @@ struct Planner::PairCache {
   std::uint64_t pool_drawn = 0;
   std::vector<std::uint64_t> type1_pos;
   PathArena type1_paths;
+
+  /// The governor's cost functional (DESIGN.md §8): bytes this entry
+  /// actually retains — the instance's n-sized N_s mask, the V_max
+  /// certificate, the pooled arena (capacity, not payload) and the
+  /// struct itself plus a small allowance for the memoized DKLR record
+  /// and heap block headers. Caller holds `mu`.
+  std::size_t charged_bytes() const {
+    constexpr std::size_t kFixedOverhead = 256;
+    return sizeof(PairCache) + kFixedOverhead + inst.memory_bytes() +
+           (vmax ? vmax->capacity() * sizeof(NodeId) : 0) +
+           type1_pos.capacity() * sizeof(std::uint64_t) +
+           type1_paths.memory_bytes();
+  }
 };
 
 Planner::Planner(const Graph& graph, PlannerOptions options)
-    : graph_(&graph), options_(options), index_(graph) {}
+    : graph_(&graph),
+      options_(options),
+      cache_(options.cache_budget_bytes) {
+  const auto adopt_index = [this](auto index) {
+    index_bytes_ = index->memory_bytes();
+    index_slots_ = index->num_slots();
+    index_bytes_per_slot_ =
+        std::remove_reference_t<decltype(*index)>::bytes_per_slot();
+    index_ = std::move(index);
+  };
+  if (options_.compact_index) {
+    adopt_index(std::make_unique<const CompactSamplingIndex>(graph));
+  } else {
+    adopt_index(std::make_unique<const SamplingIndex>(graph));
+  }
+}
 
 Planner::~Planner() = default;
 
@@ -107,23 +136,110 @@ std::optional<std::string> Planner::validate(const QuerySpec& query) {
   return std::nullopt;
 }
 
+void Planner::release_pair_storage(PairCache& cache) {
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.vmax.reset();
+  cache.pmax.reset();
+  cache.pool_drawn = 0;
+  // Swap idiom, not clear(): clear() keeps vector capacity, which is
+  // exactly the memory an eviction must give back.
+  cache.type1_paths.release();
+  std::vector<std::uint64_t>().swap(cache.type1_pos);
+}
+
 void Planner::clear_caches() {
-  std::lock_guard<std::mutex> lock(mu_);
-  cache_.clear();
+  // Ownership rule: the map holds one shared_ptr per pair; every
+  // in-flight query holds another. Dropping the map entries alone would
+  // leave in-flight holders keeping fully-grown arenas alive (with their
+  // capacity) until they finish, so the pooled storage is additionally
+  // released via swap under each pair's lock. Unlink under mu_, release
+  // outside it: taking a pair lock while holding mu_ could deadlock
+  // against a query that holds its pair lock and asks mu_ for the
+  // sample pool.
+  std::vector<std::shared_ptr<PairCache>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.take_all(dropped);
+  }
+  for (const auto& cache : dropped) release_pair_storage(*cache);
+}
+
+PlannerCacheStats Planner::cache_stats() const {
+  PlannerCacheStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.entries = cache_.size();
+    out.charged_bytes = cache_.charged();
+    out.budget_bytes = cache_.budget();
+    out.evictions = cache_.evictions();
+  }
+  out.index_bytes = index_bytes_;
+  out.index_slots = index_slots_;
+  out.index_bytes_per_slot = index_bytes_per_slot_;
+  return out;
+}
+
+std::uint64_t Planner::pair_key(NodeId s, NodeId t) {
+  // The key packs (s, t) into one 64-bit word. If NodeId ever widens
+  // past 32 bits this must become a proper hash or a wider key — fail
+  // the build rather than silently colliding distinct pairs.
+  static_assert(sizeof(NodeId) <= 4,
+                "pair_key packs two NodeIds into 64 bits");
+  return (static_cast<std::uint64_t>(s) << 32) |
+         (static_cast<std::uint64_t>(t) & 0xffffffffULL);
 }
 
 std::shared_ptr<Planner::PairCache> Planner::cache_for(NodeId s, NodeId t) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | t;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_
-             .emplace(key, std::make_shared<PairCache>(
-                               *graph_, s, t,
-                               derive_pool_seed(options_.base_seed, s, t)))
-             .first;
+  const std::uint64_t key = pair_key(s, t);
+  std::shared_ptr<PairCache> out;
+  std::vector<std::shared_ptr<PairCache>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto* hit = cache_.find(key)) {
+      out = *hit;
+    } else {
+      out = std::make_shared<PairCache>(
+          *graph_, s, t, derive_pool_seed(options_.base_seed, s, t));
+      // Freshly created and not yet visible to any other thread:
+      // reading its charge needs no pair lock (keeps the "never take a
+      // pair lock under mu_" rule literal).
+      cache_.insert(key, out, out->charged_bytes());
+      cache_.evict_over_budget(victims);
+    }
   }
-  return it->second;
+  for (const auto& victim : victims) {
+    if (victim != out) release_pair_storage(*victim);
+  }
+  return out;
+}
+
+void Planner::settle_cache_charge(std::uint64_t key,
+                                  const std::shared_ptr<PairCache>& cache) {
+  std::size_t bytes;
+  {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    bytes = cache->charged_bytes();
+  }
+  std::vector<std::shared_ptr<PairCache>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The pair may have been evicted while this query was in flight —
+    // and possibly re-created by a concurrent query. Only settle the
+    // entry this query actually used: an evicted pair's state dies with
+    // its last holder, never re-admitted here (the next cache_for()
+    // rebuilds it deterministically), and a re-created entry settles
+    // itself after its own query.
+    const auto* current = cache_.find(key);
+    if (current == nullptr || *current != cache) return;
+    cache_.charge(key, bytes);
+    cache_.evict_over_budget(victims);
+  }
+  for (const auto& victim : victims) {
+    // The query's own pair can be the victim (a budget smaller than one
+    // pair's pool): it was already unlinked above, so releasing its
+    // storage now is safe — the caller is done with it.
+    release_pair_storage(*victim);
+  }
 }
 
 PlanResult Planner::plan(const QuerySpec& query) {
@@ -152,14 +268,18 @@ PlanResult Planner::plan(const QuerySpec& query) {
   const std::shared_ptr<PairCache> cache = cache_for(query.s, query.t);
   try {
     if (const auto* min = std::get_if<MinimizeSpec>(&query.mode)) {
-      return plan_minimize(*cache, *min);
+      out = plan_minimize(*cache, *min);
+    } else {
+      out = plan_maximize(*cache, std::get<MaximizeSpec>(query.mode));
     }
-    return plan_maximize(*cache, std::get<MaximizeSpec>(query.mode));
   } catch (const std::exception& e) {
     out.status = PlanStatus::kInternalError;
     out.message = e.what();
-    return out;
   }
+  // Settle the pair's charge from what it retains now (the pool may have
+  // grown) and let the governor evict the coldest pairs over budget.
+  settle_cache_charge(pair_key(query.s, query.t), cache);
+  return out;
 }
 
 std::vector<PlanResult> Planner::plan_batch(
@@ -223,7 +343,7 @@ void Planner::ensure_pmax(PairCache& cache, PlanResult& out) {
     cfg.max_samples = options_.pmax_max_samples;
     Rng rng(derive_pmax_seed(options_.base_seed, cache.inst.initiator(),
                              cache.inst.target()));
-    cache.pmax = estimate_pmax_dklr(cache.inst, index_, rng, cfg,
+    cache.pmax = estimate_pmax_dklr(cache.inst, *index_, rng, cfg,
                                     sample_pool());
     out.timings.pmax_seconds = timer.elapsed_seconds();
   }
@@ -235,7 +355,7 @@ SetFamily Planner::pooled_family(PairCache& cache, std::uint64_t l,
   if (cache.pool_drawn < l) {
     WallTimer timer;
     const BulkType1Paths grown =
-        sample_type1_bulk(cache.inst, index_, cache.pool_drawn,
+        sample_type1_bulk(cache.inst, *index_, cache.pool_drawn,
                           l - cache.pool_drawn, cache.stream_root,
                           sample_pool());
     cache.type1_paths.append(grown.paths);

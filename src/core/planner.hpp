@@ -26,9 +26,22 @@
 //    realizations reads the pool's first l samples, growing it on demand
 //    — an α-sweep pays the sampling cost once.
 //
-// One SamplingIndex (per-node alias tables, DESIGN.md §7) is built per
+// One selection index (per-node alias tables, DESIGN.md §7) is built per
 // planner and shared by all pairs: every walk step is O(1) instead of an
-// O(deg) scan.
+// O(deg) scan. PlannerOptions::compact_index picks the 12-byte/slot
+// float32 CompactSamplingIndex over the 16-byte exact-threshold
+// SamplingIndex (DESIGN.md §8) — same distribution, ~25% smaller tables,
+// different (equally valid) sampled bits.
+//
+// Memory governance (DESIGN.md §8): per-pair caches are charged against
+// PlannerOptions::cache_budget_bytes in a size-aware LRU (util/lru.hpp).
+// After every query the pair's charge is settled from its actual
+// retained bytes (instance mask + certificate + pooled paths) and the
+// coldest pairs are evicted — their pooled state is released via the
+// swap idiom so capacity really returns to the allocator. Re-planning an
+// evicted pair rebuilds bit-identical state from the counter-derived
+// streams, so eviction is purely a memory/latency trade, never a
+// correctness one.
 //
 // Determinism: all randomness derives from PlannerOptions::base_seed via
 // per-(s,t) seed derivation (derive_pool_seed / derive_pmax_seed);
@@ -44,7 +57,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -59,6 +71,7 @@
 #include "diffusion/sampling_index.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
+#include "util/lru.hpp"
 #include "util/thread_pool.hpp"
 
 namespace af {
@@ -163,16 +176,52 @@ struct PlannerOptions {
   double pmax_delta = 1e-5;
   /// Hard cap on DKLR draws per pair.
   std::uint64_t pmax_max_samples = 2'000'000;
+  /// Byte budget for the per-pair cache pool (0 = unbounded). When set,
+  /// the coldest pairs are evicted after each query until the accounted
+  /// footprint (Σ charged bytes over retained pairs) fits the budget;
+  /// re-planning an evicted pair is bit-identical, it just pays its
+  /// sampling cost again (DESIGN.md §8).
+  std::uint64_t cache_budget_bytes = 0;
+  /// Use the float32 CompactSamplingIndex (12 bytes/slot) instead of the
+  /// exact-threshold SamplingIndex (16 bytes/slot). Same distribution —
+  /// the chi-square gate passes for both — but the two indices consume
+  /// rng words differently, so results are deterministic per option set,
+  /// not across it.
+  bool compact_index = false;
+};
+
+/// Telemetry snapshot of the planner's memory governor (DESIGN.md §8).
+struct PlannerCacheStats {
+  /// Pairs currently retained.
+  std::size_t entries = 0;
+  /// Accounted footprint: Σ charged bytes over retained pairs.
+  std::uint64_t charged_bytes = 0;
+  /// The configured budget (0 = unbounded).
+  std::uint64_t budget_bytes = 0;
+  /// Pairs evicted by the governor since construction.
+  std::uint64_t evictions = 0;
+  /// Resident size of the shared selection index.
+  std::uint64_t index_bytes = 0;
+  /// Alias slots in the shared selection index.
+  std::uint64_t index_slots = 0;
+  /// Per-slot struct footprint (12 for the compact index, 16 otherwise;
+  /// CSR offsets are counted in index_bytes, not here) — the figure the
+  /// perf trajectory records against the ROADMAP ≤ 12 target.
+  double index_bytes_per_slot = 0.0;
 };
 
 /// The facade. Thread-safe: plan() may be called concurrently (that is
 /// exactly what plan_batch does). Holds a reference to the graph; the
 /// graph must outlive the planner and stay unmodified.
 ///
-/// Memory: each queried (s,t) pair retains its cache entry — including
-/// the pooled type-1 backward paths — for the planner's lifetime, so a
-/// long-lived planner serving many distinct pairs grows without bound
-/// unless clear_caches() is called at the caller's eviction policy.
+/// Memory: with cache_budget_bytes == 0 each queried (s,t) pair retains
+/// its cache entry — including the pooled type-1 backward paths — for
+/// the planner's lifetime, so a long-lived planner serving many distinct
+/// pairs grows without bound unless clear_caches() is called at the
+/// caller's eviction policy. Set cache_budget_bytes to make the planner
+/// govern itself: the size-aware LRU keeps the accounted footprint
+/// (cache_stats().charged_bytes) at or below the budget after every
+/// query.
 class Planner {
  public:
   explicit Planner(const Graph& graph, PlannerOptions options = {});
@@ -195,9 +244,17 @@ class Planner {
 
   /// Drops every per-pair cache entry, releasing its memory. Safe to
   /// call concurrently with plan(): in-flight queries keep their entry
-  /// alive; later queries rebuild from the same derived seeds, so
-  /// results are unchanged — only the cached work is paid again.
+  /// alive (shared ownership), but the entry's pooled storage is
+  /// released via the swap idiom under the pair lock, so capacity
+  /// returns to the allocator even while holders remain — a holder that
+  /// finishes later just finds an empty pool. Later queries rebuild from
+  /// the same derived seeds, so results are unchanged — only the cached
+  /// work is paid again.
   void clear_caches();
+
+  /// Snapshot of the memory governor's accounting (entries, charged
+  /// bytes, evictions) and the shared index footprint.
+  PlannerCacheStats cache_stats() const;
 
   /// Spec-only validation (the API-boundary check): the message that a
   /// plan() on this spec would return with kInvalidSpec, if any.
@@ -213,7 +270,19 @@ class Planner {
  private:
   struct PairCache;
 
+  /// Packs (s,t) into the 64-bit pair key. NodeId must fit 32 bits.
+  static std::uint64_t pair_key(NodeId s, NodeId t);
+
   std::shared_ptr<PairCache> cache_for(NodeId s, NodeId t);
+  /// Re-states the pair's charge from its actual retained bytes and
+  /// evicts the coldest pairs until the accounted total fits the budget.
+  /// Called after every query that touched a pair cache.
+  void settle_cache_charge(std::uint64_t key,
+                           const std::shared_ptr<PairCache>& cache);
+  /// Releases a pair's pooled storage (swap idiom) and resets its
+  /// memoized stages under the pair lock. The immutable instance is left
+  /// intact: in-flight holders may still read it.
+  static void release_pair_storage(PairCache& cache);
   PlanResult plan_minimize(PairCache& cache, const MinimizeSpec& spec);
   PlanResult plan_maximize(PairCache& cache, const MaximizeSpec& spec);
   /// Stages shared by both modes, run under the pair lock: V_max
@@ -234,12 +303,20 @@ class Planner {
 
   const Graph* graph_;
   PlannerOptions options_;
-  /// Per-node alias tables (DESIGN.md §7). Depends only on the graph's
-  /// in-weights, so one index serves every pair cache and worker thread;
-  /// immutable after construction, shared without locks.
-  SamplingIndex index_;
-  std::mutex mu_;  // guards cache_ and the lazy pools' creation
-  std::map<std::uint64_t, std::shared_ptr<PairCache>> cache_;
+  /// Per-node alias tables (DESIGN.md §7) — SamplingIndex or, with
+  /// options_.compact_index, CompactSamplingIndex. Depends only on the
+  /// graph's in-weights, so one index serves every pair cache and worker
+  /// thread; immutable after construction, shared without locks.
+  std::unique_ptr<const SelectionSampler> index_;
+  std::uint64_t index_bytes_ = 0;
+  std::uint64_t index_slots_ = 0;
+  double index_bytes_per_slot_ = 0.0;
+  mutable std::mutex mu_;  // guards cache_ and the lazy pools' creation
+  /// Size-aware LRU over the pair caches (DESIGN.md §8). Values are
+  /// shared_ptrs: eviction unlinks an entry, but in-flight queries keep
+  /// the PairCache object alive until they finish; release_pair_storage
+  /// frees the expensive pooled state immediately regardless.
+  SizedLru<std::uint64_t, std::shared_ptr<PairCache>> cache_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ThreadPool> sample_pool_;
 };

@@ -34,6 +34,7 @@ DklrResult dklr_estimate(const std::function<bool(Rng&)>& draw, Rng& rng,
                          : static_cast<double>(out.successes) /
                                static_cast<double>(out.samples_used);
       out.converged = false;
+      out.samples_drawn = out.samples_used;
       return out;
     }
     ++out.samples_used;
@@ -41,8 +42,44 @@ DklrResult dklr_estimate(const std::function<bool(Rng&)>& draw, Rng& rng,
   }
   out.estimate = out.upsilon / static_cast<double>(out.samples_used);
   out.converged = true;
+  out.samples_drawn = out.samples_used;
   return out;
 }
+
+namespace {
+
+/// Adaptive block schedule (DESIGN.md §8). Ramps geometrically from
+/// kDklrFirstBlock while p̂ is still coarse; once successes accumulate,
+/// the next block is clipped to the expected remaining draws
+/// (Υ − S)/p̂ plus a 3σ negative-binomial margin, so the final block ends
+/// near the stopping draw instead of overshooting it by a whole fixed
+/// block. Floors at kDklrMinBlock (a block must amortize its pool
+/// dispatch) and caps at kDklrMaxBlock (bounds the flag buffer).
+constexpr std::uint64_t kDklrFirstBlock = 1024;
+constexpr std::uint64_t kDklrMinBlock = 256;
+constexpr std::uint64_t kDklrMaxBlock = std::uint64_t{1} << 21;
+
+std::uint64_t next_block_size(std::uint64_t prev_block, double upsilon,
+                              std::uint64_t successes,
+                              std::uint64_t samples_used) {
+  std::uint64_t block = std::min(2 * prev_block, kDklrMaxBlock);
+  if (successes > 0) {
+    const double p_hat = static_cast<double>(successes) /
+                         static_cast<double>(samples_used);
+    // Draws to collect the remaining r = Υ − S successes: negative
+    // binomial with mean r/p̂ and σ = √(r(1−p̂))/p̂.
+    const double r = std::max(upsilon - static_cast<double>(successes), 1.0);
+    const double expected = r / p_hat;
+    const double sigma = std::sqrt(r * (1.0 - p_hat)) / p_hat;
+    const double target = expected + 3.0 * sigma;
+    if (target < static_cast<double>(block)) {
+      block = static_cast<std::uint64_t>(target) + 1;
+    }
+  }
+  return std::max(block, kDklrMinBlock);
+}
+
+}  // namespace
 
 DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
                               const SelectionSampler& sel, Rng& rng,
@@ -55,8 +92,9 @@ DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
   // scan each block sequentially for the stopping condition. The scan
   // stops at exactly the draw the sequential rule would have stopped at;
   // indicators past it are discarded, so blocking (and any sharding
-  // inside sample_type1_flags) never shows in the result.
-  constexpr std::uint64_t kBlock = 8192;
+  // inside sample_type1_flags) never shows in samples_used, successes or
+  // the estimate — only samples_drawn records the scheduling overshoot.
+  std::uint64_t block = kDklrFirstBlock;
   std::vector<std::uint8_t> flags;
   while (static_cast<double>(out.successes) < out.upsilon) {
     if (cfg.max_samples != 0 && out.samples_used >= cfg.max_samples) {
@@ -69,18 +107,20 @@ DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
       out.converged = false;
       return out;
     }
-    std::uint64_t block = kBlock;
     if (cfg.max_samples != 0) {
       block = std::min(block, cfg.max_samples - out.samples_used);
     }
     flags.resize(block);
     sample_type1_flags(inst, sel, out.samples_used, block, root, pool,
                        flags.data());
+    out.samples_drawn += block;
     for (std::uint64_t i = 0; i < block; ++i) {
       ++out.samples_used;
       if (flags[i]) ++out.successes;
       if (static_cast<double>(out.successes) >= out.upsilon) break;
     }
+    block = next_block_size(block, out.upsilon, out.successes,
+                            out.samples_used);
   }
   out.estimate = out.upsilon / static_cast<double>(out.samples_used);
   out.converged = true;

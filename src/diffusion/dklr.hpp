@@ -43,6 +43,11 @@ struct DklrResult {
   bool converged = false;
   /// The threshold Υ that was used.
   double upsilon = 0.0;
+  /// Walks actually generated, ≥ samples_used: block-mode estimation
+  /// draws whole blocks and discards indicators past the stopping point,
+  /// so drawn − used is the tail latency the adaptive schedule (DESIGN.md
+  /// §8) exists to trim. Sequential estimation has drawn == used.
+  std::uint64_t samples_drawn = 0;
 };
 
 /// Computes Υ(ε, δ) = 1 + 4(e−2)(1+ε)·ln(2/δ)/ε².
@@ -62,6 +67,14 @@ DklrResult dklr_estimate(const std::function<bool(Rng&)>& draw, Rng& rng,
 /// block, so the result is bit-identical whether the block was filled
 /// inline or sharded across `pool` (any size). Draws past the stopping
 /// point are discarded, exactly as if sampling had been sequential.
+///
+/// Block sizes follow an adaptive schedule (DESIGN.md §8): geometric
+/// growth while p̂ is still coarse, clipped to the expected remaining
+/// draws (Υ − S)/p̂ plus a 3σ negative-binomial margin once successes
+/// accumulate. Because sample #i is a pure function of (root, i), the
+/// schedule affects only samples_drawn (work), never samples_used,
+/// successes or the estimate — those match the draw-one-at-a-time
+/// sequential rule exactly, for every schedule and thread count.
 DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
                               const SelectionSampler& sel, Rng& rng,
                               const DklrConfig& cfg,

@@ -34,6 +34,14 @@ class FriendingInstance {
   /// no-op in Process 1, so normalized invitation sets exclude them.
   bool invitable(NodeId v) const { return v != s_ && !ns_mask_[v]; }
 
+  /// Bytes retained by the instance's own buffers (the n-sized N_s mask
+  /// dominates). The Planner's memory governor charges this as part of a
+  /// pair cache's fixed overhead (DESIGN.md §8).
+  std::size_t memory_bytes() const {
+    return ns_.capacity() * sizeof(NodeId) +
+           ns_mask_.capacity() * sizeof(char);
+  }
+
  private:
   const Graph* g_;
   NodeId s_;

@@ -11,30 +11,76 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/contracts.hpp"
 
 namespace af {
 
 /// Append-only flat storage for a sequence of NodeId paths.
+///
+/// Invariant: offsets_ always holds at least the sentinel {0}, including
+/// on a moved-from arena (the move operations restore it), so size() and
+/// empty() never underflow.
 class PathArena {
  public:
+  PathArena() = default;
+  PathArena(const PathArena&) = default;
+  PathArena& operator=(const PathArena&) = default;
+
+  /// Moves leave `other` valid and empty (the {0} sentinel is restored —
+  /// a moved-from std::vector would otherwise leave offsets_ empty and
+  /// size()/empty() underflowing).
+  PathArena(PathArena&& other) noexcept
+      : nodes_(std::move(other.nodes_)),
+        offsets_(std::move(other.offsets_)) {
+    other.offsets_.assign(1, 0);
+    other.nodes_.clear();
+  }
+  PathArena& operator=(PathArena&& other) noexcept {
+    if (this != &other) {
+      nodes_ = std::move(other.nodes_);
+      offsets_ = std::move(other.offsets_);
+      other.offsets_.assign(1, 0);
+      other.nodes_.clear();
+    }
+    return *this;
+  }
+
   /// Number of paths stored.
-  std::size_t size() const { return offsets_.size() - 1; }
-  bool empty() const { return offsets_.size() == 1; }
+  std::size_t size() const {
+    AF_EXPECTS(!offsets_.empty(), "PathArena invariant: offsets sentinel");
+    return offsets_.size() - 1;
+  }
+  bool empty() const {
+    AF_EXPECTS(!offsets_.empty(), "PathArena invariant: offsets sentinel");
+    return offsets_.size() == 1;
+  }
 
   /// Total nodes across all paths (the arena's payload size).
   std::size_t total_nodes() const { return nodes_.size(); }
 
-  /// Path i as a view into the arena. Valid until the arena is destroyed
-  /// (appends never invalidate: offsets index, they don't point).
+  /// Bytes currently held by the arena's buffers (capacity, not payload):
+  /// the cost functional the Planner's memory governor charges.
+  std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(NodeId) +
+           offsets_.capacity() * sizeof(std::size_t);
+  }
+
+  /// Path i as a view into the arena. The span is valid only until the
+  /// next mutation (push_path/append/clear/release/swap/move/destruction):
+  /// appends may reallocate the node buffer and move the data the span
+  /// points into. Re-index after any mutation instead of holding spans
+  /// across one — consumers that copy immediately (SetFamily::add_set,
+  /// the planner pool's family construction) are safe by construction.
   std::span<const NodeId> operator[](std::size_t i) const {
     return {nodes_.data() + offsets_[i],
             nodes_.data() + offsets_[i + 1]};
   }
 
-  /// Appends one path.
+  /// Appends one path. `path` must not alias this arena's own storage.
   void push_path(std::span<const NodeId> path) {
     nodes_.insert(nodes_.end(), path.begin(), path.end());
     offsets_.push_back(nodes_.size());
@@ -42,6 +88,8 @@ class PathArena {
 
   /// Appends every path of `other`, preserving order.
   void append(const PathArena& other) {
+    AF_EXPECTS(&other != this, "PathArena::append: self-append aliases the "
+                               "buffer being reallocated");
     const std::size_t base = nodes_.size();
     nodes_.insert(nodes_.end(), other.nodes_.begin(), other.nodes_.end());
     offsets_.reserve(offsets_.size() + other.size());
@@ -50,9 +98,24 @@ class PathArena {
     }
   }
 
+  /// Empties the arena but KEEPS capacity (the buffers stay allocated for
+  /// reuse). To actually return memory, use release().
   void clear() {
     nodes_.clear();
     offsets_.assign(1, 0);
+  }
+
+  /// Empties the arena and releases its buffers (swap idiom: trades
+  /// storage with a fresh arena, so capacity really goes back to the
+  /// allocator). The Planner's eviction path relies on this.
+  void release() {
+    PathArena fresh;
+    swap(fresh);
+  }
+
+  void swap(PathArena& other) noexcept {
+    nodes_.swap(other.nodes_);
+    offsets_.swap(other.offsets_);
   }
 
   /// Pre-allocates for `paths` paths totalling `nodes` nodes.

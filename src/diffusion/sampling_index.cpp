@@ -1,6 +1,8 @@
 #include "diffusion/sampling_index.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/contracts.hpp"
 
@@ -17,6 +19,78 @@ std::uint64_t scale_threshold(double prob) {
   return static_cast<std::uint64_t>(prob * 0x1p64);
 }
 
+/// Scratch buffers for Vose's construction, reused across nodes so the
+/// whole build allocates O(max_deg) once.
+struct VoseScratch {
+  std::vector<double> prob;
+  std::vector<std::uint32_t> alias;
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+};
+
+/// Vose's alias construction for node v's (deg(v)+1)-outcome selection
+/// distribution (local outcome deg(v) is ℵ0), shared by both index
+/// layouts. Invokes emit(i, prob_i, accept_node, alias_node) for each of
+/// the k local outcomes, where prob_i ∈ [0,1] is the slot's acceptance
+/// probability and both nodes are fully resolved (kNoNode for ℵ0);
+/// full slots report alias_node == accept_node. O(deg + 1) per node.
+template <typename Emit>
+void build_node_alias(const Graph& g, NodeId v, VoseScratch& scratch,
+                      Emit&& emit) {
+  auto& [prob, alias, small, large] = scratch;
+  const auto nbrs = g.neighbors(v);
+  const auto ws = g.in_weights(v);
+  const auto k = static_cast<std::uint32_t>(ws.size() + 1);
+
+  // Normalize defensively by the actual outcome total (≈ 1, but the
+  // weights are sums of doubles), then scale by k so "fair share" = 1.
+  double total = g.leftover_mass(v);
+  for (double w : ws) total += w;
+  AF_EXPECTS(total > 0.0, "node outcome mass must be positive");
+  const double scale = static_cast<double>(k) / total;
+  prob.assign(k, 0.0);
+  for (std::uint32_t i = 0; i + 1 < k; ++i) prob[i] = ws[i] * scale;
+  prob[k - 1] = g.leftover_mass(v) * scale;
+
+  alias.assign(k, 0);
+  small.clear();
+  large.clear();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    (prob[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    alias[s] = l;
+    // l donates (1 − prob[s]) of its mass to fill s's slot.
+    prob[l] = (prob[l] + prob[s]) - 1.0;
+    (prob[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftover entries are exactly full up to rounding: accept always.
+  while (!large.empty()) {
+    prob[large.back()] = 1.0;
+    alias[large.back()] = large.back();
+    large.pop_back();
+  }
+  while (!small.empty()) {
+    prob[small.back()] = 1.0;
+    alias[small.back()] = small.back();
+    small.pop_back();
+  }
+
+  // Resolve each local outcome to its node id and emit the slots.
+  const auto outcome_node = [&](std::uint32_t i) {
+    return i + 1 == k ? kNoNode : nbrs[i];
+  };
+  for (std::uint32_t i = 0; i < k; ++i) {
+    emit(i, prob[i],
+         outcome_node(i),
+         prob[i] >= 1.0 ? outcome_node(i) : outcome_node(alias[i]));
+  }
+}
+
 }  // namespace
 
 SamplingIndex::SamplingIndex(const Graph& g) {
@@ -28,68 +102,47 @@ SamplingIndex::SamplingIndex(const Graph& g) {
   }
   slots_.resize(offsets_[n]);
 
-  // Vose's construction per node over deg(v)+1 outcomes (local outcome
-  // deg(v) is ℵ0). The work arrays are reused across nodes; everything is
-  // O(deg + 1) per node with no allocation after the first high-degree
-  // node.
-  std::vector<double> prob;
-  std::vector<std::uint32_t> alias;
-  std::vector<std::uint32_t> small;
-  std::vector<std::uint32_t> large;
+  VoseScratch scratch;
   for (NodeId v = 0; v < n; ++v) {
-    const auto nbrs = g.neighbors(v);
-    const auto ws = g.in_weights(v);
-    const auto k = static_cast<std::uint32_t>(ws.size() + 1);
-
-    // Normalize defensively by the actual outcome total (≈ 1, but the
-    // weights are sums of doubles), then scale by k so "fair share" = 1.
-    double total = g.leftover_mass(v);
-    for (double w : ws) total += w;
-    AF_EXPECTS(total > 0.0, "node outcome mass must be positive");
-    const double scale = static_cast<double>(k) / total;
-    prob.assign(k, 0.0);
-    for (std::uint32_t i = 0; i + 1 < k; ++i) prob[i] = ws[i] * scale;
-    prob[k - 1] = g.leftover_mass(v) * scale;
-
-    alias.assign(k, 0);
-    small.clear();
-    large.clear();
-    for (std::uint32_t i = 0; i < k; ++i) {
-      (prob[i] < 1.0 ? small : large).push_back(i);
-    }
-    while (!small.empty() && !large.empty()) {
-      const std::uint32_t s = small.back();
-      const std::uint32_t l = large.back();
-      small.pop_back();
-      large.pop_back();
-      alias[s] = l;
-      // l donates (1 − prob[s]) of its mass to fill s's slot.
-      prob[l] = (prob[l] + prob[s]) - 1.0;
-      (prob[l] < 1.0 ? small : large).push_back(l);
-    }
-    // Leftover entries are exactly full up to rounding: accept always.
-    while (!large.empty()) {
-      prob[large.back()] = 1.0;
-      alias[large.back()] = large.back();
-      large.pop_back();
-    }
-    while (!small.empty()) {
-      prob[small.back()] = 1.0;
-      alias[small.back()] = small.back();
-      small.pop_back();
-    }
-
-    // Resolve each local outcome to its node id and pack the slots.
     Slot* out = slots_.data() + offsets_[v];
-    const auto outcome_node = [&](std::uint32_t i) {
-      return i + 1 == k ? kNoNode : nbrs[i];
-    };
-    for (std::uint32_t i = 0; i < k; ++i) {
-      out[i].threshold = scale_threshold(prob[i]);
-      out[i].accept = outcome_node(i);
-      out[i].alias =
-          prob[i] >= 1.0 ? out[i].accept : outcome_node(alias[i]);
-    }
+    build_node_alias(g, v, scratch,
+                     [out](std::uint32_t i, double prob, NodeId accept,
+                           NodeId alias) {
+                       out[i].threshold = scale_threshold(prob);
+                       out[i].accept = accept;
+                       out[i].alias = alias;
+                     });
+  }
+}
+
+CompactSamplingIndex::CompactSamplingIndex(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  const std::uint64_t total_slots =
+      2ULL * g.num_edges() + static_cast<std::uint64_t>(n);
+  AF_EXPECTS(total_slots <= std::numeric_limits<std::uint32_t>::max(),
+             "compact index needs 2m + n < 2^32 slots");
+  offsets_.resize(static_cast<std::size_t>(n) + 1);
+  offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + g.degree(v) + 1;
+  }
+  slots_.resize(offsets_[n]);
+
+  VoseScratch scratch;
+  for (NodeId v = 0; v < n; ++v) {
+    Slot* out = slots_.data() + offsets_[v];
+    build_node_alias(
+        g, v, scratch,
+        [out](std::uint32_t i, double prob, NodeId accept, NodeId alias) {
+          // Clamp before narrowing: Vose arithmetic can leave 1 + O(ulp),
+          // and float rounding must not push a sub-1 probability past 1
+          // silently (it may round *to* 1.0f — that is the accepted 2⁻²⁴
+          // quantization, since alias == accept only for full slots).
+          out[i].threshold =
+              static_cast<float>(std::clamp(prob, 0.0, 1.0));
+          out[i].accept = accept;
+          out[i].alias = alias;
+        });
   }
 }
 

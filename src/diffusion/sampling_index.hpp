@@ -26,6 +26,16 @@
 // on the graph's in-weights, so one instance serves every (s,t) pair —
 // af::Planner builds one and shares it across all pair caches and worker
 // threads (all accessors are const and thread-safe after construction).
+//
+// CompactSamplingIndex is the memory-lean sibling (DESIGN.md §8): the
+// same tables with the coin threshold quantized to float32 and 32-bit
+// CSR offsets — 12 bytes/slot instead of 16, which matters at full
+// youtube scale (~210 MB → ~158 MB of slots). Per-slot quantization
+// error is one float ulp (relative 2⁻²⁴), far below what the chi-square
+// goodness-of-fit gate can detect; the two indices draw *different*
+// (equally correct) streams from the same Rng, so switching index kinds
+// changes sampled bits, not distributions. Select it per Planner via
+// PlannerOptions::compact_index.
 #pragma once
 
 #include <cstdint>
@@ -63,6 +73,9 @@ class SamplingIndex final : public SelectionSampler {
            offsets_.size() * sizeof(std::uint64_t);
   }
 
+  /// Slot footprint — the bytes/slot figure the perf trajectory records.
+  static constexpr std::size_t bytes_per_slot() { return sizeof(Slot); }
+
  private:
   /// One alias slot, fully resolved: the coin threshold (probability
   /// scaled to 2⁶⁴) and the selected node for either coin outcome.
@@ -74,6 +87,58 @@ class SamplingIndex final : public SelectionSampler {
   static_assert(sizeof(Slot) == 16, "one probe must stay one cache touch");
 
   std::vector<std::uint64_t> offsets_;  // size n+1; node v owns deg(v)+1 slots
+  std::vector<Slot> slots_;
+};
+
+/// Float32-threshold alias tables: the same per-node Vose construction as
+/// SamplingIndex packed into 12-byte slots {float threshold, accept,
+/// alias} with 32-bit CSR offsets. A draw is still one rng word, one
+/// Lemire multiply-shift and one slot probe; the coin compares the low
+/// word's top 53 bits (as a double in [0,1)) against the float threshold,
+/// so the only distributional error is the float32 rounding of each
+/// slot's acceptance probability — relative 2⁻²⁴, invisible to the
+/// chi-square gate (pinned in tests/sampling_index_test.cpp).
+class CompactSamplingIndex final : public SelectionSampler {
+ public:
+  /// Builds the tables. O(n + m); requires 2m + n < 2³² slots.
+  explicit CompactSamplingIndex(const Graph& g);
+
+  /// Draws v's selection in O(1): a neighbor of v, or kNoNode for ℵ0.
+  NodeId sample_selection(NodeId v, Rng& rng) const override {
+    const std::uint32_t off = offsets_[v];
+    const std::uint32_t k = offsets_[v + 1] - off;
+    const auto m = static_cast<__uint128_t>(rng.next_u64()) * k;
+    const Slot& s = slots_[off + static_cast<std::uint32_t>(m >> 64)];
+    const double coin = static_cast<double>(
+                            static_cast<std::uint64_t>(m) >> 11) *
+                        0x1.0p-53;
+    return coin < s.threshold ? s.accept : s.alias;
+  }
+
+  /// Number of alias slots (Σ_v (deg(v) + 1) = 2m + n).
+  std::size_t num_slots() const { return slots_.size(); }
+
+  /// Resident size of the tables, for capacity planning.
+  std::size_t memory_bytes() const {
+    return slots_.size() * sizeof(Slot) +
+           offsets_.size() * sizeof(std::uint32_t);
+  }
+
+  /// Slot footprint — ≤ 12 bytes is the ROADMAP target this class exists
+  /// to hit.
+  static constexpr std::size_t bytes_per_slot() { return sizeof(Slot); }
+
+ private:
+  /// Threshold is the acceptance probability itself (not 2⁶⁴-scaled):
+  /// float32 precision is the whole point of the compact layout.
+  struct Slot {
+    float threshold;
+    NodeId accept;
+    NodeId alias;
+  };
+  static_assert(sizeof(Slot) == 12, "compact slots must stay 12 bytes");
+
+  std::vector<std::uint32_t> offsets_;  // size n+1
   std::vector<Slot> slots_;
 };
 

@@ -1,0 +1,139 @@
+// SizedLru — a size-aware least-recently-used map.
+//
+// A plain entry-count LRU is the wrong tool when entries have wildly
+// different footprints (the Planner's per-pair realization pools range
+// from a few KB to hundreds of MB). SizedLru charges every entry a
+// caller-supplied cost — a byte count computed by whatever cost
+// functional fits the value type — and evicts from the cold end until
+// the charged total fits a fixed budget.
+//
+// Eviction is split in two so callers can release expensive state
+// outside their own locks: evict_over_budget() / take_all() only
+// *unlink* victims (O(1) per entry) and move their values into a sink
+// vector; the caller destroys or swaps them out after dropping its
+// mutex. The container itself is not thread-safe — the Planner guards
+// it with its planner-wide mutex (DESIGN.md §8).
+//
+// budget() == 0 means unbounded: nothing is ever evicted and the
+// structure degenerates to an access-ordered map with cost telemetry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+/// Size-aware LRU map from Key to Value. Every mutating lookup touches
+/// the entry (moves it to the hot end); costs are re-stated via charge().
+template <typename Key, typename Value>
+class SizedLru {
+ public:
+  explicit SizedLru(std::uint64_t budget_bytes = 0)
+      : budget_(budget_bytes) {}
+
+  std::uint64_t budget() const { return budget_; }
+  /// Σ cost over retained entries — the accounted footprint.
+  std::uint64_t charged() const { return charged_; }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  /// Entries evicted by evict_over_budget() since construction.
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Finds and touches. Returns nullptr when absent. The pointer is
+  /// invalidated by any later mutating call.
+  Value* find(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    touch(it->second);
+    return &it->second->value;
+  }
+
+  /// True iff present; does not touch (telemetry / tests).
+  bool contains(const Key& key) const { return map_.count(key) != 0; }
+
+  /// Inserts a fresh entry at the hot end (the key must be absent) and
+  /// charges `cost` for it. Does not evict — call evict_over_budget()
+  /// afterwards so victims can be collected into the caller's sink.
+  Value& insert(const Key& key, Value value, std::uint64_t cost) {
+    AF_EXPECTS(map_.find(key) == map_.end(),
+               "SizedLru::insert: key already present");
+    order_.push_front(Node{key, std::move(value), cost});
+    map_.emplace(key, order_.begin());
+    charged_ += cost;
+    return order_.front().value;
+  }
+
+  /// Re-states an entry's cost and touches it. Returns false when the
+  /// key is absent (e.g. it was evicted while the caller worked on it).
+  bool charge(const Key& key, std::uint64_t cost) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    charged_ += cost - it->second->cost;
+    it->second->cost = cost;
+    touch(it->second);
+    return true;
+  }
+
+  /// Removes one entry, moving its value into `out`. Returns false when
+  /// absent. Not counted as an eviction.
+  bool take(const Key& key, Value& out) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    out = std::move(it->second->value);
+    unlink(it);
+    return true;
+  }
+
+  /// Unlinks cold-end entries until charged() ≤ budget() (no-op when the
+  /// budget is 0), moving each victim's value into `victims`. Even the
+  /// hottest entry is evicted if it alone exceeds the budget: the
+  /// accounted total never ends above the budget.
+  void evict_over_budget(std::vector<Value>& victims) {
+    if (budget_ == 0) return;
+    while (charged_ > budget_ && !order_.empty()) {
+      auto it = map_.find(order_.back().key);
+      victims.push_back(std::move(order_.back().value));
+      ++evictions_;
+      unlink(it);
+    }
+  }
+
+  /// Unlinks everything, moving all values into `out` (hot to cold).
+  /// Not counted as evictions.
+  void take_all(std::vector<Value>& out) {
+    out.reserve(out.size() + order_.size());
+    for (Node& node : order_) out.push_back(std::move(node.value));
+    order_.clear();
+    map_.clear();
+    charged_ = 0;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    std::uint64_t cost;
+  };
+  using Iter = typename std::list<Node>::iterator;
+
+  void touch(Iter it) { order_.splice(order_.begin(), order_, it); }
+
+  void unlink(typename std::unordered_map<Key, Iter>::iterator it) {
+    charged_ -= it->second->cost;
+    order_.erase(it->second);
+    map_.erase(it);
+  }
+
+  std::uint64_t budget_;
+  std::uint64_t charged_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<Node> order_;  // front = most recently used
+  std::unordered_map<Key, Iter> map_;
+};
+
+}  // namespace af

@@ -1,0 +1,143 @@
+#include "util/lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace af {
+namespace {
+
+TEST(SizedLru, InsertFindAndCharges) {
+  SizedLru<int, std::string> lru(100);
+  EXPECT_TRUE(lru.empty());
+  EXPECT_EQ(lru.budget(), 100u);
+
+  lru.insert(1, "one", 10);
+  lru.insert(2, "two", 20);
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(lru.charged(), 30u);
+
+  std::string* hit = lru.find(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "one");
+  EXPECT_EQ(lru.find(3), nullptr);
+  EXPECT_TRUE(lru.contains(2));
+  EXPECT_FALSE(lru.contains(3));
+}
+
+TEST(SizedLru, InsertingAPresentKeyIsAContractViolation) {
+  SizedLru<int, int> lru(10);
+  lru.insert(1, 7, 1);
+  EXPECT_THROW(lru.insert(1, 8, 1), precondition_error);
+}
+
+TEST(SizedLru, EvictsColdestUntilUnderBudget) {
+  SizedLru<int, int> lru(100);
+  lru.insert(1, 100, 40);
+  lru.insert(2, 200, 40);
+  lru.insert(3, 300, 40);  // 120 > 100: key 1 is coldest
+  std::vector<int> victims;
+  lru.evict_over_budget(victims);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], 100);
+  EXPECT_EQ(lru.charged(), 80u);
+  EXPECT_EQ(lru.evictions(), 1u);
+  EXPECT_FALSE(lru.contains(1));
+  EXPECT_TRUE(lru.contains(2));
+  EXPECT_TRUE(lru.contains(3));
+}
+
+TEST(SizedLru, FindTouchesAndProtectsFromEviction) {
+  SizedLru<int, int> lru(100);
+  lru.insert(1, 100, 40);
+  lru.insert(2, 200, 40);
+  ASSERT_NE(lru.find(1), nullptr);  // 1 is now hottest
+  lru.insert(3, 300, 40);
+  std::vector<int> victims;
+  lru.evict_over_budget(victims);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], 200);  // 2, not 1, was coldest
+  EXPECT_TRUE(lru.contains(1));
+}
+
+TEST(SizedLru, ChargeRestatesCostAndTouches) {
+  SizedLru<int, int> lru(100);
+  lru.insert(1, 100, 10);
+  lru.insert(2, 200, 10);
+  EXPECT_TRUE(lru.charge(1, 95));  // grows and becomes hottest
+  EXPECT_EQ(lru.charged(), 105u);
+  EXPECT_FALSE(lru.charge(42, 5));  // absent keys report false
+
+  std::vector<int> victims;
+  lru.evict_over_budget(victims);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], 200);  // the cold entry goes first
+  EXPECT_EQ(lru.charged(), 95u);
+}
+
+TEST(SizedLru, SingleOverBudgetEntryIsEvictedToo) {
+  // The accounted total never ends above the budget, even when one entry
+  // alone exceeds it.
+  SizedLru<int, int> lru(50);
+  lru.insert(1, 100, 80);
+  std::vector<int> victims;
+  lru.evict_over_budget(victims);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_TRUE(lru.empty());
+  EXPECT_EQ(lru.charged(), 0u);
+}
+
+TEST(SizedLru, ZeroBudgetMeansUnbounded) {
+  SizedLru<int, int> lru(0);
+  for (int i = 0; i < 64; ++i) lru.insert(i, i, 1'000'000);
+  std::vector<int> victims;
+  lru.evict_over_budget(victims);
+  EXPECT_TRUE(victims.empty());
+  EXPECT_EQ(lru.size(), 64u);
+  EXPECT_EQ(lru.evictions(), 0u);
+}
+
+TEST(SizedLru, TakeRemovesWithoutCountingEviction) {
+  SizedLru<int, std::unique_ptr<int>> lru(100);
+  lru.insert(1, std::make_unique<int>(5), 10);
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(lru.take(1, out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 5);
+  EXPECT_TRUE(lru.empty());
+  EXPECT_EQ(lru.charged(), 0u);
+  EXPECT_EQ(lru.evictions(), 0u);
+  EXPECT_FALSE(lru.take(1, out));
+}
+
+TEST(SizedLru, TakeAllDrainsEverything) {
+  SizedLru<int, int> lru(1000);
+  lru.insert(1, 10, 5);
+  lru.insert(2, 20, 5);
+  lru.insert(3, 30, 5);
+  std::vector<int> all;
+  lru.take_all(all);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(lru.empty());
+  EXPECT_EQ(lru.charged(), 0u);
+  // Move-only values survive the drain; counters are untouched.
+  EXPECT_EQ(lru.evictions(), 0u);
+}
+
+TEST(SizedLru, MoveOnlyValuesAreSupported) {
+  SizedLru<int, std::unique_ptr<int>> lru(10);
+  lru.insert(1, std::make_unique<int>(1), 6);
+  lru.insert(2, std::make_unique<int>(2), 6);
+  std::vector<std::unique_ptr<int>> victims;
+  lru.evict_over_budget(victims);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(*victims[0], 1);
+}
+
+}  // namespace
+}  // namespace af

@@ -9,6 +9,7 @@
 
 #include "core/raf.hpp"
 #include "core/vmax.hpp"
+#include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/weights.hpp"
 #include "testutil.hpp"
@@ -338,6 +339,174 @@ TEST(PlannerMaximize, RespectsBudgetAndSharesThePool) {
   EXPECT_EQ(m.timings.pool_sampled, 0u);
   EXPECT_EQ(m.timings.pool_reused, 10'000u);
   EXPECT_TRUE(m.timings.vmax_cache_hit);
+}
+
+// ------------------------------------------------- memory governor
+
+/// A connected BA graph plus several valid non-adjacent (s,t) pairs —
+/// the many-pairs serving scenario the memory governor exists for.
+struct GovernorFixture {
+  Graph graph;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+
+  static GovernorFixture make(std::size_t num_pairs) {
+    GovernorFixture fx;
+    Rng rng(404);
+    fx.graph = barabasi_albert(200, 3, rng)
+                   .build(WeightScheme::inverse_degree());
+    for (NodeId u = 0; u < 100 && fx.pairs.size() < num_pairs; ++u) {
+      const NodeId v = 100 + u;
+      if (!fx.graph.has_edge(u, v)) fx.pairs.emplace_back(u, v);
+    }
+    return fx;
+  }
+
+  std::vector<QuerySpec> maximize_queries(std::uint64_t realizations) const {
+    std::vector<QuerySpec> qs;
+    for (const auto& [s, t] : pairs) {
+      qs.push_back({s, t, MaximizeSpec{.budget = 4,
+                                       .realizations = realizations}});
+    }
+    return qs;
+  }
+};
+
+TEST(PlannerGovernor, UnboundedPlannerRetainsEveryPair) {
+  const auto fx = GovernorFixture::make(5);
+  Planner planner(fx.graph, fast_options());
+  for (const QuerySpec& q : fx.maximize_queries(5'000)) planner.plan(q);
+
+  const PlannerCacheStats stats = planner.cache_stats();
+  EXPECT_EQ(stats.entries, 5u);
+  EXPECT_EQ(stats.budget_bytes, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GT(stats.charged_bytes, 0u);
+  EXPECT_GT(stats.index_bytes, 0u);
+  EXPECT_GT(stats.index_slots, 0u);
+}
+
+TEST(PlannerGovernor, BudgetCapsAccountedBytesAcrossMixedBatch) {
+  const auto fx = GovernorFixture::make(6);
+  std::vector<QuerySpec> queries = fx.maximize_queries(5'000);
+  // Mix in minimize queries on the first two pairs (exercises the DKLR
+  // and V_max stages under the same budget).
+  MinimizeSpec min = fast_minimize(0.3);
+  min.max_realizations = 5'000;
+  queries.push_back({fx.pairs[0].first, fx.pairs[0].second, min});
+  queries.push_back({fx.pairs[1].first, fx.pairs[1].second, min});
+
+  // Size the budget from the unbounded footprint so the test tracks the
+  // real cost functional instead of hard-coding byte counts.
+  Planner unbounded(fx.graph, fast_options());
+  unbounded.plan_batch(queries);
+  const std::uint64_t full = unbounded.cache_stats().charged_bytes;
+  ASSERT_GT(full, 0u);
+
+  PlannerOptions opts = fast_options();
+  opts.cache_budget_bytes = full / 2;
+  Planner governed(fx.graph, opts);
+
+  // Sequentially first: the accounted footprint must respect the budget
+  // after EVERY query, not just at the end.
+  for (const QuerySpec& q : queries) {
+    governed.plan(q);
+    EXPECT_LE(governed.cache_stats().charged_bytes,
+              opts.cache_budget_bytes);
+  }
+  const PlannerCacheStats seq = governed.cache_stats();
+  EXPECT_GT(seq.evictions, 0u);
+  EXPECT_LT(seq.entries, fx.pairs.size());
+
+  // And concurrently: plan_batch under the same budget stays capped.
+  Planner batch_governed(fx.graph, opts);
+  const auto results = batch_governed.plan_batch(queries);
+  for (const PlanResult& r : results) {
+    EXPECT_NE(r.status, PlanStatus::kInternalError) << r.message;
+  }
+  const PlannerCacheStats batch = batch_governed.cache_stats();
+  EXPECT_LE(batch.charged_bytes, opts.cache_budget_bytes);
+  EXPECT_GT(batch.evictions, 0u);
+}
+
+TEST(PlannerGovernor, EvictedPairReplansBitIdentically) {
+  const auto fx = GovernorFixture::make(4);
+  MinimizeSpec min = fast_minimize(0.3);
+  min.max_realizations = 5'000;
+  const QuerySpec probe{fx.pairs[0].first, fx.pairs[0].second, min};
+
+  // Reference: what an ungoverned planner answers for the probe pair.
+  Planner unbounded(fx.graph, fast_options());
+  const PlanResult reference = unbounded.plan(probe);
+
+  // Budget = exactly one pair's footprint: planning any other pair must
+  // push the total over budget and evict the (colder) probe pair.
+  const std::uint64_t one_pair = unbounded.cache_stats().charged_bytes;
+  PlannerOptions opts = fast_options();
+  opts.cache_budget_bytes = one_pair;
+  Planner governed(fx.graph, opts);
+
+  const PlanResult before = governed.plan(probe);
+  for (const QuerySpec& q : fx.maximize_queries(5'000)) {
+    if (q.s != probe.s || q.t != probe.t) governed.plan(q);
+  }
+  ASSERT_GT(governed.cache_stats().evictions, 0u);
+
+  const PlanResult after = governed.plan(probe);
+  // The pair was rebuilt, not served from cache…
+  EXPECT_FALSE(after.timings.pmax_cache_hit);
+  EXPECT_FALSE(after.timings.vmax_cache_hit);
+  // …and the counter-derived streams make the rebuild bit-identical to
+  // both the pre-eviction result and the ungoverned planner.
+  ASSERT_EQ(after.status, before.status);
+  EXPECT_EQ(after.invitation.members(), before.invitation.members());
+  EXPECT_EQ(after.invitation.members(), reference.invitation.members());
+  EXPECT_DOUBLE_EQ(after.diag.pmax.estimate, before.diag.pmax.estimate);
+  EXPECT_EQ(after.diag.l_used, before.diag.l_used);
+  EXPECT_EQ(after.diag.type1_count, before.diag.type1_count);
+}
+
+TEST(PlannerGovernor, ClearCachesReleasesAccountedBytes) {
+  const auto fx = GovernorFixture::make(3);
+  Planner planner(fx.graph, fast_options());
+  for (const QuerySpec& q : fx.maximize_queries(5'000)) planner.plan(q);
+  ASSERT_GT(planner.cache_stats().charged_bytes, 0u);
+
+  planner.clear_caches();
+  const PlannerCacheStats stats = planner.cache_stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.charged_bytes, 0u);
+}
+
+// ------------------------------------------------- compact index
+
+TEST(PlannerCompactIndex, ServesQueriesAndShrinksTheIndex) {
+  const auto fx = test::ParallelPathFixture::make(3, 2);
+  PlannerOptions opts = fast_options();
+  opts.compact_index = true;
+  Planner compact(fx.graph, opts);
+  Planner exact(fx.graph, fast_options());
+
+  const PlannerCacheStats cs = compact.cache_stats();
+  const PlannerCacheStats es = exact.cache_stats();
+  EXPECT_EQ(cs.index_slots, es.index_slots);
+  EXPECT_LT(cs.index_bytes, es.index_bytes);
+  EXPECT_LE(cs.index_bytes_per_slot, 12.0);
+
+  // Both index kinds answer the probe correctly (distinct rng streams,
+  // same distribution — analytic diagnostics must agree).
+  const QuerySpec q{fx.s, fx.t, fast_minimize(0.3)};
+  const PlanResult rc = compact.plan(q);
+  const PlanResult re = exact.plan(q);
+  ASSERT_EQ(rc.status, PlanStatus::kOk) << rc.message;
+  ASSERT_EQ(re.status, PlanStatus::kOk) << re.message;
+  EXPECT_EQ(rc.diag.vmax_size, re.diag.vmax_size);
+  EXPECT_NEAR(rc.diag.pmax.estimate, fx.pmax(), 0.2 * fx.pmax());
+
+  // Compact planners are deterministic among themselves.
+  Planner compact2(fx.graph, opts);
+  const PlanResult rc2 = compact2.plan(q);
+  EXPECT_EQ(rc.invitation.members(), rc2.invitation.members());
+  EXPECT_DOUBLE_EQ(rc.diag.pmax.estimate, rc2.diag.pmax.estimate);
 }
 
 TEST(PlannerMaximize, DeterministicAcrossPlanners) {

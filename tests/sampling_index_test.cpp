@@ -19,6 +19,7 @@
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "testutil.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -158,6 +159,54 @@ TEST(SamplingIndex, SlotLayoutIsCsrMirror) {
   EXPECT_GT(index.memory_bytes(), index.num_slots() * sizeof(double));
 }
 
+// ------------------------------------------------- compact float32 index
+
+TEST(CompactSamplingIndex, ChiSquareOnExplicitWeights) {
+  // The float32 quantization gate: the compact index must pass the same
+  // goodness-of-fit harness as the exact-threshold index.
+  Graph::Builder b(3);
+  b.add_edge(0, 2, 0.3, 0.1).add_edge(1, 2, 0.5, 0.1);
+  const Graph g = b.build_with_explicit_weights();
+  const CompactSamplingIndex index(g);
+  expect_exact_distribution(g, index, 404);
+}
+
+TEST(CompactSamplingIndex, ChiSquareOnRandomGraphWithLeftoverMass) {
+  Rng rng(7);
+  const Graph g =
+      gnm_random(24, 60, rng).build(WeightScheme::random_normalized(0.7),
+                                    &rng);
+  const CompactSamplingIndex index(g);
+  expect_exact_distribution(g, index, 505);
+}
+
+TEST(CompactSamplingIndex, IsolatedNodeAlwaysSelectsNobody) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build(WeightScheme::inverse_degree());
+  const CompactSamplingIndex index(g);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(index.sample_selection(2, rng), kNoNode);
+  }
+}
+
+TEST(CompactSamplingIndex, TwelveBytesPerSlotBeatsTheExactIndex) {
+  Rng rng(17);
+  const Graph g =
+      gnm_random(30, 70, rng).build(WeightScheme::inverse_degree());
+  const CompactSamplingIndex compact(g);
+  const SamplingIndex exact(g);
+  EXPECT_EQ(compact.num_slots(), exact.num_slots());
+  EXPECT_EQ(CompactSamplingIndex::bytes_per_slot(), 12u);
+  EXPECT_EQ(SamplingIndex::bytes_per_slot(), 16u);
+  EXPECT_LT(compact.memory_bytes(), exact.memory_bytes());
+  // ROADMAP target: ≤ 12 bytes/slot including the CSR offsets' share.
+  EXPECT_LE(static_cast<double>(compact.memory_bytes()) /
+                static_cast<double>(compact.num_slots()),
+            12.0 + 1.0);
+}
+
 // ------------------------------------------------------------ PathArena
 
 TEST(PathArena, PushAppendAndViews) {
@@ -189,6 +238,75 @@ TEST(PathArena, PushAppendAndViews) {
   b.clear();
   EXPECT_TRUE(b.empty());
   EXPECT_EQ(b.total_nodes(), 0u);
+}
+
+TEST(PathArena, AppendsThroughReallocationKeepContents) {
+  // The span contract regression (no reserve: pushes keep reallocating
+  // the node buffer). Spans are re-read after every mutation — under
+  // ASan, any arena bug that left offsets pointing into a freed buffer
+  // trips here.
+  PathArena a;
+  std::vector<std::vector<NodeId>> expected;
+  Rng rng(5);
+  for (int i = 0; i < 600; ++i) {
+    std::vector<NodeId> p(1 + i % 7);
+    for (NodeId& v : p) v = static_cast<NodeId>(rng.next_u64() & 0xffff);
+    a.push_path(p);
+    expected.push_back(std::move(p));
+  }
+  ASSERT_EQ(a.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(std::vector<NodeId>(a[i].begin(), a[i].end()), expected[i])
+        << "path " << i;
+  }
+}
+
+TEST(PathArena, MovedFromArenaIsEmptyAndReusable) {
+  // Regression: a moved-from arena used to inherit the moved-from
+  // vector's emptiness, so size() underflowed to SIZE_MAX.
+  PathArena a;
+  a.push_path(std::vector<NodeId>{1, 2, 3});
+  PathArena b(std::move(a));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.total_nodes(), 0u);
+  a.push_path(std::vector<NodeId>{4});
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].front(), 4u);
+
+  PathArena c;
+  c.push_path(std::vector<NodeId>{9});
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].size(), 3u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(PathArena, ClearKeepsCapacityReleaseReturnsIt) {
+  PathArena a;
+  for (int i = 0; i < 200; ++i) {
+    a.push_path(std::vector<NodeId>{1, 2, 3, 4});
+  }
+  const std::size_t grown = a.memory_bytes();
+  ASSERT_GT(grown, 200 * 4 * sizeof(NodeId));
+
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.memory_bytes(), grown);  // clear() retains capacity…
+
+  a.release();
+  EXPECT_TRUE(a.empty());
+  EXPECT_LT(a.memory_bytes(), grown);  // …release() gives it back
+  a.push_path(std::vector<NodeId>{7});  // and the arena stays usable
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(PathArena, SelfAppendIsAContractViolation) {
+  PathArena a;
+  a.push_path(std::vector<NodeId>{1, 2});
+  EXPECT_THROW(a.append(a), precondition_error);
 }
 
 // ----------------------------------------------- bulk sampling contract
@@ -299,7 +417,50 @@ TEST(BulkDklr, DeterministicAcrossPoolSizesAndNearAnalytic) {
     EXPECT_EQ(res.samples_used, inline_res.samples_used);
     EXPECT_EQ(res.successes, inline_res.successes);
     EXPECT_DOUBLE_EQ(res.estimate, inline_res.estimate);
+    // The adaptive schedule is a pure function of the indicator stream,
+    // so the work accounting is thread-count-invariant too.
+    EXPECT_EQ(res.samples_drawn, inline_res.samples_drawn);
   }
+}
+
+TEST(BulkDklr, AdaptiveScheduleStopsAtTheSequentialStoppingDraw) {
+  const auto fx = test::ParallelPathFixture::make(2, 2);  // p_max = 0.5
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph);
+  DklrConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.delta = 0.01;
+  Rng rng(31);
+  const DklrResult res = estimate_pmax_dklr(inst, index, rng, cfg);
+  ASSERT_TRUE(res.converged);
+
+  // Replay the indicator stream (same root: the estimator's first and
+  // only draw from its rng) and find where the draw-one-at-a-time
+  // sequential rule stops. The block schedule must land exactly there.
+  const std::uint64_t root = Rng(31).next_u64();
+  std::vector<std::uint8_t> flags(res.samples_used + 4096);
+  sample_type1_flags(inst, index, 0, flags.size(), root, nullptr,
+                     flags.data());
+  std::uint64_t successes = 0;
+  std::uint64_t stop = 0;
+  for (std::uint64_t i = 0; i < flags.size(); ++i) {
+    if (flags[i]) ++successes;
+    if (static_cast<double>(successes) >= res.upsilon) {
+      stop = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(stop, 0u);
+  EXPECT_EQ(res.samples_used, stop);
+  EXPECT_EQ(res.successes, successes);
+  EXPECT_DOUBLE_EQ(res.estimate, res.upsilon / static_cast<double>(stop));
+
+  // Work accounting: every used sample was drawn, and the schedule beats
+  // the old fixed 8192-sample blocks' worst case (round up to a block).
+  EXPECT_GE(res.samples_drawn, res.samples_used);
+  const std::uint64_t fixed_block_drawn =
+      (res.samples_used + 8191) / 8192 * 8192;
+  EXPECT_LE(res.samples_drawn, fixed_block_drawn);
 }
 
 TEST(BulkDklr, CappedRunReportsFrequencyAtExactCap) {
@@ -312,6 +473,8 @@ TEST(BulkDklr, CappedRunReportsFrequencyAtExactCap) {
   const DklrResult res = estimate_pmax_dklr(inst, index, rng, cfg);
   EXPECT_FALSE(res.converged);
   EXPECT_EQ(res.samples_used, 10'000u);
+  // Block sizes are clamped to the cap: a capped run never draws past it.
+  EXPECT_EQ(res.samples_drawn, 10'000u);
 }
 
 // ------------------------------------------ engine-level family drawing
