@@ -25,6 +25,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -34,6 +36,7 @@
 #include "cover/setfamily.hpp"
 #include "diffusion/bulk_sampler.hpp"
 #include "diffusion/dklr.hpp"
+#include "diffusion/index_replicas.hpp"
 #include "diffusion/forward_process.hpp"
 #include "diffusion/montecarlo.hpp"
 #include "diffusion/path_arena.hpp"
@@ -41,6 +44,8 @@
 #include "diffusion/sampling_index.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
+#include "util/cpu.hpp"
+#include "util/numa.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -212,21 +217,260 @@ void BM_Type1Paths_Arena(benchmark::State& state) {
 }
 BENCHMARK(BM_Type1Paths_Arena);
 
+// ------------------------------- backward-walk kernel ns/step ablation
+
+/// Counts selection draws while preserving the inner strategy's batch
+/// kernel — used once per config to pre-measure the deterministic step
+/// count of a stream window, so the timed runs can report real ns/step.
+class CountingSampler final : public SelectionSampler {
+ public:
+  explicit CountingSampler(const SelectionSampler& inner) : inner_(&inner) {}
+
+  NodeId sample_selection(NodeId v, Rng& rng) const override {
+    ++steps_;
+    return inner_->sample_selection(v, rng);
+  }
+  void sample_selection_batch(const NodeId* cur, Rng* rng, NodeId* out,
+                              std::size_t n) const override {
+    steps_ += n;
+    inner_->sample_selection_batch(cur, rng, out, n);
+  }
+  std::uint64_t steps() const { return steps_; }
+
+ private:
+  const SelectionSampler* inner_;
+  mutable std::uint64_t steps_ = 0;
+};
+
+/// The PR-4 walker, reproduced verbatim for the ablation's baseline: one
+/// virtual sample_selection call per lane per step, path-scan cycle
+/// detection on every step (no Bloom gate), no batching, no prefetch —
+/// exactly the loop this PR's tentpole replaced. Kept here (not in the
+/// library) because its only remaining job is to be measured against.
+template <std::size_t kLanes>
+void pr4_run_lanes_flags(const FriendingInstance& inst,
+                         const SelectionSampler& sel, std::uint64_t count,
+                         std::uint64_t root, std::uint8_t* out) {
+  struct Lane {
+    Rng rng{0};
+    std::uint64_t index = 0;
+    NodeId cur = 0;
+    std::vector<NodeId> path;
+    bool active = false;
+  };
+  const NodeId t = inst.target();
+  std::array<Lane, kLanes> lanes;
+  std::uint64_t next = 0;
+  const auto launch = [&](Lane& ln) {
+    if (next >= count) {
+      ln.active = false;
+      return;
+    }
+    ln.index = next++;
+    ln.rng.reseed(stream_sample_seed(root, ln.index));
+    ln.cur = t;
+    ln.path.clear();
+    ln.path.push_back(t);
+    ln.active = true;
+  };
+  for (auto& ln : lanes) launch(ln);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (auto& ln : lanes) {
+      if (!ln.active) continue;
+      any = true;
+      const NodeId nxt = sel.sample_selection(ln.cur, ln.rng);
+      const WalkStep step = classify_walk_step(inst, nxt, ln.path);
+      if (step == WalkStep::kContinue) {
+        ln.path.push_back(nxt);
+        ln.cur = nxt;
+        continue;
+      }
+      out[ln.index] = step == WalkStep::kReachedNs ? 1 : 0;
+      launch(ln);
+    }
+  }
+}
+
+constexpr std::uint64_t kWalkCount = 16'384;
+constexpr std::uint64_t kWalkRoot = 7;
+
+/// Pre-measures the window's deterministic step count (same for every
+/// walker — the streams fix the walks) so walk rows report ns/step.
+std::uint64_t walk_window_steps(const FriendingInstance& inst,
+                                const SelectionSampler& sel,
+                                const BulkWalkConfig& cfg) {
+  const CountingSampler counter(sel);
+  std::vector<std::uint8_t> flags(kWalkCount);
+  sample_type1_flags(inst, counter, 0, kWalkCount, kWalkRoot, nullptr,
+                     flags.data(), cfg);
+  return counter.steps();
+}
+
+/// Shared body: times sample_type1_flags over one stream window (single
+/// thread — the ablation isolates the kernel, not the pool) and reports
+/// steps/s so ns/step is 1e9 / items-per-second.
+void run_walk_bench(benchmark::State& state, const SelectionSampler& sel,
+                    const BulkWalkConfig& cfg) {
+  const auto& fx = YoutubeFixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const std::uint64_t steps = walk_window_steps(inst, sel, cfg);
+  std::vector<std::uint8_t> flags(kWalkCount);
+  for (auto _ : state) {
+    sample_type1_flags(inst, sel, 0, kWalkCount, kWalkRoot, nullptr,
+                       flags.data(), cfg);
+    benchmark::DoNotOptimize(flags.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * steps));
+  state.counters["steps_per_walk"] =
+      static_cast<double>(steps) / static_cast<double>(kWalkCount);
+}
+
+void BM_BulkWalk_Scalar(benchmark::State& state) {
+  // PR-4 walker, one lane: the no-interleaving baseline (4 KiB pages,
+  // virtual per-step dispatch, scan cycle detection).
+  const auto& fx = YoutubeFixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph, SimdLevel::kScalar,
+                            /*huge_pages=*/false);
+  const std::uint64_t steps = walk_window_steps(inst, index, {});
+  std::vector<std::uint8_t> flags(kWalkCount);
+  for (auto _ : state) {
+    pr4_run_lanes_flags<1>(inst, index, kWalkCount, kWalkRoot, flags.data());
+    benchmark::DoNotOptimize(flags.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * steps));
+}
+BENCHMARK(BM_BulkWalk_Scalar);
+
+void BM_BulkWalk_Interleaved(benchmark::State& state) {
+  // The faithful PR-4 configuration the ISSUE-5 acceptance ratio is
+  // measured against: 16 interleaved lanes, one virtual call per lane
+  // per step, malloc-backed tables on 4 KiB pages, full path scan per
+  // step, no prefetch.
+  const auto& fx = YoutubeFixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex index(fx.graph, SimdLevel::kScalar,
+                            /*huge_pages=*/false);
+  const std::uint64_t steps = walk_window_steps(inst, index, {});
+  std::vector<std::uint8_t> flags(kWalkCount);
+  for (auto _ : state) {
+    pr4_run_lanes_flags<16>(inst, index, kWalkCount, kWalkRoot,
+                            flags.data());
+    benchmark::DoNotOptimize(flags.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * steps));
+  state.counters["steps_per_walk"] =
+      static_cast<double>(steps) / static_cast<double>(kWalkCount);
+}
+BENCHMARK(BM_BulkWalk_Interleaved);
+
+void BM_BulkWalk_Simd(benchmark::State& state) {
+  // 16 lanes through the forced-AVX2 batch kernel (resolves to scalar on
+  // builds/CPUs without it — walk_simd_level says which ran), no
+  // prefetch. Ablation row: production uses the calibrated dispatch
+  // (BM_BulkWalk_Production).
+  const SamplingIndex index(YoutubeFixture::get().graph, SimdLevel::kAvx2);
+  run_walk_bench(state, index, {.lanes = 16, .prefetch = false});
+  state.counters["walk_simd_level"] =
+      index.simd_level() == SimdLevel::kAvx2 ? 1.0 : 0.0;
+}
+BENCHMARK(BM_BulkWalk_Simd);
+
+void BM_BulkWalk_SimdPrefetch(benchmark::State& state) {
+  // Forced-AVX2 + exact-slot prefetch one step ahead: the "SIMD +
+  // prefetch" ablation row.
+  const SamplingIndex index(YoutubeFixture::get().graph, SimdLevel::kAvx2);
+  run_walk_bench(state, index, {.lanes = 16, .prefetch = true});
+  state.counters["walk_simd_level"] =
+      index.simd_level() == SimdLevel::kAvx2 ? 1.0 : 0.0;
+}
+BENCHMARK(BM_BulkWalk_SimdPrefetch);
+
+void BM_BulkWalk_Production(benchmark::State& state) {
+  // What the Planner actually runs — kAuto (measured kernel dispatch,
+  // DESIGN.md §9), huge-page tables, Bloom-gated classification,
+  // exact-slot prefetch.
+  const SamplingIndex index(YoutubeFixture::get().graph);
+  run_walk_bench(state, index, {.lanes = 16, .prefetch = true});
+  state.counters["walk_simd_level"] =
+      index.simd_level() == SimdLevel::kAvx2 ? 1.0 : 0.0;
+  state.counters["walk_huge_pages"] = index.on_huge_pages() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_BulkWalk_Production);
+
+void BM_BulkWalk_SpeedupVsPr4(benchmark::State& state) {
+  // The ISSUE-5 acceptance ratio, measured fairly: on a noisy host,
+  // benchmarks that run back-to-back land in different frequency /
+  // steal phases, so a ratio of two separate rows is unreliable. This
+  // row ALTERNATES the faithful PR-4 walker and the production path
+  // within every iteration and reports best-of over the whole run —
+  // phase noise hits both sides equally and cancels out of
+  // walk_speedup_vs_pr4.
+  const auto& fx = YoutubeFixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex pr4_index(fx.graph, SimdLevel::kScalar,
+                                /*huge_pages=*/false);
+  const SamplingIndex prod_index(fx.graph);
+  const std::uint64_t steps = walk_window_steps(inst, prod_index, {});
+  std::vector<std::uint8_t> flags(kWalkCount);
+  double best_pr4 = 1e30;
+  double best_prod = 1e30;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    pr4_run_lanes_flags<16>(inst, pr4_index, kWalkCount, kWalkRoot,
+                            flags.data());
+    auto t1 = std::chrono::steady_clock::now();
+    sample_type1_flags(inst, prod_index, 0, kWalkCount, kWalkRoot, nullptr,
+                       flags.data(), {.lanes = 16, .prefetch = true});
+    auto t2 = std::chrono::steady_clock::now();
+    best_pr4 =
+        std::min(best_pr4, std::chrono::duration<double>(t1 - t0).count());
+    best_prod =
+        std::min(best_prod, std::chrono::duration<double>(t2 - t1).count());
+    benchmark::DoNotOptimize(flags.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * 2 * steps));
+  state.counters["pr4_ns_per_step"] =
+      best_pr4 * 1e9 / static_cast<double>(steps);
+  state.counters["production_ns_per_step"] =
+      best_prod * 1e9 / static_cast<double>(steps);
+  state.counters["walk_speedup_vs_pr4"] = best_pr4 / best_prod;
+}
+BENCHMARK(BM_BulkWalk_SpeedupVsPr4)->MinTime(2.0);
+
 // ------------------------------------------- threaded bulk fan-out
 
 void BM_BulkType1Sample(benchmark::State& state) {
   const auto& fx = YoutubeFixture::get();
   const FriendingInstance inst(fx.graph, fx.s, fx.t);
-  const SamplingIndex index(fx.graph);
-  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  // The production sharding path: node-replicated index (one replica
+  // per NUMA node; exactly one on single-node hosts) resolved per shard,
+  // workers pinned round-robin when replicated.
+  const IndexReplicas replicas(
+      [&]() -> std::unique_ptr<const SelectionSampler> {
+        return std::make_unique<const SamplingIndex>(fx.graph);
+      });
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)),
+                  ThreadPoolOptions{.pin_numa = replicas.count() > 1});
   constexpr std::uint64_t kCount = 16'384;
   for (auto _ : state) {
     const BulkType1Paths bulk =
-        sample_type1_bulk(inst, index, 0, kCount, 7, &pool);
+        sample_type1_bulk(inst, replicas, 0, kCount, 7, &pool);
     benchmark::DoNotOptimize(bulk.positions.size());
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * kCount));
+  // Per-shard placement telemetry (DESIGN.md §9): how many physical
+  // index copies exist and how many nodes shards can land on.
+  state.counters["index_replicas"] = static_cast<double>(replicas.count());
+  state.counters["numa_nodes"] =
+      static_cast<double>(numa_topology().num_nodes());
 }
 BENCHMARK(BM_BulkType1Sample)->Arg(1)->Arg(2)->Arg(4);
 

@@ -91,17 +91,32 @@ Planner::Planner(const Graph& graph, PlannerOptions options)
     : graph_(&graph),
       options_(options),
       cache_(options.cache_budget_bytes) {
-  const auto adopt_index = [this](auto index) {
-    index_bytes_ = index->memory_bytes();
-    index_slots_ = index->num_slots();
-    index_bytes_per_slot_ =
-        std::remove_reference_t<decltype(*index)>::bytes_per_slot();
-    index_ = std::move(index);
+  // One index build per replicated NUMA node, each first-touched on a
+  // pinned builder thread (diffusion/index_replicas). The factory runs
+  // concurrently across nodes; it only reads the const graph.
+  const IndexReplicas::Factory factory =
+      [this]() -> std::unique_ptr<const SelectionSampler> {
+    if (options_.compact_index) {
+      return std::make_unique<const CompactSamplingIndex>(*graph_,
+                                                          options_.simd);
+    }
+    return std::make_unique<const SamplingIndex>(*graph_, options_.simd);
   };
-  if (options_.compact_index) {
-    adopt_index(std::make_unique<const CompactSamplingIndex>(graph));
+  if (options_.numa_replicate) {
+    replicas_ = std::make_unique<const IndexReplicas>(factory);
   } else {
-    adopt_index(std::make_unique<const SamplingIndex>(graph));
+    replicas_ = std::make_unique<const IndexReplicas>(factory());
+  }
+  const SelectionSampler& primary = replicas_->primary();
+  index_bytes_ = primary.memory_bytes();
+  index_slots_ = primary.num_slots();
+  if (options_.compact_index) {
+    index_bytes_per_slot_ = CompactSamplingIndex::bytes_per_slot();
+    index_simd_ =
+        static_cast<const CompactSamplingIndex&>(primary).simd_level();
+  } else {
+    index_bytes_per_slot_ = SamplingIndex::bytes_per_slot();
+    index_simd_ = static_cast<const SamplingIndex&>(primary).simd_level();
   }
 }
 
@@ -176,6 +191,8 @@ PlannerCacheStats Planner::cache_stats() const {
   out.index_bytes = index_bytes_;
   out.index_slots = index_slots_;
   out.index_bytes_per_slot = index_bytes_per_slot_;
+  out.index_replicas = replicas_->count();
+  out.index_simd = index_simd_;
   return out;
 }
 
@@ -327,7 +344,11 @@ std::optional<PlanResult> Planner::ensure_vmax(PairCache& cache,
 ThreadPool* Planner::sample_pool() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!sample_pool_) {
-    sample_pool_ = std::make_unique<ThreadPool>(options_.threads);
+    // With replicated indexes, pin sampling workers round-robin across
+    // nodes so every shard's local() resolution stays local for the
+    // shard's whole run (DESIGN.md §9).
+    sample_pool_ = std::make_unique<ThreadPool>(
+        options_.threads, ThreadPoolOptions{.pin_numa = replicas_->count() > 1});
   }
   return sample_pool_.get();
 }
@@ -343,7 +364,7 @@ void Planner::ensure_pmax(PairCache& cache, PlanResult& out) {
     cfg.max_samples = options_.pmax_max_samples;
     Rng rng(derive_pmax_seed(options_.base_seed, cache.inst.initiator(),
                              cache.inst.target()));
-    cache.pmax = estimate_pmax_dklr(cache.inst, *index_, rng, cfg,
+    cache.pmax = estimate_pmax_dklr(cache.inst, *replicas_, rng, cfg,
                                     sample_pool());
     out.timings.pmax_seconds = timer.elapsed_seconds();
   }
@@ -355,7 +376,7 @@ SetFamily Planner::pooled_family(PairCache& cache, std::uint64_t l,
   if (cache.pool_drawn < l) {
     WallTimer timer;
     const BulkType1Paths grown =
-        sample_type1_bulk(cache.inst, *index_, cache.pool_drawn,
+        sample_type1_bulk(cache.inst, *replicas_, cache.pool_drawn,
                           l - cache.pool_drawn, cache.stream_root,
                           sample_pool());
     cache.type1_paths.append(grown.paths);

@@ -67,6 +67,7 @@
 
 #include "core/maximizer.hpp"
 #include "core/raf.hpp"
+#include "diffusion/index_replicas.hpp"
 #include "diffusion/invitation.hpp"
 #include "diffusion/sampling_index.hpp"
 #include "graph/graph.hpp"
@@ -188,6 +189,18 @@ struct PlannerOptions {
   /// rng words differently, so results are deterministic per option set,
   /// not across it.
   bool compact_index = false;
+  /// Batched-selection kernel level for the index (DESIGN.md §9).
+  /// kAuto resolves once at construction to the best level the build,
+  /// the CPU and the AF_SIMD env var allow; every level is bit-identical,
+  /// so this knob trades only throughput.
+  SimdLevel simd = SimdLevel::kAuto;
+  /// Replicate the selection index once per NUMA node (first-touch on a
+  /// pinned builder thread) and pin sampling workers across nodes so
+  /// every shard walks node-local tables. A no-op — exactly one replica,
+  /// no pinning — on single-node hosts, when topology discovery fails,
+  /// or under AF_NUMA=off; bit-identical everywhere (the counter-stream
+  /// contract makes placement invisible to results).
+  bool numa_replicate = true;
 };
 
 /// Telemetry snapshot of the planner's memory governor (DESIGN.md §8).
@@ -208,6 +221,12 @@ struct PlannerCacheStats {
   /// CSR offsets are counted in index_bytes, not here) — the figure the
   /// perf trajectory records against the ROADMAP ≤ 12 target.
   double index_bytes_per_slot = 0.0;
+  /// Physical copies of the index (= replicated NUMA nodes; 1 on
+  /// single-node hosts or with numa_replicate off). index_bytes counts
+  /// ONE copy; total resident index memory is index_bytes × replicas.
+  std::size_t index_replicas = 0;
+  /// The batched-kernel level the index dispatches to (DESIGN.md §9).
+  SimdLevel index_simd = SimdLevel::kScalar;
 };
 
 /// The facade. Thread-safe: plan() may be called concurrently (that is
@@ -304,13 +323,18 @@ class Planner {
   const Graph* graph_;
   PlannerOptions options_;
   /// Per-node alias tables (DESIGN.md §7) — SamplingIndex or, with
-  /// options_.compact_index, CompactSamplingIndex. Depends only on the
-  /// graph's in-weights, so one index serves every pair cache and worker
-  /// thread; immutable after construction, shared without locks.
-  std::unique_ptr<const SelectionSampler> index_;
+  /// options_.compact_index, CompactSamplingIndex — replicated once per
+  /// NUMA node when options_.numa_replicate finds more than one
+  /// (DESIGN.md §9). The tables depend only on the graph's in-weights,
+  /// so any replica serves every pair cache and worker thread;
+  /// immutable after construction, shared without locks. Bulk sampling
+  /// resolves a node-local replica per shard; sequential paths read
+  /// replicas_->primary().
+  std::unique_ptr<const IndexReplicas> replicas_;
   std::uint64_t index_bytes_ = 0;
   std::uint64_t index_slots_ = 0;
   double index_bytes_per_slot_ = 0.0;
+  SimdLevel index_simd_ = SimdLevel::kScalar;
   mutable std::mutex mu_;  // guards cache_ and the lazy pools' creation
   /// Size-aware LRU over the pair caches (DESIGN.md §8). Values are
   /// shared_ptrs: eviction unlinks an entry, but in-flight queries keep

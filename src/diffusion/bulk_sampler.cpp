@@ -5,6 +5,8 @@
 #include <future>
 #include <numeric>
 
+#include "diffusion/index_replicas.hpp"
+
 namespace af {
 
 namespace {
@@ -13,67 +15,138 @@ namespace {
 /// run inline.
 constexpr std::uint64_t kMinParallelSamples = 4096;
 
-/// Interleaved walks per shard. The walk is a serial pointer-chase
-/// (offsets → alias slot → N_s mask per step); running independent walks
-/// in lockstep overlaps their cache misses (memory-level parallelism), so
-/// even one thread sustains several in-flight loads. 16 lanes ≈ the
-/// per-core miss parallelism of current hardware.
-constexpr std::size_t kLanes = 16;
+/// Where a shard's selection strategy comes from: a fixed sampler, or a
+/// node-replicated set resolved on the worker thread the shard lands on
+/// (so each shard walks its node-local tables). Either way the tables
+/// are identical, so resolution cannot change a bit.
+struct SamplerSource {
+  const SelectionSampler* fixed = nullptr;
+  const IndexReplicas* replicas = nullptr;
 
-/// One in-flight walk of the interleaved loop.
-struct Lane {
-  Rng rng{0};
-  std::uint64_t index = 0;
-  NodeId cur = 0;
-  std::vector<NodeId> path;
-  bool active = false;
+  const SelectionSampler& resolve() const {
+    return fixed != nullptr ? *fixed : replicas->local();
+  }
 };
 
-/// Runs samples [first, first+count) through kLanes interleaved walks,
-/// invoking finish(index, type1, path) as each walk completes. A sample's
-/// outcome depends only on its counter-derived stream (never on lane
-/// scheduling), so interleaving — like sharding — cannot change any
-/// result; only the completion ORDER varies, and callers needing stream
-/// order sort by index. The per-step case analysis is the shared
+/// Runs samples [first, first+count) through cfg.lanes interleaved
+/// walks, invoking finish(index, type1, path) as each walk completes.
+///
+/// The per-step work across all live lanes is ONE
+/// sample_selection_batch call over SoA lane state (cur[]/rng[]/nxt[]),
+/// so the alias indexes amortize dispatch and run their SIMD kernels;
+/// each continuing lane then prefetches its *next* slot line before the
+/// sweep moves on — by the time the next batch call reads it, the line
+/// has had the rest of the sweep to arrive.
+///
+/// A sample's outcome depends only on its counter-derived stream (never
+/// on lane scheduling), so lane width — like sharding — cannot change
+/// any result; only the completion ORDER varies, and callers needing
+/// stream order sort by index. The per-step case analysis is the shared
 /// classify_walk_step, so this stays equivalent to
-/// ReversePathSampler::sample_into by construction.
+/// ReversePathSampler::sample_into by construction. Exhausted lanes are
+/// swap-compacted to the tail so the batch call always sees a dense
+/// prefix of live lanes.
+/// One bit of a lane's 64-bit visited-set Bloom filter. Top 6 bits of a
+/// golden-ratio multiply — a pure function of the node id, so the filter
+/// is deterministic and shared by nothing.
+inline std::uint64_t bloom_bit(NodeId v) {
+  return std::uint64_t{1}
+         << ((v * 0x9e3779b97f4a7c15ULL) >> 58);
+}
+
 template <typename FinishFn>
 void run_lanes(const FriendingInstance& inst, const SelectionSampler& sel,
                std::uint64_t first, std::uint64_t count, std::uint64_t root,
-               FinishFn&& finish) {
+               const BulkWalkConfig& cfg, FinishFn&& finish) {
   const NodeId t = inst.target();
-  std::array<Lane, kLanes> lanes;
-  std::uint64_t next = first;
-  const std::uint64_t end = first + count;
-  const auto launch = [&](Lane& ln) {
-    if (next >= end) {
-      ln.active = false;
-      return;
-    }
-    ln.index = next++;
-    ln.rng.reseed(stream_sample_seed(root, ln.index));
-    ln.cur = t;
-    ln.path.clear();
-    ln.path.push_back(t);
-    ln.active = true;
-  };
-  for (auto& ln : lanes) launch(ln);
+  const std::size_t lanes =
+      std::clamp<std::size_t>(cfg.lanes, 1, BulkWalkConfig::kMaxLanes);
 
-  bool any = true;
-  while (any) {
-    any = false;
-    for (auto& ln : lanes) {
-      if (!ln.active) continue;
-      any = true;
-      const NodeId nxt = sel.sample_selection(ln.cur, ln.rng);
-      const WalkStep step = classify_walk_step(inst, nxt, ln.path);
+  std::array<NodeId, BulkWalkConfig::kMaxLanes> cur;
+  std::array<NodeId, BulkWalkConfig::kMaxLanes> nxt;
+  std::array<Rng, BulkWalkConfig::kMaxLanes> rng;
+  std::array<std::uint64_t, BulkWalkConfig::kMaxLanes> index;
+  std::array<std::vector<NodeId>, BulkWalkConfig::kMaxLanes> path;
+  // Per-lane Bloom filter over the walk's visited set: the revisit scan
+  // (Alg. 1's cycle check) only runs when the drawn node's bit is
+  // already set. Walks average ~11 nodes, so the 64-bit filter stays
+  // sparse and the scan — a data-dependent loop whose mispredicts
+  // dominated classification — is skipped for most steps. A false
+  // positive just runs the scan; outcomes are bit-identical.
+  std::array<std::uint64_t, BulkWalkConfig::kMaxLanes> bloom;
+
+  // Shared high-water walk depth: every (re)launch reserves the longest
+  // path seen by ANY lane of this shard, so lanes stop re-growing their
+  // vectors from zero capacity after the first deep walk.
+  std::size_t high_water = 0;
+
+  std::uint64_t next_sample = first;
+  const std::uint64_t end = first + count;
+  std::size_t live = 0;
+
+  const auto launch = [&](std::size_t slot) {
+    if (next_sample >= end) return false;
+    index[slot] = next_sample++;
+    rng[slot].reseed(stream_sample_seed(root, index[slot]));
+    cur[slot] = t;
+    path[slot].clear();
+    path[slot].reserve(high_water);
+    path[slot].push_back(t);
+    bloom[slot] = bloom_bit(t);
+    return true;
+  };
+  while (live < lanes && launch(live)) ++live;
+
+  while (live > 0) {
+    // The fused entry point prefetches each lane's next slot line right
+    // after its draw (one virtual call per sweep covers both); the
+    // non-prefetch path is kept for the bench ablation.
+    if (cfg.prefetch) {
+      sel.sample_selection_batch_prefetch(cur.data(), rng.data(),
+                                          nxt.data(), live);
+    } else {
+      sel.sample_selection_batch(cur.data(), rng.data(), nxt.data(), live);
+    }
+    for (std::size_t i = 0; i < live;) {
+      // Alg. 1's case analysis (classify_walk_step semantics) with the
+      // Bloom filter gating the revisit scan.
+      const NodeId nx = nxt[i];
+      WalkStep step;
+      std::uint64_t bit = 0;
+      if (nx == kNoNode) {
+        step = WalkStep::kDied;
+      } else if (inst.is_initial_friend(nx)) {
+        step = WalkStep::kReachedNs;
+      } else if (bit = bloom_bit(nx); (bloom[i] & bit) == 0) {
+        step = WalkStep::kContinue;  // definitely unvisited: no scan
+      } else {
+        step = classify_walk_step(inst, nx, path[i]);
+      }
       if (step == WalkStep::kContinue) {
-        ln.path.push_back(nxt);
-        ln.cur = nxt;
+        path[i].push_back(nx);
+        bloom[i] |= bit;
+        cur[i] = nx;
+        ++i;
         continue;
       }
-      finish(ln.index, step == WalkStep::kReachedNs, ln.path);
-      launch(ln);
+      high_water = std::max(high_water, path[i].size());
+      finish(index[i], step == WalkStep::kReachedNs, path[i]);
+      if (launch(i)) {
+        ++i;
+      } else {
+        // Stream exhausted: swap-compact lane `live-1` into slot i. Its
+        // nxt[] was computed this sweep but not yet classified, so the
+        // slot is reprocessed (no ++i).
+        --live;
+        if (i != live) {
+          std::swap(cur[i], cur[live]);
+          std::swap(nxt[i], nxt[live]);
+          std::swap(rng[i], rng[live]);
+          std::swap(index[i], index[live]);
+          std::swap(bloom[i], bloom[live]);
+          path[i].swap(path[live]);
+        }
+      }
     }
   }
 }
@@ -82,11 +155,12 @@ void run_lanes(const FriendingInstance& inst, const SelectionSampler& sel,
 /// stream order.
 BulkType1Paths sample_shard(const FriendingInstance& inst,
                             const SelectionSampler& sel, std::uint64_t first,
-                            std::uint64_t count, std::uint64_t root) {
+                            std::uint64_t count, std::uint64_t root,
+                            const BulkWalkConfig& cfg) {
   // Capture in completion order, then restore stream order.
   PathArena unordered;
   std::vector<std::uint64_t> pos;
-  run_lanes(inst, sel, first, count, root,
+  run_lanes(inst, sel, first, count, root, cfg,
             [&](std::uint64_t idx, bool type1,
                 const std::vector<NodeId>& path) {
               if (!type1) return;
@@ -132,19 +206,19 @@ auto run_sharded(std::uint64_t first, std::uint64_t count, ThreadPool* pool,
   return results;
 }
 
-}  // namespace
-
-BulkType1Paths sample_type1_bulk(const FriendingInstance& inst,
-                                 const SelectionSampler& sel,
-                                 std::uint64_t first, std::uint64_t count,
-                                 std::uint64_t root, ThreadPool* pool) {
+BulkType1Paths bulk_impl(const FriendingInstance& inst,
+                         const SamplerSource& source, std::uint64_t first,
+                         std::uint64_t count, std::uint64_t root,
+                         ThreadPool* pool, const BulkWalkConfig& cfg) {
   if (count == 0) return {};
   if (pool == nullptr || pool->size() <= 1 || count < kMinParallelSamples) {
-    return sample_shard(inst, sel, first, count, root);
+    return sample_shard(inst, source.resolve(), first, count, root, cfg);
   }
   auto shards = run_sharded(
       first, count, pool, [&](std::uint64_t lo, std::uint64_t cnt) {
-        return sample_shard(inst, sel, lo, cnt, root);
+        // Resolved here, on the worker thread: replicated indexes hand
+        // each shard its node-local copy.
+        return sample_shard(inst, source.resolve(), lo, cnt, root, cfg);
       });
   BulkType1Paths out;
   std::size_t paths = 0, nodes = 0;
@@ -162,15 +236,15 @@ BulkType1Paths sample_type1_bulk(const FriendingInstance& inst,
   return out;
 }
 
-void sample_type1_flags(const FriendingInstance& inst,
-                        const SelectionSampler& sel, std::uint64_t first,
-                        std::uint64_t count, std::uint64_t root,
-                        ThreadPool* pool, std::uint8_t* out) {
+void flags_impl(const FriendingInstance& inst, const SamplerSource& source,
+                std::uint64_t first, std::uint64_t count, std::uint64_t root,
+                ThreadPool* pool, std::uint8_t* out,
+                const BulkWalkConfig& cfg) {
   if (count == 0) return;
   const auto fill = [&](std::uint64_t lo, std::uint64_t cnt) {
     // Shard windows are disjoint, so concurrent writes never overlap;
     // each flag's slot is fixed, so completion order is irrelevant.
-    run_lanes(inst, sel, lo, cnt, root,
+    run_lanes(inst, source.resolve(), lo, cnt, root, cfg,
               [&](std::uint64_t idx, bool type1, const std::vector<NodeId>&) {
                 out[idx - first] = type1 ? 1 : 0;
               });
@@ -181,6 +255,42 @@ void sample_type1_flags(const FriendingInstance& inst,
     return;
   }
   run_sharded(first, count, pool, fill);
+}
+
+}  // namespace
+
+BulkType1Paths sample_type1_bulk(const FriendingInstance& inst,
+                                 const SelectionSampler& sel,
+                                 std::uint64_t first, std::uint64_t count,
+                                 std::uint64_t root, ThreadPool* pool,
+                                 const BulkWalkConfig& cfg) {
+  return bulk_impl(inst, {.fixed = &sel}, first, count, root, pool, cfg);
+}
+
+BulkType1Paths sample_type1_bulk(const FriendingInstance& inst,
+                                 const IndexReplicas& replicas,
+                                 std::uint64_t first, std::uint64_t count,
+                                 std::uint64_t root, ThreadPool* pool,
+                                 const BulkWalkConfig& cfg) {
+  return bulk_impl(inst, {.replicas = &replicas}, first, count, root, pool,
+                   cfg);
+}
+
+void sample_type1_flags(const FriendingInstance& inst,
+                        const SelectionSampler& sel, std::uint64_t first,
+                        std::uint64_t count, std::uint64_t root,
+                        ThreadPool* pool, std::uint8_t* out,
+                        const BulkWalkConfig& cfg) {
+  flags_impl(inst, {.fixed = &sel}, first, count, root, pool, out, cfg);
+}
+
+void sample_type1_flags(const FriendingInstance& inst,
+                        const IndexReplicas& replicas, std::uint64_t first,
+                        std::uint64_t count, std::uint64_t root,
+                        ThreadPool* pool, std::uint8_t* out,
+                        const BulkWalkConfig& cfg) {
+  flags_impl(inst, {.replicas = &replicas}, first, count, root, pool, out,
+             cfg);
 }
 
 }  // namespace af

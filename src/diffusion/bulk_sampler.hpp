@@ -10,6 +10,18 @@
 // realization pool grow monotonically ([0,k) then [k,l)) while matching a
 // one-shot [0,l) draw exactly.
 //
+// Inside a shard, walks run in interleaved lanes whose per-step
+// selections are drawn through ONE SelectionSampler::sample_selection_batch
+// call (the alias indexes dispatch it to an AVX2 or scalar kernel chosen
+// at construction, DESIGN.md §9), with each continuing lane's next slot
+// line software-prefetched one step ahead. Lane width, prefetching and
+// kernel choice change throughput only — never a single output bit.
+//
+// The replica overloads resolve a node-local index copy per shard
+// (diffusion/index_replicas) so multi-socket hosts avoid remote-memory
+// walk steps; the counter-stream contract makes any placement
+// bit-identical.
+//
 // Consumers: Algorithm 3's type-1 family (core/raf), the DKLR p*max loop
 // (diffusion/dklr), and the Planner's shared realization pool.
 #pragma once
@@ -23,6 +35,23 @@
 #include "util/thread_pool.hpp"
 
 namespace af {
+
+class IndexReplicas;
+
+/// Walker knobs — every setting yields bit-identical results (per-sample
+/// counter streams); these trade only speed, and exist as parameters so
+/// the equivalence tests and the bench ablation can sweep them.
+struct BulkWalkConfig {
+  /// Hard lane ceiling (sizes the walker's stack-resident SoA state).
+  static constexpr std::size_t kMaxLanes = 16;
+  /// Interleaved walks per shard, clamped to [1, kMaxLanes]. 16 ≈ the
+  /// per-core miss parallelism of current hardware; 1 degenerates to
+  /// one-walk-at-a-time (the ns/step ablation's scalar baseline).
+  std::size_t lanes = kMaxLanes;
+  /// Software-prefetch each continuing lane's next alias-slot line one
+  /// step ahead (SelectionSampler::prefetch_selection).
+  bool prefetch = true;
+};
 
 /// Type-1 backward paths kept from a contiguous window of sample streams.
 struct BulkType1Paths {
@@ -39,7 +68,17 @@ struct BulkType1Paths {
 BulkType1Paths sample_type1_bulk(const FriendingInstance& inst,
                                  const SelectionSampler& sel,
                                  std::uint64_t first, std::uint64_t count,
-                                 std::uint64_t root, ThreadPool* pool);
+                                 std::uint64_t root, ThreadPool* pool,
+                                 const BulkWalkConfig& cfg = {});
+
+/// NUMA-aware form: each shard draws through the replica local to the
+/// worker it lands on. Bit-identical to the single-sampler form built
+/// from the same tables.
+BulkType1Paths sample_type1_bulk(const FriendingInstance& inst,
+                                 const IndexReplicas& replicas,
+                                 std::uint64_t first, std::uint64_t count,
+                                 std::uint64_t root, ThreadPool* pool,
+                                 const BulkWalkConfig& cfg = {});
 
 /// Same stream windows, but records only the type-1 indicator:
 /// out[i] = 1 iff sample (first + i) is type-1. `out` must hold `count`
@@ -47,6 +86,14 @@ BulkType1Paths sample_type1_bulk(const FriendingInstance& inst,
 void sample_type1_flags(const FriendingInstance& inst,
                         const SelectionSampler& sel, std::uint64_t first,
                         std::uint64_t count, std::uint64_t root,
-                        ThreadPool* pool, std::uint8_t* out);
+                        ThreadPool* pool, std::uint8_t* out,
+                        const BulkWalkConfig& cfg = {});
+
+/// NUMA-aware indicator form (see sample_type1_bulk).
+void sample_type1_flags(const FriendingInstance& inst,
+                        const IndexReplicas& replicas, std::uint64_t first,
+                        std::uint64_t count, std::uint64_t root,
+                        ThreadPool* pool, std::uint8_t* out,
+                        const BulkWalkConfig& cfg = {});
 
 }  // namespace af

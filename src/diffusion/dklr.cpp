@@ -79,21 +79,18 @@ std::uint64_t next_block_size(std::uint64_t prev_block, double upsilon,
   return std::max(block, kDklrMinBlock);
 }
 
-}  // namespace
-
-DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
-                              const SelectionSampler& sel, Rng& rng,
-                              const DklrConfig& cfg, ThreadPool* pool) {
+/// The shared block loop, generic over how a flags window is filled
+/// (fixed sampler vs node-local replicas): generate type-1 indicators in
+/// blocks of counter-seeded samples and scan each block sequentially for
+/// the stopping condition. The scan stops at exactly the draw the
+/// sequential rule would have stopped at; indicators past it are
+/// discarded, so blocking (and any sharding inside sample_type1_flags)
+/// never shows in samples_used, successes or the estimate — only
+/// samples_drawn records the scheduling overshoot.
+template <typename FillFlags>
+DklrResult dklr_block_loop(const DklrConfig& cfg, FillFlags&& fill_flags) {
   DklrResult out;
   out.upsilon = dklr_upsilon(cfg.epsilon, cfg.delta);
-  const std::uint64_t root = rng.next_u64();
-
-  // Generate type-1 indicators in blocks of counter-seeded samples and
-  // scan each block sequentially for the stopping condition. The scan
-  // stops at exactly the draw the sequential rule would have stopped at;
-  // indicators past it are discarded, so blocking (and any sharding
-  // inside sample_type1_flags) never shows in samples_used, successes or
-  // the estimate — only samples_drawn records the scheduling overshoot.
   std::uint64_t block = kDklrFirstBlock;
   std::vector<std::uint8_t> flags;
   while (static_cast<double>(out.successes) < out.upsilon) {
@@ -111,8 +108,7 @@ DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
       block = std::min(block, cfg.max_samples - out.samples_used);
     }
     flags.resize(block);
-    sample_type1_flags(inst, sel, out.samples_used, block, root, pool,
-                       flags.data());
+    fill_flags(out.samples_used, block, flags.data());
     out.samples_drawn += block;
     for (std::uint64_t i = 0; i < block; ++i) {
       ++out.samples_used;
@@ -125,6 +121,28 @@ DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
   out.estimate = out.upsilon / static_cast<double>(out.samples_used);
   out.converged = true;
   return out;
+}
+
+}  // namespace
+
+DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
+                              const SelectionSampler& sel, Rng& rng,
+                              const DklrConfig& cfg, ThreadPool* pool) {
+  const std::uint64_t root = rng.next_u64();
+  return dklr_block_loop(
+      cfg, [&](std::uint64_t first, std::uint64_t count, std::uint8_t* out) {
+        sample_type1_flags(inst, sel, first, count, root, pool, out);
+      });
+}
+
+DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
+                              const IndexReplicas& replicas, Rng& rng,
+                              const DklrConfig& cfg, ThreadPool* pool) {
+  const std::uint64_t root = rng.next_u64();
+  return dklr_block_loop(
+      cfg, [&](std::uint64_t first, std::uint64_t count, std::uint8_t* out) {
+        sample_type1_flags(inst, replicas, first, count, root, pool, out);
+      });
 }
 
 DklrResult estimate_pmax_dklr(const FriendingInstance& inst, Rng& rng,

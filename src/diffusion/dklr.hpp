@@ -23,6 +23,8 @@
 
 namespace af {
 
+class IndexReplicas;
+
 /// Configuration of the stopping rule.
 struct DklrConfig {
   /// Relative error ε ∈ (0, 1].
@@ -77,6 +79,14 @@ DklrResult dklr_estimate(const std::function<bool(Rng&)>& draw, Rng& rng,
 /// sequential rule exactly, for every schedule and thread count.
 DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
                               const SelectionSampler& sel, Rng& rng,
+                              const DklrConfig& cfg,
+                              ThreadPool* pool = nullptr);
+
+/// NUMA-aware overload: each block's shards draw through the index
+/// replica local to the worker they land on (diffusion/index_replicas).
+/// Bit-identical to the single-sampler overload on the same tables.
+DklrResult estimate_pmax_dklr(const FriendingInstance& inst,
+                              const IndexReplicas& replicas, Rng& rng,
                               const DklrConfig& cfg,
                               ThreadPool* pool = nullptr);
 

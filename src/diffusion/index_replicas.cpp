@@ -1,0 +1,51 @@
+#include "diffusion/index_replicas.hpp"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+IndexReplicas::IndexReplicas(const Factory& factory,
+                             const NumaTopology& topo) {
+  const int nodes = topo.num_nodes() > 0 ? topo.num_nodes() : 1;
+  replicas_.resize(static_cast<std::size_t>(nodes));
+  if (nodes == 1) {
+    replicas_[0] = factory();
+    AF_EXPECTS(replicas_[0] != nullptr, "replica factory returned null");
+    return;
+  }
+  // One builder thread per node, pinned before construction so every
+  // page the build first-touches is node-local. Pinning is best-effort:
+  // an unpinnable builder still produces a correct (just possibly
+  // remote) replica. Builder exceptions are carried back and rethrown.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nodes));
+  std::vector<std::thread> builders;
+  builders.reserve(static_cast<std::size_t>(nodes));
+  for (int node = 0; node < nodes; ++node) {
+    builders.emplace_back([&, node] {
+      try {
+        pin_thread_to_node(node);
+        replicas_[static_cast<std::size_t>(node)] = factory();
+      } catch (...) {
+        errors[static_cast<std::size_t>(node)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& builder : builders) builder.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  for (const auto& replica : replicas_) {
+    AF_EXPECTS(replica != nullptr, "replica factory returned null");
+  }
+}
+
+IndexReplicas::IndexReplicas(std::unique_ptr<const SelectionSampler> single) {
+  AF_EXPECTS(single != nullptr, "IndexReplicas needs a sampler");
+  replicas_.push_back(std::move(single));
+}
+
+}  // namespace af

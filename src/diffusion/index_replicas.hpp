@@ -1,0 +1,68 @@
+// Node-replicated selection samplers for NUMA-aware bulk sampling.
+//
+// A SamplingIndex is one big allocation; on a multi-socket host every
+// shard on the remote socket pays cross-node latency per walk step. The
+// counter-stream contract (DESIGN.md §7) makes the fix trivial to reason
+// about: a sample's outcome depends only on (instance, strategy, root,
+// index), so *which physical copy* of the same tables serves a shard can
+// never change a bit — replication is purely a latency trade.
+//
+// IndexReplicas builds one copy of the index per NUMA node, each
+// constructed on a thread pinned to that node so first-touch places its
+// pages in node-local memory, and local() hands any caller the replica
+// of the node it is currently running on (util/numa's sysfs topology;
+// ThreadPoolOptions::pin_numa keeps pool workers put). On single-node
+// hosts — or when sysfs/libnuma-style topology is unavailable, pinning
+// fails, or AF_NUMA=off — this degrades to exactly one replica resolved
+// without any syscall: the graceful fallback the portable build relies
+// on.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "diffusion/realization.hpp"
+#include "util/numa.hpp"
+
+namespace af {
+
+/// One selection-sampler replica per NUMA node.
+class IndexReplicas {
+ public:
+  /// Builds one sampler per (replicated) node.
+  using Factory = std::function<std::unique_ptr<const SelectionSampler>()>;
+
+  /// Calls `factory` once per node of `topo`, each call on a thread
+  /// pinned to that node (first-touch replication); a single-node
+  /// topology builds inline on the calling thread. `factory` must be
+  /// safe to run concurrently (index construction only reads the const
+  /// Graph). Exceptions from any builder propagate to the constructor.
+  explicit IndexReplicas(const Factory& factory,
+                         const NumaTopology& topo = numa_topology());
+
+  /// Wraps an already-built sampler as the sole replica (the
+  /// no-replication path: single node, or replication disabled).
+  explicit IndexReplicas(std::unique_ptr<const SelectionSampler> single);
+
+  /// The replica local to the calling thread's NUMA node. With one
+  /// replica this is a plain load; otherwise one sched_getcpu per call —
+  /// cheap enough to resolve once per shard.
+  const SelectionSampler& local() const {
+    if (replicas_.size() == 1) return *replicas_[0];
+    const auto node = static_cast<std::size_t>(current_numa_node());
+    return *replicas_[node < replicas_.size() ? node : 0];
+  }
+
+  /// Replica 0 — the copy sequential (non-sharded) callers use.
+  const SelectionSampler& primary() const { return *replicas_[0]; }
+
+  /// Number of physical copies (= replicated NUMA nodes).
+  std::size_t count() const { return replicas_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<const SelectionSampler>> replicas_;
+};
+
+}  // namespace af

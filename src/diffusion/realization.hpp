@@ -44,6 +44,61 @@ class SelectionSampler {
 
   /// Draws v's selection, consuming `rng`.
   virtual NodeId sample_selection(NodeId v, Rng& rng) const = 0;
+
+  /// Batched form: out[i] = the selection of cur[i] drawn from rng[i],
+  /// for i in [0, n). Semantically exactly n independent
+  /// sample_selection calls — every implementation must consume one draw
+  /// from each rng[i] and produce bit-identical outputs to the scalar
+  /// form — but a strategy may override it to amortize the per-draw
+  /// work across the batch (the alias indexes run the whole batch
+  /// through one dispatched kernel: no per-lane virtual call, and with
+  /// AVX2 the slot picks and probes are 4-lane gathers; DESIGN.md §9).
+  /// The bulk walker calls this once per step for all live lanes.
+  virtual void sample_selection_batch(const NodeId* cur, Rng* rng,
+                                      NodeId* out, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = sample_selection(cur[i], rng[i]);
+    }
+  }
+
+  /// Hints that the *next* draw against this strategy will be
+  /// sample_selection(v, rng) — and that `rng` will not be advanced in
+  /// between. Implementations may software-prefetch the memory that draw
+  /// will touch (the alias indexes peek rng's next word and prefetch the
+  /// exact slot line); the default is a no-op. Purely a latency hint:
+  /// never consumes randomness, never changes results.
+  virtual void prefetch_selection(NodeId v, const Rng& rng) const {
+    (void)v;
+    (void)rng;
+  }
+
+  /// sample_selection_batch fused with next-step prefetch: after drawing
+  /// out[i], the implementation may prefetch the memory that the lane's
+  /// NEXT draw — sample_selection(out[i], rng[i]) with rng[i] not
+  /// advanced in between — would touch, skipping lanes whose outcome is
+  /// kNoNode. That is exactly the bulk walker's continuing-lane
+  /// situation; for lanes that die or relaunch the hint is wasted but
+  /// harmless. Fusing matters: the draw already holds the lane's rng
+  /// word, CSR offsets and slot address in registers, so the prefetch
+  /// costs one peeked word and one offsets load instead of a separate
+  /// virtual call per lane recomputing both (DESIGN.md §9). Identical
+  /// outputs and rng consumption to sample_selection_batch.
+  virtual void sample_selection_batch_prefetch(const NodeId* cur, Rng* rng,
+                                               NodeId* out,
+                                               std::size_t n) const {
+    sample_selection_batch(cur, rng, out, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out[i] != kNoNode) prefetch_selection(out[i], rng[i]);
+    }
+  }
+
+  /// Resident bytes of per-strategy state (0 for stateless strategies).
+  /// Virtual so owners of replicated indexes (diffusion/index_replicas)
+  /// can account footprint through the interface.
+  virtual std::size_t memory_bytes() const { return 0; }
+
+  /// Alias slots held, when the strategy is table-backed (0 otherwise).
+  virtual std::size_t num_slots() const { return 0; }
 };
 
 /// The original O(deg) cumulative-scan selection. Superseded on the hot

@@ -1,8 +1,10 @@
 #include "diffusion/sampling_index.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "util/contracts.hpp"
 
@@ -91,16 +93,140 @@ void build_node_alias(const Graph& g, NodeId v, VoseScratch& scratch,
   }
 }
 
+/// kAuto's measured dispatch (DESIGN.md §9): an AVX2 bit in CPUID does
+/// not make gathers a win — under virtualization (and on several
+/// microarchitectures) gathers are microcoded, and a microcoded 4-lane
+/// gather loses badly to the scalar loop whose independent loads the OoO
+/// core already overlaps. When both kernels are available, time each on
+/// the freshly built tables over 16 chained lanes (the walker's
+/// cache-cold regime — the one where a wrong choice is expensive) and
+/// dispatch to the winner, with a deliberate 10% bias toward scalar:
+/// the risk is asymmetric (measured here: scalar's worst case vs AVX2
+/// is ~20% on cache-hot data, while microcoded gathers can run 2× slower
+/// than the scalar loop), so gathers must win decisively to be chosen.
+/// The verdict is cached per index type per process (first construction
+/// pays well under a millisecond); kernels are bit-identical, so a
+/// flipped verdict on another host changes throughput only, never
+/// results. AF_SIMD=avx2 / =off override the measurement either way.
+template <typename Index, typename Kernel>
+SimdLevel measure_faster_kernel_impl(const Index& idx, Kernel scalar_kernel,
+                                     Kernel avx2_kernel, NodeId num_nodes) {
+  constexpr std::size_t kLanes = 16;
+  constexpr std::size_t kDraws = 1024;
+  NodeId cur[kLanes];
+  NodeId out[kLanes];
+  Rng rngs[kLanes];
+  const auto run = [&](Kernel kernel) {
+    // Fresh, FIXED seed per run: every rep of either kernel replays the
+    // identical start nodes, draws and restart sequence, so the timing
+    // comparison is apples-to-apples.
+    Rng seed(0x5eedU);
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      cur[i] = static_cast<NodeId>(seed.uniform_int(num_nodes));
+      rngs[i].reseed(i + 1);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t d = 0; d < kDraws; ++d) {
+      kernel(idx, cur, rngs, out, kLanes);
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        // Chain each lane through its drawn node like the walker; dead
+        // lanes restart pseudo-randomly (cheap LCG — identical cost for
+        // both kernels, so it cancels out of the comparison).
+        cur[i] = out[i] == kNoNode
+                     ? static_cast<NodeId>((cur[i] * 2654435761U + 1) %
+                                           num_nodes)
+                     : out[i];
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  double best_scalar = 1e30;
+  double best_avx2 = 1e30;
+  // Alternating best-of-5: min() drops scheduler/VM interference, the
+  // first rep of each side doubles as table warmup.
+  for (int rep = 0; rep < 5; ++rep) {
+    best_scalar = std::min(best_scalar, run(scalar_kernel));
+    best_avx2 = std::min(best_avx2, run(avx2_kernel));
+  }
+  return best_avx2 < 0.9 * best_scalar ? SimdLevel::kAvx2
+                                       : SimdLevel::kScalar;
+}
+
+/// call_once wrapper: the NUMA replica factory builds indexes
+/// concurrently, so without serialization every builder would measure at
+/// once — each timing run contended by the others (exactly the noise
+/// calibration exists to avoid) and later verdicts overwriting earlier
+/// ones, leaving replicas on different kernels. The first caller
+/// measures on an otherwise-idle process (the other builders block here
+/// with their tables already built); everyone shares its verdict.
+template <typename Index, typename Kernel>
+SimdLevel measure_faster_kernel(const Index& idx, Kernel scalar_kernel,
+                                Kernel avx2_kernel, NodeId num_nodes) {
+  static std::once_flag once;
+  static SimdLevel verdict = SimdLevel::kScalar;
+  std::call_once(once, [&] {
+    verdict = measure_faster_kernel_impl(idx, scalar_kernel, avx2_kernel,
+                                         num_nodes);
+  });
+  return verdict;
+}
+
 }  // namespace
 
-SamplingIndex::SamplingIndex(const Graph& g) {
+template <bool Prefetch>
+void SamplingIndex::batch_scalar(const SamplingIndex& idx, const NodeId* cur,
+                                 Rng* rng, NodeId* out, std::size_t n) {
+  // The inline scalar draw across the batch: one tight loop, no virtual
+  // dispatch per lane. This is the portable kernel and the bit-identity
+  // reference for batch_avx2. With Prefetch, each lane's draw is
+  // followed by an exact-slot prefetch for the lane's NEXT draw (at
+  // out[i], with rng[i]'s peeked word) — the draw-time loads of the
+  // next step then hit lines this step already warmed.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId nxt = idx.sample_selection(cur[i], rng[i]);
+    out[i] = nxt;
+    if constexpr (Prefetch) {
+      if (nxt != kNoNode) idx.prefetch_selection(nxt, rng[i]);
+    }
+  }
+}
+
+template void SamplingIndex::batch_scalar<false>(const SamplingIndex&,
+                                                 const NodeId*, Rng*,
+                                                 NodeId*, std::size_t);
+template void SamplingIndex::batch_scalar<true>(const SamplingIndex&,
+                                                const NodeId*, Rng*, NodeId*,
+                                                std::size_t);
+
+template <bool Prefetch>
+void CompactSamplingIndex::batch_scalar(const CompactSamplingIndex& idx,
+                                        const NodeId* cur, Rng* rng,
+                                        NodeId* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId nxt = idx.sample_selection(cur[i], rng[i]);
+    out[i] = nxt;
+    if constexpr (Prefetch) {
+      if (nxt != kNoNode) idx.prefetch_selection(nxt, rng[i]);
+    }
+  }
+}
+
+template void CompactSamplingIndex::batch_scalar<false>(
+    const CompactSamplingIndex&, const NodeId*, Rng*, NodeId*, std::size_t);
+template void CompactSamplingIndex::batch_scalar<true>(
+    const CompactSamplingIndex&, const NodeId*, Rng*, NodeId*, std::size_t);
+
+SamplingIndex::SamplingIndex(const Graph& g, SimdLevel simd,
+                             bool huge_pages) {
   const NodeId n = g.num_nodes();
-  offsets_.resize(static_cast<std::size_t>(n) + 1);
+  offsets_.allocate(static_cast<std::size_t>(n) + 1, huge_pages);
   offsets_[0] = 0;
   for (NodeId v = 0; v < n; ++v) {
     offsets_[v + 1] = offsets_[v] + g.degree(v) + 1;
   }
-  slots_.resize(offsets_[n]);
+  slots_.allocate(offsets_[n], huge_pages);
 
   VoseScratch scratch;
   for (NodeId v = 0; v < n; ++v) {
@@ -113,20 +239,36 @@ SamplingIndex::SamplingIndex(const Graph& g) {
                        out[i].alias = alias;
                      });
   }
+
+  simd_ = resolve_simd_level(simd);
+#if defined(AF_HAVE_AVX2_KERNELS)
+  if (simd_ == SimdLevel::kAvx2 && simd == SimdLevel::kAuto &&
+      simd_env_request() != SimdLevel::kAvx2 && n > 0) {
+    // kAuto: the CPU *can* run the AVX2 kernel — measure whether it
+    // *should* (see measure_faster_kernel).
+    simd_ = measure_faster_kernel(*this, &SamplingIndex::batch_scalar<true>,
+                                  &SamplingIndex::batch_avx2<true>, n);
+  }
+  if (simd_ == SimdLevel::kAvx2) {
+    batch_kernel_ = &SamplingIndex::batch_avx2<false>;
+    batch_prefetch_kernel_ = &SamplingIndex::batch_avx2<true>;
+  }
+#endif
 }
 
-CompactSamplingIndex::CompactSamplingIndex(const Graph& g) {
+CompactSamplingIndex::CompactSamplingIndex(const Graph& g, SimdLevel simd,
+                                           bool huge_pages) {
   const NodeId n = g.num_nodes();
   const std::uint64_t total_slots =
       2ULL * g.num_edges() + static_cast<std::uint64_t>(n);
   AF_EXPECTS(total_slots <= std::numeric_limits<std::uint32_t>::max(),
              "compact index needs 2m + n < 2^32 slots");
-  offsets_.resize(static_cast<std::size_t>(n) + 1);
+  offsets_.allocate(static_cast<std::size_t>(n) + 1, huge_pages);
   offsets_[0] = 0;
   for (NodeId v = 0; v < n; ++v) {
     offsets_[v + 1] = offsets_[v] + g.degree(v) + 1;
   }
-  slots_.resize(offsets_[n]);
+  slots_.allocate(offsets_[n], huge_pages);
 
   VoseScratch scratch;
   for (NodeId v = 0; v < n; ++v) {
@@ -144,6 +286,20 @@ CompactSamplingIndex::CompactSamplingIndex(const Graph& g) {
           out[i].alias = alias;
         });
   }
+
+  simd_ = resolve_simd_level(simd);
+#if defined(AF_HAVE_AVX2_KERNELS)
+  if (simd_ == SimdLevel::kAvx2 && simd == SimdLevel::kAuto &&
+      simd_env_request() != SimdLevel::kAvx2 && n > 0) {
+    simd_ = measure_faster_kernel(
+        *this, &CompactSamplingIndex::batch_scalar<true>,
+        &CompactSamplingIndex::batch_avx2<true>, n);
+  }
+  if (simd_ == SimdLevel::kAvx2) {
+    batch_kernel_ = &CompactSamplingIndex::batch_avx2<false>;
+    batch_prefetch_kernel_ = &CompactSamplingIndex::batch_avx2<true>;
+  }
+#endif
 }
 
 }  // namespace af

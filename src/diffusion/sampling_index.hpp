@@ -43,6 +43,8 @@
 
 #include "diffusion/realization.hpp"
 #include "graph/graph.hpp"
+#include "util/cpu.hpp"
+#include "util/hugepage.hpp"
 
 namespace af {
 
@@ -50,7 +52,15 @@ namespace af {
 class SamplingIndex final : public SelectionSampler {
  public:
   /// Builds the tables from g.in_weights / g.leftover_mass. O(n + m).
-  explicit SamplingIndex(const Graph& g);
+  /// `simd` picks the batched-selection kernel, resolved once here
+  /// (util/cpu.hpp): kAuto takes the best level the build, CPU and
+  /// AF_SIMD env var allow; every level is bit-identical. `huge_pages`
+  /// backs the tables with 2 MiB pages where available (util/hugepage:
+  /// the TLB win that lets the walker's prefetch land, DESIGN.md §9) —
+  /// false keeps plain 4 KiB allocation (the bench's PR-4-faithful
+  /// baseline); the stored bytes are identical either way.
+  explicit SamplingIndex(const Graph& g, SimdLevel simd = SimdLevel::kAuto,
+                         bool huge_pages = true);
 
   /// Draws v's selection in O(1): a neighbor of v, or kNoNode for ℵ0.
   /// Consumes exactly one draw from `rng`.
@@ -64,17 +74,53 @@ class SamplingIndex final : public SelectionSampler {
     return static_cast<std::uint64_t>(m) < s.threshold ? s.accept : s.alias;
   }
 
+  /// Runs the whole batch through the kernel picked at construction —
+  /// one indirect call per step instead of one virtual call per lane.
+  void sample_selection_batch(const NodeId* cur, Rng* rng, NodeId* out,
+                              std::size_t n) const override {
+    batch_kernel_(*this, cur, rng, out, n);
+  }
+
+  /// Fused draw + next-step prefetch, one indirect call: each lane's
+  /// next slot line (computed from the peeked rng word, which the draw
+  /// already has in hand) is prefetched right after its draw, so it has
+  /// the rest of the sweep — classification of every lane plus the next
+  /// batch call's earlier lanes — to arrive (DESIGN.md §9).
+  void sample_selection_batch_prefetch(const NodeId* cur, Rng* rng,
+                                       NodeId* out,
+                                       std::size_t n) const override {
+    batch_prefetch_kernel_(*this, cur, rng, out, n);
+  }
+
+  /// Peeks rng's next word (free for xoshiro256++) and prefetches the
+  /// exact slot line that word will probe — not just the node's first
+  /// slot. Issued by the bulk walker one step ahead, so the line arrives
+  /// while the other lanes finish their current step (DESIGN.md §9).
+  void prefetch_selection(NodeId v, const Rng& rng) const override {
+    const std::uint64_t off = offsets_[v];
+    const std::uint64_t k = offsets_[v + 1] - off;
+    const auto m = static_cast<__uint128_t>(rng.peek_u64()) * k;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[off + static_cast<std::uint64_t>(m >> 64)]);
+#endif
+  }
+
   /// Number of alias slots (Σ_v (deg(v) + 1) = 2m + n).
-  std::size_t num_slots() const { return slots_.size(); }
+  std::size_t num_slots() const override { return slots_.size(); }
 
   /// Resident size of the tables, for capacity planning.
-  std::size_t memory_bytes() const {
-    return slots_.size() * sizeof(Slot) +
-           offsets_.size() * sizeof(std::uint64_t);
+  std::size_t memory_bytes() const override {
+    return slots_.memory_bytes() + offsets_.memory_bytes();
   }
 
   /// Slot footprint — the bytes/slot figure the perf trajectory records.
   static constexpr std::size_t bytes_per_slot() { return sizeof(Slot); }
+
+  /// The kernel level actually dispatched to (kScalar or kAvx2).
+  SimdLevel simd_level() const { return simd_; }
+
+  /// Whether the slot table landed on 2 MiB pages (telemetry).
+  bool on_huge_pages() const { return slots_.on_huge_pages(); }
 
  private:
   /// One alias slot, fully resolved: the coin threshold (probability
@@ -86,8 +132,25 @@ class SamplingIndex final : public SelectionSampler {
   };
   static_assert(sizeof(Slot) == 16, "one probe must stay one cache touch");
 
-  std::vector<std::uint64_t> offsets_;  // size n+1; node v owns deg(v)+1 slots
-  std::vector<Slot> slots_;
+  using BatchKernel = void (*)(const SamplingIndex&, const NodeId*, Rng*,
+                               NodeId*, std::size_t);
+  /// Portable kernel: the scalar draw, inlined across the batch;
+  /// Prefetch additionally warms each lane's next slot line.
+  template <bool Prefetch>
+  static void batch_scalar(const SamplingIndex& idx, const NodeId* cur,
+                           Rng* rng, NodeId* out, std::size_t n);
+  /// AVX2 kernel (sampling_index_avx2.cpp, compiled with -mavx2 behind
+  /// the AF_SIMD build gate): 4-lane Lemire multiply-shift plus gathers
+  /// of the fused slots. Bit-identical to batch_scalar.
+  template <bool Prefetch>
+  static void batch_avx2(const SamplingIndex& idx, const NodeId* cur,
+                         Rng* rng, NodeId* out, std::size_t n);
+
+  SimdLevel simd_ = SimdLevel::kScalar;
+  BatchKernel batch_kernel_ = &SamplingIndex::batch_scalar<false>;
+  BatchKernel batch_prefetch_kernel_ = &SamplingIndex::batch_scalar<true>;
+  HugeBuffer<std::uint64_t> offsets_;  // size n+1; node v owns deg(v)+1 slots
+  HugeBuffer<Slot> slots_;
 };
 
 /// Float32-threshold alias tables: the same per-node Vose construction as
@@ -100,8 +163,11 @@ class SamplingIndex final : public SelectionSampler {
 /// chi-square gate (pinned in tests/sampling_index_test.cpp).
 class CompactSamplingIndex final : public SelectionSampler {
  public:
-  /// Builds the tables. O(n + m); requires 2m + n < 2³² slots.
-  explicit CompactSamplingIndex(const Graph& g);
+  /// Builds the tables. O(n + m); requires 2m + n < 2³² slots. `simd`
+  /// and `huge_pages` behave exactly as for SamplingIndex.
+  explicit CompactSamplingIndex(const Graph& g,
+                                SimdLevel simd = SimdLevel::kAuto,
+                                bool huge_pages = true);
 
   /// Draws v's selection in O(1): a neighbor of v, or kNoNode for ℵ0.
   NodeId sample_selection(NodeId v, Rng& rng) const override {
@@ -115,18 +181,47 @@ class CompactSamplingIndex final : public SelectionSampler {
     return coin < s.threshold ? s.accept : s.alias;
   }
 
+  /// Batched draws through the construction-time kernel (see
+  /// SamplingIndex::sample_selection_batch).
+  void sample_selection_batch(const NodeId* cur, Rng* rng, NodeId* out,
+                              std::size_t n) const override {
+    batch_kernel_(*this, cur, rng, out, n);
+  }
+
+  /// Fused draw + next-step prefetch (see SamplingIndex).
+  void sample_selection_batch_prefetch(const NodeId* cur, Rng* rng,
+                                       NodeId* out,
+                                       std::size_t n) const override {
+    batch_prefetch_kernel_(*this, cur, rng, out, n);
+  }
+
+  /// Exact-slot prefetch one step ahead (see SamplingIndex).
+  void prefetch_selection(NodeId v, const Rng& rng) const override {
+    const std::uint32_t off = offsets_[v];
+    const std::uint32_t k = offsets_[v + 1] - off;
+    const auto m = static_cast<__uint128_t>(rng.peek_u64()) * k;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[off + static_cast<std::uint32_t>(m >> 64)]);
+#endif
+  }
+
   /// Number of alias slots (Σ_v (deg(v) + 1) = 2m + n).
-  std::size_t num_slots() const { return slots_.size(); }
+  std::size_t num_slots() const override { return slots_.size(); }
 
   /// Resident size of the tables, for capacity planning.
-  std::size_t memory_bytes() const {
-    return slots_.size() * sizeof(Slot) +
-           offsets_.size() * sizeof(std::uint32_t);
+  std::size_t memory_bytes() const override {
+    return slots_.memory_bytes() + offsets_.memory_bytes();
   }
 
   /// Slot footprint — ≤ 12 bytes is the ROADMAP target this class exists
   /// to hit.
   static constexpr std::size_t bytes_per_slot() { return sizeof(Slot); }
+
+  /// The kernel level actually dispatched to (kScalar or kAvx2).
+  SimdLevel simd_level() const { return simd_; }
+
+  /// Whether the slot table landed on 2 MiB pages (telemetry).
+  bool on_huge_pages() const { return slots_.on_huge_pages(); }
 
  private:
   /// Threshold is the acceptance probability itself (not 2⁶⁴-scaled):
@@ -138,8 +233,25 @@ class CompactSamplingIndex final : public SelectionSampler {
   };
   static_assert(sizeof(Slot) == 12, "compact slots must stay 12 bytes");
 
-  std::vector<std::uint32_t> offsets_;  // size n+1
-  std::vector<Slot> slots_;
+  using BatchKernel = void (*)(const CompactSamplingIndex&, const NodeId*,
+                               Rng*, NodeId*, std::size_t);
+  template <bool Prefetch>
+  static void batch_scalar(const CompactSamplingIndex& idx,
+                           const NodeId* cur, Rng* rng, NodeId* out,
+                           std::size_t n);
+  /// AVX2 kernel (sampling_index_avx2.cpp): 12-byte slots are gathered
+  /// with byte-scaled offsets and the float32 coin compare is emulated
+  /// exactly in double precision. Bit-identical to batch_scalar.
+  template <bool Prefetch>
+  static void batch_avx2(const CompactSamplingIndex& idx, const NodeId* cur,
+                         Rng* rng, NodeId* out, std::size_t n);
+
+  SimdLevel simd_ = SimdLevel::kScalar;
+  BatchKernel batch_kernel_ = &CompactSamplingIndex::batch_scalar<false>;
+  BatchKernel batch_prefetch_kernel_ =
+      &CompactSamplingIndex::batch_scalar<true>;
+  HugeBuffer<std::uint32_t> offsets_;  // size n+1
+  HugeBuffer<Slot> slots_;
 };
 
 }  // namespace af

@@ -1,0 +1,223 @@
+// AVX2 batched selection kernels (DESIGN.md §9).
+//
+// This TU is compiled with -mavx2 behind the AF_SIMD build gate and only
+// ever *executed* after util/cpu.hpp's runtime detection says the CPU has
+// AVX2 — the rest of the library stays portable (no -march=native).
+//
+// Both kernels are bit-for-bit identical to their scalar references: the
+// Lemire multiply-shift is emulated with exact 64×64→128 integer
+// arithmetic (4 lanes of _mm256_mul_epu32 partial products), the slot
+// probe becomes one gather of the fused slot words, and the alias coin is
+// the same compare the scalar draw performs — an unsigned 64-bit integer
+// compare for SamplingIndex, an exact double compare against the float32
+// threshold for CompactSamplingIndex (the u64→double conversion uses the
+// standard 2⁵²/2⁸⁴ magic-number construction, exact for values < 2⁵³,
+// which (m mod 2⁶⁴) >> 11 always is). Per-lane rng state updates stay
+// scalar: xoshiro256++ is a serial recurrence per stream and pure ALU —
+// the memory-bound work (the slot probes) is what the gathers batch.
+//
+// The equivalence is pinned across lane widths, thread counts and both
+// index layouts in tests/bulk_kernel_equivalence_test.cpp.
+#include "diffusion/sampling_index.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace af {
+
+namespace {
+
+/// hi/lo of the lane-wise 64×64→128 product, from four 32×32→64 partial
+/// products. Exactly matches __uint128_t multiplication lane by lane.
+inline void mul_64x64_128(__m256i a, __m256i b, __m256i& hi, __m256i& lo) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  // _mm256_mul_epu32 reads the low 32 bits of each 64-bit lane.
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+  // Carry column: (ll >> 32) + low32(lh) + low32(hl) fits in 64 bits
+  // (≤ 3·(2³²−1)·2³²-ish), so plain adds cannot wrap.
+  const __m256i t = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                       _mm256_and_si256(lh, mask32)),
+      _mm256_and_si256(hl, mask32));
+  hi = _mm256_add_epi64(
+      _mm256_add_epi64(hh, _mm256_srli_epi64(lh, 32)),
+      _mm256_add_epi64(_mm256_srli_epi64(hl, 32), _mm256_srli_epi64(t, 32)));
+  lo = _mm256_or_si256(_mm256_slli_epi64(t, 32),
+                       _mm256_and_si256(ll, mask32));
+}
+
+/// Packs the low 32 bits of each 64-bit lane into the result's first
+/// 128 bits and stores 4 NodeIds.
+inline void store_low32(NodeId* out, __m256i sel64) {
+  const __m256i packed = _mm256_permutevar8x32_epi32(
+      sel64, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm256_castsi256_si128(packed));
+}
+
+/// Exact u64 → double for values < 2⁵³ (here: (lo mod 2⁶⁴) >> 11, at
+/// most 53 bits). hi·2³² is exact (hi < 2²¹), the final add lands on an
+/// integer < 2⁵³ and is therefore exact too — matching the scalar
+/// static_cast<double> bit for bit.
+inline __m256d u64lt2p53_to_double(__m256i v) {
+  const __m256i magic_lo = _mm256_set1_epi64x(0x4330000000000000LL);  // 2⁵²
+  const __m256i magic_hi = _mm256_set1_epi64x(0x4530000000000000LL);  // 2⁸⁴
+  // Low dword of each lane stays, high dword becomes the 2⁵² exponent.
+  const __m256i lo32 = _mm256_blend_epi32(v, magic_lo, 0xaa);
+  const __m256d d_lo = _mm256_sub_pd(_mm256_castsi256_pd(lo32),
+                                     _mm256_set1_pd(0x1p52));
+  const __m256i hi32 = _mm256_or_si256(_mm256_srli_epi64(v, 32), magic_hi);
+  const __m256d d_hi = _mm256_sub_pd(_mm256_castsi256_pd(hi32),
+                                     _mm256_set1_pd(0x1p84));
+  return _mm256_add_pd(d_hi, d_lo);
+}
+
+}  // namespace
+
+template <bool Prefetch>
+void SamplingIndex::batch_avx2(const SamplingIndex& idx, const NodeId* cur,
+                               Rng* rng, NodeId* out, std::size_t n) {
+  const auto* offsets =
+      reinterpret_cast<const long long*>(idx.offsets_.data());
+  const auto* slots = reinterpret_cast<const long long*>(idx.slots_.data());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Per-lane rng words (serial ALU recurrences, kept scalar).
+    alignas(32) std::uint64_t words[4];
+    for (int j = 0; j < 4; ++j) words[j] = rng[i + j].next_u64();
+    const __m256i x =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(words));
+
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i));
+    const __m256i off0 = _mm256_i32gather_epi64(offsets, v, 8);
+    const __m256i off1 = _mm256_i32gather_epi64(offsets + 1, v, 8);
+    const __m256i k = _mm256_sub_epi64(off1, off0);
+
+    __m256i hi, lo;
+    mul_64x64_128(x, k, hi, lo);
+    const __m256i slot = _mm256_add_epi64(off0, hi);
+
+    // 16-byte slots viewed as u64 pairs: word 2·slot is the threshold,
+    // word 2·slot+1 packs {accept, alias}.
+    const __m256i widx = _mm256_slli_epi64(slot, 1);
+    const __m256i thr = _mm256_i64gather_epi64(slots, widx, 8);
+    const __m256i pair = _mm256_i64gather_epi64(
+        slots, _mm256_or_si256(widx, _mm256_set1_epi64x(1)), 8);
+
+    // Unsigned lo < thr via sign-flipped signed compare.
+    const __m256i sbit = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    const __m256i take_accept = _mm256_cmpgt_epi64(
+        _mm256_xor_si256(thr, sbit), _mm256_xor_si256(lo, sbit));
+    const __m256i accept =
+        _mm256_and_si256(pair, _mm256_set1_epi64x(0xffffffffLL));
+    const __m256i alias = _mm256_srli_epi64(pair, 32);
+    store_low32(out + i, _mm256_blendv_epi8(alias, accept, take_accept));
+
+    if constexpr (Prefetch) {
+      // Next-step prefetch, scalar per lane (prefetch is one address per
+      // instruction anyway): peek the post-draw rng word and warm the
+      // exact slot line the lane's next draw would probe at out[i+j].
+      for (int j = 0; j < 4; ++j) {
+        if (out[i + j] != kNoNode) {
+          idx.prefetch_selection(out[i + j], rng[i + j]);
+        }
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = idx.sample_selection(cur[i], rng[i]);
+    if constexpr (Prefetch) {
+      if (out[i] != kNoNode) idx.prefetch_selection(out[i], rng[i]);
+    }
+  }
+}
+
+template void SamplingIndex::batch_avx2<false>(const SamplingIndex&,
+                                               const NodeId*, Rng*, NodeId*,
+                                               std::size_t);
+template void SamplingIndex::batch_avx2<true>(const SamplingIndex&,
+                                              const NodeId*, Rng*, NodeId*,
+                                              std::size_t);
+
+template <bool Prefetch>
+void CompactSamplingIndex::batch_avx2(const CompactSamplingIndex& idx,
+                                      const NodeId* cur, Rng* rng,
+                                      NodeId* out, std::size_t n) {
+  const auto* offsets = reinterpret_cast<const int*>(idx.offsets_.data());
+  const auto* slots = reinterpret_cast<const char*>(idx.slots_.data());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    alignas(32) std::uint64_t words[4];
+    for (int j = 0; j < 4; ++j) words[j] = rng[i + j].next_u64();
+    const __m256i x =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(words));
+
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i));
+    const __m128i off0 = _mm_i32gather_epi32(offsets, v, 4);
+    const __m128i off1 = _mm_i32gather_epi32(offsets + 1, v, 4);
+    const __m256i k = _mm256_cvtepu32_epi64(_mm_sub_epi32(off1, off0));
+
+    __m256i hi, lo;
+    mul_64x64_128(x, k, hi, lo);
+    const __m256i slot = _mm256_add_epi64(_mm256_cvtepu32_epi64(off0), hi);
+
+    // 12-byte slots: gather with byte offsets (scale 1). Word 0 at
+    // slot·12 packs {float threshold, accept}; word 1 at slot·12+4
+    // packs {accept, alias}. Both 8-byte loads stay inside the slot.
+    const __m256i byteoff = _mm256_add_epi64(_mm256_slli_epi64(slot, 3),
+                                             _mm256_slli_epi64(slot, 2));
+    const __m256i w0 = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(slots), byteoff, 1);
+    const __m256i w1 = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(slots + 4), byteoff, 1);
+
+    // Coin: (lo >> 11)·2⁻⁵³ < (double)threshold, exactly as the scalar
+    // draw computes it.
+    const __m256d coin = _mm256_mul_pd(
+        u64lt2p53_to_double(_mm256_srli_epi64(lo, 11)),
+        _mm256_set1_pd(0x1p-53));
+    const __m128 thr_f = _mm_castsi128_ps(_mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(
+            w0, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0))));
+    const __m256d thr = _mm256_cvtps_pd(thr_f);
+    const __m256i take_accept =
+        _mm256_castpd_si256(_mm256_cmp_pd(coin, thr, _CMP_LT_OQ));
+
+    const __m256i accept =
+        _mm256_and_si256(w1, _mm256_set1_epi64x(0xffffffffLL));
+    const __m256i alias = _mm256_srli_epi64(w1, 32);
+    store_low32(out + i, _mm256_blendv_epi8(alias, accept, take_accept));
+
+    if constexpr (Prefetch) {
+      for (int j = 0; j < 4; ++j) {
+        if (out[i + j] != kNoNode) {
+          idx.prefetch_selection(out[i + j], rng[i + j]);
+        }
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = idx.sample_selection(cur[i], rng[i]);
+    if constexpr (Prefetch) {
+      if (out[i] != kNoNode) idx.prefetch_selection(out[i], rng[i]);
+    }
+  }
+}
+
+template void CompactSamplingIndex::batch_avx2<false>(
+    const CompactSamplingIndex&, const NodeId*, Rng*, NodeId*, std::size_t);
+template void CompactSamplingIndex::batch_avx2<true>(
+    const CompactSamplingIndex&, const NodeId*, Rng*, NodeId*, std::size_t);
+
+}  // namespace af
+
+#endif  // __AVX2__

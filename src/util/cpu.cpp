@@ -1,0 +1,64 @@
+#include "util/cpu.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace af {
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAuto: return "auto";
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool compiled_avx2_kernels() {
+#if defined(AF_HAVE_AVX2_KERNELS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// The best level this process may run: build gate, then cpuid, then the
+/// AF_SIMD environment variable (any of "off"/"scalar"/"0", case
+/// matters not being worth a tolower loop — these are the documented
+/// spellings).
+SimdLevel detect_ceiling() {
+  if (simd_env_request() == SimdLevel::kScalar) return SimdLevel::kScalar;
+#if defined(AF_HAVE_AVX2_KERNELS) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel simd_env_request() {
+  static const SimdLevel requested = [] {
+    const char* env = std::getenv("AF_SIMD");
+    if (env == nullptr) return SimdLevel::kAuto;
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
+        std::strcmp(env, "0") == 0) {
+      return SimdLevel::kScalar;
+    }
+    if (std::strcmp(env, "avx2") == 0) return SimdLevel::kAvx2;
+    return SimdLevel::kAuto;
+  }();
+  return requested;
+}
+
+SimdLevel resolve_simd_level(SimdLevel requested) {
+  static const SimdLevel ceiling = detect_ceiling();
+  if (requested == SimdLevel::kScalar) return SimdLevel::kScalar;
+  // kAuto and explicit kAvx2 both clamp to the ceiling: requesting a
+  // level the build or CPU cannot honour degrades gracefully instead of
+  // faulting on an illegal instruction.
+  return ceiling;
+}
+
+}  // namespace af

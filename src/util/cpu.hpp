@@ -1,0 +1,54 @@
+// Runtime CPU feature detection for the batched selection kernels.
+//
+// The AVX2 kernels (diffusion/sampling_index_avx2.cpp) are compiled into
+// a dedicated translation unit with -mavx2 while the rest of the library
+// stays portable (no -march=native anywhere): whether they may *run* is
+// decided once, at index construction, by resolve_simd_level(). Three
+// gates stack, strictest wins:
+//
+//   1. build time — the AF_SIMD CMake option; OFF omits the AVX2 TU
+//      entirely (the AF_HAVE_AVX2_KERNELS define tells this TU so);
+//   2. hardware  — __builtin_cpu_supports("avx2") on x86;
+//   3. runtime   — the AF_SIMD environment variable: "off"/"scalar"/"0"
+//      forces the portable kernel on a binary built with the AVX2 TU
+//      (the CI fallback leg and A/B debugging both use this).
+//
+// Dispatch is a per-index function pointer, not per-call branching, and
+// the kernels are bit-identical by construction (DESIGN.md §9), so the
+// choice is invisible to results — only to throughput.
+#pragma once
+
+namespace af {
+
+/// Instruction-set level of the batched selection kernels.
+enum class SimdLevel {
+  /// Resolve at construction: the best level the build, the CPU and the
+  /// AF_SIMD environment variable all allow.
+  kAuto,
+  /// The portable scalar kernel.
+  kScalar,
+  /// AVX2 gathers (4 lanes of Lemire multiply-shift + fused-slot gather).
+  kAvx2,
+};
+
+/// Short stable name ("scalar", "avx2") for logs and bench counters.
+const char* to_string(SimdLevel level);
+
+/// True iff the AVX2 kernel TU was compiled into this binary.
+bool compiled_avx2_kernels();
+
+/// Clamps `requested` to what build, hardware and the AF_SIMD env var
+/// allow. Never returns kAuto; kScalar is always honoured. Detection is
+/// performed once per process and cached.
+SimdLevel resolve_simd_level(SimdLevel requested = SimdLevel::kAuto);
+
+/// What the AF_SIMD environment variable names, if anything:
+/// "off"/"scalar"/"0" → kScalar, "avx2" → kAvx2, unset/other → kAuto.
+/// A kAvx2 request skips the construction-time kernel calibration that
+/// kAuto runs (diffusion/sampling_index) — ISA support alone does not
+/// make gathers a win on every part (virtualized gathers in particular
+/// can lose to the scalar kernel), so kAuto measures; the env var
+/// overrides the measurement in either direction.
+SimdLevel simd_env_request();
+
+}  // namespace af

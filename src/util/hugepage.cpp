@@ -1,0 +1,58 @@
+#include "util/hugepage.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace af::detail {
+
+bool huge_pages_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("AF_HUGEPAGES");
+    return env == nullptr ||
+           (std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0);
+  }();
+  return enabled;
+}
+
+void* map_huge_region(std::size_t bytes, void** map_base,
+                      std::size_t* map_len) {
+#if defined(__linux__)
+  constexpr std::size_t kHuge = std::size_t{2} << 20;
+  // Over-map by one huge page so a 2 MiB-aligned base always fits; the
+  // slack stays untouched (never faulted), so it costs address space,
+  // not memory.
+  const std::size_t len = bytes + kHuge;
+  void* raw = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (raw == MAP_FAILED) return nullptr;
+  const auto base = reinterpret_cast<std::uintptr_t>(raw);
+  const std::uintptr_t aligned = (base + kHuge - 1) & ~(kHuge - 1);
+  // Advisory: THP "madvise" mode honours it, "never" ignores it — the
+  // buffer works either way, just without the TLB win.
+  madvise(reinterpret_cast<void*>(aligned), bytes, MADV_HUGEPAGE);
+  *map_base = raw;
+  *map_len = len;
+  return reinterpret_cast<void*>(aligned);
+#else
+  (void)bytes;
+  (void)map_base;
+  (void)map_len;
+  return nullptr;
+#endif
+}
+
+void unmap_region(void* map_base, std::size_t map_len) {
+#if defined(__linux__)
+  munmap(map_base, map_len);
+#else
+  (void)map_base;
+  (void)map_len;
+#endif
+}
+
+}  // namespace af::detail

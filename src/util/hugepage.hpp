@@ -1,0 +1,138 @@
+// Huge-page-backed storage for the sampling hot path's big flat tables.
+//
+// The backward walk touches one ~random alias slot per step inside a
+// tens-of-MB table. On 4 KiB pages that working set spans ~9k pages:
+// nearly every step misses the dTLB, each miss costs a guest page walk
+// (plus the EPT dimension under virtualization), and — decisive for
+// DESIGN.md §9 — x86 software prefetch hints are DROPPED on dTLB misses,
+// so the walker's exact-slot prefetch cannot hide what the TLB cannot
+// map. Backing the table with 2 MiB pages covers it with a few dozen
+// dTLB entries: walks stop page-walking and the prefetches land.
+// Measured on the youtube analog (35 MB of slots, 16 lanes): ~37 ns/draw
+// malloc-backed vs ~15 ns/draw huge-page-backed with prefetch.
+//
+// HugeBuffer<T> is the minimal owning array this needs: a fixed-size,
+// move-only buffer that mmaps a 2 MiB-aligned anonymous region and asks
+// for huge pages via madvise(MADV_HUGEPAGE) — cooperating with THP
+// "madvise" mode, the common production default — and degrades to plain
+// new[] on non-Linux hosts, for small buffers (< one huge page), when
+// the mmap fails, or under AF_HUGEPAGES=off (the A/B kill switch).
+// Storage never changes results: the tables hold the same bytes either
+// way.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace af {
+
+namespace detail {
+
+/// mmaps ≥ `bytes` of anonymous memory, returns a 2 MiB-aligned pointer
+/// into it and reports the raw mapping through base/len for unmap.
+/// Applies MADV_HUGEPAGE to the aligned span. nullptr = unavailable
+/// (non-Linux, mmap failure, or AF_HUGEPAGES=off) — caller falls back.
+void* map_huge_region(std::size_t bytes, void** map_base,
+                      std::size_t* map_len);
+void unmap_region(void* map_base, std::size_t map_len);
+
+/// True unless AF_HUGEPAGES=off/0 (checked once per process).
+bool huge_pages_enabled();
+
+}  // namespace detail
+
+/// Fixed-size, move-only array in (preferably) huge-page-backed memory.
+/// Elements start uninitialized — every consumer fills the whole buffer
+/// during construction of its owner. Trivial T only: the buffer never
+/// runs constructors or destructors element-wise.
+template <typename T>
+class HugeBuffer {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "HugeBuffer is raw storage: trivial element types only");
+
+ public:
+  HugeBuffer() = default;
+
+  /// Allocates `count` elements. `prefer_huge` = false forces the plain
+  /// new[] path (the bench's faithful 4 KiB-page baseline).
+  explicit HugeBuffer(std::size_t count, bool prefer_huge = true) {
+    allocate(count, prefer_huge);
+  }
+
+  HugeBuffer(const HugeBuffer&) = delete;
+  HugeBuffer& operator=(const HugeBuffer&) = delete;
+
+  HugeBuffer(HugeBuffer&& other) noexcept { swap(other); }
+  HugeBuffer& operator=(HugeBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~HugeBuffer() { release(); }
+
+  void allocate(std::size_t count, bool prefer_huge = true) {
+    release();
+    if (count == 0) return;
+    const std::size_t bytes = count * sizeof(T);
+    // Below one huge page there is nothing to map hugely; above it, try
+    // the aligned mapping and fall back silently (correctness never
+    // depends on the page size).
+    if (prefer_huge && detail::huge_pages_enabled() &&
+        bytes >= (std::size_t{2} << 20)) {
+      data_ = static_cast<T*>(
+          detail::map_huge_region(bytes, &map_base_, &map_len_));
+    }
+    if (data_ == nullptr) {
+      map_base_ = nullptr;
+      map_len_ = 0;
+      data_ = new T[count];
+    }
+    size_ = count;
+  }
+
+  std::size_t size() const { return size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  /// Whether the buffer landed in the huge-page mapping (telemetry).
+  bool on_huge_pages() const { return map_base_ != nullptr; }
+
+  /// Bytes owned (payload; mapping slack for alignment not counted —
+  /// it is ≤ 4 MiB per buffer and reclaimable by the OS as untouched
+  /// pages).
+  std::size_t memory_bytes() const { return size_ * sizeof(T); }
+
+ private:
+  void release() {
+    if (map_base_ != nullptr) {
+      detail::unmap_region(map_base_, map_len_);
+    } else {
+      delete[] data_;
+    }
+    data_ = nullptr;
+    size_ = 0;
+    map_base_ = nullptr;
+    map_len_ = 0;
+  }
+
+  void swap(HugeBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(map_base_, other.map_base_);
+    std::swap(map_len_, other.map_len_);
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_base_ = nullptr;  // non-null ⟺ mmap path owns the storage
+  std::size_t map_len_ = 0;
+};
+
+}  // namespace af

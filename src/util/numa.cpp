@@ -1,0 +1,145 @@
+#include "util/numa.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace af {
+
+namespace {
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into CPU ids. Returns an empty
+/// vector on ANY malformed input — including overlong numbers, which
+/// must not throw: the caller runs inside a static initializer and
+/// treats an empty result as "fall back to one node".
+std::vector<int> parse_cpu_list(const std::string& text) {
+  // Reads one bounded decimal token at `pos`, advancing it. -1 = bad.
+  const auto read_int = [&text](std::size_t& pos) {
+    if (pos >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return -1;
+    }
+    long value = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      value = value * 10 + (text[pos] - '0');
+      if (value > 1'000'000) return -1;  // no real host has a cpu id here
+      ++pos;
+    }
+    return static_cast<int>(value);
+  };
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const int lo = read_int(pos);
+    if (lo < 0) return {};
+    int hi = lo;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      hi = read_int(pos);
+      if (hi < lo) return {};
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (pos < text.size()) {
+      if (text[pos] != ',') return {};
+      ++pos;
+    }
+  }
+  return cpus;
+}
+
+/// Every CPU the process could run on, for the single-node fallback.
+std::vector<int> all_cpus_fallback() {
+  const int n =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> cpus(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) cpus[static_cast<std::size_t>(c)] = c;
+  return cpus;
+}
+
+NumaTopology detect_topology() {
+  NumaTopology topo;
+  const char* env = std::getenv("AF_NUMA");
+  const bool disabled =
+      env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0);
+#if defined(__linux__)
+  if (!disabled) {
+    // Nodes are contiguous in practice; probe node0, node1, … until the
+    // first gap. Each node's cpulist file yields its CPU set.
+    for (int node = 0;; ++node) {
+      std::ifstream in("/sys/devices/system/node/node" +
+                       std::to_string(node) + "/cpulist");
+      if (!in) break;
+      std::string line;
+      std::getline(in, line);
+      std::vector<int> cpus = parse_cpu_list(line);
+      // CPU-less (memory-only) nodes exist on some hosts; skip them —
+      // no thread can first-touch from there anyway.
+      if (!cpus.empty()) topo.node_cpus.push_back(std::move(cpus));
+    }
+  }
+#else
+  (void)disabled;
+#endif
+  if (topo.node_cpus.empty()) topo.node_cpus.push_back(all_cpus_fallback());
+  return topo;
+}
+
+}  // namespace
+
+int NumaTopology::node_of_cpu(int cpu) const {
+  for (std::size_t n = 0; n < node_cpus.size(); ++n) {
+    if (std::find(node_cpus[n].begin(), node_cpus[n].end(), cpu) !=
+        node_cpus[n].end()) {
+      return static_cast<int>(n);
+    }
+  }
+  return 0;
+}
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topo = detect_topology();
+  return topo;
+}
+
+bool numa_available() { return numa_topology().num_nodes() > 1; }
+
+int current_numa_node() {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu >= 0) return numa_topology().node_of_cpu(cpu);
+#endif
+  return 0;
+}
+
+bool pin_thread_to_cpus(const std::vector<int>& cpus) {
+#if defined(__linux__)
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpus;
+  return false;
+#endif
+}
+
+bool pin_thread_to_node(int node) {
+  const NumaTopology& topo = numa_topology();
+  if (node < 0 || node >= topo.num_nodes()) return false;
+  return pin_thread_to_cpus(topo.node_cpus[static_cast<std::size_t>(node)]);
+}
+
+}  // namespace af

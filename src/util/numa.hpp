@@ -1,0 +1,57 @@
+// NUMA topology discovery and thread placement (util layer).
+//
+// Multi-socket hosts pay a remote-memory penalty on every backward-walk
+// step when the shared SamplingIndex lives on one node's memory. The
+// fix (DESIGN.md §9) is replication: one index copy per node, built on a
+// thread pinned to that node so first-touch places its pages locally.
+// The counter-stream contract makes any placement bit-identical, so
+// replication is purely a latency trade.
+//
+// This header is deliberately dependency-free: the container images this
+// library builds in do not ship libnuma, so topology comes from sysfs
+// (/sys/devices/system/node) on Linux and degrades to a single node
+// covering every CPU anywhere else — or when the AF_NUMA environment
+// variable is set to "off"/"0" (the switch that turns replication and
+// pinning into no-ops for A/B runs). Pinning uses sched_setaffinity and
+// reports failure instead of throwing: every caller has a correct
+// unpinned fallback.
+#pragma once
+
+#include <vector>
+
+namespace af {
+
+/// The host's NUMA layout: which CPUs belong to which node.
+struct NumaTopology {
+  /// node_cpus[n] = CPU ids of node n. Always at least one node; the
+  /// single-node fallback puts every CPU in node 0.
+  std::vector<std::vector<int>> node_cpus;
+
+  int num_nodes() const { return static_cast<int>(node_cpus.size()); }
+
+  /// Node owning `cpu`, or 0 when unknown.
+  int node_of_cpu(int cpu) const;
+};
+
+/// The detected topology, discovered once per process and cached.
+/// Sysfs-backed on Linux; single-node fallback elsewhere, on sysfs parse
+/// failure, or when AF_NUMA=off.
+const NumaTopology& numa_topology();
+
+/// True iff the cached topology has more than one node (replication and
+/// pinning have something to do).
+bool numa_available();
+
+/// NUMA node of the CPU the calling thread is running on right now
+/// (sched_getcpu); 0 where unsupported. Cheap enough to call per shard.
+int current_numa_node();
+
+/// Restricts the calling thread to `cpus` (sched_setaffinity). Returns
+/// false — with no side effects — on non-Linux hosts, an empty list, or
+/// kernel refusal; callers must treat pinning as best-effort.
+bool pin_thread_to_cpus(const std::vector<int>& cpus);
+
+/// Pins the calling thread to `node`'s CPUs (best-effort, see above).
+bool pin_thread_to_node(int node);
+
+}  // namespace af

@@ -79,6 +79,15 @@ class Rng {
 
   result_type operator()() { return next_u64(); }
 
+  /// The value the next next_u64() will return, without advancing: the
+  /// xoshiro256++ output function reads only the current state, so the
+  /// peek is free. This is what lets the bulk walker's software prefetch
+  /// compute the *exact* alias slot its next draw will probe one step
+  /// ahead (diffusion/sampling_index, DESIGN.md §9).
+  std::uint64_t peek_u64() const {
+    return rotl(state_[0] + state_[3], 23) + state_[0];
+  }
+
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
     const std::uint64_t t = state_[1] << 17;

@@ -3,16 +3,23 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/numa.hpp"
 
 namespace af {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, ThreadPoolOptions opts) {
   if (threads == 0) {
     threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
   }
+  const int nodes = opts.pin_numa ? numa_topology().num_nodes() : 1;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i, nodes] {
+      // Round-robin node placement before touching any work: shards then
+      // run against the worker's node-local index replica.
+      if (nodes > 1) pin_thread_to_node(static_cast<int>(i) % nodes);
+      worker_loop();
+    });
   }
 }
 

@@ -22,13 +22,23 @@
 
 namespace af {
 
+/// Placement knobs for the pool's workers.
+struct ThreadPoolOptions {
+  /// Pin worker w to NUMA node (w mod nodes), spreading shard execution
+  /// across nodes so node-replicated sampling indexes (DESIGN.md §9)
+  /// serve local traffic. Best-effort and a no-op on single-node hosts,
+  /// non-Linux platforms, or under AF_NUMA=off — an unpinned worker just
+  /// reads whichever replica its CPU maps to.
+  bool pin_numa = false;
+};
+
 /// Fixed-size FIFO thread pool. Construction spawns the workers; the
 /// destructor drains the queue, then joins them.
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 picks std::thread::hardware_concurrency()
   /// (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  explicit ThreadPool(std::size_t threads = 0, ThreadPoolOptions opts = {});
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;

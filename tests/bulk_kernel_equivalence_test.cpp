@@ -1,0 +1,285 @@
+// Tier-1 equivalence grid for the vectorized backward-walk kernel
+// (DESIGN.md §9): for every selection strategy — the ScanSelectionSampler
+// oracle, both alias index layouts, each at every available kernel level
+// — bulk sampling must be BYTE-identical to the sequential per-sample
+// walk at every lane width {1, 8, 16}, thread count {1, 4}, and with the
+// index replicated (diffusion/index_replicas). SIMD vs scalar dispatch
+// is additionally pinned word-for-word at the batch-call level,
+// including rng stream consumption, and DKLR results must be invariant
+// across all of it. On machines (or builds) without AVX2 the kAuto index
+// resolves to the scalar kernel and the grid still runs — the assertions
+// then pin scalar-vs-scalar, which keeps the test meaningful for the
+// AF_SIMD=OFF CI leg.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/pair_sampler.hpp"
+#include "diffusion/bulk_sampler.hpp"
+#include "diffusion/dklr.hpp"
+#include "diffusion/index_replicas.hpp"
+#include "diffusion/instance.hpp"
+#include "diffusion/realization.hpp"
+#include "diffusion/sampling_index.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/cpu.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace af {
+namespace {
+
+/// A BA graph big enough that batches hit varied degrees (hubs and
+/// leaves) and the AVX2 main loop, its tail, and deep walks all run.
+struct Fixture {
+  Graph graph;
+  NodeId s = 0;
+  NodeId t = 2;
+
+  static const Fixture& get() {
+    static Fixture fx = [] {
+      Fixture f;
+      Rng rng(11);
+      f.graph = barabasi_albert(3'000, 8, rng)
+                    .build(WeightScheme::inverse_degree());
+      PairSamplerConfig cfg;
+      cfg.estimate_samples = 2'000;
+      if (const auto pair = sample_pair(f.graph, cfg, rng)) {
+        f.s = pair->s;
+        f.t = pair->t;
+      }
+      return f;
+    }();
+    return fx;
+  }
+};
+
+/// The sequential per-sample oracle: sample #i drawn by its own
+/// counter-seeded Rng through ReversePathSampler::sample_into — the
+/// definition every bulk configuration must reproduce byte for byte.
+struct OracleRun {
+  std::vector<std::uint8_t> flags;
+  std::vector<std::uint64_t> positions;
+  std::vector<NodeId> nodes;  // type-1 paths, flattened in stream order
+};
+
+OracleRun run_oracle(const FriendingInstance& inst,
+                     const SelectionSampler& sel, std::uint64_t count,
+                     std::uint64_t root) {
+  OracleRun o;
+  ReversePathSampler sampler(inst, sel);
+  std::vector<NodeId> path;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Rng rng(stream_sample_seed(root, i));
+    const bool type1 = sampler.sample_into(rng, path);
+    o.flags.push_back(type1 ? 1 : 0);
+    if (type1) {
+      o.positions.push_back(i);
+      o.nodes.insert(o.nodes.end(), path.begin(), path.end());
+    }
+  }
+  return o;
+}
+
+std::vector<NodeId> flatten(const PathArena& paths) {
+  std::vector<NodeId> nodes;
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    const auto span = paths[k];
+    nodes.insert(nodes.end(), span.begin(), span.end());
+  }
+  return nodes;
+}
+
+/// One strategy's full grid: lanes × pools × prefetch toggles, against
+/// its own oracle.
+void expect_grid_matches_oracle(const FriendingInstance& inst,
+                                const SelectionSampler& sel,
+                                std::uint64_t count, std::uint64_t root) {
+  const OracleRun oracle = run_oracle(inst, sel, count, root);
+  ASSERT_GT(oracle.positions.size(), 0u) << "degenerate fixture";
+  ThreadPool pool(4);
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{16}}) {
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      // Prefetch sweeps only the widest lane config: it is a pure hint,
+      // and one on/off pair per strategy pins that.
+      for (const bool prefetch : {true, false}) {
+        if (!prefetch && lanes != 16) continue;
+        const BulkWalkConfig cfg{.lanes = lanes, .prefetch = prefetch};
+        const BulkType1Paths bulk =
+            sample_type1_bulk(inst, sel, 0, count, root, p, cfg);
+        EXPECT_EQ(bulk.positions, oracle.positions)
+            << "lanes=" << lanes << " pool=" << (p ? 4 : 0);
+        EXPECT_EQ(flatten(bulk.paths), oracle.nodes)
+            << "lanes=" << lanes << " pool=" << (p ? 4 : 0);
+
+        std::vector<std::uint8_t> flags(count);
+        sample_type1_flags(inst, sel, 0, count, root, p, flags.data(), cfg);
+        EXPECT_EQ(flags, oracle.flags)
+            << "lanes=" << lanes << " pool=" << (p ? 4 : 0);
+      }
+    }
+  }
+}
+
+// Enough samples that the pooled path really shards (> 4096) and the
+// windows cross shard boundaries at both thread counts.
+constexpr std::uint64_t kCount = 6'000;
+constexpr std::uint64_t kRoot = 97;
+
+TEST(BulkKernelEquivalence, ScanOracleStrategy) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const ScanSelectionSampler scan(fx.graph);
+  expect_grid_matches_oracle(inst, scan, kCount, kRoot);
+}
+
+TEST(BulkKernelEquivalence, AliasIndexScalarAndSimd) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex scalar(fx.graph, SimdLevel::kScalar);
+  // Explicit kAvx2 pins the SIMD kernel wherever the build and CPU have
+  // it (it resolves to scalar otherwise — the AF_SIMD=OFF CI leg);
+  // kAuto may legitimately calibrate to scalar, which would not test
+  // the gathers.
+  const SamplingIndex simd(fx.graph, SimdLevel::kAvx2);
+  EXPECT_EQ(scalar.simd_level(), SimdLevel::kScalar);
+  // Pin the dispatch itself: a kAvx2 request must land on exactly what
+  // resolve_simd_level says the build + CPU + env allow. Without this a
+  // broken CMake gate would silently degrade every "SIMD" assertion
+  // below to scalar-vs-scalar.
+  EXPECT_EQ(simd.simd_level(), resolve_simd_level(SimdLevel::kAvx2));
+  expect_grid_matches_oracle(inst, scalar, kCount, kRoot);
+  expect_grid_matches_oracle(inst, simd, kCount, kRoot);
+}
+
+TEST(BulkKernelEquivalence, CompactIndexScalarAndSimd) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const CompactSamplingIndex scalar(fx.graph, SimdLevel::kScalar);
+  const CompactSamplingIndex simd(fx.graph, SimdLevel::kAvx2);
+  EXPECT_EQ(scalar.simd_level(), SimdLevel::kScalar);
+  EXPECT_EQ(simd.simd_level(), resolve_simd_level(SimdLevel::kAvx2));
+  expect_grid_matches_oracle(inst, scalar, kCount, kRoot);
+  expect_grid_matches_oracle(inst, simd, kCount, kRoot);
+}
+
+TEST(BulkKernelEquivalence, BatchCallMatchesScalarWordForWord) {
+  // The batch entry point itself: same outputs AND same rng consumption
+  // as n scalar draws, for every batch size across the SIMD main loop
+  // and its tail (n in [0, 17]).
+  const auto& fx = Fixture::get();
+  const SamplingIndex scalar(fx.graph, SimdLevel::kScalar);
+  const SamplingIndex simd(fx.graph, SimdLevel::kAvx2);
+  const CompactSamplingIndex cscalar(fx.graph, SimdLevel::kScalar);
+  const CompactSamplingIndex csimd(fx.graph, SimdLevel::kAvx2);
+
+  Rng pick(123);
+  for (std::size_t n = 0; n <= 17; ++n) {
+    std::vector<NodeId> cur(n);
+    for (auto& v : cur) {
+      v = static_cast<NodeId>(pick.uniform_int(fx.graph.num_nodes()));
+    }
+    const auto run = [&](const SelectionSampler& sel) {
+      std::vector<Rng> rngs;
+      for (std::size_t i = 0; i < n; ++i) {
+        rngs.emplace_back(1000 + static_cast<std::uint64_t>(i));
+      }
+      std::vector<NodeId> out(n, kNoNode);
+      sel.sample_selection_batch(cur.data(), rngs.data(), out.data(), n);
+      // The fused prefetch entry must produce the same outputs and
+      // advance the rngs identically (prefetch never draws).
+      std::vector<Rng> rngs2;
+      for (std::size_t i = 0; i < n; ++i) {
+        rngs2.emplace_back(1000 + static_cast<std::uint64_t>(i));
+      }
+      std::vector<NodeId> out2(n, kNoNode);
+      sel.sample_selection_batch_prefetch(cur.data(), rngs2.data(),
+                                          out2.data(), n);
+      EXPECT_EQ(out, out2);
+      // Capture post-call stream positions: kernels must consume
+      // exactly one word per lane.
+      std::vector<std::uint64_t> next_words;
+      for (std::size_t i = 0; i < n; ++i) {
+        next_words.push_back(rngs[i].next_u64());
+        EXPECT_EQ(next_words.back(), rngs2[i].next_u64());
+      }
+      return std::make_pair(out, next_words);
+    };
+    EXPECT_EQ(run(scalar), run(simd)) << "n=" << n;
+    EXPECT_EQ(run(cscalar), run(csimd)) << "n=" << n;
+  }
+}
+
+TEST(BulkKernelEquivalence, DklrInvariantAcrossKernelsAndThreads) {
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const SamplingIndex scalar(fx.graph, SimdLevel::kScalar);
+  const SamplingIndex simd(fx.graph, SimdLevel::kAvx2);
+  DklrConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.delta = 0.05;
+  cfg.max_samples = 200'000;
+
+  Rng rng0(7);
+  const DklrResult ref = estimate_pmax_dklr(inst, scalar, rng0, cfg);
+  ThreadPool pool(4);
+  const std::array<const SelectionSampler*, 2> samplers = {&scalar, &simd};
+  for (const SelectionSampler* sel : samplers) {
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      Rng rng(7);
+      const DklrResult res = estimate_pmax_dklr(inst, *sel, rng, cfg, p);
+      EXPECT_EQ(res.samples_used, ref.samples_used);
+      EXPECT_EQ(res.successes, ref.successes);
+      EXPECT_DOUBLE_EQ(res.estimate, ref.estimate);
+      EXPECT_EQ(res.samples_drawn, ref.samples_drawn);
+    }
+  }
+}
+
+TEST(BulkKernelEquivalence, ReplicatedIndexBitIdentical) {
+  // The NUMA replication path: resolution through IndexReplicas::local()
+  // (however many replicas the host yields — one, on single-node CI)
+  // must match the fixed-sampler path bit for bit, pooled and inline.
+  const auto& fx = Fixture::get();
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  const IndexReplicas replicas(
+      [&]() -> std::unique_ptr<const SelectionSampler> {
+        return std::make_unique<const SamplingIndex>(fx.graph);
+      });
+  ASSERT_GE(replicas.count(), 1u);
+
+  const OracleRun oracle =
+      run_oracle(inst, replicas.primary(), kCount, kRoot);
+  ThreadPool pool(4, ThreadPoolOptions{.pin_numa = true});
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    const BulkType1Paths bulk =
+        sample_type1_bulk(inst, replicas, 0, kCount, kRoot, p);
+    EXPECT_EQ(bulk.positions, oracle.positions);
+    EXPECT_EQ(flatten(bulk.paths), oracle.nodes);
+
+    std::vector<std::uint8_t> flags(kCount);
+    sample_type1_flags(inst, replicas, 0, kCount, kRoot, p, flags.data());
+    EXPECT_EQ(flags, oracle.flags);
+  }
+
+  DklrConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.delta = 0.05;
+  cfg.max_samples = 200'000;
+  Rng rng0(7);
+  const DklrResult ref =
+      estimate_pmax_dklr(inst, replicas.primary(), rng0, cfg);
+  Rng rng1(7);
+  const DklrResult rep = estimate_pmax_dklr(inst, replicas, rng1, cfg, &pool);
+  EXPECT_EQ(rep.samples_used, ref.samples_used);
+  EXPECT_EQ(rep.successes, ref.successes);
+  EXPECT_DOUBLE_EQ(rep.estimate, ref.estimate);
+}
+
+}  // namespace
+}  // namespace af
