@@ -1,0 +1,275 @@
+// Open-loop load harness for the async serving layer (DESIGN.md §10).
+//
+// Unlike the bench_micro_* binaries this is NOT a Google Benchmark
+// micro-bench: serving latency under load is a property of the whole
+// admission pipeline (queue wait + coalescing + execution), so the
+// harness drives `Planner::plan_async` the way a front-end would —
+// open-loop Poisson arrivals over a Zipf-skewed pair popularity
+// distribution — and reports tail latency, not steady-state op cost.
+//
+//   1. Calibrate: measure the mean sequential service time of the
+//      workload query on a few distinct pairs; capacity ≈ workers/mean.
+//   2. For each offered-load multiplier m in --loads, submit at rate
+//      m·capacity for --duration seconds with exponential inter-arrival
+//      gaps, choosing the (s,t) pair per query by Zipf(--zipf-s) rank.
+//   3. Report p50/p99/p999 of end-to-end latency (admission → future
+//      fulfilment, from StageTimings.async_seconds), completed
+//      throughput, and the admission counters (rejected / coalesced /
+//      expired) per load point.
+//
+// Open-loop means arrivals do not wait for completions: past saturation
+// the queue fills, kOverloaded rejections climb, and the latency of what
+// *is* admitted stays bounded by queue depth — exactly the backpressure
+// contract under test. A closed loop would self-throttle and hide all of
+// that.
+//
+// Run with --json to write BENCH_serving.json; CI runs a short smoke
+// (--duration 0.3) and asserts the summary fields are present.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace af;
+using Clock = std::chrono::steady_clock;
+
+/// Zipf-ranked pair popularity: weight of rank r is 1/(r+1)^s. Sampled
+/// by inverting the precomputed CDF — the skew concentrates traffic on
+/// the head pairs, which is what makes pair-affinity coalescing and the
+/// pair cache matter under load.
+class ZipfPairs {
+ public:
+  ZipfPairs(std::size_t n, double s) : cdf_(n) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+
+  std::size_t draw(Rng& rng) const {
+    const double u = rng.uniform();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// The first k valid (s,t) pairs — distinct, not already friends.
+std::vector<std::pair<NodeId, NodeId>> valid_pairs(const Graph& g,
+                                                   std::size_t k) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId s = 0; s < g.num_nodes() && pairs.size() < k; ++s) {
+    const NodeId t = g.num_nodes() - 1 - s;
+    if (s == t || g.has_edge(s, t)) continue;
+    pairs.emplace_back(s, t);
+  }
+  return pairs;
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct LoadPoint {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;   // completed queries / wall time
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_overloaded = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t expired_deadline = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_serving",
+                 "Open-loop Poisson/Zipf load harness for plan_async");
+  args.add_int("nodes", 2'000, "BA graph size");
+  args.add_int("attach", 5, "BA attachment count");
+  args.add_int("pairs", 32, "distinct (s,t) pairs in the popularity table");
+  args.add_double("zipf-s", 1.1, "Zipf skew exponent over pair ranks");
+  args.add_int("realizations", 4'000, "realizations per maximize query");
+  args.add_int("budget", 4, "invitation budget per query");
+  args.add_int("workers", 2, "serving worker threads");
+  args.add_int("queue-depth", 64, "admission queue capacity");
+  args.add_double("duration", 2.0, "seconds of open-loop traffic per load");
+  args.add_string("loads", "0.25,0.5,1.0,2.0,4.0",
+                  "offered load multipliers of calibrated capacity");
+  args.add_int("deadline-ms", 0,
+               "default per-query deadline in ms (0 = none)");
+  args.add_int("seed", 20190707, "rng seed for graph, pairs, and arrivals");
+  args.add_flag("json", "write BENCH_serving.json");
+  args.add_string("out", "BENCH_serving.json", "json output path");
+  if (!args.parse(argc, argv)) return 1;
+
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  const Graph graph =
+      barabasi_albert(static_cast<NodeId>(args.get_int("nodes")),
+                      static_cast<NodeId>(args.get_int("attach")), rng)
+          .build(WeightScheme::inverse_degree());
+  const auto pairs =
+      valid_pairs(graph, static_cast<std::size_t>(args.get_int("pairs")));
+  if (pairs.size() < 2) {
+    std::fprintf(stderr, "graph yields too few valid pairs\n");
+    return 1;
+  }
+  const ZipfPairs zipf(pairs.size(), args.get_double("zipf-s"));
+
+  PlannerOptions opts;
+  opts.threads = 2;
+  opts.async_workers = static_cast<std::size_t>(args.get_int("workers"));
+  opts.async_queue_depth =
+      static_cast<std::size_t>(args.get_int("queue-depth"));
+  if (args.get_int("deadline-ms") > 0) {
+    opts.default_deadline = std::chrono::milliseconds(
+        args.get_int("deadline-ms"));
+  }
+  const MaximizeSpec mode{
+      .budget = static_cast<std::size_t>(args.get_int("budget")),
+      .realizations =
+          static_cast<std::uint64_t>(args.get_int("realizations"))};
+
+  // --- Calibration: mean cold service time over a few distinct pairs.
+  double capacity_qps;
+  {
+    Planner calib(graph, opts);
+    const std::size_t n = std::min<std::size_t>(5, pairs.size());
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)calib.plan({pairs[i].first, pairs[i].second, mode});
+    }
+    const double mean_service =
+        std::chrono::duration<double>(Clock::now() - t0).count() /
+        static_cast<double>(n);
+    capacity_qps = static_cast<double>(opts.async_workers) /
+                   std::max(mean_service, 1e-6);
+  }
+  std::printf("# capacity ≈ %.0f q/s (%zu workers, depth %zu)\n",
+              capacity_qps, opts.async_workers, opts.async_queue_depth);
+
+  const double duration_s = args.get_double("duration");
+  std::vector<LoadPoint> points;
+  for (const double mult : parse_double_list(args.get_string("loads"))) {
+    const double rate = mult * capacity_qps;
+    Planner planner(graph, opts);
+    Rng arrivals = rng.fork();
+
+    std::vector<std::future<PlanResult>> futures;
+    futures.reserve(static_cast<std::size_t>(rate * duration_s) + 16);
+    const auto start = Clock::now();
+    const auto end = start + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(duration_s));
+    auto next_arrival = start;
+    while (next_arrival < end) {
+      std::this_thread::sleep_until(next_arrival);
+      const auto [s, t] = pairs[zipf.draw(arrivals)];
+      futures.push_back(planner.plan_async({s, t, mode}));
+      // Exponential inter-arrival gap: open-loop Poisson process.
+      const double gap_s =
+          -std::log(1.0 - arrivals.uniform()) / std::max(rate, 1.0);
+      next_arrival += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(gap_s));
+    }
+
+    LoadPoint pt;
+    pt.offered_qps = rate;
+    std::vector<double> latencies_us;
+    latencies_us.reserve(futures.size());
+    for (auto& f : futures) {
+      const PlanResult r = f.get();
+      if (r.status == PlanStatus::kOverloaded ||
+          r.status == PlanStatus::kDeadlineExceeded) {
+        continue;
+      }
+      latencies_us.push_back(r.timings.async_seconds * 1e6);
+    }
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    const ServingStats stats = planner.serving_stats();
+    std::sort(latencies_us.begin(), latencies_us.end());
+    pt.submitted = stats.submitted + stats.rejected_overloaded;
+    pt.completed = stats.completed + stats.coalesced;
+    pt.rejected_overloaded = stats.rejected_overloaded;
+    pt.coalesced = stats.coalesced;
+    pt.expired_deadline = stats.expired_deadline;
+    pt.achieved_qps = static_cast<double>(pt.completed) / wall;
+    pt.p50_us = percentile(latencies_us, 0.50);
+    pt.p99_us = percentile(latencies_us, 0.99);
+    pt.p999_us = percentile(latencies_us, 0.999);
+    points.push_back(pt);
+
+    std::printf(
+        "load %.2fx  offered %8.0f q/s  achieved %8.0f q/s  "
+        "p50 %8.0f us  p99 %8.0f us  p999 %8.0f us  "
+        "rej %llu  coal %llu  exp %llu\n",
+        mult, pt.offered_qps, pt.achieved_qps, pt.p50_us, pt.p99_us,
+        pt.p999_us,
+        static_cast<unsigned long long>(pt.rejected_overloaded),
+        static_cast<unsigned long long>(pt.coalesced),
+        static_cast<unsigned long long>(pt.expired_deadline));
+  }
+
+  if (args.get_flag("json")) {
+    // Summary fields mirror the saturated (last) load point; the sweep
+    // rides along under "load_points". CI greps the summary keys.
+    const LoadPoint& sat = points.back();
+    std::ofstream out(args.get_string("out"));
+    out << "{\n";
+    out << "  \"benchmark\": \"bench_serving\",\n";
+    out << "  \"capacity_qps\": " << capacity_qps << ",\n";
+    out << "  \"workers\": " << opts.async_workers << ",\n";
+    out << "  \"queue_depth\": " << opts.async_queue_depth << ",\n";
+    out << "  \"latency_p50_us\": " << sat.p50_us << ",\n";
+    out << "  \"latency_p99_us\": " << sat.p99_us << ",\n";
+    out << "  \"latency_p999_us\": " << sat.p999_us << ",\n";
+    out << "  \"throughput_qps\": " << sat.achieved_qps << ",\n";
+    out << "  \"rejected_overloaded\": " << sat.rejected_overloaded << ",\n";
+    out << "  \"coalesced\": " << sat.coalesced << ",\n";
+    out << "  \"expired_deadline\": " << sat.expired_deadline << ",\n";
+    out << "  \"load_points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const LoadPoint& p = points[i];
+      out << "    {\"offered_qps\": " << p.offered_qps
+          << ", \"achieved_qps\": " << p.achieved_qps
+          << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
+          << ", \"p999_us\": " << p.p999_us
+          << ", \"submitted\": " << p.submitted
+          << ", \"completed\": " << p.completed
+          << ", \"rejected_overloaded\": " << p.rejected_overloaded
+          << ", \"coalesced\": " << p.coalesced
+          << ", \"expired_deadline\": " << p.expired_deadline << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    std::printf("# wrote %s\n", args.get_string("out").c_str());
+  }
+  return 0;
+}

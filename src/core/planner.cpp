@@ -1,7 +1,10 @@
 #include "core/planner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
+#include <thread>
 #include <type_traits>
 #include <utility>
 
@@ -11,6 +14,7 @@
 #include "diffusion/instance.hpp"
 #include "diffusion/path_arena.hpp"
 #include "diffusion/realization.hpp"
+#include "util/mpmc_queue.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -43,6 +47,9 @@ const char* to_string(PlanStatus status) {
     case PlanStatus::kTargetUnreachable: return "target-unreachable";
     case PlanStatus::kPmaxBelowDetection: return "pmax-below-detection";
     case PlanStatus::kInternalError: return "internal-error";
+    case PlanStatus::kOverloaded: return "overloaded";
+    case PlanStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case PlanStatus::kShutdown: return "shutdown";
   }
   return "?";
 }
@@ -87,6 +94,67 @@ struct Planner::PairCache {
   }
 };
 
+/// The plan_async serving layer (DESIGN.md §10): a bounded,
+/// priority/deadline-ordered admission queue drained by dedicated worker
+/// threads. Workers run Planner::plan(), so the whole struct is torn down
+/// (queue drained, workers joined) at the *top* of ~Planner, while every
+/// other member is still alive.
+struct Planner::AsyncServer {
+  using Clock = std::chrono::steady_clock;
+
+  /// One admitted query: the spec, its promise, and the scheduling
+  /// metadata the queue orders by. The effective deadline is resolved at
+  /// admission (spec deadline, else options.default_deadline, else none)
+  /// so dequeue ordering needs no clock or options access.
+  struct Task {
+    QuerySpec spec;
+    std::promise<PlanResult> promise;
+    Clock::time_point submitted{};
+    Clock::time_point deadline = Clock::time_point::max();
+    std::uint64_t seq = 0;
+  };
+  using TaskPtr = std::unique_ptr<Task>;
+
+  /// Dequeue order: higher priority first, then earlier deadline, then
+  /// admission order. The seq tiebreak makes the order total, so two
+  /// runs that admit the same set of tasks dequeue them identically.
+  struct Order {
+    bool operator()(const TaskPtr& a, const TaskPtr& b) const {
+      if (a->spec.priority != b->spec.priority) {
+        return a->spec.priority > b->spec.priority;
+      }
+      if (a->deadline != b->deadline) return a->deadline < b->deadline;
+      return a->seq < b->seq;
+    }
+  };
+
+  explicit AsyncServer(std::size_t depth) : queue(depth) {}
+
+  MpmcQueue<TaskPtr, Order> queue;
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> next_seq{0};
+
+  // Cumulative counters behind serving_stats(). Relaxed atomics: they
+  // are telemetry, ordered by nothing.
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected_overloaded{0};
+  std::atomic<std::uint64_t> expired_deadline{0};
+  std::atomic<std::uint64_t> coalesced{0};
+  std::atomic<std::uint64_t> resolved_shutdown{0};
+
+  /// Stamps the async timing fields and fulfils one task's promise.
+  static void fulfil(Task& task, PlanResult result,
+                     Clock::time_point dequeued) {
+    const Clock::time_point now = Clock::now();
+    result.timings.queue_seconds =
+        std::chrono::duration<double>(dequeued - task.submitted).count();
+    result.timings.async_seconds =
+        std::chrono::duration<double>(now - task.submitted).count();
+    task.promise.set_value(std::move(result));
+  }
+};
+
 Planner::Planner(const Graph& graph, PlannerOptions options)
     : graph_(&graph),
       options_(options),
@@ -120,7 +188,142 @@ Planner::Planner(const Graph& graph, PlannerOptions options)
   }
 }
 
-Planner::~Planner() = default;
+Planner::~Planner() {
+  // Serving shutdown, before any member dies (workers run plan(), which
+  // reaches the caches, the index replicas and the lazy pools):
+  //  1. drain the admission queue — closes it and removes every task not
+  //     yet dequeued, so workers finish only what they already hold;
+  //  2. resolve the drained tasks with kShutdown (no future ever
+  //     dangles);
+  //  3. join the workers — in-flight queries run to completion and
+  //     fulfil their futures normally.
+  // No lock on mu_: if server_ exists, the plan_async that created it
+  // happened-before this destructor (the caller owns the planner).
+  if (server_) {
+    std::vector<AsyncServer::TaskPtr> undequeued;
+    server_->queue.drain(undequeued);
+    const auto now = AsyncServer::Clock::now();
+    for (AsyncServer::TaskPtr& task : undequeued) {
+      PlanResult r;
+      r.status = PlanStatus::kShutdown;
+      r.message = "planner destroyed before the query ran";
+      AsyncServer::fulfil(*task, std::move(r), now);
+    }
+    server_->resolved_shutdown.fetch_add(undequeued.size(),
+                                         std::memory_order_relaxed);
+    for (std::thread& w : server_->workers) w.join();
+  }
+}
+
+Planner::AsyncServer& Planner::server() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!server_) {
+    server_ = std::make_unique<AsyncServer>(options_.async_queue_depth);
+    std::size_t workers = options_.async_workers;
+    if (workers == 0) workers = options_.threads;
+    if (workers == 0) {
+      workers = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    }
+    server_->workers.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      // server_ is fully constructed before the first spawn, and thread
+      // creation happens-before the worker body: serve_loop may read
+      // server_ without mu_.
+      server_->workers.emplace_back([this] { serve_loop(); });
+    }
+  }
+  return *server_;
+}
+
+std::future<PlanResult> Planner::plan_async(QuerySpec query) {
+  AsyncServer& srv = server();
+  const auto now = AsyncServer::Clock::now();
+  auto task = std::make_unique<AsyncServer::Task>();
+  task->spec = std::move(query);
+  task->submitted = now;
+  task->deadline = task->spec.deadline;
+  if (task->deadline == AsyncServer::Clock::time_point::max() &&
+      options_.default_deadline.count() > 0) {
+    task->deadline = now + options_.default_deadline;
+  }
+  task->seq = srv.next_seq.fetch_add(1, std::memory_order_relaxed);
+  std::future<PlanResult> future = task->promise.get_future();
+  if (srv.queue.try_push(std::move(task))) {
+    srv.submitted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Structured backpressure: the queue bound was hit (or the planner is
+    // shutting down and the queue is closed). try_push left the task with
+    // us, so resolve its future right here — admission never blocks and
+    // never loses a future.
+    srv.rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+    PlanResult r;
+    r.status = PlanStatus::kOverloaded;
+    r.message = "admission queue full (depth " +
+                std::to_string(srv.queue.capacity()) +
+                "): resubmit later or shed load";
+    AsyncServer::fulfil(*task, std::move(r), now);
+  }
+  return future;
+}
+
+void Planner::serve_loop() {
+  AsyncServer& srv = *server_;
+  AsyncServer::TaskPtr task;
+  std::vector<AsyncServer::TaskPtr> duplicates;
+  while (srv.queue.pop(task)) {
+    const auto dequeued = AsyncServer::Clock::now();
+    if (dequeued >= task->deadline) {
+      // Expired while queued: short-circuit before any engine or sampler
+      // work — and before a pair cache exists for the pair (plan() is
+      // never entered, cache_stats().entries does not grow).
+      srv.expired_deadline.fetch_add(1, std::memory_order_relaxed);
+      PlanResult r;
+      r.status = PlanStatus::kDeadlineExceeded;
+      r.message = "deadline passed while queued";
+      AsyncServer::fulfil(*task, std::move(r), dequeued);
+      continue;
+    }
+    // Pair-affinity coalescing: claim every queued duplicate — same
+    // (s,t), equal mode — and serve them all from this one execution.
+    // Scheduling metadata may differ (a duplicate only gets its answer
+    // sooner than its own slot would have given it); the answer itself is
+    // spec-determined, so one result fits all.
+    duplicates.clear();
+    srv.queue.extract_if(
+        [&](const AsyncServer::TaskPtr& other) {
+          return other->spec.s == task->spec.s &&
+                 other->spec.t == task->spec.t &&
+                 other->spec.mode == task->spec.mode;
+        },
+        duplicates);
+    PlanResult result = plan(task->spec);
+    srv.completed.fetch_add(1, std::memory_order_relaxed);
+    srv.coalesced.fetch_add(duplicates.size(), std::memory_order_relaxed);
+    for (AsyncServer::TaskPtr& dup : duplicates) {
+      AsyncServer::fulfil(*dup, result, dequeued);
+    }
+    AsyncServer::fulfil(*task, std::move(result), dequeued);
+  }
+}
+
+ServingStats Planner::serving_stats() const {
+  ServingStats out;
+  out.queue_depth = options_.async_queue_depth;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!server_) return out;
+  out.submitted = server_->submitted.load(std::memory_order_relaxed);
+  out.completed = server_->completed.load(std::memory_order_relaxed);
+  out.rejected_overloaded =
+      server_->rejected_overloaded.load(std::memory_order_relaxed);
+  out.expired_deadline =
+      server_->expired_deadline.load(std::memory_order_relaxed);
+  out.coalesced = server_->coalesced.load(std::memory_order_relaxed);
+  out.resolved_shutdown =
+      server_->resolved_shutdown.load(std::memory_order_relaxed);
+  out.queued = server_->queue.size();
+  out.workers = server_->workers.size();
+  return out;
+}
 
 std::uint64_t Planner::derive_pool_seed(std::uint64_t base_seed, NodeId s,
                                         NodeId t) {
@@ -261,6 +464,16 @@ void Planner::settle_cache_charge(std::uint64_t key,
 
 PlanResult Planner::plan(const QuerySpec& query) {
   PlanResult out;
+  if (query.deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= query.deadline) {
+    // Same semantics on every entry point: an expired query is refused
+    // before any validation, engine, or sampler work — and before a pair
+    // cache is created. (plan_async additionally catches expiry at
+    // dequeue, so a queued-past-its-deadline query never reaches here.)
+    out.status = PlanStatus::kDeadlineExceeded;
+    out.message = "deadline already passed";
+    return out;
+  }
   if (auto error = validate(query)) {
     out.status = PlanStatus::kInvalidSpec;
     out.message = *error;

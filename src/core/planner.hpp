@@ -7,6 +7,15 @@
 //   Planner planner(graph);
 //   PlanResult r = planner.plan({s, t, MinimizeSpec{.alpha = 0.3}});
 //   std::vector<PlanResult> rs = planner.plan_batch(queries);
+//   std::future<PlanResult> f = planner.plan_async({s, t, spec});
+//
+// plan() and plan_batch() are the experiment surface (synchronous,
+// barrier-style); plan_async() is the serving surface (DESIGN.md §10): a
+// bounded admission queue with structured backpressure (kOverloaded),
+// deadline/priority-aware dequeue ordering with expired-query
+// short-circuiting (kDeadlineExceeded), duplicate-pair coalescing, and
+// drain-safe shutdown (outstanding futures resolve with kShutdown).
+// All three produce bit-identical answers for the same spec.
 //
 // A QuerySpec is (s, t, mode) where mode is either a MinimizeSpec
 // (Problem 1 / RAF: smallest set reaching α·p_max) or a MaximizeSpec
@@ -56,7 +65,9 @@
 // second, dedicated pool.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -95,6 +106,10 @@ struct MinimizeSpec {
   CoverSolverKind solver = CoverSolverKind::kGreedy;
   /// Run the local-search shrink pass after the solver.
   bool local_search = true;
+
+  /// Memberwise equality — the coalescing key for plan_async (two queued
+  /// queries on the same pair with equal modes share one execution).
+  friend bool operator==(const MinimizeSpec&, const MinimizeSpec&) = default;
 };
 
 /// Budgeted extension: maximize f(I) subject to |I| ≤ budget.
@@ -103,13 +118,32 @@ struct MaximizeSpec {
   std::size_t budget = 10;
   /// Realizations read from the pair's pool to build the path family.
   std::uint64_t realizations = 50'000;
+
+  /// Memberwise equality — the coalescing key for plan_async.
+  friend bool operator==(const MaximizeSpec&, const MaximizeSpec&) = default;
 };
 
-/// One query: the (s,t) pair plus the problem mode.
+/// One query: the (s,t) pair plus the problem mode, and — for the serving
+/// path — scheduling metadata. Scheduling fields never influence the
+/// *answer* (that is a pure function of graph/options/s/t/mode under the
+/// counter-stream contract); they only decide whether and when the query
+/// runs.
 struct QuerySpec {
   NodeId s = 0;
   NodeId t = 0;
   std::variant<MinimizeSpec, MaximizeSpec> mode = MinimizeSpec{};
+
+  /// Absolute completion deadline. A query whose deadline has passed
+  /// short-circuits to kDeadlineExceeded before any engine or sampler
+  /// work (and before a pair cache is even created). max() = none.
+  /// plan_async additionally applies PlannerOptions::default_deadline at
+  /// admission when this is left at max().
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  /// Dequeue priority for plan_async: higher runs sooner; ties dequeue by
+  /// earlier deadline, then admission order. Ignored by plan/plan_batch.
+  std::int32_t priority = 0;
 };
 
 /// Structured outcome classification; kOk is the only success.
@@ -127,6 +161,16 @@ enum class PlanStatus {
   kPmaxBelowDetection,
   /// An engine violated a contract; message carries the exception text.
   kInternalError,
+  /// plan_async only: the admission queue was full — structured
+  /// backpressure, returned immediately (the submission never blocks and
+  /// no work was done). Resubmit later or shed load upstream.
+  kOverloaded,
+  /// The query's deadline passed before it ran; it was short-circuited
+  /// without touching the samplers or creating a pair cache.
+  kDeadlineExceeded,
+  /// plan_async only: the planner was destroyed before this query ran.
+  /// Every outstanding future resolves with this — none dangle.
+  kShutdown,
 };
 
 /// Short stable name ("ok", "invalid-spec", …) for logs and tables.
@@ -146,6 +190,12 @@ struct StageTimings {
   /// Pool samples reused vs newly drawn for this query.
   std::uint64_t pool_reused = 0;
   std::uint64_t pool_sampled = 0;
+  /// plan_async only: admission → dequeue wait in the admission queue.
+  double queue_seconds = 0.0;
+  /// plan_async only: admission → promise fulfilment, i.e. the end-to-end
+  /// latency the submitter observes (stamped by the serving worker, so
+  /// load harnesses need no completion-side clock of their own).
+  double async_seconds = 0.0;
 };
 
 /// Result of one query: status + invitation set + diagnostics.
@@ -201,6 +251,17 @@ struct PlannerOptions {
   /// or under AF_NUMA=off; bit-identical everywhere (the counter-stream
   /// contract makes placement invisible to results).
   bool numa_replicate = true;
+  /// Serving workers draining the plan_async admission queue (0 = the
+  /// resolved `threads` count). Started lazily on the first plan_async.
+  std::size_t async_workers = 0;
+  /// Capacity of the plan_async admission queue. When it is full,
+  /// plan_async resolves immediately with kOverloaded — admission never
+  /// blocks, so the queue bound IS the overload policy (DESIGN.md §10).
+  std::size_t async_queue_depth = 1024;
+  /// Deadline applied at admission to plan_async queries that carry none
+  /// of their own (QuerySpec::deadline == max()). Zero = no default:
+  /// deadline-less queries never expire.
+  std::chrono::nanoseconds default_deadline{0};
 };
 
 /// Telemetry snapshot of the planner's memory governor (DESIGN.md §8).
@@ -227,6 +288,33 @@ struct PlannerCacheStats {
   std::size_t index_replicas = 0;
   /// The batched-kernel level the index dispatches to (DESIGN.md §9).
   SimdLevel index_simd = SimdLevel::kScalar;
+};
+
+/// Telemetry snapshot of the async serving layer (DESIGN.md §10). All
+/// counters are cumulative since construction; every submitted query is
+/// accounted exactly once as completed, rejected_overloaded,
+/// expired_deadline, resolved_shutdown, or coalesced (or is still queued
+/// / in flight).
+struct ServingStats {
+  /// plan_async calls accepted into the admission queue.
+  std::uint64_t submitted = 0;
+  /// Queries that ran to a PlanResult (any status plan() can produce).
+  std::uint64_t completed = 0;
+  /// Admissions refused because the queue was at capacity (kOverloaded).
+  std::uint64_t rejected_overloaded = 0;
+  /// Queries whose deadline passed before they ran (kDeadlineExceeded).
+  std::uint64_t expired_deadline = 0;
+  /// Queued duplicates served from another query's execution: same
+  /// (s,t) pair, equal mode — each saved a full pipeline run.
+  std::uint64_t coalesced = 0;
+  /// Futures resolved with kShutdown at destruction.
+  std::uint64_t resolved_shutdown = 0;
+  /// Tasks admitted but not yet dequeued, at snapshot time.
+  std::size_t queued = 0;
+  /// Serving workers (0 until the first plan_async starts them).
+  std::size_t workers = 0;
+  /// The configured admission-queue capacity.
+  std::size_t queue_depth = 0;
 };
 
 /// The facade. Thread-safe: plan() may be called concurrently (that is
@@ -261,6 +349,23 @@ class Planner {
   /// bit-identical to sequential plan() calls.
   std::vector<PlanResult> plan_batch(std::span<const QuerySpec> queries);
 
+  /// The serving path (DESIGN.md §10): submits `query` to the bounded
+  /// admission queue and returns a future for its result. Never blocks:
+  /// a full queue resolves the future immediately with kOverloaded.
+  /// Serving workers dequeue by (priority desc, deadline asc, admission
+  /// order), short-circuit expired queries to kDeadlineExceeded without
+  /// touching the samplers, and coalesce queued duplicates (same pair,
+  /// equal mode) into one execution. Answers are bit-identical to
+  /// sequential plan() calls for the same spec — arrival order,
+  /// interleaving, coalescing and worker count are invisible to results.
+  /// Every returned future resolves, even if the planner is destroyed
+  /// first (then with kShutdown).
+  std::future<PlanResult> plan_async(QuerySpec query);
+
+  /// Cumulative serving-layer counters (admissions, rejections, expiries,
+  /// coalesced executions) and the current queue/worker configuration.
+  ServingStats serving_stats() const;
+
   /// Drops every per-pair cache entry, releasing its memory. Safe to
   /// call concurrently with plan(): in-flight queries keep their entry
   /// alive (shared ownership), but the entry's pooled storage is
@@ -288,9 +393,17 @@ class Planner {
 
  private:
   struct PairCache;
+  struct AsyncServer;
 
   /// Packs (s,t) into the 64-bit pair key. NodeId must fit 32 bits.
   static std::uint64_t pair_key(NodeId s, NodeId t);
+
+  /// Lazily starts the admission queue + serving workers (first
+  /// plan_async) and returns the server. Workers call plan(), so the
+  /// server must stop before any other member is torn down.
+  AsyncServer& server();
+  /// Serving-worker body: pop → expiry check → coalesce → plan → fulfil.
+  void serve_loop();
 
   std::shared_ptr<PairCache> cache_for(NodeId s, NodeId t);
   /// Re-states the pair's charge from its actual retained bytes and
@@ -343,6 +456,11 @@ class Planner {
   SizedLru<std::uint64_t, std::shared_ptr<PairCache>> cache_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ThreadPool> sample_pool_;
+  /// The plan_async admission queue + serving workers (created lazily
+  /// under mu_). Declared last and additionally shut down explicitly at
+  /// the top of ~Planner: its workers run plan(), which reaches every
+  /// member above — they must be joined while those members are alive.
+  std::unique_ptr<AsyncServer> server_;
 };
 
 }  // namespace af

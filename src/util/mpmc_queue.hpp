@@ -1,0 +1,156 @@
+// A bounded multi-producer/multi-consumer admission queue with explicit
+// backpressure and pluggable dequeue ordering (util layer: no dependency
+// above it).
+//
+// Built for serving admission control (core/planner's plan_async,
+// DESIGN.md §10), where the queue IS the overload policy:
+//
+//  - Bounded + non-blocking admission: try_push never blocks and never
+//    grows the queue past its capacity — a full queue is a *structured*
+//    rejection the producer reports upstream, not a hidden stall. There
+//    is deliberately no blocking push.
+//  - Ordered dequeue: Compare is a strict-weak order and pop always
+//    removes the Compare-least element, so "less" means "served sooner".
+//    The default std::less<T> makes an int queue pop ascending; the
+//    planner orders tasks by (priority, deadline, admission sequence).
+//    FIFO is the special case of comparing admission sequence numbers.
+//  - Coalescing support: extract_if removes every queued element
+//    matching a predicate in one critical section, so a consumer that
+//    just dequeued a task can claim its queued duplicates and serve them
+//    all from one execution.
+//  - Two-phase shutdown: close() stops admission but lets consumers
+//    drain what was admitted; drain(out) additionally removes everything
+//    still queued so the owner can resolve those items itself (e.g.
+//    fulfil their promises with a shutdown status). After close(), pop
+//    returns false once the queue is empty — consumers use that as the
+//    exit signal.
+//
+// A mutex + condition_variable around a std::multiset is deliberate: the
+// elements this queue carries are coarse (a serving task costs
+// milliseconds; a queue operation costs nanoseconds), so lock-free
+// cleverness would buy nothing and cost auditability — the same trade
+// util/thread_pool makes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace af {
+
+/// Bounded MPMC queue; pop returns the Compare-least element first.
+template <typename T, typename Compare = std::less<T>>
+class MpmcQueue {
+ public:
+  /// A queue that admits at most `capacity` (> 0) undequeued elements.
+  explicit MpmcQueue(std::size_t capacity, Compare compare = Compare{})
+      : capacity_(capacity), items_(std::move(compare)) {
+    AF_EXPECTS(capacity > 0, "MpmcQueue capacity must be positive");
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Admits `item` unless the queue is full or closed. Returns whether the
+  /// item was admitted; on failure `item` is left untouched (the caller
+  /// still owns it and reports the rejection upstream). Never blocks.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.insert(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available or the queue is closed and
+  /// empty. Returns true with the Compare-least element moved into `out`,
+  /// or false when the queue is closed and fully drained (the consumer's
+  /// exit signal).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.extract(items_.begin()).value());
+    return true;
+  }
+
+  /// Removes every queued element matching `pred` and appends them to
+  /// `out` (in dequeue order). One critical section: a consumer claiming
+  /// duplicates of the task it just popped sees a consistent snapshot.
+  /// Returns how many elements were extracted.
+  template <typename Pred>
+  std::size_t extract_if(Pred pred, std::vector<T>& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t taken = 0;
+    for (auto it = items_.begin(); it != items_.end();) {
+      if (pred(*it)) {
+        auto node = items_.extract(it++);
+        out.push_back(std::move(node.value()));
+        ++taken;
+      } else {
+        ++it;
+      }
+    }
+    return taken;
+  }
+
+  /// Stops admission (try_push fails from now on) but keeps queued
+  /// elements for consumers to drain; wakes every waiting pop.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// close() + removes everything still queued into `out`, so the owner
+  /// can resolve the undequeued items itself. Consumers blocked in pop
+  /// wake and return false. Returns how many elements were drained.
+  std::size_t drain(std::vector<T>& out) {
+    std::size_t taken = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.extract(items_.begin()).value()));
+        ++taken;
+      }
+    }
+    cv_.notify_all();
+    return taken;
+  }
+
+  /// Elements currently queued (admitted, not yet popped).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// multiset, not a binary heap: pop and extract_if both need ordered
+  /// removal from arbitrary positions, and node extraction moves the
+  /// element out without copying.
+  std::multiset<T, Compare> items_;
+  bool closed_ = false;
+};
+
+}  // namespace af

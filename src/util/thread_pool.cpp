@@ -23,13 +23,22 @@ ThreadPool::ThreadPool(std::size_t threads, ThreadPoolOptions opts) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(DrainPolicy::kDrain); }
+
+void ThreadPool::shutdown(DrainPolicy policy) {
+  std::deque<std::function<void()>> discarded;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
+    if (policy == DrainPolicy::kDiscard) discarded.swap(queue_);
   }
   cv_.notify_all();
+  // Destroy discarded tasks outside the lock: a packaged_task destroyed
+  // unfulfilled stores broken_promise into its future, which may wake a
+  // waiter immediately.
+  discarded.clear();
   for (std::thread& w : workers_) w.join();
+  workers_.clear();  // idempotent: a second shutdown has nothing to join
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {

@@ -32,6 +32,18 @@ struct ThreadPoolOptions {
   bool pin_numa = false;
 };
 
+/// What happens to queued-but-unstarted tasks when the pool shuts down.
+enum class DrainPolicy {
+  /// Workers run every queued task before exiting (the historical
+  /// destructor behavior): every future gets its real result.
+  kDrain,
+  /// Queued tasks are destroyed without running. A packaged_task
+  /// destroyed unfulfilled stores std::future_error{broken_promise} into
+  /// its future, so discarded futures still resolve (exceptionally) —
+  /// none dangle. Tasks already started run to completion either way.
+  kDiscard,
+};
+
 /// Fixed-size FIFO thread pool. Construction spawns the workers; the
 /// destructor drains the queue, then joins them.
 class ThreadPool {
@@ -43,10 +55,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Runs every queued task, then joins the workers.
+  /// Runs every queued task, then joins the workers (= shutdown(kDrain)).
   ~ThreadPool();
 
-  /// Number of worker threads.
+  /// Explicit, idempotent shutdown: stops admission (submit afterwards
+  /// violates the precondition), resolves the queue per `policy`, and
+  /// joins the workers. Lets owners of layered teardown sequences (the
+  /// Planner's serving shutdown, DESIGN.md §10) stop a pool at a chosen
+  /// point instead of at member-destruction order — and kDiscard bounds
+  /// shutdown latency by in-flight work only, not queue depth.
+  void shutdown(DrainPolicy policy = DrainPolicy::kDrain);
+
+  /// Number of live worker threads (0 after shutdown).
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueues `fn` and returns a future for its result. The future also

@@ -1,0 +1,159 @@
+#include "util/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace af {
+namespace {
+
+TEST(MpmcQueue, PopsInCompareOrderNotInsertionOrder) {
+  MpmcQueue<int> q(8);
+  for (int v : {5, 1, 4, 2, 3}) EXPECT_TRUE(q.try_push(std::move(v)));
+  int out = 0;
+  for (int expect = 1; expect <= 5; ++expect) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, expect);
+  }
+}
+
+/// Orders owned ints by value — the planner's TaskPtr idiom in miniature.
+struct PtrLess {
+  bool operator()(const std::unique_ptr<int>& a,
+                  const std::unique_ptr<int>& b) const {
+    return *a < *b;
+  }
+};
+
+TEST(MpmcQueue, TryPushRefusesAtCapacityAndLeavesItemIntact) {
+  MpmcQueue<std::unique_ptr<int>, PtrLess> q(2);
+  auto item = std::make_unique<int>(1);
+  EXPECT_TRUE(q.try_push(std::move(item)));
+  item = std::make_unique<int>(2);
+  EXPECT_TRUE(q.try_push(std::move(item)));
+  // Full: the push fails and the caller still owns the item, unmoved.
+  item = std::make_unique<int>(3);
+  EXPECT_FALSE(q.try_push(std::move(item)));
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(*item, 3);
+  EXPECT_EQ(q.size(), 2u);
+
+  // A pop frees a slot; admission works again.
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(*out, 1);
+  EXPECT_TRUE(q.try_push(std::move(item)));
+}
+
+TEST(MpmcQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(MpmcQueue<int>(0), precondition_error);
+}
+
+TEST(MpmcQueue, CloseRefusesAdmissionButDrainsQueued) {
+  MpmcQueue<int> q(4);
+  int v = 7;
+  EXPECT_TRUE(q.try_push(std::move(v)));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  v = 8;
+  EXPECT_FALSE(q.try_push(std::move(v)));
+  // Queued elements remain poppable after close; then pop reports end.
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(MpmcQueue, DrainClosesAndReturnsUndequeuedElements) {
+  MpmcQueue<int> q(8);
+  for (int v : {3, 1, 2}) EXPECT_TRUE(q.try_push(std::move(v)));
+  std::vector<int> leftover;
+  EXPECT_EQ(q.drain(leftover), 3u);
+  EXPECT_EQ(leftover, (std::vector<int>{1, 2, 3}));  // dequeue order
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.size(), 0u);
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(MpmcQueue, CloseWakesBlockedConsumers) {
+  MpmcQueue<int> q(4);
+  std::thread consumer([&q] {
+    int out = 0;
+    EXPECT_FALSE(q.pop(out));  // blocks until close, then reports end
+  });
+  // Give the consumer time to block; close must wake it either way.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(MpmcQueue, ExtractIfRemovesMatchesInDequeueOrder) {
+  MpmcQueue<int> q(16);
+  for (int v : {9, 2, 7, 4, 5, 6}) EXPECT_TRUE(q.try_push(std::move(v)));
+  std::vector<int> evens;
+  EXPECT_EQ(q.extract_if([](int v) { return v % 2 == 0; }, evens), 3u);
+  EXPECT_EQ(evens, (std::vector<int>{2, 4, 6}));
+  EXPECT_EQ(q.size(), 3u);
+  int out = 0;
+  for (int expect : {5, 7, 9}) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2'000;
+  MpmcQueue<std::uint64_t> q(64);
+
+  std::atomic<std::uint64_t> accepted_sum{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::uint64_t v =
+            static_cast<std::uint64_t>(p) * kPerProducer + i + 1;
+        if (q.try_push(std::move(v))) {
+          accepted_sum.fetch_add(v, std::memory_order_relaxed);
+        } else {
+          // Bounded queue under open-loop load: rejection is expected,
+          // loss is not.
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::atomic<std::uint64_t> popped_sum{0};
+  std::atomic<std::uint64_t> popped_count{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::uint64_t out = 0;
+      while (q.pop(out)) {
+        popped_sum.fetch_add(out, std::memory_order_relaxed);
+        popped_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  // Conservation: everything accepted was popped exactly once.
+  EXPECT_EQ(popped_sum.load(), accepted_sum.load());
+  EXPECT_EQ(popped_count.load() + rejected.load(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,193 @@
+// The serving-layer determinism battery (DESIGN.md §10): plan_async
+// answers must be byte-identical to sequential plan() for the same specs
+// — across worker counts, shuffled submission orders, and coalesced
+// duplicate-pair submissions. The counter-stream contract makes a
+// query's answer a pure function of (graph, options, spec); this suite
+// pins that the async layer's queueing, ordering, and coalescing never
+// leak into results.
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+/// A small BA graph with several valid (s,t) pairs — big enough that
+/// queries do real sampling work, small enough for tier1.
+struct ServingFixture {
+  Graph graph;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+
+  static const ServingFixture& get() {
+    static ServingFixture fx = [] {
+      ServingFixture f;
+      Rng rng(11);
+      f.graph = barabasi_albert(60, 3, rng).build(
+          WeightScheme::inverse_degree());
+      for (NodeId s = 0; s < f.graph.num_nodes() && f.pairs.size() < 4;
+           ++s) {
+        const NodeId t = f.graph.num_nodes() - 1 - s;
+        if (s == t || f.graph.has_edge(s, t)) continue;
+        f.pairs.emplace_back(s, t);
+      }
+      return f;
+    }();
+    return fx;
+  }
+};
+
+PlannerOptions serving_options(std::size_t workers) {
+  PlannerOptions opts;
+  opts.threads = 2;
+  opts.async_workers = workers;
+  opts.pmax_max_samples = 50'000;
+  return opts;
+}
+
+MinimizeSpec small_minimize(double alpha) {
+  MinimizeSpec spec;
+  spec.alpha = alpha;
+  spec.epsilon = alpha / 10.0;
+  spec.big_n = 1000.0;
+  spec.max_realizations = 4'000;
+  return spec;
+}
+
+/// The workload: mixed modes over several pairs, including exact
+/// duplicates (same pair, equal mode — the coalescing key) and distinct
+/// priorities, so shuffled submission exercises the dequeue order too.
+std::vector<QuerySpec> make_workload() {
+  const auto& fx = ServingFixture::get();
+  std::vector<QuerySpec> specs;
+  for (std::size_t p = 0; p < fx.pairs.size(); ++p) {
+    const auto [s, t] = fx.pairs[p];
+    QuerySpec min{s, t, small_minimize(0.2 + 0.1 * static_cast<double>(p))};
+    min.priority = static_cast<std::int32_t>(p) - 1;
+    specs.push_back(min);
+    specs.push_back(
+        {s, t, MaximizeSpec{.budget = 4, .realizations = 3'000}});
+  }
+  // Exact duplicates of the first two queries: coalescable submissions.
+  specs.push_back(specs[0]);
+  specs.push_back(specs[1]);
+  specs.push_back(specs[1]);
+  return specs;
+}
+
+/// Every deterministic field of a PlanResult. Timings are measurements,
+/// not results; everything else must match bit-for-bit.
+void expect_identical(const PlanResult& got, const PlanResult& want,
+                      const std::string& context) {
+  EXPECT_EQ(got.status, want.status) << context;
+  EXPECT_EQ(got.message, want.message) << context;
+  EXPECT_EQ(got.invitation.members(), want.invitation.members()) << context;
+  EXPECT_EQ(got.sample_coverage, want.sample_coverage) << context;
+  EXPECT_EQ(got.diag.l_star, want.diag.l_star) << context;
+  EXPECT_EQ(got.diag.l_used, want.diag.l_used) << context;
+  EXPECT_EQ(got.diag.type1_count, want.diag.type1_count) << context;
+  EXPECT_EQ(got.diag.coverage_target, want.diag.coverage_target) << context;
+  EXPECT_EQ(got.diag.covered, want.diag.covered) << context;
+  EXPECT_EQ(got.diag.vmax_size, want.diag.vmax_size) << context;
+  EXPECT_EQ(got.diag.pmax.estimate, want.diag.pmax.estimate) << context;
+  EXPECT_EQ(got.diag.pmax.samples_used, want.diag.pmax.samples_used)
+      << context;
+  EXPECT_EQ(got.diag.pmax.successes, want.diag.pmax.successes) << context;
+  EXPECT_EQ(got.diag.target_unreachable, want.diag.target_unreachable)
+      << context;
+  EXPECT_EQ(got.diag.pmax_below_detection, want.diag.pmax_below_detection)
+      << context;
+}
+
+TEST(ServingDeterminism, AsyncMatchesSequentialAcrossThreadsAndOrders) {
+  const auto& fx = ServingFixture::get();
+  ASSERT_GE(fx.pairs.size(), 3u);
+  const std::vector<QuerySpec> specs = make_workload();
+
+  // The oracle: a fresh planner answering sequentially.
+  std::vector<PlanResult> reference;
+  {
+    Planner planner(fx.graph, serving_options(1));
+    for (const QuerySpec& q : specs) reference.push_back(planner.plan(q));
+  }
+  // The workload must exercise real successes, or the test proves little.
+  ASSERT_GT(std::count_if(reference.begin(), reference.end(),
+                          [](const PlanResult& r) { return r.ok(); }),
+            0);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    for (std::uint64_t shuffle_seed : {0u, 1u, 2u}) {
+      // Shuffled submission order, deterministic per seed.
+      std::vector<std::size_t> order(specs.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      Rng rng(shuffle_seed);
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1],
+                  order[static_cast<std::size_t>(rng.uniform_int(i))]);
+      }
+
+      Planner planner(fx.graph, serving_options(workers));
+      std::vector<std::future<PlanResult>> futures(specs.size());
+      for (std::size_t idx : order) {
+        futures[idx] = planner.plan_async(specs[idx]);
+      }
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_TRUE(futures[i].valid());
+        const PlanResult got = futures[i].get();
+        expect_identical(got, reference[i],
+                         "spec " + std::to_string(i) + ", workers " +
+                             std::to_string(workers) + ", order seed " +
+                             std::to_string(shuffle_seed));
+      }
+      // Accounting: everything submitted was served — as an execution or
+      // as a coalesced duplicate of one — and nothing was rejected (the
+      // default queue depth dwarfs this workload).
+      const ServingStats stats = planner.serving_stats();
+      EXPECT_EQ(stats.submitted, specs.size());
+      EXPECT_EQ(stats.completed + stats.coalesced, specs.size());
+      EXPECT_EQ(stats.rejected_overloaded, 0u);
+      EXPECT_EQ(stats.expired_deadline, 0u);
+      EXPECT_EQ(stats.queued, 0u);
+    }
+  }
+}
+
+TEST(ServingDeterminism, RepeatedAsyncSubmissionIsStableAcrossPlanners) {
+  // Two independently-constructed planners serving the same workload
+  // through plan_async agree result-for-result — the serving layer adds
+  // no hidden per-planner state to answers.
+  const auto& fx = ServingFixture::get();
+  const std::vector<QuerySpec> specs = make_workload();
+
+  auto serve_all = [&](std::size_t workers) {
+    Planner planner(fx.graph, serving_options(workers));
+    std::vector<std::future<PlanResult>> futures;
+    futures.reserve(specs.size());
+    for (const QuerySpec& q : specs) {
+      futures.push_back(planner.plan_async(q));
+    }
+    std::vector<PlanResult> results;
+    results.reserve(specs.size());
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  };
+
+  const std::vector<PlanResult> a = serve_all(4);
+  const std::vector<PlanResult> b = serve_all(2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_identical(a[i], b[i], "spec " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,240 @@
+// Fault-injection tests for the serving layer (DESIGN.md §10): admission
+// overload must reject structurally (kOverloaded, immediately, no lost
+// futures), expired deadlines must short-circuit before any sampler work
+// (observable through cache_stats — no pair cache is ever created), and
+// coalesced duplicates must be served from one execution.
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Graph make_graph() {
+  Rng rng(11);
+  return barabasi_albert(60, 3, rng).build(WeightScheme::inverse_degree());
+}
+
+/// The k-th valid (s,t) pair — distinct, not already friends — scanning
+/// (s, n−1−s). The BA graph is connected, so these queries all do real
+/// sampling work.
+std::pair<NodeId, NodeId> valid_pair(const Graph& g, std::size_t k) {
+  std::size_t seen = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const NodeId t = g.num_nodes() - 1 - s;
+    if (s == t || g.has_edge(s, t)) continue;
+    if (seen++ == k) return {s, t};
+  }
+  ADD_FAILURE() << "fixture graph has fewer than " << k + 1
+                << " valid pairs";
+  return {0, 1};
+}
+
+/// A query that keeps one serving worker busy for tens of milliseconds
+/// (hundreds of thousands of backward walks), dwarfing the microseconds
+/// the test needs to stage the queue behind it.
+QuerySpec slow_plug(const Graph& g) {
+  const auto [s, t] = valid_pair(g, 0);
+  return {s, t, MaximizeSpec{.budget = 4, .realizations = 600'000}};
+}
+
+QuerySpec cheap_query(const Graph& g, std::size_t k = 1) {
+  const auto [s, t] = valid_pair(g, k);
+  return {s, t, MaximizeSpec{.budget = 4, .realizations = 2'000}};
+}
+
+/// Spins until the admission queue is empty — i.e. every submitted task
+/// has been dequeued (it may still be executing).
+void wait_until_drained(const Planner& planner) {
+  while (planner.serving_stats().queued > 0) std::this_thread::yield();
+}
+
+TEST(ServingFault, FullQueueRejectsWithStructuredOverload) {
+  const Graph g = make_graph();
+  PlannerOptions opts;
+  opts.threads = 2;
+  opts.async_workers = 1;
+  opts.async_queue_depth = 1;
+  Planner planner(g, opts);
+
+  // Stage: the single worker is pinned on the plug (wait for it to leave
+  // the queue), the depth-1 queue holds the filler. Every further
+  // admission must bounce.
+  std::future<PlanResult> plug = planner.plan_async(slow_plug(g));
+  wait_until_drained(planner);
+  std::future<PlanResult> filler = planner.plan_async(cheap_query(g, 1));
+
+  constexpr int kBurst = 50;
+  std::vector<std::future<PlanResult>> burst;
+  for (int i = 0; i < kBurst; ++i) {
+    burst.push_back(planner.plan_async(cheap_query(g, 2)));
+  }
+
+  // Rejections are immediate and structured: the futures are already
+  // resolved (no blocking happened) with kOverloaded and a message
+  // naming the depth.
+  int overloaded = 0;
+  for (auto& f : burst) {
+    ASSERT_TRUE(f.valid());
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const PlanResult r = f.get();
+    EXPECT_EQ(r.status, PlanStatus::kOverloaded);
+    EXPECT_NE(r.message.find("admission queue full"), std::string::npos);
+    EXPECT_TRUE(r.invitation.empty());
+    ++overloaded;
+  }
+  EXPECT_EQ(overloaded, kBurst);
+
+  // The admitted queries still complete normally — backpressure sheds
+  // the burst, never the work already accepted.
+  EXPECT_EQ(plug.get().status, PlanStatus::kOk);
+  EXPECT_EQ(filler.get().status, PlanStatus::kOk);
+
+  const ServingStats stats = planner.serving_stats();
+  EXPECT_EQ(stats.rejected_overloaded, static_cast<std::uint64_t>(kBurst));
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServingFault, ExpiredDeadlineShortCircuitsBeforeAnySamplerWork) {
+  const Graph g = make_graph();
+  PlannerOptions opts;
+  opts.threads = 2;
+  opts.async_workers = 2;
+  Planner planner(g, opts);
+
+  constexpr int kExpired = 8;
+  std::vector<std::future<PlanResult>> futures;
+  for (int i = 0; i < kExpired; ++i) {
+    QuerySpec q = cheap_query(g, static_cast<NodeId>(1 + i));
+    q.deadline = Clock::now() - std::chrono::milliseconds(1);
+    futures.push_back(planner.plan_async(q));
+  }
+  for (auto& f : futures) {
+    const PlanResult r = f.get();
+    EXPECT_EQ(r.status, PlanStatus::kDeadlineExceeded);
+    EXPECT_TRUE(r.invitation.empty());
+  }
+  // The short-circuit happened before the pipeline: no pair cache was
+  // created, no sample was drawn, nothing was charged.
+  const PlannerCacheStats cache = planner.cache_stats();
+  EXPECT_EQ(cache.entries, 0u);
+  EXPECT_EQ(cache.charged_bytes, 0u);
+  const ServingStats stats = planner.serving_stats();
+  EXPECT_EQ(stats.expired_deadline, static_cast<std::uint64_t>(kExpired));
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServingFault, SequentialPlanHonorsExpiredDeadlinesToo) {
+  // Same semantics on the synchronous entry point: an expired deadline is
+  // refused before validation or pair-cache creation.
+  const Graph g = make_graph();
+  Planner planner(g, PlannerOptions{.threads = 1});
+  QuerySpec q = cheap_query(g);
+  q.deadline = Clock::now() - std::chrono::seconds(1);
+  const PlanResult r = planner.plan(q);
+  EXPECT_EQ(r.status, PlanStatus::kDeadlineExceeded);
+  EXPECT_EQ(planner.cache_stats().entries, 0u);
+}
+
+TEST(ServingFault, DefaultDeadlineAppliesAtAdmission) {
+  const Graph g = make_graph();
+  PlannerOptions opts;
+  opts.threads = 1;
+  opts.async_workers = 1;
+  // A default deadline no dequeue can beat: every deadline-less query
+  // expires in the queue.
+  opts.default_deadline = std::chrono::nanoseconds(1);
+  Planner planner(g, opts);
+
+  std::future<PlanResult> f = planner.plan_async(cheap_query(g));
+  EXPECT_EQ(f.get().status, PlanStatus::kDeadlineExceeded);
+  // An explicit per-query deadline overrides the default.
+  QuerySpec generous = cheap_query(g);
+  generous.deadline = Clock::now() + std::chrono::minutes(5);
+  EXPECT_EQ(planner.plan_async(generous).get().status, PlanStatus::kOk);
+}
+
+TEST(ServingFault, QueuedDuplicatesCoalesceIntoOneExecution) {
+  const Graph g = make_graph();
+  PlannerOptions opts;
+  opts.threads = 2;
+  opts.async_workers = 1;
+  Planner planner(g, opts);
+
+  // Sequential oracle for the duplicated spec.
+  const QuerySpec dup_spec = cheap_query(g, 3);
+  PlanResult reference;
+  {
+    Planner oracle(g, opts);
+    reference = oracle.plan(dup_spec);
+    ASSERT_EQ(reference.status, PlanStatus::kOk);
+  }
+
+  // The plug occupies the single worker while the duplicates queue up
+  // behind it; the first duplicate dequeued claims the rest.
+  std::future<PlanResult> plug = planner.plan_async(slow_plug(g));
+  constexpr int kDuplicates = 6;
+  std::vector<std::future<PlanResult>> dups;
+  for (int i = 0; i < kDuplicates; ++i) {
+    dups.push_back(planner.plan_async(dup_spec));
+  }
+
+  for (auto& f : dups) {
+    const PlanResult r = f.get();
+    EXPECT_EQ(r.status, PlanStatus::kOk);
+    EXPECT_EQ(r.invitation.members(), reference.invitation.members());
+    EXPECT_EQ(r.sample_coverage, reference.sample_coverage);
+  }
+  EXPECT_EQ(plug.get().status, PlanStatus::kOk);
+
+  const ServingStats stats = planner.serving_stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kDuplicates) + 1);
+  // One execution served all duplicates: plug + one dup leader ran,
+  // the rest were claimed from the queue.
+  EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(kDuplicates) - 1);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServingFault, PriorityOrdersDequeueUnderContention) {
+  const Graph g = make_graph();
+  PlannerOptions opts;
+  opts.threads = 2;
+  opts.async_workers = 1;
+  Planner planner(g, opts);
+
+  // While the worker is pinned on the plug, queue a low-priority query
+  // before a high-priority one; the high-priority one must run first.
+  // Completion order is observable through StageTimings.queue_seconds:
+  // the earlier-dequeued query waited less.
+  std::future<PlanResult> plug = planner.plan_async(slow_plug(g));
+  QuerySpec low = cheap_query(g, 4);
+  low.priority = -10;
+  QuerySpec high = cheap_query(g, 5);
+  high.priority = 10;
+  std::future<PlanResult> low_f = planner.plan_async(low);
+  std::future<PlanResult> high_f = planner.plan_async(high);
+
+  const PlanResult low_r = low_f.get();
+  const PlanResult high_r = high_f.get();
+  EXPECT_EQ(low_r.status, PlanStatus::kOk);
+  EXPECT_EQ(high_r.status, PlanStatus::kOk);
+  EXPECT_LT(high_r.timings.queue_seconds, low_r.timings.queue_seconds);
+  (void)plug.get();
+}
+
+}  // namespace
+}  // namespace af

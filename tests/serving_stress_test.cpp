@@ -1,0 +1,228 @@
+// Stress battery for the serving layer (DESIGN.md §10), labeled `stress`
+// in ctest (run by the Release and TSan CI legs, skipped by the
+// ASan/UBSan tier1 leg to keep its wall time flat).
+//
+// The contract under stress: every future plan_async ever returned
+// resolves — with a real result, a structured rejection (kOverloaded /
+// kDeadlineExceeded), or kShutdown when the planner is destroyed first.
+// Never a dangling future, never a hang, under producer concurrency,
+// overload, mid-flight destruction, and concurrent cache clearing.
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph make_graph() {
+  Rng rng(11);
+  return barabasi_albert(60, 3, rng).build(WeightScheme::inverse_degree());
+}
+
+/// The k-th valid (s,t) pair, scanning (s, n−1−s).
+std::pair<NodeId, NodeId> valid_pair(const Graph& g, std::size_t k) {
+  std::size_t seen = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const NodeId t = g.num_nodes() - 1 - s;
+    if (s == t || g.has_edge(s, t)) continue;
+    if (seen++ == k) return {s, t};
+  }
+  return {0, 2};
+}
+
+/// A status every resolved serving future is allowed to carry.
+bool allowed_terminal(PlanStatus status) {
+  switch (status) {
+    case PlanStatus::kOk:
+    case PlanStatus::kPmaxBelowDetection:
+    case PlanStatus::kOverloaded:
+    case PlanStatus::kDeadlineExceeded:
+    case PlanStatus::kShutdown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(ServingStress, DestructionMidFlightResolvesEveryFuture) {
+  const Graph g = make_graph();
+  constexpr int kRounds = 5;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+
+  std::uint64_t shutdown_total = 0;
+  std::uint64_t ok_total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    PlannerOptions opts;
+    opts.threads = 2;
+    opts.async_workers = 2;
+    opts.async_queue_depth = 4096;  // admit everything: shutdown, not
+                                    // backpressure, is under test here
+    auto planner = std::make_unique<Planner>(g, opts);
+
+    // Producers hammer plan_async concurrently; queries are heavy enough
+    // (16k walks each) that the queue is still deep when the round's
+    // planner dies.
+    std::vector<std::vector<std::future<PlanResult>>> futures(kProducers);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        futures[p].reserve(kPerProducer);
+        for (int i = 0; i < kPerProducer; ++i) {
+          const auto [s, t] =
+              valid_pair(g, static_cast<std::size_t>((p + i) % 8));
+          QuerySpec q{s, t,
+                      MaximizeSpec{.budget = 3, .realizations = 16'000}};
+          q.priority = i % 3;
+          futures[p].push_back(planner->plan_async(q));
+        }
+      });
+    }
+    // Producers only submit (microseconds each); join them, then destroy
+    // the planner while the bulk of the round's work is still queued or
+    // executing. Outstanding futures must resolve with kShutdown, not
+    // dangle; in-flight queries finish with real results.
+    for (auto& t : producers) t.join();
+    planner.reset();
+
+    for (auto& per_producer : futures) {
+      for (auto& f : per_producer) {
+        ASSERT_TRUE(f.valid());
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "a future dangled across planner destruction";
+        const PlanResult r = f.get();
+        EXPECT_TRUE(allowed_terminal(r.status))
+            << "unexpected status " << to_string(r.status);
+        if (r.status == PlanStatus::kShutdown) ++shutdown_total;
+        if (r.status == PlanStatus::kOk) ++ok_total;
+      }
+    }
+  }
+  // The rounds genuinely exercised both sides of the race: some queries
+  // completed, some were cut off by destruction. (2 workers × ms-scale
+  // queries vs 200 submissions/round makes both overwhelmingly likely.)
+  EXPECT_GT(ok_total, 0u);
+  EXPECT_GT(shutdown_total, 0u);
+}
+
+TEST(ServingStress, OverloadChurnNeverLosesAFuture) {
+  const Graph g = make_graph();
+  PlannerOptions opts;
+  opts.threads = 2;
+  opts.async_workers = 2;
+  opts.async_queue_depth = 8;  // tiny: force constant admission churn
+  Planner planner(g, opts);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::atomic<std::uint64_t> resolved{0};
+  std::atomic<std::uint64_t> overloaded{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto [s, t] =
+            valid_pair(g, static_cast<std::size_t>((p * 3 + i) % 8));
+        QuerySpec q{s, t, MaximizeSpec{.budget = 3, .realizations = 500}};
+        // A slice of traffic carries deadlines, some already hopeless.
+        if (i % 5 == 0) {
+          q.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(i % 2 == 0 ? 0 : 500);
+        }
+        PlanResult r = planner.plan_async(q).get();
+        EXPECT_TRUE(allowed_terminal(r.status))
+            << "unexpected status " << to_string(r.status);
+        resolved.fetch_add(1, std::memory_order_relaxed);
+        if (r.status == PlanStatus::kOverloaded) {
+          overloaded.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(resolved.load(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  // Closed-loop .get() callers cap in-flight at kProducers, so with a
+  // depth-8 queue overload is possible but bounded; the accounting must
+  // balance regardless of how often it happened.
+  const ServingStats stats = planner.serving_stats();
+  EXPECT_EQ(stats.submitted + stats.rejected_overloaded,
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.coalesced + stats.expired_deadline);
+  EXPECT_EQ(stats.rejected_overloaded, overloaded.load());
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+TEST(ServingStress, ServingRacingCacheClearsStaysCoherent) {
+  // clear_caches() is documented safe against concurrent plan(); the
+  // serving workers call plan() — hammer both sides plus the stats
+  // readers and require full accounting at the end. (Primarily a TSan
+  // target: the assertions are the accounting identity, the sanitizer
+  // checks the interleavings.)
+  const Graph g = make_graph();
+  PlannerOptions opts;
+  opts.threads = 2;
+  opts.async_workers = 4;
+  Planner planner(g, opts);
+
+  std::atomic<bool> stop{false};
+  std::thread clearer([&] {
+    while (!stop.load()) {
+      planner.clear_caches();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread observer([&] {
+    while (!stop.load()) {
+      (void)planner.cache_stats();
+      (void)planner.serving_stats();
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kQueries = 300;
+  std::vector<std::future<PlanResult>> futures;
+  futures.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    const auto [s, t] = valid_pair(g, static_cast<std::size_t>(i % 8));
+    futures.push_back(planner.plan_async(
+        {s, t, MaximizeSpec{.budget = 3, .realizations = 2'000}}));
+  }
+  std::uint64_t ok = 0;
+  for (auto& f : futures) {
+    const PlanResult r = f.get();
+    EXPECT_TRUE(allowed_terminal(r.status));
+    if (r.status == PlanStatus::kOk) ++ok;
+  }
+  stop.store(true);
+  clearer.join();
+  observer.join();
+
+  // Eviction/clearing is a memory policy, never a correctness one: with
+  // an unbounded queue and no deadlines, every query must have produced
+  // a real answer.
+  EXPECT_EQ(ok, static_cast<std::uint64_t>(kQueries));
+  const ServingStats stats = planner.serving_stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kQueries));
+  EXPECT_EQ(stats.completed + stats.coalesced,
+            static_cast<std::uint64_t>(kQueries));
+}
+
+}  // namespace
+}  // namespace af

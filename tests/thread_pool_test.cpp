@@ -72,6 +72,66 @@ TEST(ThreadPool, DefaultSizeIsPositive) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, ExplicitShutdownDrainRunsEverythingAndIsIdempotent) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  pool.shutdown(DrainPolicy::kDrain);
+  EXPECT_EQ(counter.load(), 32);
+  EXPECT_EQ(pool.size(), 0u);
+  for (auto& f : futures) f.get();  // all real results, none broken
+  pool.shutdown();                  // second shutdown is a no-op
+}
+
+TEST(ThreadPool, ShutdownDiscardBreaksQueuedPromisesButRunsInFlight) {
+  ThreadPool pool(1);
+  // Gate the single worker so everything behind the first task is
+  // provably still queued when shutdown(kDiscard) runs.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  auto gate = pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+    ++ran;
+  });
+  // The gate must be in flight (popped, running) before anything else is
+  // queued — otherwise the discard below could claim the gate itself.
+  while (!started.load()) std::this_thread::yield();
+  std::vector<std::future<int>> queued;
+  for (int i = 0; i < 16; ++i) {
+    queued.push_back(pool.submit([&ran, i] {
+      ++ran;
+      return i;
+    }));
+  }
+  std::thread stopper([&pool] { pool.shutdown(DrainPolicy::kDiscard); });
+  // The discard happens before shutdown joins: the queued futures turn
+  // ready (broken) the moment the queue is swapped out. Wait for that
+  // proof before releasing the gate, so no queued task can sneak in
+  // between gate release and discard.
+  queued.front().wait();
+  release.store(true);
+  stopper.join();
+
+  gate.get();  // the in-flight task completed normally
+  EXPECT_EQ(ran.load(), 1);
+  // Discarded tasks never ran, but their futures resolved exceptionally
+  // (broken promise) rather than dangling.
+  for (auto& f : queued) {
+    EXPECT_THROW(f.get(), std::future_error);
+  }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownViolatesThePrecondition) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), precondition_error);
+}
+
 TEST(ThreadPool, DestructorDrainsQueuedTasks) {
   std::atomic<int> counter{0};
   {
