@@ -1,0 +1,191 @@
+// Cold-start harness for the out-of-core storage subsystem (DESIGN.md
+// §11). Not a Google Benchmark micro-bench: what matters is the
+// end-to-end serving question — how long from "process starts" to "first
+// query answered" — on each construction path:
+//
+//   in-RAM:  build the graph, build the alias tables, answer a query;
+//   mapped:  open + validate the .af1 container (tables prebuilt
+//            offline by af_index_build), answer the same query.
+//
+// The harness generates a Barabási–Albert analog, saves it as a weighted
+// text edge list (the in-RAM path's on-disk form) and as a .af1 container
+// (the offline cost, reported separately), then measures N cold starts of
+// each path — text parse + graph build + index build vs container open +
+// view reconstruction — and the first-query latency on top. The mapped
+// open is timed twice: validated (full CRC pass) and trusted
+// (validate_checksums=false, the production path once integrity has been
+// checked at deploy time). The round-trip contract is asserted on the
+// way: both paths must return the same invitation set.
+//
+// Run with --json to write BENCH_storage.json; CI runs a small smoke and
+// asserts the summary fields are present.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/weights.hpp"
+#include "storage/convert.hpp"
+#include "storage/mapped_dataset.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace af;
+
+double median(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_storage",
+                 "Cold-start cost: in-RAM index build vs mmap-ed .af1 "
+                 "container open (DESIGN.md §11)");
+  args.add_int("nodes", 200'000, "graph size (Barabási–Albert analog)");
+  args.add_int("attach", 8, "BA attachment (edges ≈ nodes × attach)");
+  args.add_int("reps", 5, "cold opens measured per path");
+  args.add_int("seed", 20190707, "generator seed");
+  args.add_flag("compact", "use the 12-byte/slot CompactSamplingIndex");
+  args.add_flag("json", "write BENCH_storage.json");
+  args.add_string("out", "BENCH_storage.json", "json output path");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<NodeId>(args.get_int("nodes"));
+  const auto reps = static_cast<int>(args.get_int("reps"));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+
+  WallTimer gen_timer;
+  const Graph g =
+      barabasi_albert(n, static_cast<std::size_t>(args.get_int("attach")),
+                      rng)
+          .build(WeightScheme::inverse_degree(), &rng);
+  std::printf("# graph: %u nodes, %llu edges (generated in %.2fs)\n",
+              g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()),
+              gen_timer.elapsed_seconds());
+
+  // Both on-disk forms: the text edge list the in-RAM path would parse,
+  // and the .af1 container the mapped path opens.
+  const std::string edges_path = "bench_storage_edges.txt";
+  if (!save_weighted_edge_list(g, edges_path)) {
+    std::fprintf(stderr, "FATAL: could not write %s\n", edges_path.c_str());
+    return 1;
+  }
+  // The converter consumes the text form, exactly like af_index_build:
+  // the loader's first-appearance id compaction relabels nodes, and both
+  // serving paths must agree on that labeling for plans to compare.
+  const std::string path = "bench_storage.af1";
+  WallTimer convert_timer;
+  const LoadedGraph base = load_weighted_edge_list_streaming(edges_path);
+  const std::uint64_t bytes = storage::write_container(base.graph, path);
+  const double convert_seconds = convert_timer.elapsed_seconds();
+  std::printf("# container: %llu bytes written in %.2fs (offline cost)\n",
+              static_cast<unsigned long long>(bytes), convert_seconds);
+
+  PlannerOptions opt;
+  opt.compact_index = args.get_flag("compact");
+  opt.threads = 2;
+  const QuerySpec query{0, n / 2,
+                        MaximizeSpec{.budget = 5, .realizations = 2000}};
+
+  std::vector<double> ram_build, ram_first, map_open, map_trusted,
+      map_first;
+  std::vector<NodeId> ram_answer, map_answer;
+  for (int r = 0; r < reps; ++r) {
+    {
+      // In-RAM cold start: parse the text edge list, build the CSR graph
+      // and build the sampling index — everything a fresh process does.
+      WallTimer t;
+      const LoadedGraph lg = load_weighted_edge_list_streaming(edges_path);
+      Planner planner(lg.graph, opt);
+      ram_build.push_back(t.elapsed_seconds());
+      WallTimer q;
+      const PlanResult res = planner.plan(query);
+      ram_first.push_back(q.elapsed_seconds());
+      ram_answer = res.invitation.members();
+    }
+    {
+      // Mapped cold start, validated: open + full CRC pass + view
+      // reconstruction. No index construction on this path at all.
+      WallTimer t;
+      storage::MappedDataset ds(path);
+      const auto planner = Planner::from_mapped(ds, opt);
+      map_open.push_back(t.elapsed_seconds());
+      WallTimer q;
+      const PlanResult res = planner->plan(query);
+      map_first.push_back(q.elapsed_seconds());
+      map_answer = res.invitation.members();
+      if (map_answer != ram_answer) {
+        std::fprintf(stderr, "FATAL: mapped plan diverged from in-RAM\n");
+        return 1;
+      }
+      if (r == 0) {
+        const auto stats = planner->cache_stats();
+        std::printf("# mapped: replicas=%zu index_build_seconds=%g\n",
+                    stats.index_replicas, stats.index_build_seconds);
+      }
+    }
+    {
+      // Mapped cold start, trusted: header-only validation (integrity
+      // was verified once at deploy time).
+      storage::OpenOptions trusted;
+      trusted.validate_checksums = false;
+      WallTimer t;
+      storage::MappedDataset ds(path, trusted);
+      const auto planner = Planner::from_mapped(ds, opt);
+      map_trusted.push_back(t.elapsed_seconds());
+      if (planner->plan(query).invitation.members() != ram_answer) {
+        std::fprintf(stderr, "FATAL: trusted-open plan diverged\n");
+        return 1;
+      }
+    }
+  }
+
+  const double ram_build_s = median(ram_build);
+  const double map_open_s = median(map_open);
+  const double map_trusted_s = median(map_trusted);
+  std::printf(
+      "in-RAM : parse+build %8.3fs  first query %7.3fs\n"
+      "mapped : open (crc)  %8.3fs  first query %7.3fs  (%.1fx)\n"
+      "mapped : open (trust)%8.3fs                       (%.1fx)\n",
+      ram_build_s, median(ram_first), map_open_s, median(map_first),
+      map_open_s > 0 ? ram_build_s / map_open_s : 0.0, map_trusted_s,
+      map_trusted_s > 0 ? ram_build_s / map_trusted_s : 0.0);
+
+  if (args.get_flag("json")) {
+    std::ofstream out(args.get_string("out"));
+    out << "{\n";
+    out << "  \"benchmark\": \"bench_storage\",\n";
+    out << "  \"nodes\": " << g.num_nodes() << ",\n";
+    out << "  \"edges\": " << g.num_edges() << ",\n";
+    out << "  \"container_bytes\": " << bytes << ",\n";
+    out << "  \"convert_seconds\": " << convert_seconds << ",\n";
+    out << "  \"ram_build_seconds\": " << ram_build_s << ",\n";
+    out << "  \"ram_first_query_seconds\": " << median(ram_first) << ",\n";
+    out << "  \"mapped_open_seconds\": " << map_open_s << ",\n";
+    out << "  \"mapped_open_trusted_seconds\": " << map_trusted_s << ",\n";
+    out << "  \"mapped_first_query_seconds\": " << median(map_first)
+        << ",\n";
+    out << "  \"cold_start_speedup\": "
+        << (map_open_s > 0 ? ram_build_s / map_open_s : 0.0) << ",\n";
+    out << "  \"cold_start_speedup_trusted\": "
+        << (map_trusted_s > 0 ? ram_build_s / map_trusted_s : 0.0) << "\n";
+    out << "}\n";
+    std::printf("# wrote %s\n", args.get_string("out").c_str());
+  }
+  std::remove(path.c_str());
+  std::remove(edges_path.c_str());
+  return 0;
+}

@@ -14,7 +14,9 @@
 #include "diffusion/instance.hpp"
 #include "diffusion/path_arena.hpp"
 #include "diffusion/realization.hpp"
+#include "storage/mapped_dataset.hpp"
 #include "util/mpmc_queue.hpp"
+#include "util/numa.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -162,6 +164,7 @@ Planner::Planner(const Graph& graph, PlannerOptions options)
   // One index build per replicated NUMA node, each first-touched on a
   // pinned builder thread (diffusion/index_replicas). The factory runs
   // concurrently across nodes; it only reads the const graph.
+  WallTimer timer;
   const IndexReplicas::Factory factory =
       [this]() -> std::unique_ptr<const SelectionSampler> {
     if (options_.compact_index) {
@@ -175,6 +178,42 @@ Planner::Planner(const Graph& graph, PlannerOptions options)
   } else {
     replicas_ = std::make_unique<const IndexReplicas>(factory());
   }
+  index_build_seconds_ = timer.elapsed_seconds();
+  finish_index_stats();
+}
+
+Planner::Planner(const storage::MappedDataset& mapped, PlannerOptions options)
+    : graph_(&mapped.graph()),
+      options_(options),
+      mapped_(true),
+      cache_(options.cache_budget_bytes) {
+  // Adopt the container's prebuilt tables — no alias construction on
+  // this path, by contract (index_build_seconds_ stays 0). On a
+  // replicated multi-node host each pinned factory call COPIES the
+  // mapped tables (first touch places the copy node-locally); otherwise
+  // one zero-copy view over the map serves everyone and the OS pages the
+  // cold tail on demand.
+  if (options_.numa_replicate && numa_available()) {
+    const IndexReplicas::Factory factory =
+        [this, &mapped]() -> std::unique_ptr<const SelectionSampler> {
+      return mapped.make_index(options_.compact_index, options_.simd,
+                               /*copy=*/true);
+    };
+    replicas_ = std::make_unique<const IndexReplicas>(factory);
+  } else {
+    replicas_ = std::make_unique<const IndexReplicas>(
+        mapped.make_index(options_.compact_index, options_.simd,
+                          /*copy=*/false));
+  }
+  finish_index_stats();
+}
+
+std::unique_ptr<Planner> Planner::from_mapped(
+    const storage::MappedDataset& mapped, PlannerOptions options) {
+  return std::make_unique<Planner>(mapped, options);
+}
+
+void Planner::finish_index_stats() {
   const SelectionSampler& primary = replicas_->primary();
   index_bytes_ = primary.memory_bytes();
   index_slots_ = primary.num_slots();
@@ -396,6 +435,8 @@ PlannerCacheStats Planner::cache_stats() const {
   out.index_bytes_per_slot = index_bytes_per_slot_;
   out.index_replicas = replicas_->count();
   out.index_simd = index_simd_;
+  out.mapped = mapped_;
+  out.index_build_seconds = index_build_seconds_;
   return out;
 }
 

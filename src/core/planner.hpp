@@ -88,6 +88,10 @@
 
 namespace af {
 
+namespace storage {
+class MappedDataset;
+}
+
 /// Problem 1 (RAF): the smallest invitation set reaching α·p_max.
 /// A trimmed RafConfig: p*max estimation and V_max are planner-level
 /// (cached per pair), so their knobs live in PlannerOptions.
@@ -288,6 +292,14 @@ struct PlannerCacheStats {
   std::size_t index_replicas = 0;
   /// The batched-kernel level the index dispatches to (DESIGN.md §9).
   SimdLevel index_simd = SimdLevel::kScalar;
+  /// True when this planner serves prebuilt tables from an mmap-ed .af1
+  /// container (Planner::from_mapped) instead of building them.
+  bool mapped = false;
+  /// Wall-clock spent constructing the selection index replicas at
+  /// planner construction. Exactly 0 on the mapped path — the acceptance
+  /// check that no alias-table construction happens before the first
+  /// query (DESIGN.md §11).
+  double index_build_seconds = 0.0;
 };
 
 /// Telemetry snapshot of the async serving layer (DESIGN.md §10). All
@@ -332,6 +344,26 @@ struct ServingStats {
 class Planner {
  public:
   explicit Planner(const Graph& graph, PlannerOptions options = {});
+
+  /// The cold-start path (DESIGN.md §11): serves an mmap-ed .af1
+  /// container's graph and PREBUILT index tables — no alias-table
+  /// construction happens (cache_stats().index_build_seconds == 0).
+  /// With numa_replicate on a multi-node host, each node gets a
+  /// first-touch COPY of the mapped tables (paying a read-once copy for
+  /// node-local steady-state latency); otherwise sampling reads the map
+  /// directly, zero-copy, and the OS pages the cold tail. Answers are
+  /// bit-identical to a Planner built over the equivalent in-RAM graph:
+  /// the container stores the exact table bytes an in-RAM build
+  /// produces, and the counter-stream contract does the rest. Throws
+  /// storage::Af1Error when the container lacks the index flavor
+  /// `options.compact_index` selects. `mapped` must outlive the planner.
+  Planner(const storage::MappedDataset& mapped, PlannerOptions options = {});
+
+  /// Convenience factory for the mapped path (Planner is neither movable
+  /// nor copyable).
+  static std::unique_ptr<Planner> from_mapped(
+      const storage::MappedDataset& mapped, PlannerOptions options = {});
+
   ~Planner();
 
   Planner(const Planner&) = delete;
@@ -398,6 +430,10 @@ class Planner {
   /// Packs (s,t) into the 64-bit pair key. NodeId must fit 32 bits.
   static std::uint64_t pair_key(NodeId s, NodeId t);
 
+  /// Shared constructor tail: snapshots the primary replica's footprint
+  /// and kernel level into the cache_stats fields.
+  void finish_index_stats();
+
   /// Lazily starts the admission queue + serving workers (first
   /// plan_async) and returns the server. Workers call plan(), so the
   /// server must stop before any other member is torn down.
@@ -448,6 +484,12 @@ class Planner {
   std::uint64_t index_slots_ = 0;
   double index_bytes_per_slot_ = 0.0;
   SimdLevel index_simd_ = SimdLevel::kScalar;
+  /// True on the from_mapped path: the index tables came prebuilt from
+  /// an .af1 container (cache_stats().mapped).
+  bool mapped_ = false;
+  /// Construction-time cost of building the index replicas (0 when
+  /// mapped — the tables were adopted, not built).
+  double index_build_seconds_ = 0.0;
   mutable std::mutex mu_;  // guards cache_ and the lazy pools' creation
   /// Size-aware LRU over the pair caches (DESIGN.md §8). Values are
   /// shared_ptrs: eviction unlinks an entry, but in-flight queries keep

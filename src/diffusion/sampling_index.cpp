@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <mutex>
 
@@ -240,20 +242,64 @@ SamplingIndex::SamplingIndex(const Graph& g, SimdLevel simd,
                      });
   }
 
+  init_kernels(simd, n);
+}
+
+void SamplingIndex::init_kernels(SimdLevel simd, NodeId num_nodes) {
   simd_ = resolve_simd_level(simd);
 #if defined(AF_HAVE_AVX2_KERNELS)
   if (simd_ == SimdLevel::kAvx2 && simd == SimdLevel::kAuto &&
-      simd_env_request() != SimdLevel::kAvx2 && n > 0) {
+      simd_env_request() != SimdLevel::kAvx2 && num_nodes > 0) {
     // kAuto: the CPU *can* run the AVX2 kernel — measure whether it
     // *should* (see measure_faster_kernel).
     simd_ = measure_faster_kernel(*this, &SamplingIndex::batch_scalar<true>,
-                                  &SamplingIndex::batch_avx2<true>, n);
+                                  &SamplingIndex::batch_avx2<true>,
+                                  num_nodes);
   }
   if (simd_ == SimdLevel::kAvx2) {
     batch_kernel_ = &SamplingIndex::batch_avx2<false>;
     batch_prefetch_kernel_ = &SamplingIndex::batch_avx2<true>;
   }
+#else
+  (void)num_nodes;
 #endif
+}
+
+SamplingIndex::SamplingIndex(const ExternalIndexTables& tables,
+                             NodeId num_nodes, SimdLevel simd) {
+  const auto n = static_cast<std::size_t>(num_nodes);
+  AF_EXPECTS(tables.offsets.size() == (n + 1) * sizeof(std::uint64_t),
+             "external index offsets: wrong byte count for n+1 entries");
+  AF_EXPECTS(tables.slots.size() % sizeof(Slot) == 0,
+             "external index slots: byte count not a multiple of 16");
+  AF_EXPECTS(reinterpret_cast<std::uintptr_t>(tables.offsets.data()) %
+                     alignof(std::uint64_t) ==
+                 0,
+             "external index offsets misaligned");
+  AF_EXPECTS(reinterpret_cast<std::uintptr_t>(tables.slots.data()) %
+                     alignof(Slot) ==
+                 0,
+             "external index slots misaligned");
+  const auto* offs =
+      reinterpret_cast<const std::uint64_t*>(tables.offsets.data());
+  const std::size_t slot_count = tables.slots.size() / sizeof(Slot);
+  AF_EXPECTS(offs[0] == 0 && offs[n] == slot_count,
+             "external index tables: offsets do not cover the slot array");
+  if (tables.copy) {
+    // Materialize: the caller's thread first-touches every page, which
+    // is what places NUMA replicas node-locally (diffusion/
+    // index_replicas builds each copy on a pinned thread).
+    offsets_.allocate(n + 1, tables.huge_pages);
+    std::memcpy(offsets_.data(), tables.offsets.data(),
+                tables.offsets.size());
+    slots_.allocate(slot_count, tables.huge_pages);
+    std::memcpy(slots_.data(), tables.slots.data(), tables.slots.size());
+  } else {
+    offsets_.adopt_view(offs, n + 1);
+    slots_.adopt_view(reinterpret_cast<const Slot*>(tables.slots.data()),
+                      slot_count);
+  }
+  init_kernels(simd, num_nodes);
 }
 
 CompactSamplingIndex::CompactSamplingIndex(const Graph& g, SimdLevel simd,
@@ -287,19 +333,60 @@ CompactSamplingIndex::CompactSamplingIndex(const Graph& g, SimdLevel simd,
         });
   }
 
+  init_kernels(simd, n);
+}
+
+void CompactSamplingIndex::init_kernels(SimdLevel simd, NodeId num_nodes) {
   simd_ = resolve_simd_level(simd);
 #if defined(AF_HAVE_AVX2_KERNELS)
   if (simd_ == SimdLevel::kAvx2 && simd == SimdLevel::kAuto &&
-      simd_env_request() != SimdLevel::kAvx2 && n > 0) {
+      simd_env_request() != SimdLevel::kAvx2 && num_nodes > 0) {
     simd_ = measure_faster_kernel(
         *this, &CompactSamplingIndex::batch_scalar<true>,
-        &CompactSamplingIndex::batch_avx2<true>, n);
+        &CompactSamplingIndex::batch_avx2<true>, num_nodes);
   }
   if (simd_ == SimdLevel::kAvx2) {
     batch_kernel_ = &CompactSamplingIndex::batch_avx2<false>;
     batch_prefetch_kernel_ = &CompactSamplingIndex::batch_avx2<true>;
   }
+#else
+  (void)num_nodes;
 #endif
+}
+
+CompactSamplingIndex::CompactSamplingIndex(const ExternalIndexTables& tables,
+                                           NodeId num_nodes,
+                                           SimdLevel simd) {
+  const auto n = static_cast<std::size_t>(num_nodes);
+  AF_EXPECTS(tables.offsets.size() == (n + 1) * sizeof(std::uint32_t),
+             "external compact offsets: wrong byte count for n+1 entries");
+  AF_EXPECTS(tables.slots.size() % sizeof(Slot) == 0,
+             "external compact slots: byte count not a multiple of 12");
+  AF_EXPECTS(reinterpret_cast<std::uintptr_t>(tables.offsets.data()) %
+                     alignof(std::uint32_t) ==
+                 0,
+             "external compact offsets misaligned");
+  AF_EXPECTS(reinterpret_cast<std::uintptr_t>(tables.slots.data()) %
+                     alignof(Slot) ==
+                 0,
+             "external compact slots misaligned");
+  const auto* offs =
+      reinterpret_cast<const std::uint32_t*>(tables.offsets.data());
+  const std::size_t slot_count = tables.slots.size() / sizeof(Slot);
+  AF_EXPECTS(offs[0] == 0 && offs[n] == slot_count,
+             "external compact tables: offsets do not cover the slot array");
+  if (tables.copy) {
+    offsets_.allocate(n + 1, tables.huge_pages);
+    std::memcpy(offsets_.data(), tables.offsets.data(),
+                tables.offsets.size());
+    slots_.allocate(slot_count, tables.huge_pages);
+    std::memcpy(slots_.data(), tables.slots.data(), tables.slots.size());
+  } else {
+    offsets_.adopt_view(offs, n + 1);
+    slots_.adopt_view(reinterpret_cast<const Slot*>(tables.slots.data()),
+                      slot_count);
+  }
+  init_kernels(simd, num_nodes);
 }
 
 }  // namespace af

@@ -38,7 +38,9 @@
 // PlannerOptions::compact_index.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "diffusion/realization.hpp"
@@ -47,6 +49,27 @@
 #include "util/hugepage.hpp"
 
 namespace af {
+
+/// Prebuilt alias tables living in externally owned memory — sections of
+/// an mmap-ed .af1 container (storage/, DESIGN.md §11). raw_offsets()/
+/// raw_slots() of an in-RAM index produce exactly these bytes, so an
+/// index reconstructed from them draws bit-identical selections.
+struct ExternalIndexTables {
+  /// The CSR offset array's bytes (n+1 entries of the index's offset
+  /// type; 8-byte entries for SamplingIndex, 4-byte for Compact).
+  std::span<const std::byte> offsets;
+  /// The slot array's bytes (offsets[n] slots of the index's Slot type).
+  std::span<const std::byte> slots;
+  /// false = zero-copy: the index VIEWS the external memory (it must
+  /// outlive the index; the OS pages the cold tail on demand). true =
+  /// materialize: copy the tables into freshly allocated (preferably
+  /// huge-page-backed) RAM — the NUMA replication path, where the
+  /// copying thread's first touch places the pages node-locally.
+  bool copy = false;
+  /// Huge-page preference for the copy path (ignored for views — a
+  /// mapped file's page size is advised at map time, util/hugepage).
+  bool huge_pages = true;
+};
 
 /// Vose alias tables over every node's selection distribution.
 class SamplingIndex final : public SelectionSampler {
@@ -61,6 +84,26 @@ class SamplingIndex final : public SelectionSampler {
   /// baseline); the stored bytes are identical either way.
   explicit SamplingIndex(const Graph& g, SimdLevel simd = SimdLevel::kAuto,
                          bool huge_pages = true);
+
+  /// Adopts PREBUILT tables (see ExternalIndexTables): no alias
+  /// construction happens — the cold-start path. Validates the byte
+  /// spans' shape against `num_nodes` (throws precondition_error on
+  /// mismatch); kernel dispatch (`simd`) resolves exactly as in the
+  /// building constructor.
+  SamplingIndex(const ExternalIndexTables& tables, NodeId num_nodes,
+                SimdLevel simd = SimdLevel::kAuto);
+
+  /// The tables' raw bytes, for container serialization (storage/).
+  /// Stable across hosts of equal endianness: exactly what the building
+  /// constructor produced, with no pointers inside.
+  std::span<const std::byte> raw_offsets() const {
+    return {reinterpret_cast<const std::byte*>(offsets_.data()),
+            offsets_.size() * sizeof(std::uint64_t)};
+  }
+  std::span<const std::byte> raw_slots() const {
+    return {reinterpret_cast<const std::byte*>(slots_.data()),
+            slots_.size() * sizeof(Slot)};
+  }
 
   /// Draws v's selection in O(1): a neighbor of v, or kNoNode for ℵ0.
   /// Consumes exactly one draw from `rng`.
@@ -146,6 +189,10 @@ class SamplingIndex final : public SelectionSampler {
   static void batch_avx2(const SamplingIndex& idx, const NodeId* cur,
                          Rng* rng, NodeId* out, std::size_t n);
 
+  /// Shared constructor tail: resolves `simd` (measuring under kAuto)
+  /// and installs the batch kernels.
+  void init_kernels(SimdLevel simd, NodeId num_nodes);
+
   SimdLevel simd_ = SimdLevel::kScalar;
   BatchKernel batch_kernel_ = &SamplingIndex::batch_scalar<false>;
   BatchKernel batch_prefetch_kernel_ = &SamplingIndex::batch_scalar<true>;
@@ -168,6 +215,21 @@ class CompactSamplingIndex final : public SelectionSampler {
   explicit CompactSamplingIndex(const Graph& g,
                                 SimdLevel simd = SimdLevel::kAuto,
                                 bool huge_pages = true);
+
+  /// Adopts PREBUILT tables without construction (see SamplingIndex's
+  /// external constructor; offsets here are 32-bit, slots 12-byte).
+  CompactSamplingIndex(const ExternalIndexTables& tables, NodeId num_nodes,
+                       SimdLevel simd = SimdLevel::kAuto);
+
+  /// The tables' raw bytes, for container serialization (storage/).
+  std::span<const std::byte> raw_offsets() const {
+    return {reinterpret_cast<const std::byte*>(offsets_.data()),
+            offsets_.size() * sizeof(std::uint32_t)};
+  }
+  std::span<const std::byte> raw_slots() const {
+    return {reinterpret_cast<const std::byte*>(slots_.data()),
+            slots_.size() * sizeof(Slot)};
+  }
 
   /// Draws v's selection in O(1): a neighbor of v, or kNoNode for ℵ0.
   NodeId sample_selection(NodeId v, Rng& rng) const override {
@@ -245,6 +307,10 @@ class CompactSamplingIndex final : public SelectionSampler {
   template <bool Prefetch>
   static void batch_avx2(const CompactSamplingIndex& idx, const NodeId* cur,
                          Rng* rng, NodeId* out, std::size_t n);
+
+  /// Shared constructor tail: resolves `simd` (measuring under kAuto)
+  /// and installs the batch kernels.
+  void init_kernels(SimdLevel simd, NodeId num_nodes);
 
   SimdLevel simd_ = SimdLevel::kScalar;
   BatchKernel batch_kernel_ = &CompactSamplingIndex::batch_scalar<false>;

@@ -98,84 +98,124 @@ Graph Graph::Builder::build_with_explicit_weights() const {
 
 Graph Graph::Builder::assemble(bool use_explicit, const WeightScheme* scheme,
                                Rng* rng) const {
-  Graph g;
   const NodeId n = num_nodes_;
-  g.offsets_.assign(n + 1, 0);
+  std::vector<ArcIndex> offsets(n + 1, 0);
 
   // Degree counting pass.
   for (const auto& e : edges_) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
   }
-  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
 
-  const ArcIndex arcs = g.offsets_[n];
-  g.adjacency_.resize(arcs);
-  g.in_weights_.assign(arcs, 0.0);
+  const ArcIndex arcs = offsets[n];
+  std::vector<NodeId> adjacency(arcs);
+  std::vector<double> in_weights(arcs, 0.0);
 
   // Scatter pass. The arc stored in v's slice for neighbor u carries
   // w(u,v): u's contribution toward v.
-  std::vector<ArcIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<ArcIndex> cursor(offsets.begin(), offsets.end() - 1);
   for (const auto& e : edges_) {
     const ArcIndex pu = cursor[e.u]++;  // slot in u's list -> neighbor v
     const ArcIndex pv = cursor[e.v]++;  // slot in v's list -> neighbor u
-    g.adjacency_[pu] = e.v;
-    g.adjacency_[pv] = e.u;
+    adjacency[pu] = e.v;
+    adjacency[pv] = e.u;
     if (use_explicit) {
-      g.in_weights_[pu] = e.w_vu;  // weight toward u is w(v,u)
-      g.in_weights_[pv] = e.w_uv;  // weight toward v is w(u,v)
+      in_weights[pu] = e.w_vu;  // weight toward u is w(v,u)
+      in_weights[pv] = e.w_uv;  // weight toward v is w(u,v)
     }
   }
 
   // Sort each node's slice by neighbor id, co-moving weights.
   std::vector<std::pair<NodeId, double>> scratch;
   for (NodeId v = 0; v < n; ++v) {
-    const ArcIndex lo = g.offsets_[v];
-    const ArcIndex hi = g.offsets_[v + 1];
+    const ArcIndex lo = offsets[v];
+    const ArcIndex hi = offsets[v + 1];
     scratch.clear();
     scratch.reserve(static_cast<std::size_t>(hi - lo));
     for (ArcIndex i = lo; i < hi; ++i) {
-      scratch.emplace_back(g.adjacency_[i], g.in_weights_[i]);
+      scratch.emplace_back(adjacency[i], in_weights[i]);
     }
     std::sort(scratch.begin(), scratch.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     for (ArcIndex i = lo; i < hi; ++i) {
       const auto& [nbr, w] = scratch[static_cast<std::size_t>(i - lo)];
-      g.adjacency_[i] = nbr;
-      g.in_weights_[i] = w;
+      adjacency[i] = nbr;
+      in_weights[i] = w;
     }
     for (ArcIndex i = lo + 1; i < hi; ++i) {
-      AF_EXPECTS(g.adjacency_[i - 1] != g.adjacency_[i],
+      AF_EXPECTS(adjacency[i - 1] != adjacency[i],
                  "duplicate edge detected during build");
     }
     if (!use_explicit) {
       scheme->assign(
           v,
-          std::span<double>(g.in_weights_.data() + lo,
+          std::span<double>(in_weights.data() + lo,
                             static_cast<std::size_t>(hi - lo)),
           rng);
     }
   }
 
+  Graph g;
+  g.offsets_ = FlatArray<ArcIndex>::owned(std::move(offsets));
+  g.adjacency_ = FlatArray<NodeId>::owned(std::move(adjacency));
+  g.in_weights_ = FlatArray<double>::owned(std::move(in_weights));
+
   // Cache per-node totals.
-  g.total_in_weight_.assign(n, 0.0);
+  std::vector<double> total(n, 0.0);
   for (NodeId v = 0; v < n; ++v) {
     double s = 0.0;
     for (double w : g.in_weights(v)) s += w;
-    g.total_in_weight_[v] = s;
+    total[v] = s;
   }
+  g.total_in_weight_ = FlatArray<double>::owned(std::move(total));
 
   // Mirror the weights into outgoing layout: out_weights(v)[i] = w(v, u)
   // where u = N_v[i], i.e. the entry for v in u's incoming list.
-  g.out_weights_.assign(arcs, 0.0);
+  std::vector<double> out_weights(arcs, 0.0);
   for (NodeId v = 0; v < n; ++v) {
     auto nbrs = g.neighbors(v);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      g.out_weights_[g.offsets_[v] + i] = g.weight(v, nbrs[i]);
+      out_weights[g.offsets_[v] + i] = g.weight(v, nbrs[i]);
     }
   }
+  g.out_weights_ = FlatArray<double>::owned(std::move(out_weights));
 
   g.check_invariants();
+  return g;
+}
+
+Graph Graph::from_external(std::span<const ArcIndex> offsets,
+                           std::span<const NodeId> adjacency,
+                           std::span<const double> in_weights,
+                           std::span<const double> out_weights,
+                           std::span<const double> total_in_weight) {
+  AF_EXPECTS(!offsets.empty(), "external CSR needs n+1 offsets");
+  AF_EXPECTS(offsets.front() == 0, "external CSR offsets must start at 0");
+  AF_EXPECTS(offsets.back() == adjacency.size(),
+             "external CSR offsets do not cover the adjacency array");
+  AF_EXPECTS(in_weights.size() == adjacency.size(),
+             "external in-weights not aligned with adjacency");
+  AF_EXPECTS(out_weights.size() == adjacency.size(),
+             "external out-weights not aligned with adjacency");
+  AF_EXPECTS(total_in_weight.size() + 1 == offsets.size(),
+             "external total-in-weight vector needs one entry per node");
+  // Monotone offsets are what keep every accessor in bounds; O(n) is
+  // cheap insurance against a corrupt container read with checksum
+  // validation disabled.
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    AF_EXPECTS(offsets[v] <= offsets[v + 1],
+               "external CSR offsets are not monotone");
+  }
+  Graph g;
+  g.offsets_ = FlatArray<ArcIndex>::view(offsets.data(), offsets.size());
+  g.adjacency_ = FlatArray<NodeId>::view(adjacency.data(), adjacency.size());
+  g.in_weights_ =
+      FlatArray<double>::view(in_weights.data(), in_weights.size());
+  g.out_weights_ =
+      FlatArray<double>::view(out_weights.data(), out_weights.size());
+  g.total_in_weight_ =
+      FlatArray<double>::view(total_in_weight.data(), total_in_weight.size());
   return g;
 }
 

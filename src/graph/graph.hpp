@@ -20,6 +20,7 @@
 
 #include "graph/types.hpp"
 #include "util/contracts.hpp"
+#include "util/flat_array.hpp"
 
 namespace af {
 
@@ -35,6 +36,22 @@ class Graph {
   class Builder;
 
   Graph() = default;
+
+  /// Wraps externally owned CSR arrays (typically sections of an mmap-ed
+  /// .af1 container, storage/mapped_dataset) as a Graph without copying.
+  /// The spans' memory must outlive the Graph and every copy of it.
+  /// Validates the arrays' shape and offset monotonicity (O(n)) and
+  /// throws precondition_error on violation; the full invariant sweep
+  /// (check_invariants, O(m log deg)) is the caller's opt-in.
+  static Graph from_external(std::span<const ArcIndex> offsets,
+                             std::span<const NodeId> adjacency,
+                             std::span<const double> in_weights,
+                             std::span<const double> out_weights,
+                             std::span<const double> total_in_weight);
+
+  /// True when the CSR arrays view external memory (a mapped container)
+  /// rather than owning their elements.
+  bool is_external() const { return offsets_.is_view(); }
 
   /// Number of users n = |V|.
   NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size() - 1); }
@@ -108,6 +125,25 @@ class Graph {
     return s;
   }
 
+  /// Whole-array CSR views for container serialization (storage/): the
+  /// exact arrays, no copies. from_external on these spans reproduces
+  /// this graph bit for bit.
+  std::span<const ArcIndex> raw_offsets() const {
+    return {offsets_.data(), offsets_.size()};
+  }
+  std::span<const NodeId> raw_adjacency() const {
+    return {adjacency_.data(), adjacency_.size()};
+  }
+  std::span<const double> raw_in_weights() const {
+    return {in_weights_.data(), in_weights_.size()};
+  }
+  std::span<const double> raw_out_weights() const {
+    return {out_weights_.data(), out_weights_.size()};
+  }
+  std::span<const double> raw_total_in_weight() const {
+    return {total_in_weight_.data(), total_in_weight_.size()};
+  }
+
   /// Validates all class invariants (sorted adjacency, symmetric edge set,
   /// weights in (0,1], per-node normalization). Called by the builder;
   /// exposed for tests. Throws postcondition_error on violation.
@@ -116,11 +152,13 @@ class Graph {
  private:
   friend class Builder;
 
-  std::vector<ArcIndex> offsets_{0};    // size n+1
-  std::vector<NodeId> adjacency_;       // size 2m, sorted per node
-  std::vector<double> in_weights_;      // aligned with adjacency_
-  std::vector<double> out_weights_;     // aligned with adjacency_
-  std::vector<double> total_in_weight_; // size n
+  // Owning (built) or viewing (mapped) storage — util/flat_array.hpp.
+  FlatArray<ArcIndex> offsets_ =
+      FlatArray<ArcIndex>::owned({ArcIndex{0}});  // size n+1
+  FlatArray<NodeId> adjacency_;        // size 2m, sorted per node
+  FlatArray<double> in_weights_;       // aligned with adjacency_
+  FlatArray<double> out_weights_;      // aligned with adjacency_
+  FlatArray<double> total_in_weight_;  // size n
 };
 
 /// Mutable edge accumulator producing an immutable Graph.

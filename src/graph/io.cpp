@@ -2,7 +2,9 @@
 
 #include <array>
 #include <charconv>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <string_view>
 
@@ -58,6 +60,36 @@ double parse_double(std::string_view tok, const std::string& path,
   return v;
 }
 
+/// Validates an explicit edge weight at parse time, with the offending
+/// line in the message. Every downstream consumer (Graph invariants, the
+/// alias-table build) requires w ∈ (0,1]; rejecting NaN/∞/non-positive/
+/// out-of-range values here turns what used to be a deep contract
+/// failure into a structured "file:line" error the converter tools can
+/// surface (DESIGN.md §11).
+double parse_weight(std::string_view tok, const std::string& path,
+                    std::size_t line_no) {
+  const double w = parse_double(tok, path, line_no);
+  if (std::isnan(w)) {
+    throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                             ": weight is NaN");
+  }
+  if (!std::isfinite(w)) {
+    throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                             ": weight is not finite");
+  }
+  if (w <= 0.0) {
+    throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                             ": weight must be positive, got '" +
+                             std::string(tok) + "'");
+  }
+  if (w > 1.0) {
+    throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                             ": weight must be <= 1, got '" +
+                             std::string(tok) + "'");
+  }
+  return w;
+}
+
 struct RawEdges {
   std::vector<std::array<std::uint64_t, 2>> endpoints;
   std::vector<std::array<double, 2>> weights;  // empty for plain format
@@ -88,8 +120,8 @@ RawEdges read_file(const std::string& path, bool weighted) {
     const std::uint64_t b = parse_u64(toks[1], path, line_no);
     raw.endpoints.push_back({a, b});
     if (weighted) {
-      raw.weights.push_back({parse_double(toks[2], path, line_no),
-                             parse_double(toks[3], path, line_no)});
+      raw.weights.push_back({parse_weight(toks[2], path, line_no),
+                             parse_weight(toks[3], path, line_no)});
     }
   }
 
@@ -102,6 +134,77 @@ RawEdges read_file(const std::string& path, bool weighted) {
     }
   }
   return raw;
+}
+
+/// Drives one pass over an edge-list file, invoking `sink(u, v, w_uv,
+/// w_vu, line_no)` per edge line (original file ids; weights only for the
+/// weighted format). Shares the exact tokenization, comment handling and
+/// validation of read_file, so the streaming loaders below parse — and
+/// fail — identically to the one-shot ones.
+template <typename Sink>
+void for_each_edge_line(const std::string& path, bool weighted, Sink&& sink) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "'");
+  std::string line;
+  std::size_t line_no = 0;
+  std::string_view toks[4];
+  while (std::getline(f, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    if (sv.empty() || sv[0] == '#' || sv[0] == '%') continue;
+    const std::size_t want = weighted ? 4 : 2;
+    const std::size_t got = split_tokens(sv, toks, 4);
+    if (got == 0) continue;  // blank line
+    if (got < want) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": expected " + std::to_string(want) +
+                               " fields");
+    }
+    const std::uint64_t a = parse_u64(toks[0], path, line_no);
+    const std::uint64_t b = parse_u64(toks[1], path, line_no);
+    double w_uv = -1.0, w_vu = -1.0;
+    if (weighted) {
+      w_uv = parse_weight(toks[2], path, line_no);
+      w_vu = parse_weight(toks[3], path, line_no);
+    }
+    sink(a, b, w_uv, w_vu, line_no);
+  }
+}
+
+/// The shared two-pass streaming load: pass 1 compacts ids in
+/// first-appearance order (over ALL endpoints, self-loops and duplicate
+/// lines included — exactly read_file's order); pass 2 replays the file
+/// into the builder with the one-shot loaders' skip rules. Only the id
+/// map and the builder are ever resident.
+LoadedGraph load_streaming(const std::string& path, bool weighted,
+                           const WeightScheme* scheme, Rng* rng) {
+  std::unordered_map<std::uint64_t, NodeId> id_map;
+  for_each_edge_line(path, weighted,
+                     [&](std::uint64_t a, std::uint64_t b, double, double,
+                         std::size_t) {
+                       for (std::uint64_t x : {a, b}) {
+                         if (!id_map.count(x)) {
+                           id_map.emplace(
+                               x, static_cast<NodeId>(id_map.size()));
+                         }
+                       }
+                     });
+  Graph::Builder b(static_cast<NodeId>(id_map.size()));
+  for_each_edge_line(
+      path, weighted,
+      [&](std::uint64_t fa, std::uint64_t fb, double w_uv, double w_vu,
+          std::size_t) {
+        const NodeId u = id_map.at(fa);
+        const NodeId v = id_map.at(fb);
+        if (u == v || b.has_edge(u, v)) return;
+        if (weighted) {
+          b.add_edge(u, v, w_uv, w_vu);
+        } else {
+          b.add_edge(u, v);
+        }
+      });
+  Graph g = weighted ? b.build_with_explicit_weights() : b.build(*scheme, rng);
+  return LoadedGraph{std::move(g), std::move(id_map)};
 }
 
 }  // namespace
@@ -134,9 +237,22 @@ LoadedGraph load_weighted_edge_list(const std::string& path) {
   return LoadedGraph{b.build_with_explicit_weights(), std::move(raw.id_map)};
 }
 
+LoadedGraph load_edge_list_streaming(const std::string& path,
+                                     const WeightScheme& scheme, Rng* rng) {
+  return load_streaming(path, /*weighted=*/false, &scheme, rng);
+}
+
+LoadedGraph load_weighted_edge_list_streaming(const std::string& path) {
+  return load_streaming(path, /*weighted=*/true, nullptr, nullptr);
+}
+
 bool save_weighted_edge_list(const Graph& g, const std::string& path) {
   std::ofstream f(path);
   if (!f) return false;
+  // max_digits10 makes the decimal text parse back to the exact same
+  // doubles — without it, 6-digit rounding can push a node's incoming
+  // weight sum past 1 and the reloaded graph fails normalization.
+  f.precision(std::numeric_limits<double>::max_digits10);
   f << "# u v w(u,v) w(v,u)\n";
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     auto nbrs = g.neighbors(v);

@@ -34,6 +34,19 @@ LoadedGraph load_edge_list(const std::string& path, const WeightScheme& scheme,
 /// Loads a weighted edge list ("u v w_uv w_vu" per line).
 LoadedGraph load_weighted_edge_list(const std::string& path);
 
+/// Streaming two-pass variant of load_edge_list: bit-identical result
+/// (same id compaction, dedup and scheme-rng order), but the file is
+/// scanned twice and resident memory is the compacted graph (id map +
+/// CSR builder) — never the raw line set. The converter path
+/// (tools/af_index_build) for edge lists larger than RAM, where comment
+/// and duplicate lines would otherwise accumulate.
+LoadedGraph load_edge_list_streaming(const std::string& path,
+                                     const WeightScheme& scheme,
+                                     Rng* rng = nullptr);
+
+/// Streaming two-pass variant of load_weighted_edge_list.
+LoadedGraph load_weighted_edge_list_streaming(const std::string& path);
+
 /// Writes "u v w_uv w_vu" lines (dense ids). Returns false on I/O failure.
 bool save_weighted_edge_list(const Graph& g, const std::string& path);
 

@@ -1,0 +1,69 @@
+#include "storage/convert.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "diffusion/sampling_index.hpp"
+#include "storage/writer.hpp"
+
+namespace af::storage {
+
+namespace {
+
+/// Streams the leftover-mass vector in bounded chunks: it is derivable
+/// from kTotalInWeight, but materializing it lets index-free consumers
+/// read every per-node quantity straight off the map.
+void write_leftover_mass(Af1Writer& w, const Graph& g) {
+  constexpr std::size_t kChunk = 1 << 16;
+  std::vector<double> buf;
+  buf.reserve(kChunk);
+  w.begin_section(SectionKind::kLeftoverMass, sizeof(double));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    buf.push_back(g.leftover_mass(v));
+    if (buf.size() == kChunk) {
+      w.append(buf.data(), buf.size() * sizeof(double));
+      buf.clear();
+    }
+  }
+  w.append(buf.data(), buf.size() * sizeof(double));
+  w.end_section();
+}
+
+}  // namespace
+
+std::uint64_t write_container(const Graph& g, const std::string& path,
+                              const ConvertOptions& options) {
+  Af1Writer w(path, g.num_nodes(), g.num_edges());
+
+  w.write_elems(SectionKind::kCsrOffsets, g.raw_offsets());
+  w.write_elems(SectionKind::kAdjacency, g.raw_adjacency());
+  w.write_elems(SectionKind::kInWeights, g.raw_in_weights());
+  w.write_elems(SectionKind::kOutWeights, g.raw_out_weights());
+  w.write_elems(SectionKind::kTotalInWeight, g.raw_total_in_weight());
+  write_leftover_mass(w, g);
+
+  // Build each index, stream its tables, release it before the next —
+  // the containers for both layouts never coexist in RAM. Scalar build:
+  // the table bytes are layout, not kernel, so SIMD never matters here;
+  // huge pages are pointless for a buffer about to be written out.
+  if (options.index64) {
+    auto idx = std::make_unique<const SamplingIndex>(g, SimdLevel::kScalar,
+                                                     /*huge_pages=*/false);
+    w.write_section(SectionKind::kIndexOffsets64, idx->raw_offsets(),
+                    sizeof(std::uint64_t));
+    w.write_section(SectionKind::kIndexSlots64, idx->raw_slots(),
+                    /*elem_size=*/16);
+  }
+  if (options.index32) {
+    auto idx = std::make_unique<const CompactSamplingIndex>(
+        g, SimdLevel::kScalar, /*huge_pages=*/false);
+    w.write_section(SectionKind::kIndexOffsets32, idx->raw_offsets(),
+                    sizeof(std::uint32_t));
+    w.write_section(SectionKind::kIndexSlots32, idx->raw_slots(),
+                    /*elem_size=*/12);
+  }
+
+  return w.finish();
+}
+
+}  // namespace af::storage

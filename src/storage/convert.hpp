@@ -1,0 +1,44 @@
+// Graph → .af1 container serialization (the producer side of storage/).
+//
+// write_container snapshots an in-RAM Graph — CSR topology, directional
+// weights, leftover-mass vector — plus freshly built SamplingIndex /
+// CompactSamplingIndex tables into one .af1 file (storage/format.hpp).
+// The index sections hold the EXACT bytes an in-RAM build produces
+// (SamplingIndex::raw_offsets / raw_slots), which is what makes the
+// mapped serving path bit-identical to the build-in-RAM path: same
+// tables, same draws (the counter-stream contract never sees the
+// difference).
+//
+// Sections are streamed through Af1Writer, so peak memory during
+// conversion is the graph + one index at a time — never the output file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace af::storage {
+
+/// What to put in the container besides the graph itself.
+struct ConvertOptions {
+  /// Prebuild and embed the exact-threshold SamplingIndex tables
+  /// (16-byte slots, sections kIndexOffsets64/kIndexSlots64).
+  bool index64 = true;
+  /// Prebuild and embed the CompactSamplingIndex tables (12-byte slots,
+  /// sections kIndexOffsets32/kIndexSlots32).
+  bool index32 = true;
+};
+
+/// Writes `g` (and the prebuilt index tables selected by `options`) to
+/// `path` as an .af1 container, atomically (temp file + rename). Returns
+/// the container's total byte size. Throws Af1Error(kIo) on I/O failure.
+///
+/// Index construction here uses the scalar build path — the stored table
+/// bytes are independent of the SIMD level (kernel dispatch is a
+/// load-time decision, never a layout one), so containers written on any
+/// host serve every kernel.
+std::uint64_t write_container(const Graph& g, const std::string& path,
+                              const ConvertOptions& options = {});
+
+}  // namespace af::storage

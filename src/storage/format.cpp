@@ -1,0 +1,76 @@
+#include "storage/format.hpp"
+
+#include <cstring>
+
+namespace af::storage {
+
+const char* to_string(Af1Error::Code code) {
+  switch (code) {
+    case Af1Error::Code::kIo: return "io";
+    case Af1Error::Code::kBadMagic: return "bad-magic";
+    case Af1Error::Code::kBadVersion: return "bad-version";
+    case Af1Error::Code::kBadEndianness: return "bad-endianness";
+    case Af1Error::Code::kBadHeader: return "bad-header";
+    case Af1Error::Code::kBadSectionTable: return "bad-section-table";
+    case Af1Error::Code::kTruncated: return "truncated";
+    case Af1Error::Code::kBadChecksum: return "bad-checksum";
+    case Af1Error::Code::kBadShape: return "bad-shape";
+  }
+  return "?";
+}
+
+const char* to_string(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kCsrOffsets: return "csr-offsets";
+    case SectionKind::kAdjacency: return "adjacency";
+    case SectionKind::kInWeights: return "in-weights";
+    case SectionKind::kOutWeights: return "out-weights";
+    case SectionKind::kTotalInWeight: return "total-in-weight";
+    case SectionKind::kLeftoverMass: return "leftover-mass";
+    case SectionKind::kIndexOffsets64: return "index-offsets64";
+    case SectionKind::kIndexSlots64: return "index-slots64";
+    case SectionKind::kIndexOffsets32: return "index-offsets32";
+    case SectionKind::kIndexSlots32: return "index-slots32";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The standard reflected CRC-32 table, built once.
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  const std::uint32_t* table = crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t header_checksum(const FileHeader& header,
+                              const SectionRecord* table) {
+  FileHeader h = header;
+  h.header_checksum = 0;
+  std::uint32_t c = crc32(&h, sizeof(h));
+  return crc32(table, kMaxSections * sizeof(SectionRecord), c);
+}
+
+}  // namespace af::storage

@@ -1,0 +1,184 @@
+// The `.af1` container format (DESIGN.md §11): one file holding a graph's
+// CSR topology, its directional weights, and the PREBUILT selection-index
+// tables, laid out so the whole thing can be mmap-ed read-only and served
+// without a byte of copying or a microsecond of alias construction.
+//
+// Layout (all integers native-endian; the header carries an endianness
+// tag so a foreign-endian file fails loudly instead of subtly):
+//
+//   offset 0    FileHeader        64 bytes  magic, version, endianness,
+//                                           counts, crc32 of itself
+//   offset 64   SectionRecord[16] 512 bytes fixed-capacity section table,
+//                                           crc32-covered by the header
+//   offset 576  section payloads            each 64-byte aligned, each
+//                                           crc32-checksummed in its record
+//
+// Versioning policy: kFormatVersion bumps on ANY layout change — there
+// are no minor versions and no in-place migration; readers reject every
+// version but their own (offline containers are cheap to rebuild with
+// af_index_build, and a version check that cannot lie beats a migration
+// path that can). Endianness is native-on-write: the mmap path cannot
+// byte-swap without copying, so cross-endian portability is explicitly
+// out of scope — the tag turns it into a structured error.
+//
+// The discipline here (magic + version + endianness checks up front,
+// checksummed payloads, fixed 64-byte alignment so mapped sections can be
+// cast to element arrays) follows the Tightdb/Realm file-format exemplar
+// named in ROADMAP.md.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace af::storage {
+
+/// Structured failure opening or validating an .af1 container. The code
+/// says which validation tripped; what() carries the detail (expected vs
+/// found values, the offending section, byte offsets).
+class Af1Error : public std::runtime_error {
+ public:
+  enum class Code {
+    /// The file cannot be opened / read / mapped at the OS level.
+    kIo,
+    /// The magic bytes are wrong: not an .af1 file (or its head was
+    /// overwritten).
+    kBadMagic,
+    /// A different format version — rebuilt containers required.
+    kBadVersion,
+    /// Written on a host of the other endianness.
+    kBadEndianness,
+    /// The header's own checksum (covering header + section table) fails.
+    kBadHeader,
+    /// The section table is structurally invalid (count, kinds, bounds,
+    /// alignment).
+    kBadSectionTable,
+    /// The file is shorter than the header/table/sections claim.
+    kTruncated,
+    /// A section payload's crc32 does not match its record.
+    kBadChecksum,
+    /// Sections are individually valid but mutually inconsistent with
+    /// the header's node/edge counts (or a required section is missing).
+    kBadShape,
+  };
+
+  Af1Error(Code code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  Code code() const { return code_; }
+
+ private:
+  Code code_;
+};
+
+/// Short stable name ("bad-magic", …) for logs and test assertions.
+const char* to_string(Af1Error::Code code);
+
+/// File magic: "af1!" plus PNG-style bytes that detect text-mode and
+/// high-bit mangling.
+inline constexpr std::array<unsigned char, 8> kMagic = {
+    'a', 'f', '1', '!', 0x89, '\r', '\n', 0x1a};
+
+/// Bumped on ANY layout change; readers accept exactly this version.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Written natively; reads as 0x04030201 on the other endianness.
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+
+/// Every section payload starts on a 64-byte boundary: cache-line
+/// aligned, and strictly stronger than any element type's alignment, so
+/// mapped payloads cast directly to element arrays.
+inline constexpr std::size_t kSectionAlign = 64;
+
+/// Fixed capacity of the section table. Far above the 10 kinds below so
+/// the format can grow sections without a version bump… of the table.
+inline constexpr std::size_t kMaxSections = 16;
+
+/// What a section holds. Values are stable on-disk identifiers.
+enum class SectionKind : std::uint32_t {
+  /// Graph CSR offsets: (n+1) × u64 (ArcIndex).
+  kCsrOffsets = 1,
+  /// Graph adjacency: 2m × u32 (NodeId), sorted per node.
+  kAdjacency = 2,
+  /// Incoming weights aligned with adjacency: 2m × f64.
+  kInWeights = 3,
+  /// Outgoing-weight mirror: 2m × f64.
+  kOutWeights = 4,
+  /// Per-node Σ_u w(u,v): n × f64.
+  kTotalInWeight = 5,
+  /// Per-node ℵ0 mass max(0, 1 − Σ w): n × f64. Derivable from
+  /// kTotalInWeight; materialized so index-free consumers can stream it.
+  kLeftoverMass = 6,
+  /// SamplingIndex CSR offsets: (n+1) × u64.
+  kIndexOffsets64 = 7,
+  /// SamplingIndex fused 16-byte slots: (2m+n) × {u64 threshold, u32
+  /// accept, u32 alias}.
+  kIndexSlots64 = 8,
+  /// CompactSamplingIndex CSR offsets: (n+1) × u32.
+  kIndexOffsets32 = 9,
+  /// CompactSamplingIndex 12-byte slots: (2m+n) × {f32 threshold, u32
+  /// accept, u32 alias}.
+  kIndexSlots32 = 10,
+};
+
+/// Short stable name ("csr-offsets", …) for logs and error messages.
+const char* to_string(SectionKind kind);
+
+/// One section-table entry. Payload byte count is count × elem_size.
+struct SectionRecord {
+  std::uint32_t kind = 0;       // SectionKind; 0 = empty slot
+  std::uint32_t elem_size = 0;  // bytes per element
+  std::uint64_t offset = 0;     // payload start, from file byte 0
+  std::uint64_t count = 0;      // element count
+  std::uint32_t checksum = 0;   // crc32 of the payload bytes
+  std::uint32_t reserved = 0;
+
+  std::uint64_t payload_bytes() const {
+    return count * static_cast<std::uint64_t>(elem_size);
+  }
+};
+static_assert(sizeof(SectionRecord) == 32, "on-disk record layout");
+
+/// The 64-byte file header at offset 0.
+struct FileHeader {
+  unsigned char magic[8];
+  std::uint32_t version = 0;
+  std::uint32_t endianness = 0;
+  std::uint64_t file_bytes = 0;  // total container size — truncation check
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;  // undirected edge count m
+  std::uint32_t section_count = 0;
+  std::uint32_t flags = 0;  // reserved for future use; written as 0
+  /// crc32 over the header (this field zeroed) followed by the full
+  /// 512-byte section table: one checksum guards everything that locates
+  /// payloads.
+  std::uint32_t header_checksum = 0;
+  std::uint32_t reserved0 = 0;
+  std::uint64_t reserved1 = 0;
+};
+static_assert(sizeof(FileHeader) == 64, "on-disk header layout");
+static_assert(std::is_trivially_copyable_v<FileHeader> &&
+                  std::is_trivially_copyable_v<SectionRecord>,
+              "headers are read/written as raw bytes");
+
+/// Where payloads start: header + fixed-capacity table, already a
+/// multiple of kSectionAlign.
+inline constexpr std::uint64_t kPayloadStart =
+    sizeof(FileHeader) + kMaxSections * sizeof(SectionRecord);
+static_assert(kPayloadStart % kSectionAlign == 0,
+              "payload start must stay aligned");
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. `seed`
+/// chains incremental computation: crc(a+b) = crc32(b, len_b, crc32(a,
+/// len_a)).
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
+/// The header's checksum as defined above (header with the field zeroed,
+/// then the section table).
+std::uint32_t header_checksum(const FileHeader& header,
+                              const SectionRecord* table);
+
+}  // namespace af::storage

@@ -1,0 +1,350 @@
+#include "storage/mapped_dataset.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define AF_STORAGE_HAVE_MMAP 1
+#endif
+
+#include "diffusion/sampling_index.hpp"
+#include "graph/types.hpp"
+#include "util/hugepage.hpp"
+
+namespace af::storage {
+
+namespace {
+
+std::string at(const std::string& path, const std::string& detail) {
+  return "'" + path + "': " + detail;
+}
+
+/// The ten defined section kinds; anything else in a record is a table
+/// corruption, not a future extension (extensions bump the version).
+bool known_kind(std::uint32_t kind) {
+  return kind >= static_cast<std::uint32_t>(SectionKind::kCsrOffsets) &&
+         kind <= static_cast<std::uint32_t>(SectionKind::kIndexSlots32);
+}
+
+}  // namespace
+
+MappedDataset::MappedDataset(const std::string& path, Options options)
+    : path_(path) {
+  open_and_map(options);
+  try {
+    validate(options);
+  } catch (...) {
+    // The destructor does not run when a constructor throws; unmap here.
+    unmap();
+    throw;
+  }
+}
+
+MappedDataset::~MappedDataset() { unmap(); }
+
+void MappedDataset::unmap() {
+#ifdef AF_STORAGE_HAVE_MMAP
+  if (map_ != nullptr && heap_ == nullptr) {
+    ::munmap(map_, map_bytes_);
+  }
+#endif
+  map_ = nullptr;
+}
+
+void MappedDataset::open_and_map(const Options& options) {
+#ifdef AF_STORAGE_HAVE_MMAP
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw Af1Error(Af1Error::Code::kIo, at(path_, "cannot open"));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw Af1Error(Af1Error::Code::kIo, at(path_, "cannot stat"));
+  }
+  map_bytes_ = static_cast<std::size_t>(st.st_size);
+  if (map_bytes_ < kPayloadStart) {
+    ::close(fd);
+    throw Af1Error(Af1Error::Code::kTruncated,
+                   at(path_, "file is " + std::to_string(map_bytes_) +
+                                 " bytes — smaller than the header"));
+  }
+  void* m = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (m == MAP_FAILED) {
+    throw Af1Error(Af1Error::Code::kIo, at(path_, "mmap failed"));
+  }
+  map_ = static_cast<std::byte*>(m);
+  if (options.huge_pages) {
+    hugepage_advised_ = advise_file_hugepages(map_, map_bytes_);
+  }
+#else
+  // No mmap on this host: read the whole container into the heap. The
+  // validation and view plumbing are identical; only zero-copy is lost.
+  std::ifstream f(path_, std::ios::binary | std::ios::ate);
+  if (!f) {
+    throw Af1Error(Af1Error::Code::kIo, at(path_, "cannot open"));
+  }
+  const auto size = static_cast<std::size_t>(f.tellg());
+  if (size < kPayloadStart) {
+    throw Af1Error(Af1Error::Code::kTruncated,
+                   at(path_, "file is " + std::to_string(size) +
+                                 " bytes — smaller than the header"));
+  }
+  heap_ = std::make_unique<std::byte[]>(size);
+  f.seekg(0);
+  f.read(reinterpret_cast<char*>(heap_.get()),
+         static_cast<std::streamsize>(size));
+  if (!f) {
+    throw Af1Error(Af1Error::Code::kIo, at(path_, "short read"));
+  }
+  map_ = heap_.get();
+  map_bytes_ = size;
+  (void)options;
+#endif
+}
+
+void MappedDataset::validate(const Options& options) {
+  // Header first: magic → version → endianness → checksum, in that
+  // order, so the error names the first thing actually wrong with the
+  // file rather than a downstream symptom.
+  std::memcpy(&header_, map_, sizeof(header_));
+  if (std::memcmp(header_.magic, kMagic.data(), kMagic.size()) != 0) {
+    throw Af1Error(Af1Error::Code::kBadMagic,
+                   at(path_, "not an .af1 container (bad magic)"));
+  }
+  if (header_.version != kFormatVersion) {
+    throw Af1Error(
+        Af1Error::Code::kBadVersion,
+        at(path_, "format version " + std::to_string(header_.version) +
+                      ", this build reads exactly " +
+                      std::to_string(kFormatVersion) +
+                      " — rebuild the container with af_index_build"));
+  }
+  if (header_.endianness != kEndianTag) {
+    throw Af1Error(Af1Error::Code::kBadEndianness,
+                   at(path_, "written on a host of the other endianness"));
+  }
+  table_ = reinterpret_cast<const SectionRecord*>(map_ + sizeof(FileHeader));
+  if (header_.header_checksum != header_checksum(header_, table_)) {
+    throw Af1Error(Af1Error::Code::kBadHeader,
+                   at(path_, "header/section-table checksum mismatch"));
+  }
+  if (header_.file_bytes > map_bytes_) {
+    throw Af1Error(
+        Af1Error::Code::kTruncated,
+        at(path_, "header claims " + std::to_string(header_.file_bytes) +
+                      " bytes, file has " + std::to_string(map_bytes_)));
+  }
+  if (header_.file_bytes < map_bytes_) {
+    throw Af1Error(
+        Af1Error::Code::kBadHeader,
+        at(path_, std::to_string(map_bytes_ - header_.file_bytes) +
+                      " trailing bytes beyond the declared container"));
+  }
+
+  // Section table structure. The checksum above already vouches for the
+  // bytes; this vouches for their meaning.
+  if (header_.section_count > kMaxSections) {
+    throw Af1Error(Af1Error::Code::kBadSectionTable,
+                   at(path_, "section count " +
+                                 std::to_string(header_.section_count) +
+                                 " exceeds table capacity"));
+  }
+  std::uint32_t seen_kinds = 0;  // bitmask over the 10 kinds
+  for (std::uint32_t i = 0; i < header_.section_count; ++i) {
+    const SectionRecord& rec = table_[i];
+    const std::string where =
+        "section " + std::to_string(i) + " (kind " +
+        std::to_string(rec.kind) + ")";
+    if (!known_kind(rec.kind) || rec.elem_size == 0) {
+      throw Af1Error(Af1Error::Code::kBadSectionTable,
+                     at(path_, where + ": unknown kind or zero elem_size"));
+    }
+    if (seen_kinds & (1u << rec.kind)) {
+      throw Af1Error(Af1Error::Code::kBadSectionTable,
+                     at(path_, where + ": duplicate kind"));
+    }
+    seen_kinds |= 1u << rec.kind;
+    if (rec.offset < kPayloadStart || rec.offset % kSectionAlign != 0) {
+      throw Af1Error(Af1Error::Code::kBadSectionTable,
+                     at(path_, where + ": misaligned or overlapping offset"));
+    }
+    if (rec.offset + rec.payload_bytes() > header_.file_bytes ||
+        rec.offset + rec.payload_bytes() < rec.offset) {
+      throw Af1Error(Af1Error::Code::kTruncated,
+                     at(path_, where + ": payload extends past end of file"));
+    }
+  }
+
+  if (options.validate_checksums) {
+    for (std::uint32_t i = 0; i < header_.section_count; ++i) {
+      const SectionRecord& rec = table_[i];
+      const auto bytes = payload(rec);
+      if (crc32(bytes.data(), bytes.size()) != rec.checksum) {
+        throw Af1Error(
+            Af1Error::Code::kBadChecksum,
+            at(path_, std::string("section '") +
+                          to_string(static_cast<SectionKind>(rec.kind)) +
+                          "' checksum mismatch"));
+      }
+    }
+  }
+
+  // Shape: the graph sections must exist and agree with the header's
+  // counts; then the CSR views are handed to Graph::from_external, whose
+  // own monotonicity/shape contracts are rethrown as kBadShape.
+  if (header_.num_nodes >= kNoNode) {
+    throw Af1Error(Af1Error::Code::kBadShape,
+                   at(path_, "node count exceeds NodeId range"));
+  }
+  const std::uint64_t n = header_.num_nodes;
+  const std::uint64_t arcs = 2 * header_.num_edges;
+  const struct {
+    SectionKind kind;
+    std::uint64_t count;
+    std::uint32_t elem_size;
+  } expect[] = {
+      {SectionKind::kCsrOffsets, n + 1, sizeof(ArcIndex)},
+      {SectionKind::kAdjacency, arcs, sizeof(NodeId)},
+      {SectionKind::kInWeights, arcs, sizeof(double)},
+      {SectionKind::kOutWeights, arcs, sizeof(double)},
+      {SectionKind::kTotalInWeight, n, sizeof(double)},
+      {SectionKind::kLeftoverMass, n, sizeof(double)},
+  };
+  for (const auto& e : expect) {
+    const SectionRecord* rec = find(e.kind);
+    if (rec == nullptr) {
+      throw Af1Error(Af1Error::Code::kBadShape,
+                     at(path_, std::string("required section '") +
+                                   to_string(e.kind) + "' is missing"));
+    }
+    if (rec->count != e.count || rec->elem_size != e.elem_size) {
+      throw Af1Error(
+          Af1Error::Code::kBadShape,
+          at(path_, std::string("section '") + to_string(e.kind) +
+                        "' shape disagrees with the header counts"));
+    }
+  }
+  // Index sections come in pairs (offsets + slots), both or neither.
+  const struct {
+    SectionKind offsets;
+    SectionKind slots;
+    std::uint32_t off_elem;
+    std::uint32_t slot_elem;
+  } pairs[] = {
+      {SectionKind::kIndexOffsets64, SectionKind::kIndexSlots64, 8, 16},
+      {SectionKind::kIndexOffsets32, SectionKind::kIndexSlots32, 4, 12},
+  };
+  for (const auto& p : pairs) {
+    const SectionRecord* off = find(p.offsets);
+    const SectionRecord* slots = find(p.slots);
+    if ((off == nullptr) != (slots == nullptr)) {
+      throw Af1Error(Af1Error::Code::kBadShape,
+                     at(path_, std::string("index sections '") +
+                                   to_string(p.offsets) + "'/'" +
+                                   to_string(p.slots) +
+                                   "' must both be present or both absent"));
+    }
+    if (off != nullptr &&
+        (off->count != n + 1 || off->elem_size != p.off_elem ||
+         slots->elem_size != p.slot_elem)) {
+      throw Af1Error(Af1Error::Code::kBadShape,
+                     at(path_, std::string("index section '") +
+                                   to_string(p.offsets) +
+                                   "' shape disagrees with the header"));
+    }
+  }
+
+  try {
+    const auto offs = payload(require(SectionKind::kCsrOffsets));
+    const auto adj = payload(require(SectionKind::kAdjacency));
+    const auto in_w = payload(require(SectionKind::kInWeights));
+    const auto out_w = payload(require(SectionKind::kOutWeights));
+    const auto tot = payload(require(SectionKind::kTotalInWeight));
+    graph_ = Graph::from_external(
+        {reinterpret_cast<const ArcIndex*>(offs.data()),
+         static_cast<std::size_t>(n + 1)},
+        {reinterpret_cast<const NodeId*>(adj.data()),
+         static_cast<std::size_t>(arcs)},
+        {reinterpret_cast<const double*>(in_w.data()),
+         static_cast<std::size_t>(arcs)},
+        {reinterpret_cast<const double*>(out_w.data()),
+         static_cast<std::size_t>(arcs)},
+        {reinterpret_cast<const double*>(tot.data()),
+         static_cast<std::size_t>(n)});
+  } catch (const Af1Error&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw Af1Error(Af1Error::Code::kBadShape, at(path_, e.what()));
+  }
+}
+
+const SectionRecord* MappedDataset::find(SectionKind kind) const {
+  for (std::uint32_t i = 0; i < header_.section_count; ++i) {
+    if (table_[i].kind == static_cast<std::uint32_t>(kind)) return &table_[i];
+  }
+  return nullptr;
+}
+
+const SectionRecord& MappedDataset::require(SectionKind kind) const {
+  const SectionRecord* rec = find(kind);
+  if (rec == nullptr) {
+    throw Af1Error(Af1Error::Code::kBadShape,
+                   at(path_, std::string("required section '") +
+                                 to_string(kind) + "' is missing"));
+  }
+  return *rec;
+}
+
+std::span<const std::byte> MappedDataset::payload(
+    const SectionRecord& rec) const {
+  return {map_ + rec.offset, static_cast<std::size_t>(rec.payload_bytes())};
+}
+
+std::span<const double> MappedDataset::leftover_mass() const {
+  const auto bytes = payload(require(SectionKind::kLeftoverMass));
+  return {reinterpret_cast<const double*>(bytes.data()),
+          bytes.size() / sizeof(double)};
+}
+
+bool MappedDataset::has_index(bool compact) const {
+  return find(compact ? SectionKind::kIndexOffsets32
+                      : SectionKind::kIndexOffsets64) != nullptr;
+}
+
+std::unique_ptr<const SelectionSampler> MappedDataset::make_index(
+    bool compact, SimdLevel simd, bool copy, bool huge_pages) const {
+  if (!has_index(compact)) {
+    throw Af1Error(
+        Af1Error::Code::kBadShape,
+        at(path_, std::string("container has no ") +
+                      (compact ? "compact (f32)" : "full (f64)") +
+                      " index sections — rebuild with af_index_build"));
+  }
+  ExternalIndexTables tables;
+  tables.copy = copy;
+  tables.huge_pages = huge_pages;
+  const auto num_nodes = static_cast<NodeId>(header_.num_nodes);
+  try {
+    if (compact) {
+      tables.offsets = payload(require(SectionKind::kIndexOffsets32));
+      tables.slots = payload(require(SectionKind::kIndexSlots32));
+      return std::make_unique<const CompactSamplingIndex>(tables, num_nodes,
+                                                          simd);
+    }
+    tables.offsets = payload(require(SectionKind::kIndexOffsets64));
+    tables.slots = payload(require(SectionKind::kIndexSlots64));
+    return std::make_unique<const SamplingIndex>(tables, num_nodes, simd);
+  } catch (const Af1Error&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw Af1Error(Af1Error::Code::kBadShape, at(path_, e.what()));
+  }
+}
+
+}  // namespace af::storage

@@ -1,0 +1,120 @@
+// MappedDataset — the consumer side of storage/: opens an .af1 container
+// read-only, validates it (magic, version, endianness, header checksum,
+// section table structure, payload checksums, shape), and serves the
+// graph and the prebuilt index tables as zero-copy views over the map.
+//
+// Opening costs O(validation): with checksum validation on (the default)
+// that is one streaming pass over the file's bytes; with it off, only the
+// 576-byte header region is touched and the OS pages everything else on
+// demand — the instant-cold-start path for containers on fast storage
+// whose integrity is ensured elsewhere (e.g. a checksummed filesystem).
+// Either way, NO alias-table construction happens: the index sections ARE
+// the tables.
+//
+// Every validation failure throws storage::Af1Error with a structured
+// code — a corrupt, truncated, foreign-endian or stale-version file is a
+// catchable error, never UB (tests/storage_format_test.cpp pins this over
+// a corruption matrix).
+//
+// NUMA interaction (DESIGN.md §11): make_index(copy=false) hands the
+// samplers views into the map — one physical copy, paged by the OS,
+// possibly remote for some sockets. make_index(copy=true) materializes
+// the tables into fresh (huge-page-preferring) RAM, first-touched by the
+// calling thread — run it on threads pinned per node (IndexReplicas'
+// factory does exactly this) to get node-local replicas, paying the copy
+// cost for the steady-state latency win. Planner::from_mapped picks
+// between the two automatically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "diffusion/realization.hpp"
+#include "graph/graph.hpp"
+#include "storage/format.hpp"
+#include "util/cpu.hpp"
+
+namespace af::storage {
+
+/// A validated, read-only mapping of one .af1 container. Immutable and
+/// thread-safe after construction. The dataset must outlive the Graph
+/// reference, every view-mode index built from it, and every Planner
+/// constructed over those.
+/// Knobs for opening a container.
+struct OpenOptions {
+  /// Verify every section payload's crc32 at open (one streaming read
+  /// of the file). Off = trust the file and touch only the header.
+  bool validate_checksums = true;
+  /// Advise the kernel to back the mapping with huge pages
+  /// (util/hugepage::advise_file_hugepages — best-effort, warn-once).
+  bool huge_pages = true;
+};
+
+class MappedDataset {
+ public:
+  using Options = OpenOptions;
+
+  /// Opens and validates `path`. Throws Af1Error (structured code +
+  /// detail) on any I/O or validation failure.
+  explicit MappedDataset(const std::string& path, Options options = {});
+  ~MappedDataset();
+
+  MappedDataset(const MappedDataset&) = delete;
+  MappedDataset& operator=(const MappedDataset&) = delete;
+
+  /// The container's graph: CSR views straight into the map (zero-copy;
+  /// Graph::is_external() is true).
+  const Graph& graph() const { return graph_; }
+
+  const FileHeader& header() const { return header_; }
+  std::uint64_t num_nodes() const { return header_.num_nodes; }
+  std::uint64_t num_edges() const { return header_.num_edges; }
+  std::uint64_t file_bytes() const { return map_bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// The materialized per-node ℵ0 mass section (kLeftoverMass).
+  std::span<const double> leftover_mass() const;
+
+  /// Whether the container carries prebuilt tables for the given index
+  /// flavor (af_index_build --skip-index64/--skip-index32 omit them).
+  bool has_index(bool compact) const;
+
+  /// Reconstructs a ready-to-sample SelectionSampler from the mapped
+  /// tables — no alias construction, just validation + kernel dispatch.
+  /// copy=false: the sampler views the map (this dataset must outlive
+  /// it). copy=true: the tables are copied into fresh RAM, first-touched
+  /// by the calling thread (the NUMA replication path), `huge_pages`
+  /// backing the copy where available. Throws Af1Error(kBadShape) when
+  /// the container lacks that index flavor or its tables are mutually
+  /// inconsistent.
+  std::unique_ptr<const SelectionSampler> make_index(
+      bool compact, SimdLevel simd = SimdLevel::kAuto, bool copy = false,
+      bool huge_pages = true) const;
+
+  /// True when the mapping was (successfully) advised onto huge pages.
+  bool hugepage_advised() const { return hugepage_advised_; }
+
+ private:
+  void open_and_map(const Options& options);
+  void validate(const Options& options);
+  void unmap();
+  const SectionRecord* find(SectionKind kind) const;
+  const SectionRecord& require(SectionKind kind) const;
+  std::span<const std::byte> payload(const SectionRecord& rec) const;
+
+  std::string path_;
+  std::byte* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  /// Fallback for hosts without mmap: the file is read into this heap
+  /// buffer and map_ points at it (loses zero-copy, keeps the API).
+  std::unique_ptr<std::byte[]> heap_;
+  FileHeader header_{};
+  const SectionRecord* table_ = nullptr;  // the 16 records, in the map
+  Graph graph_;
+  bool hugepage_advised_ = false;
+};
+
+}  // namespace af::storage

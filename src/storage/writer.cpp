@@ -1,0 +1,129 @@
+#include "storage/writer.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/contracts.hpp"
+
+namespace af::storage {
+
+Af1Writer::Af1Writer(std::string path, std::uint64_t num_nodes,
+                     std::uint64_t num_edges)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  std::memcpy(header_.magic, kMagic.data(), kMagic.size());
+  header_.version = kFormatVersion;
+  header_.endianness = kEndianTag;
+  header_.num_nodes = num_nodes;
+  header_.num_edges = num_edges;
+
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw Af1Error(Af1Error::Code::kIo,
+                   "cannot create '" + tmp_path_ + "' for writing");
+  }
+  // Reserve the header + section table region; finish() back-patches it.
+  char zeros[kPayloadStart] = {};
+  out_.write(zeros, sizeof(zeros));
+  pos_ = kPayloadStart;
+  require_open("reserving the header");
+}
+
+Af1Writer::~Af1Writer() {
+  if (!finished_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void Af1Writer::require_open(const char* what) {
+  if (!out_) {
+    throw Af1Error(Af1Error::Code::kIo,
+                   std::string("write failed while ") + what + " ('" +
+                       tmp_path_ + "')");
+  }
+}
+
+void Af1Writer::pad_to_alignment() {
+  static const char zeros[kSectionAlign] = {};
+  const std::uint64_t misalign = pos_ % kSectionAlign;
+  if (misalign != 0) {
+    const std::uint64_t pad = kSectionAlign - misalign;
+    out_.write(zeros, static_cast<std::streamsize>(pad));
+    pos_ += pad;
+  }
+}
+
+void Af1Writer::begin_section(SectionKind kind, std::uint32_t elem_size) {
+  AF_EXPECTS(!finished_, "writer already finished");
+  AF_EXPECTS(open_section_ == kMaxSections,
+             "begin_section with a section still open");
+  AF_EXPECTS(elem_size > 0, "section elements must have positive size");
+  AF_EXPECTS(header_.section_count < kMaxSections,
+             "section table capacity exceeded");
+  pad_to_alignment();
+  require_open("aligning a section");
+  open_section_ = header_.section_count;
+  SectionRecord& rec = table_[open_section_];
+  rec.kind = static_cast<std::uint32_t>(kind);
+  rec.elem_size = elem_size;
+  rec.offset = pos_;
+  section_bytes_ = 0;
+  section_crc_ = 0;
+}
+
+void Af1Writer::append(const void* data, std::size_t bytes) {
+  AF_EXPECTS(open_section_ != kMaxSections, "append outside a section");
+  if (bytes == 0) return;
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+  require_open("streaming a section payload");
+  section_crc_ = crc32(data, bytes, section_crc_);
+  section_bytes_ += bytes;
+  pos_ += bytes;
+}
+
+void Af1Writer::end_section() {
+  AF_EXPECTS(open_section_ != kMaxSections, "end_section without begin");
+  SectionRecord& rec = table_[open_section_];
+  AF_EXPECTS(section_bytes_ % rec.elem_size == 0,
+             "section payload is not a whole number of elements");
+  rec.count = section_bytes_ / rec.elem_size;
+  rec.checksum = section_crc_;
+  ++header_.section_count;
+  open_section_ = kMaxSections;
+}
+
+void Af1Writer::write_section(SectionKind kind, const void* data,
+                              std::size_t bytes, std::uint32_t elem_size) {
+  begin_section(kind, elem_size);
+  append(data, bytes);
+  end_section();
+}
+
+std::uint64_t Af1Writer::finish() {
+  AF_EXPECTS(!finished_, "finish called twice");
+  AF_EXPECTS(open_section_ == kMaxSections,
+             "finish with a section still open");
+  header_.file_bytes = pos_;
+  header_.header_checksum = header_checksum(header_, table_);
+
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header_), sizeof(header_));
+  out_.write(reinterpret_cast<const char*>(table_), sizeof(table_));
+  require_open("back-patching the header");
+  out_.flush();
+  out_.close();
+  if (out_.fail()) {
+    throw Af1Error(Af1Error::Code::kIo,
+                   "closing '" + tmp_path_ + "' failed");
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw Af1Error(Af1Error::Code::kIo,
+                   "renaming '" + tmp_path_ + "' to '" + path_ + "' failed");
+  }
+  finished_ = true;
+  return header_.file_bytes;
+}
+
+}  // namespace af::storage

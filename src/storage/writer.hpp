@@ -1,0 +1,79 @@
+// Af1Writer — streaming producer of .af1 containers (storage/format.hpp).
+//
+// Sections are appended in order, each streamed through append() in
+// arbitrarily small chunks so a converter never has to materialize a
+// section before writing it; the crc32 is chained across chunks. The
+// header and section table are back-patched by finish(), which writes the
+// whole container to `path + ".tmp"` first and renames it into place —
+// a crashed or failed build can never leave a half-written file under
+// the real name.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+
+#include "storage/format.hpp"
+
+namespace af::storage {
+
+/// Streams one .af1 container. Use:
+///   Af1Writer w(path, n, m);
+///   w.begin_section(SectionKind::kCsrOffsets, 8);
+///   w.append(chunk, bytes); ...        // any chunking
+///   w.end_section();
+///   ... more sections ...
+///   w.finish();                        // header, checksums, rename
+/// All methods throw Af1Error(kIo) on I/O failure. A writer destroyed
+/// before finish() removes its temporary file.
+class Af1Writer {
+ public:
+  Af1Writer(std::string path, std::uint64_t num_nodes,
+            std::uint64_t num_edges);
+  ~Af1Writer();
+
+  Af1Writer(const Af1Writer&) = delete;
+  Af1Writer& operator=(const Af1Writer&) = delete;
+
+  /// Starts the next section. Payload bytes follow via append(); their
+  /// total must be a multiple of `elem_size` by end_section().
+  void begin_section(SectionKind kind, std::uint32_t elem_size);
+  void append(const void* data, std::size_t bytes);
+  void end_section();
+
+  /// One-shot convenience for in-RAM payloads.
+  void write_section(SectionKind kind, const void* data, std::size_t bytes,
+                     std::uint32_t elem_size);
+  void write_section(SectionKind kind, std::span<const std::byte> bytes,
+                     std::uint32_t elem_size) {
+    write_section(kind, bytes.data(), bytes.size(), elem_size);
+  }
+  template <typename T>
+  void write_elems(SectionKind kind, std::span<const T> elems) {
+    write_section(kind, elems.data(), elems.size_bytes(),
+                  static_cast<std::uint32_t>(sizeof(T)));
+  }
+
+  /// Seals the container: pads, back-patches header + section table with
+  /// checksums, fsync-closes, renames over `path`. Returns total bytes.
+  std::uint64_t finish();
+
+ private:
+  void require_open(const char* what);
+  void pad_to_alignment();
+
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  FileHeader header_{};
+  SectionRecord table_[kMaxSections]{};
+  std::uint64_t pos_ = 0;          // bytes written so far
+  std::size_t open_section_ = kMaxSections;  // sentinel: none open
+  std::uint64_t section_bytes_ = 0;
+  std::uint32_t section_crc_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace af::storage

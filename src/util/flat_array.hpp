@@ -1,0 +1,105 @@
+// FlatArray<T> — a contiguous, read-mostly array that either OWNS its
+// elements (a std::vector filled by a builder) or VIEWS externally owned
+// memory (a section of an mmap-ed .af1 container, storage/).
+//
+// The graph substrate was built around std::vector members; the
+// out-of-core path (DESIGN.md §11) needs the same Graph object to sit
+// directly on top of a read-only file mapping without copying gigabytes
+// of CSR arrays. FlatArray is the smallest abstraction that serves both:
+// accessors read one (pointer, size) pair regardless of mode, owners
+// keep vector value semantics (deep copy, cheap move), and views copy
+// shallowly — a view's elements belong to whoever owns the mapping,
+// which must outlive every FlatArray (and every copy) pointing into it.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace af {
+
+/// Owning-or-viewing contiguous array. Elements are immutable through
+/// this interface; builders fill a std::vector first and hand it over.
+template <typename T>
+class FlatArray {
+ public:
+  FlatArray() = default;
+
+  /// Takes ownership of `v`'s elements.
+  static FlatArray owned(std::vector<T> v) {
+    FlatArray a;
+    a.own_ = std::move(v);
+    a.data_ = a.own_.data();
+    a.size_ = a.own_.size();
+    return a;
+  }
+
+  /// Views `size` elements at `data` without owning them. The memory
+  /// must outlive this array and every copy of it.
+  static FlatArray view(const T* data, std::size_t size) {
+    FlatArray a;
+    a.data_ = data;
+    a.size_ = size;
+    a.is_view_ = true;
+    return a;
+  }
+
+  FlatArray(const FlatArray& other)
+      : own_(other.own_), size_(other.size_), is_view_(other.is_view_) {
+    data_ = is_view_ ? other.data_ : own_.data();
+  }
+
+  FlatArray& operator=(const FlatArray& other) {
+    if (this != &other) {
+      own_ = other.own_;
+      size_ = other.size_;
+      is_view_ = other.is_view_;
+      data_ = is_view_ ? other.data_ : own_.data();
+    }
+    return *this;
+  }
+
+  FlatArray(FlatArray&& other) noexcept
+      : own_(std::move(other.own_)),
+        size_(other.size_),
+        is_view_(other.is_view_) {
+    data_ = is_view_ ? other.data_ : own_.data();
+    other.reset();
+  }
+
+  FlatArray& operator=(FlatArray&& other) noexcept {
+    if (this != &other) {
+      own_ = std::move(other.own_);
+      size_ = other.size_;
+      is_view_ = other.is_view_;
+      data_ = is_view_ ? other.data_ : own_.data();
+      other.reset();
+    }
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  /// True when the elements live in memory this array does not own.
+  bool is_view() const { return is_view_; }
+
+ private:
+  void reset() {
+    own_.clear();
+    data_ = nullptr;
+    size_ = 0;
+    is_view_ = false;
+  }
+
+  std::vector<T> own_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool is_view_ = false;
+};
+
+}  // namespace af

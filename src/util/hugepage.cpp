@@ -1,12 +1,52 @@
 #include "util/hugepage.hpp"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "util/log.hpp"
 
 #if defined(__linux__)
 #include <sys/mman.h>
 #endif
+
+namespace af {
+
+bool advise_file_hugepages(void* addr, std::size_t bytes) {
+#if defined(__linux__)
+  if (!detail::huge_pages_enabled()) return false;
+  constexpr std::size_t kHuge = std::size_t{2} << 20;
+  // madvise wants page-aligned addresses and THP works on 2 MiB
+  // granules: advise the largest huge-aligned interior of the region.
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t lo = (base + kHuge - 1) & ~(kHuge - 1);
+  const std::uintptr_t hi = (base + bytes) & ~(kHuge - 1);
+  if (hi <= lo) return false;  // interior smaller than one huge page
+  if (madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE) == 0) {
+    return true;
+  }
+  // Expected on kernels without file-backed THP (EINVAL) — warn once so
+  // the fallback is visible, then stay quiet: the mapping is correct
+  // either way, just without the TLB win.
+  static std::once_flag warned;
+  const int err = errno;
+  std::call_once(warned, [err] {
+    log_warn() << "madvise(MADV_HUGEPAGE) on a file-backed mapping failed ("
+               << std::strerror(err)
+               << "); mapped datasets stay on 4 KiB pages (kernel lacks "
+                  "file-backed THP support?)";
+  });
+  return false;
+#else
+  (void)addr;
+  (void)bytes;
+  return false;
+#endif
+}
+
+}  // namespace af
 
 namespace af::detail {
 

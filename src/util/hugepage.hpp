@@ -42,6 +42,18 @@ bool huge_pages_enabled();
 
 }  // namespace detail
 
+/// Asks the kernel to back an existing *file-backed* mapping with huge
+/// pages: madvise(MADV_HUGEPAGE) over the 2 MiB-aligned interior of
+/// [addr, addr+bytes). File-backed maps behave differently from the
+/// anonymous ones HugeBuffer owns — read-only file THP needs kernel
+/// support (CONFIG_READ_ONLY_THP_FOR_FS) and many kernels reject the
+/// advice with EINVAL. Failure is therefore expected on some hosts: it
+/// is reported with ONE logged warning per process (never silence, never
+/// an error — the mapping keeps working on 4 KiB pages) and a false
+/// return. No-op false under AF_HUGEPAGES=off, on non-Linux hosts, or
+/// when the aligned interior is smaller than one huge page.
+bool advise_file_hugepages(void* addr, std::size_t bytes);
+
 /// Fixed-size, move-only array in (preferably) huge-page-backed memory.
 /// Elements start uninitialized — every consumer fills the whole buffer
 /// during construction of its owner. Trivial T only: the buffer never
@@ -60,6 +72,21 @@ class HugeBuffer {
   explicit HugeBuffer(std::size_t count, bool prefer_huge = true) {
     allocate(count, prefer_huge);
   }
+
+  /// Adopts `count` elements at `data` as a non-owning VIEW — the
+  /// zero-copy path over an mmap-ed .af1 section (storage/, DESIGN.md
+  /// §11). The memory belongs to the mapping, which must outlive this
+  /// buffer; it is typically PROT_READ, so writing through the buffer is
+  /// undefined (every view consumer is read-only after construction).
+  void adopt_view(const T* data, std::size_t count) {
+    release();
+    data_ = const_cast<T*>(data);
+    size_ = count;
+    view_ = true;
+  }
+
+  /// True when the elements live in memory this buffer does not own.
+  bool is_view() const { return view_; }
 
   HugeBuffer(const HugeBuffer&) = delete;
   HugeBuffer& operator=(const HugeBuffer&) = delete;
@@ -111,7 +138,9 @@ class HugeBuffer {
 
  private:
   void release() {
-    if (map_base_ != nullptr) {
+    if (view_) {
+      // The mapping owns the memory; nothing to free.
+    } else if (map_base_ != nullptr) {
       detail::unmap_region(map_base_, map_len_);
     } else {
       delete[] data_;
@@ -120,6 +149,7 @@ class HugeBuffer {
     size_ = 0;
     map_base_ = nullptr;
     map_len_ = 0;
+    view_ = false;
   }
 
   void swap(HugeBuffer& other) noexcept {
@@ -127,12 +157,14 @@ class HugeBuffer {
     std::swap(size_, other.size_);
     std::swap(map_base_, other.map_base_);
     std::swap(map_len_, other.map_len_);
+    std::swap(view_, other.view_);
   }
 
   T* data_ = nullptr;
   std::size_t size_ = 0;
   void* map_base_ = nullptr;  // non-null ⟺ mmap path owns the storage
   std::size_t map_len_ = 0;
+  bool view_ = false;  // non-owning view of external (mapped) memory
 };
 
 }  // namespace af

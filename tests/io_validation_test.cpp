@@ -1,0 +1,127 @@
+// Parse-time validation in graph/io: errors carry "file:line" positions,
+// and explicit weights are vetted at the boundary — NaN, ±inf,
+// non-positive and >1 values are structured errors naming the offending
+// line, not downstream contract failures (they feed af_index_build's
+// input validation).
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+std::string write_fixture(const std::string& name,
+                          const std::string& content) {
+  const std::string path = ::testing::TempDir() + "io_valid_" + name;
+  std::ofstream f(path);
+  f << content;
+  EXPECT_TRUE(static_cast<bool>(f));
+  return path;
+}
+
+/// Loads `content` as a weighted edge list and returns the error message
+/// it fails with ("" = loaded cleanly).
+std::string weighted_error(const std::string& name,
+                           const std::string& content) {
+  try {
+    load_weighted_edge_list(write_fixture(name, content));
+    return "";
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+}
+
+TEST(IoValidation, ParseErrorsCarryFileAndLine) {
+  const std::string err =
+      weighted_error("badint.txt", "# header\n0 1 0.5 0.5\n0 x 0.5 0.5\n");
+  EXPECT_NE(err.find("badint.txt:3"), std::string::npos) << err;
+  EXPECT_NE(err.find("expected integer"), std::string::npos) << err;
+}
+
+TEST(IoValidation, MissingFieldsNameTheLine) {
+  const std::string err = weighted_error("short.txt", "0 1 0.5\n");
+  EXPECT_NE(err.find("short.txt:1"), std::string::npos) << err;
+  EXPECT_NE(err.find("expected 4 fields"), std::string::npos) << err;
+}
+
+TEST(IoValidation, RejectsNanWeight) {
+  const std::string err =
+      weighted_error("nan.txt", "0 1 0.5 0.5\n1 2 nan 0.5\n");
+  EXPECT_NE(err.find("nan.txt:2"), std::string::npos) << err;
+  EXPECT_NE(err.find("NaN"), std::string::npos) << err;
+}
+
+TEST(IoValidation, RejectsInfiniteWeight) {
+  const std::string err = weighted_error("inf.txt", "0 1 inf 0.5\n");
+  EXPECT_NE(err.find("inf.txt:1"), std::string::npos) << err;
+  EXPECT_NE(err.find("not finite"), std::string::npos) << err;
+}
+
+TEST(IoValidation, RejectsNegativeAndZeroWeights) {
+  std::string err = weighted_error("neg.txt", "0 1 -0.25 0.5\n");
+  EXPECT_NE(err.find("neg.txt:1"), std::string::npos) << err;
+  EXPECT_NE(err.find("must be positive"), std::string::npos) << err;
+
+  err = weighted_error("zero.txt", "0 1 0.5 0\n");
+  EXPECT_NE(err.find("must be positive"), std::string::npos) << err;
+}
+
+TEST(IoValidation, RejectsWeightsAboveOne) {
+  const std::string err = weighted_error("big.txt", "0 1 0.5 1.5\n");
+  EXPECT_NE(err.find("big.txt:1"), std::string::npos) << err;
+  EXPECT_NE(err.find("<= 1"), std::string::npos) << err;
+}
+
+TEST(IoValidation, ValidWeightedFileLoads) {
+  const LoadedGraph lg = load_weighted_edge_list(write_fixture(
+      "ok.txt", "# u v w_uv w_vu\n0 1 0.5 0.25\n1 2 0.125 0.5\n"));
+  EXPECT_EQ(lg.graph.num_nodes(), 3u);
+  EXPECT_EQ(lg.graph.num_edges(), 2u);
+  lg.graph.check_invariants();
+}
+
+TEST(IoValidation, StreamingLoaderFailsIdentically) {
+  const std::string path =
+      write_fixture("stream_nan.txt", "0 1 0.5 0.5\n1 2 nan 0.5\n");
+  std::string one_shot, streaming;
+  try {
+    load_weighted_edge_list(path);
+  } catch (const std::runtime_error& e) {
+    one_shot = e.what();
+  }
+  try {
+    load_weighted_edge_list_streaming(path);
+  } catch (const std::runtime_error& e) {
+    streaming = e.what();
+  }
+  EXPECT_FALSE(one_shot.empty());
+  EXPECT_EQ(one_shot, streaming);
+}
+
+TEST(IoValidation, StreamingPlainLoaderMatchesOneShot) {
+  const std::string path = write_fixture(
+      "stream_plain.txt", "# c\n5 9\n9 5\n5 5\n9 12\n12 5\n");
+  Rng r1(7), r2(7);
+  const WeightScheme scheme = WeightScheme::inverse_degree();
+  const LoadedGraph a = load_edge_list(path, scheme, &r1);
+  const LoadedGraph b = load_edge_list_streaming(path, scheme, &r2);
+  EXPECT_EQ(a.id_map, b.id_map);
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (NodeId v = 0; v < a.graph.num_nodes(); ++v) {
+    EXPECT_EQ(std::vector<NodeId>(a.graph.neighbors(v).begin(),
+                                  a.graph.neighbors(v).end()),
+              std::vector<NodeId>(b.graph.neighbors(v).begin(),
+                                  b.graph.neighbors(v).end()));
+  }
+}
+
+}  // namespace
+}  // namespace af

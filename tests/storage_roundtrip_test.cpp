@@ -1,0 +1,241 @@
+// Round-trip determinism over the .af1 container (storage/): a graph
+// serialized with write_container and reopened through MappedDataset
+// must reproduce the in-RAM build bit for bit — the CSR arrays byte
+// equal, and Planner answers identical across (s,t) pairs × both index
+// types × SIMD on/off. This is the contract that makes the mapped
+// cold-start path a pure latency optimization, never a correctness one.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/weights.hpp"
+#include "storage/convert.hpp"
+#include "storage/mapped_dataset.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+Graph fixture_graph() {
+  // Random-normalized weights: exercises scheme-rng determinism through
+  // the serialization boundary, not just the degree-derived defaults.
+  Rng rng(20190707);
+  return barabasi_albert(400, 3, rng).build(
+      WeightScheme::random_normalized(0.9), &rng);
+}
+
+std::string container_path() {
+  return ::testing::TempDir() + "af1_roundtrip.af1";
+}
+
+template <typename T>
+void expect_span_bytes_equal(std::span<const T> a, std::span<const T> b,
+                             const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0) << what;
+}
+
+/// PlanResult equality at the bit level, for the fields a serving system
+/// returns: status, the invitation set (order included), the coverage
+/// estimate and the diagnostic counts that derive from sampling.
+void expect_same_plan(const PlanResult& a, const PlanResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what;
+  EXPECT_EQ(a.invitation.members(), b.invitation.members()) << what;
+  EXPECT_EQ(std::memcmp(&a.sample_coverage, &b.sample_coverage,
+                        sizeof(double)),
+            0)
+      << what;
+  EXPECT_EQ(a.diag.l_used, b.diag.l_used) << what;
+  EXPECT_EQ(a.diag.type1_count, b.diag.type1_count) << what;
+}
+
+TEST(StorageRoundtrip, GraphArraysAreByteIdentical) {
+  const Graph g = fixture_graph();
+  storage::write_container(g, container_path());
+  storage::MappedDataset ds(container_path());
+
+  EXPECT_TRUE(ds.graph().is_external());
+  EXPECT_FALSE(g.is_external());
+  EXPECT_EQ(ds.num_nodes(), g.num_nodes());
+  EXPECT_EQ(ds.num_edges(), g.num_edges());
+
+  expect_span_bytes_equal(g.raw_offsets(), ds.graph().raw_offsets(),
+                          "offsets");
+  expect_span_bytes_equal(g.raw_adjacency(), ds.graph().raw_adjacency(),
+                          "adjacency");
+  expect_span_bytes_equal(g.raw_in_weights(), ds.graph().raw_in_weights(),
+                          "in_weights");
+  expect_span_bytes_equal(g.raw_out_weights(), ds.graph().raw_out_weights(),
+                          "out_weights");
+  expect_span_bytes_equal(g.raw_total_in_weight(),
+                          ds.graph().raw_total_in_weight(),
+                          "total_in_weight");
+
+  // The mapped graph passes the full invariant sweep — the views behave
+  // exactly like owned arrays.
+  ds.graph().check_invariants();
+
+  // The materialized leftover-mass section matches the derived values.
+  const auto mass = ds.leftover_mass();
+  ASSERT_EQ(mass.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double expect = g.leftover_mass(v);
+    EXPECT_EQ(std::memcmp(&mass[v], &expect, sizeof(double)), 0);
+  }
+}
+
+TEST(StorageRoundtrip, IndexTablesAreTheInRamBytes) {
+  const Graph g = fixture_graph();
+  storage::write_container(g, container_path());
+  storage::MappedDataset ds(container_path());
+
+  // Rebuild both indices in RAM and compare against samplers
+  // reconstructed from the map: identical slot count and, because the
+  // sections hold the builder's exact bytes, identical draws from
+  // identical rng streams.
+  const SamplingIndex ram64(g, SimdLevel::kScalar);
+  const CompactSamplingIndex ram32(g, SimdLevel::kScalar);
+  const auto map64 = ds.make_index(/*compact=*/false, SimdLevel::kScalar);
+  const auto map32 = ds.make_index(/*compact=*/true, SimdLevel::kScalar);
+  ASSERT_EQ(ram64.num_slots(), map64->num_slots());
+  ASSERT_EQ(ram32.num_slots(), map32->num_slots());
+
+  Rng a(123), b(123);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(ram64.sample_selection(v, a), map64->sample_selection(v, b));
+  }
+  Rng c(456), d(456);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(ram32.sample_selection(v, c), map32->sample_selection(v, d));
+  }
+
+  // Copy mode (the NUMA replication path) materializes the same tables.
+  const auto copy64 = ds.make_index(/*compact=*/false, SimdLevel::kScalar,
+                                    /*copy=*/true);
+  Rng e(789), f(789);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(copy64->sample_selection(v, e), map64->sample_selection(v, f));
+  }
+}
+
+// The headline contract: identical PlanResults across (s,t) pairs × both
+// index types × SIMD on/off, in-RAM vs mapped.
+TEST(StorageRoundtrip, PlansAreBitIdenticalAcrossTheMatrix) {
+  const Graph g = fixture_graph();
+  storage::write_container(g, container_path());
+  storage::MappedDataset ds(container_path());
+
+  const NodeId pairs[][2] = {{0, 200}, {5, 333}, {17, 399}};
+  for (const bool compact : {false, true}) {
+    for (const SimdLevel simd : {SimdLevel::kScalar, SimdLevel::kAuto}) {
+      PlannerOptions opt;
+      opt.compact_index = compact;
+      opt.simd = simd;
+      opt.threads = 2;
+      opt.pmax_max_samples = 50'000;
+
+      Planner in_ram(g, opt);
+      const auto mapped = Planner::from_mapped(ds, opt);
+      const std::string ctx = std::string(compact ? "compact" : "full") +
+                              (simd == SimdLevel::kAuto ? "/auto" : "/scalar");
+
+      for (const auto& p : pairs) {
+        MinimizeSpec mini;
+        mini.alpha = 0.3;
+        mini.epsilon = 0.03;
+        mini.big_n = 1000.0;
+        mini.max_realizations = 10'000;
+        QuerySpec qmin{p[0], p[1], mini};
+        expect_same_plan(in_ram.plan(qmin), mapped->plan(qmin),
+                         ctx + " minimize (" + std::to_string(p[0]) + "," +
+                             std::to_string(p[1]) + ")");
+
+        QuerySpec qmax{p[0], p[1],
+                       MaximizeSpec{.budget = 4, .realizations = 3000}};
+        expect_same_plan(in_ram.plan(qmax), mapped->plan(qmax),
+                         ctx + " maximize (" + std::to_string(p[0]) + "," +
+                             std::to_string(p[1]) + ")");
+      }
+    }
+  }
+}
+
+// The acceptance telemetry: a mapped planner reports mapped=true and an
+// index-build time of exactly zero — nothing was constructed on the
+// serving path; an in-RAM planner reports the opposite.
+TEST(StorageRoundtrip, CacheStatsExposeTheMappedPath) {
+  const Graph g = fixture_graph();
+  storage::write_container(g, container_path());
+  storage::MappedDataset ds(container_path());
+
+  PlannerOptions opt;
+  opt.threads = 2;
+  Planner in_ram(g, opt);
+  const auto mapped = Planner::from_mapped(ds, opt);
+
+  const auto ram_stats = in_ram.cache_stats();
+  EXPECT_FALSE(ram_stats.mapped);
+  EXPECT_GT(ram_stats.index_build_seconds, 0.0);
+
+  const auto map_stats = mapped->cache_stats();
+  EXPECT_TRUE(map_stats.mapped);
+  EXPECT_EQ(map_stats.index_build_seconds, 0.0);
+  EXPECT_EQ(map_stats.index_slots, ram_stats.index_slots);
+  EXPECT_GE(map_stats.index_replicas, 1u);
+}
+
+// The streaming two-pass loaders must reproduce the one-shot loaders bit
+// for bit on a messy file (comments, blanks, duplicate lines, reversed
+// repeats, self-loops, sparse original ids) — they are the converter's
+// parsing path, so this equality is what extends round-trip determinism
+// all the way back to the text input.
+TEST(StorageRoundtrip, StreamingLoaderMatchesOneShot) {
+  const std::string path = ::testing::TempDir() + "af1_stream_edges.txt";
+  {
+    std::ofstream f(path);
+    f << "# comment\n\n"
+         "10 20\n"
+         "20 10\n"   // reversed repeat: skipped
+         "7 7\n"     // self-loop: skipped, but 7 still gets an id
+         "10 20\n"   // duplicate: skipped
+         "20 30\n"
+         "% also a comment\n"
+         "1000000 10\n"
+         "30 7\n";
+  }
+  Rng r1(99), r2(99);
+  const WeightScheme scheme = WeightScheme::random_normalized(0.8);
+  const LoadedGraph a = load_edge_list(path, scheme, &r1);
+  const LoadedGraph b = load_edge_list_streaming(path, scheme, &r2);
+  EXPECT_EQ(a.id_map, b.id_map);
+  expect_span_bytes_equal(a.graph.raw_offsets(), b.graph.raw_offsets(),
+                          "stream offsets");
+  expect_span_bytes_equal(a.graph.raw_adjacency(), b.graph.raw_adjacency(),
+                          "stream adjacency");
+  expect_span_bytes_equal(a.graph.raw_in_weights(),
+                          b.graph.raw_in_weights(), "stream in_weights");
+
+  // And through the container: text → streaming load → .af1 → mapped
+  // graph still byte-equals the one-shot in-RAM load.
+  const std::string cpath = ::testing::TempDir() + "af1_stream.af1";
+  storage::write_container(b.graph, cpath);
+  storage::MappedDataset ds(cpath);
+  expect_span_bytes_equal(a.graph.raw_adjacency(),
+                          ds.graph().raw_adjacency(), "text->af1 adjacency");
+  expect_span_bytes_equal(a.graph.raw_in_weights(),
+                          ds.graph().raw_in_weights(),
+                          "text->af1 in_weights");
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,256 @@
+// af_index_build — offline .af1 container builder (DESIGN.md §11).
+//
+// Converts a text edge list (plain "u v" or weighted "u v w_uv w_vu") —
+// or a synthetic generator graph, for demos and scale tests — into one
+// .af1 container holding the CSR topology, directional weights,
+// leftover-mass vector and the PREBUILT SamplingIndex /
+// CompactSamplingIndex tables. Servers then open the container with
+// storage::MappedDataset + Planner::from_mapped and cold-start without
+// building anything: the expensive work happens here, once, offline.
+//
+// Text inputs stream through the two-pass loaders (graph/io): resident
+// memory is the compacted graph, never the input file, so inputs larger
+// than RAM convert fine. The container itself is streamed out through
+// Af1Writer (temp file + atomic rename).
+//
+//   af_index_build --input edges.txt --output graph.af1 --verify
+//   af_index_build --synthetic ba --nodes 100000 --output ba.af1
+//       --save-edges ba_edges.txt
+//
+// --verify re-opens the written container and proves byte equality of
+// every graph array against the in-RAM build; --verify-plans additionally
+// runs queries through both construction paths and compares answers
+// bit-for-bit (the round-trip determinism contract).
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "core/planner.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/weights.hpp"
+#include "storage/convert.hpp"
+#include "storage/format.hpp"
+#include "storage/mapped_dataset.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using af::Graph;
+using af::NodeId;
+
+/// Parses --scheme: "inverse-degree", "constant:<c>", "random:<total>",
+/// "trivalency". Throws std::invalid_argument on anything else.
+af::WeightScheme parse_scheme(const std::string& s) {
+  if (s == "inverse-degree") return af::WeightScheme::inverse_degree();
+  if (s == "trivalency") return af::WeightScheme::trivalency();
+  const auto colon = s.find(':');
+  if (colon != std::string::npos) {
+    const std::string head = s.substr(0, colon);
+    const double param = std::stod(s.substr(colon + 1));
+    if (head == "constant") return af::WeightScheme::constant_clamped(param);
+    if (head == "random") return af::WeightScheme::random_normalized(param);
+  }
+  throw std::invalid_argument(
+      "unknown --scheme '" + s +
+      "' (want inverse-degree, constant:<c>, random:<total>, trivalency)");
+}
+
+/// Bit-equality of two plan results: same status, same invitation set in
+/// the same order, same coverage bits. The round-trip contract.
+bool same_plan(const af::PlanResult& a, const af::PlanResult& b) {
+  return a.status == b.status &&
+         a.invitation.members() == b.invitation.members() &&
+         std::memcmp(&a.sample_coverage, &b.sample_coverage,
+                     sizeof(double)) == 0;
+}
+
+/// Byte equality of the container's graph arrays against the in-RAM
+/// build — the zero-copy views must reproduce the source arrays exactly.
+bool arrays_identical(const Graph& ram, const Graph& mapped) {
+  const auto eq = [](auto a, auto b) {
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+  };
+  return eq(ram.raw_offsets(), mapped.raw_offsets()) &&
+         eq(ram.raw_adjacency(), mapped.raw_adjacency()) &&
+         eq(ram.raw_in_weights(), mapped.raw_in_weights()) &&
+         eq(ram.raw_out_weights(), mapped.raw_out_weights()) &&
+         eq(ram.raw_total_in_weight(), mapped.raw_total_in_weight());
+}
+
+/// Plans a few deterministic queries through both construction paths and
+/// compares bit-for-bit. Returns the number of mismatches.
+int verify_plans(const Graph& g, const af::storage::MappedDataset& ds,
+                 bool compact) {
+  af::PlannerOptions opt;
+  opt.compact_index = compact;
+  af::Planner in_ram(g, opt);
+  const auto mapped = af::Planner::from_mapped(ds, opt);
+
+  const auto stats = mapped->cache_stats();
+  if (!stats.mapped || stats.index_build_seconds != 0.0) {
+    std::fprintf(stderr,
+                 "verify-plans: mapped planner stats wrong (mapped=%d, "
+                 "index_build_seconds=%g)\n",
+                 static_cast<int>(stats.mapped), stats.index_build_seconds);
+    return 1;
+  }
+
+  int mismatches = 0;
+  const NodeId n = g.num_nodes();
+  const NodeId pairs[][2] = {{0, static_cast<NodeId>(n / 2)},
+                             {1, static_cast<NodeId>(n / 3)},
+                             {2, static_cast<NodeId>(2 * (n / 3))}};
+  for (const auto& p : pairs) {
+    af::QuerySpec q;
+    q.s = p[0];
+    q.t = p[1];
+    q.mode = af::MaximizeSpec{.budget = 5, .realizations = 2000};
+    if (!same_plan(in_ram.plan(q), mapped->plan(q))) {
+      std::fprintf(stderr, "verify-plans: (%u,%u) diverged (%s index)\n",
+                   q.s, q.t, compact ? "compact" : "full");
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  af::ArgParser args("af_index_build",
+                     "Offline edge-list -> .af1 container converter: "
+                     "embeds prebuilt sampling-index tables so servers "
+                     "cold-start without building anything");
+  args.add_string("input", "",
+                  "text edge list to convert ('u v' per line; with "
+                  "--weighted, 'u v w_uv w_vu')");
+  args.add_string("output", "", "output container path (required)");
+  args.add_flag("weighted", "input lines carry explicit weights");
+  args.add_string("scheme", "inverse-degree",
+                  "weight scheme for plain inputs: inverse-degree, "
+                  "constant:<c>, random:<total>, trivalency");
+  args.add_int("seed", 20190707,
+               "rng seed for random schemes and synthetic graphs");
+  args.add_flag("skip-index64",
+                "omit the 16-byte/slot SamplingIndex sections");
+  args.add_flag("skip-index32",
+                "omit the 12-byte/slot CompactSamplingIndex sections");
+  args.add_string("synthetic", "",
+                  "generate instead of reading --input: 'ba' "
+                  "(Barabasi-Albert with --nodes/--attach)");
+  args.add_int("nodes", 100000, "synthetic graph node count");
+  args.add_int("attach", 8, "synthetic BA attachment parameter");
+  args.add_string("save-edges", "",
+                  "also write the graph as a plain text edge list");
+  args.add_flag("verify",
+                "re-open the container and prove the mapped graph arrays "
+                "byte-identical to the in-RAM build");
+  args.add_flag("verify-plans",
+                "additionally compare plan() answers between the in-RAM "
+                "and mapped planners, bit for bit");
+  if (!args.parse(argc, argv)) return 1;
+
+  try {
+    const std::string output = args.get_string("output");
+    if (output.empty()) {
+      std::fprintf(stderr, "af_index_build: --output is required\n");
+      return 1;
+    }
+    const std::string input = args.get_string("input");
+    const std::string synthetic = args.get_string("synthetic");
+    if (input.empty() == synthetic.empty()) {
+      std::fprintf(stderr,
+                   "af_index_build: give exactly one of --input or "
+                   "--synthetic\n");
+      return 1;
+    }
+
+    const af::WeightScheme scheme = parse_scheme(args.get_string("scheme"));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    af::WallTimer load_timer;
+    Graph g;
+    if (!synthetic.empty()) {
+      if (synthetic != "ba") {
+        std::fprintf(stderr, "af_index_build: unknown --synthetic '%s'\n",
+                     synthetic.c_str());
+        return 1;
+      }
+      af::Rng rng(seed);
+      g = af::barabasi_albert(static_cast<NodeId>(args.get_int("nodes")),
+                              static_cast<std::size_t>(args.get_int("attach")),
+                              rng)
+              .build(scheme, &rng);
+    } else if (args.get_flag("weighted")) {
+      g = af::load_weighted_edge_list_streaming(input).graph;
+    } else {
+      af::Rng rng(seed);
+      g = af::load_edge_list_streaming(input, scheme, &rng).graph;
+    }
+    const double load_seconds = load_timer.elapsed_seconds();
+
+    const std::string save_edges = args.get_string("save-edges");
+    if (!save_edges.empty() && !af::save_edge_list(g, save_edges)) {
+      std::fprintf(stderr, "af_index_build: cannot write '%s'\n",
+                   save_edges.c_str());
+      return 1;
+    }
+
+    af::storage::ConvertOptions copt;
+    copt.index64 = !args.get_flag("skip-index64");
+    copt.index32 = !args.get_flag("skip-index32");
+
+    af::WallTimer write_timer;
+    const std::uint64_t bytes = af::storage::write_container(g, output, copt);
+    std::printf(
+        "af_index_build: %s: %u nodes, %llu edges, %llu bytes "
+        "(load %.2fs, build+write %.2fs)\n",
+        output.c_str(), g.num_nodes(),
+        static_cast<unsigned long long>(g.num_edges()),
+        static_cast<unsigned long long>(bytes), load_seconds,
+        write_timer.elapsed_seconds());
+
+    if (args.get_flag("verify") || args.get_flag("verify-plans")) {
+      af::WallTimer open_timer;
+      af::storage::MappedDataset ds(output);
+      std::printf("af_index_build: verify: opened+validated in %.3fs\n",
+                  open_timer.elapsed_seconds());
+      if (!arrays_identical(g, ds.graph())) {
+        std::fprintf(stderr,
+                     "af_index_build: verify FAILED: mapped graph arrays "
+                     "differ from the in-RAM build\n");
+        return 1;
+      }
+      int mismatches = 0;
+      if (args.get_flag("verify-plans")) {
+        if (copt.index64) mismatches += verify_plans(g, ds, /*compact=*/false);
+        if (copt.index32) mismatches += verify_plans(g, ds, /*compact=*/true);
+      }
+      if (mismatches > 0) {
+        std::fprintf(stderr, "af_index_build: verify FAILED: %d plan "
+                             "mismatches\n",
+                     mismatches);
+        return 1;
+      }
+      std::printf("af_index_build: verify ok (arrays byte-identical%s)\n",
+                  args.get_flag("verify-plans")
+                      ? ", plans bit-identical on both index types"
+                      : "");
+    }
+  } catch (const af::storage::Af1Error& e) {
+    std::fprintf(stderr, "af_index_build: container error [%s]: %s\n",
+                 af::storage::to_string(e.code()), e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "af_index_build: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
