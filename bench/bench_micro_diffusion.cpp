@@ -369,15 +369,26 @@ void BM_BulkWalk_Interleaved(benchmark::State& state) {
 }
 BENCHMARK(BM_BulkWalk_Interleaved);
 
+/// Dispatch telemetry shared by every kernel-sensitive BM_BulkWalk row:
+/// walk_simd_level is the portfolio ordinal (0 = scalar, 1 = avx2,
+/// 2 = avx512, 3 = neon — util/cpu's simd_kernel_ordinal) and the row's
+/// label carries the level string, so BENCH_sampling.json records the
+/// dispatched kernel both machine- and human-readably.
+void set_walk_dispatch_counters(benchmark::State& state,
+                                const SamplingIndex& index) {
+  state.counters["walk_simd_level"] =
+      static_cast<double>(simd_kernel_ordinal(index.simd_level()));
+  state.SetLabel(to_string(index.simd_level()));
+}
+
 void BM_BulkWalk_Simd(benchmark::State& state) {
-  // 16 lanes through the forced-AVX2 batch kernel (resolves to scalar on
-  // builds/CPUs without it — walk_simd_level says which ran), no
+  // 16 lanes through the forced-AVX2 batch kernel (degrades to scalar
+  // on builds/CPUs without it — walk_simd_level says which ran), no
   // prefetch. Ablation row: production uses the calibrated dispatch
   // (BM_BulkWalk_Production).
   const SamplingIndex index(YoutubeFixture::get().graph, SimdLevel::kAvx2);
   run_walk_bench(state, index, {.lanes = 16, .prefetch = false});
-  state.counters["walk_simd_level"] =
-      index.simd_level() == SimdLevel::kAvx2 ? 1.0 : 0.0;
+  set_walk_dispatch_counters(state, index);
 }
 BENCHMARK(BM_BulkWalk_Simd);
 
@@ -386,20 +397,53 @@ void BM_BulkWalk_SimdPrefetch(benchmark::State& state) {
   // prefetch" ablation row.
   const SamplingIndex index(YoutubeFixture::get().graph, SimdLevel::kAvx2);
   run_walk_bench(state, index, {.lanes = 16, .prefetch = true});
-  state.counters["walk_simd_level"] =
-      index.simd_level() == SimdLevel::kAvx2 ? 1.0 : 0.0;
+  set_walk_dispatch_counters(state, index);
 }
 BENCHMARK(BM_BulkWalk_SimdPrefetch);
 
+void BM_BulkWalk_Avx512(benchmark::State& state) {
+  // Forced-AVX-512 + prefetch: 8-lane masked gathers (degrades down the
+  // x86 family — AVX2, then scalar — where unavailable; the label and
+  // walk_simd_level say which leg actually ran).
+  const SamplingIndex index(YoutubeFixture::get().graph,
+                            SimdLevel::kAvx512);
+  run_walk_bench(state, index, {.lanes = 16, .prefetch = true});
+  set_walk_dispatch_counters(state, index);
+}
+BENCHMARK(BM_BulkWalk_Avx512);
+
+void BM_BulkWalk_Neon(benchmark::State& state) {
+  // Forced-NEON + prefetch: the AArch64 vector leg (scalar everywhere
+  // else — on x86 runners this row doubles as a second scalar baseline).
+  const SamplingIndex index(YoutubeFixture::get().graph, SimdLevel::kNeon);
+  run_walk_bench(state, index, {.lanes = 16, .prefetch = true});
+  set_walk_dispatch_counters(state, index);
+}
+BENCHMARK(BM_BulkWalk_Neon);
+
 void BM_BulkWalk_Production(benchmark::State& state) {
-  // What the Planner actually runs — kAuto (measured kernel dispatch,
-  // DESIGN.md §9), huge-page tables, Bloom-gated classification,
-  // exact-slot prefetch.
+  // What the Planner actually runs — kAuto (the measured N-way kernel
+  // tournament, DESIGN.md §9), huge-page tables, Bloom-gated
+  // classification, exact-slot prefetch.
   const SamplingIndex index(YoutubeFixture::get().graph);
   run_walk_bench(state, index, {.lanes = 16, .prefetch = true});
-  state.counters["walk_simd_level"] =
-      index.simd_level() == SimdLevel::kAvx2 ? 1.0 : 0.0;
+  set_walk_dispatch_counters(state, index);
   state.counters["walk_huge_pages"] = index.on_huge_pages() ? 1.0 : 0.0;
+  // Tournament audit: every candidate's measured ns/step, keyed by
+  // portfolio ordinal. 0 = that level was not measured (not compiled,
+  // not supported by this CPU, or dispatch was forced by AF_SIMD) —
+  // the counters are always present so the CI assertions hold on every
+  // runner.
+  double calib_ns[kSimdKernelCount] = {0.0, 0.0, 0.0, 0.0};
+  if (const KernelCalibration* calib = index.calibration()) {
+    for (const KernelTiming& t : calib->timings) {
+      calib_ns[simd_kernel_ordinal(t.level)] = t.ns_per_step;
+    }
+  }
+  state.counters["calib_ns_scalar"] = calib_ns[0];
+  state.counters["calib_ns_avx2"] = calib_ns[1];
+  state.counters["calib_ns_avx512"] = calib_ns[2];
+  state.counters["calib_ns_neon"] = calib_ns[3];
 }
 BENCHMARK(BM_BulkWalk_Production);
 

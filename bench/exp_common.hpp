@@ -3,12 +3,15 @@
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/datasets.hpp"
 #include "core/pair_sampler.hpp"
+#include "core/planner.hpp"
 #include "diffusion/montecarlo.hpp"
+#include "storage/mapped_dataset.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -28,24 +31,51 @@ inline ExperimentEnv read_env(const ArgParser& args) {
   return read_experiment_env(args);
 }
 
-/// A generated dataset with its accepted pairs.
+/// A generated (or mmap-ed) dataset with its accepted pairs.
 struct PreparedDataset {
   DatasetSpec spec;
   Graph graph;
   std::vector<SampledPair> pairs;
+  /// Set when the dataset name was a `.af1` path: the container backs
+  /// `graph`'s CSR arrays (and possibly prebuilt alias tables), so it
+  /// must outlive every Graph/Planner derived from it. shared_ptr lets
+  /// PreparedDataset stay copyable.
+  std::shared_ptr<storage::MappedDataset> mapped;
 };
 
+/// Builds the planner for a prepared dataset: the mapped path adopts the
+/// container's prebuilt alias tables (Planner::from_mapped, no index
+/// build), the generated path builds them from `graph`.
+inline std::unique_ptr<Planner> make_planner(const PreparedDataset& data,
+                                             const PlannerOptions& options) {
+  return data.mapped ? Planner::from_mapped(*data.mapped, options)
+                     : std::make_unique<Planner>(data.graph, options);
+}
+
 /// Generates a dataset analog and samples experiment pairs, logging
-/// progress to stderr (experiments print results on stdout only).
+/// progress to stderr (experiments print results on stdout only). A
+/// name ending in `.af1` is treated as a container path and mmap-ed
+/// instead of generated (tools/af_index_build produces them).
 inline PreparedDataset prepare_dataset(const std::string& name,
                                        const ExperimentEnv& env,
                                        std::size_t pair_count, Rng& rng) {
-  PreparedDataset out{dataset_spec(name, env.full), Graph{}, {}};
+  PreparedDataset out;
   WallTimer timer;
-  out.graph = make_dataset(out.spec, rng);
-  std::cerr << "[exp] " << name << ": n=" << out.graph.num_nodes()
-            << " m=" << out.graph.num_edges() << " generated in "
-            << timer.elapsed_seconds() << "s\n";
+  if (name.ends_with(".af1")) {
+    out.mapped = std::make_shared<storage::MappedDataset>(name);
+    out.graph = out.mapped->graph();  // external view over the mapping
+    out.spec = DatasetSpec{name, out.graph.num_nodes(), 0,
+                           out.graph.num_nodes(), out.graph.num_edges(), 0.0};
+    std::cerr << "[exp] " << name << ": n=" << out.graph.num_nodes()
+              << " m=" << out.graph.num_edges() << " mapped in "
+              << timer.elapsed_seconds() << "s\n";
+  } else {
+    out.spec = dataset_spec(name, env.full);
+    out.graph = make_dataset(out.spec, rng);
+    std::cerr << "[exp] " << name << ": n=" << out.graph.num_nodes()
+              << " m=" << out.graph.num_edges() << " generated in "
+              << timer.elapsed_seconds() << "s\n";
+  }
   timer.reset();
   PairSamplerConfig pcfg;
   pcfg.pmax_threshold = 0.01;  // the paper's filter

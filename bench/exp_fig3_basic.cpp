@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     options.base_seed = env.seed;
     options.threads = static_cast<std::size_t>(args.get_int("threads"));
     options.pmax_max_samples = 200'000;
-    Planner planner(data.graph, options);
+    const std::unique_ptr<Planner> planner = make_planner(data, options);
 
     std::vector<RunningStats> pmax_s(alphas.size()), raf_s(alphas.size()),
         hd_s(alphas.size()), sp_s(alphas.size()), size_s(alphas.size());
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(args.get_int("max-realizations"));
         queries.push_back({pair.s, pair.t, spec});
       }
-      const std::vector<PlanResult> results = planner.plan_batch(queries);
+      const std::vector<PlanResult> results = planner->plan_batch(queries);
 
       const FriendingInstance inst(data.graph, pair.s, pair.t);
       MonteCarloEvaluator mc(inst);

@@ -48,7 +48,7 @@ inline void run_ratio_experiment(const std::string& title,
     PlannerOptions options;
     options.base_seed = env.seed;
     options.pmax_max_samples = 200'000;
-    Planner planner(data.graph, options);
+    const std::unique_ptr<Planner> planner = make_planner(data, options);
 
     MinimizeSpec spec;
     spec.alpha = rcfg.alpha;
@@ -63,7 +63,7 @@ inline void run_ratio_experiment(const std::string& title,
 
     for (const auto& pair : data.pairs) {
       const FriendingInstance inst(data.graph, pair.s, pair.t);
-      const PlanResult res = planner.plan({pair.s, pair.t, spec});
+      const PlanResult res = planner->plan({pair.s, pair.t, spec});
       if (!res.ok() || res.invitation.empty()) continue;
       const auto k_raf = static_cast<double>(res.invitation.size());
 

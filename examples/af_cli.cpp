@@ -9,6 +9,11 @@
 //   # plan on your own edge list ("u v" per line, '#' comments)
 //   ./af_cli --graph friends.txt --s 10 --t 999 --alpha 0.5
 //
+//   # plan on a prebuilt .af1 container (tools/af_index_build): the
+//   # extension is sniffed, the container is mmap-ed and the planner
+//   # adopts the prebuilt alias tables — no parse, no index build
+//   ./af_cli --graph friends.af1 --s 10 --t 999 --alpha 0.5
+//
 //   # sweep several targets at once (batched, shared per-pair caches)
 //   ./af_cli --s 0 --t 1000 --alphas 0.1,0.3,0.5
 //
@@ -19,11 +24,14 @@
 // p_max, |V_max| and a comparison against the HD/SP baselines.
 #include <algorithm>
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/baselines.hpp"
 #include "core/planner.hpp"
+#include "storage/mapped_dataset.hpp"
 #include "diffusion/montecarlo.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -57,12 +65,20 @@ int main(int argc, char** argv) {
 
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
 
+  // A `.af1` suffix selects the mmap path: the container owns the CSR
+  // arrays (and possibly prebuilt alias tables), so it must outlive the
+  // planner — hence the optional declared at function scope.
+  std::optional<storage::MappedDataset> mapped;
   Graph graph;
   if (!args.get_string("graph").empty()) {
+    const std::string& path = args.get_string("graph");
     try {
-      graph = load_edge_list(args.get_string("graph"),
-                             WeightScheme::inverse_degree())
-                  .graph;
+      if (path.ends_with(".af1")) {
+        mapped.emplace(path);
+        graph = mapped->graph();  // external view backed by the mapping
+      } else {
+        graph = load_edge_list(path, WeightScheme::inverse_degree()).graph;
+      }
     } catch (const std::exception& e) {
       std::cerr << "failed to load graph: " << e.what() << "\n";
       return 1;
@@ -98,7 +114,11 @@ int main(int argc, char** argv) {
   PlannerOptions options;
   options.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
   options.threads = static_cast<std::size_t>(args.get_int("threads"));
-  Planner planner(graph, options);
+  // A mapped container can hand the planner its prebuilt alias tables
+  // (Planner::from_mapped) instead of re-running the Vose build.
+  std::unique_ptr<Planner> planner =
+      mapped ? Planner::from_mapped(*mapped, options)
+             : std::make_unique<Planner>(graph, options);
 
   // Assemble the query list: a budget query, one alpha, or a sweep.
   std::vector<QuerySpec> queries;
@@ -132,7 +152,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<PlanResult> results = planner.plan_batch(queries);
+  const std::vector<PlanResult> results = planner->plan_batch(queries);
 
   std::optional<FriendingInstance> instance;
   std::optional<MonteCarloEvaluator> mc;

@@ -217,14 +217,10 @@ void Planner::finish_index_stats() {
   const SelectionSampler& primary = replicas_->primary();
   index_bytes_ = primary.memory_bytes();
   index_slots_ = primary.num_slots();
-  if (options_.compact_index) {
-    index_bytes_per_slot_ = CompactSamplingIndex::bytes_per_slot();
-    index_simd_ =
-        static_cast<const CompactSamplingIndex&>(primary).simd_level();
-  } else {
-    index_bytes_per_slot_ = SamplingIndex::bytes_per_slot();
-    index_simd_ = static_cast<const SamplingIndex&>(primary).simd_level();
-  }
+  index_bytes_per_slot_ = options_.compact_index
+                              ? CompactSamplingIndex::bytes_per_slot()
+                              : SamplingIndex::bytes_per_slot();
+  index_simd_ = replicas_->simd_level();
 }
 
 Planner::~Planner() {

@@ -244,9 +244,11 @@ struct PlannerOptions {
   /// not across it.
   bool compact_index = false;
   /// Batched-selection kernel level for the index (DESIGN.md §9).
-  /// kAuto resolves once at construction to the best level the build,
-  /// the CPU and the AF_SIMD env var allow; every level is bit-identical,
-  /// so this knob trades only throughput.
+  /// kAuto resolves once at construction by a measured tournament over
+  /// every compiled-and-supported kernel in the portfolio (scalar, AVX2,
+  /// AVX-512, NEON); a concrete value (kScalar/kAvx2/kAvx512/kNeon)
+  /// forces that leg, degrading down its ISA family if unavailable.
+  /// Every level is bit-identical, so this knob trades only throughput.
   SimdLevel simd = SimdLevel::kAuto;
   /// Replicate the selection index once per NUMA node (first-touch on a
   /// pinned builder thread) and pin sampling workers across nodes so
@@ -290,7 +292,10 @@ struct PlannerCacheStats {
   /// single-node hosts or with numa_replicate off). index_bytes counts
   /// ONE copy; total resident index memory is index_bytes × replicas.
   std::size_t index_replicas = 0;
-  /// The batched-kernel level the index dispatches to (DESIGN.md §9).
+  /// The batched-kernel level the index dispatches to — a concrete
+  /// portfolio level (kScalar, kAvx2, kAvx512 or kNeon, DESIGN.md §9):
+  /// the kAuto tournament's winner, or the forced leg after family
+  /// degradation.
   SimdLevel index_simd = SimdLevel::kScalar;
   /// True when this planner serves prebuilt tables from an mmap-ed .af1
   /// container (Planner::from_mapped) instead of building them.

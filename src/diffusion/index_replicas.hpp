@@ -58,6 +58,13 @@ class IndexReplicas {
   /// Replica 0 — the copy sequential (non-sharded) callers use.
   const SelectionSampler& primary() const { return *replicas_[0]; }
 
+  /// The replicas' dispatched kernel level. All replicas agree: under
+  /// kAuto, concurrent builders serialize on the process-wide
+  /// calibration cache (diffusion/sampling_index.cpp) and share the
+  /// first tournament's verdict, so reporting primary()'s level speaks
+  /// for every copy.
+  SimdLevel simd_level() const { return primary().simd_level(); }
+
   /// Number of physical copies (= replicated NUMA nodes).
   std::size_t count() const { return replicas_.size(); }
 

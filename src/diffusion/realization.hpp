@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "diffusion/instance.hpp"
+#include "util/cpu.hpp"
 #include "util/rng.hpp"
 
 namespace af {
@@ -99,6 +100,13 @@ class SelectionSampler {
 
   /// Alias slots held, when the strategy is table-backed (0 otherwise).
   virtual std::size_t num_slots() const { return 0; }
+
+  /// The batch kernel's concrete instruction-set level (never kAuto).
+  /// Table-backed strategies report what construction-time dispatch
+  /// picked from the portfolio (scalar/avx2/avx512/neon, DESIGN.md §9);
+  /// strategies without a vectorized batch path are kScalar. Telemetry
+  /// only — every level draws bit-identical selections.
+  virtual SimdLevel simd_level() const { return SimdLevel::kScalar; }
 };
 
 /// The original O(deg) cumulative-scan selection. Superseded on the hot

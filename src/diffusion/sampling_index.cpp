@@ -1,12 +1,15 @@
 #include "diffusion/sampling_index.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <mutex>
+#include <utility>
 
 #include "util/contracts.hpp"
 
@@ -95,31 +98,43 @@ void build_node_alias(const Graph& g, NodeId v, VoseScratch& scratch,
   }
 }
 
-/// kAuto's measured dispatch (DESIGN.md §9): an AVX2 bit in CPUID does
-/// not make gathers a win — under virtualization (and on several
-/// microarchitectures) gathers are microcoded, and a microcoded 4-lane
-/// gather loses badly to the scalar loop whose independent loads the OoO
-/// core already overlaps. When both kernels are available, time each on
-/// the freshly built tables over 16 chained lanes (the walker's
-/// cache-cold regime — the one where a wrong choice is expensive) and
-/// dispatch to the winner, with a deliberate 10% bias toward scalar:
-/// the risk is asymmetric (measured here: scalar's worst case vs AVX2
-/// is ~20% on cache-hot data, while microcoded gathers can run 2× slower
-/// than the scalar loop), so gathers must win decisively to be chosen.
-/// The verdict is cached per index type per process (first construction
-/// pays well under a millisecond); kernels are bit-identical, so a
-/// flipped verdict on another host changes throughput only, never
-/// results. AF_SIMD=avx2 / =off override the measurement either way.
+/// One tournament candidate: a concrete level and its prefetch-fused
+/// batch kernel (the fused form is what the walker actually runs, so it
+/// is the one worth timing).
+template <typename Kernel>
+struct KernelCandidate {
+  SimdLevel level;
+  Kernel kernel;
+};
+
+/// kAuto's measured dispatch (DESIGN.md §9): an ISA bit in CPUID does
+/// not make a vector kernel a win — under virtualization (and on several
+/// microarchitectures) gathers are microcoded, and a microcoded gather
+/// loses badly to the scalar loop whose independent loads the OoO core
+/// already overlaps; AVX-512 adds license-based downclocking on some
+/// parts. So kAuto runs a tournament: time EVERY compiled-and-supported
+/// kernel on the freshly built tables over 16 chained lanes (the
+/// walker's cache-cold regime — the one where a wrong choice is
+/// expensive) and dispatch to the fastest vector leg, with a deliberate
+/// 10% bias toward scalar: the risk is asymmetric (scalar's worst case
+/// vs a good vector kernel is bounded, while a microcoded gather can run
+/// 2× slower than the scalar loop), so a vector leg must win decisively
+/// to be chosen — the winner therefore NEVER measured slower than
+/// scalar. Kernels are bit-identical, so a flipped verdict on another
+/// host changes throughput only, never results. A concrete AF_SIMD value
+/// or PlannerOptions::simd skips the tournament entirely.
 template <typename Index, typename Kernel>
-SimdLevel measure_faster_kernel_impl(const Index& idx, Kernel scalar_kernel,
-                                     Kernel avx2_kernel, NodeId num_nodes) {
+KernelCalibration run_tournament_impl(const Index& idx,
+                                      const KernelCandidate<Kernel>* cand,
+                                      std::size_t num_cand,
+                                      NodeId num_nodes) {
   constexpr std::size_t kLanes = 16;
   constexpr std::size_t kDraws = 1024;
   NodeId cur[kLanes];
   NodeId out[kLanes];
   Rng rngs[kLanes];
   const auto run = [&](Kernel kernel) {
-    // Fresh, FIXED seed per run: every rep of either kernel replays the
+    // Fresh, FIXED seed per run: every rep of every kernel replays the
     // identical start nodes, draws and restart sequence, so the timing
     // comparison is apples-to-apples.
     Rng seed(0x5eedU);
@@ -133,7 +148,7 @@ SimdLevel measure_faster_kernel_impl(const Index& idx, Kernel scalar_kernel,
       for (std::size_t i = 0; i < kLanes; ++i) {
         // Chain each lane through its drawn node like the walker; dead
         // lanes restart pseudo-randomly (cheap LCG — identical cost for
-        // both kernels, so it cancels out of the comparison).
+        // every kernel, so it cancels out of the comparison).
         cur[i] = out[i] == kNoNode
                      ? static_cast<NodeId>((cur[i] * 2654435761U + 1) %
                                            num_nodes)
@@ -144,35 +159,81 @@ SimdLevel measure_faster_kernel_impl(const Index& idx, Kernel scalar_kernel,
                                          t0)
         .count();
   };
-  double best_scalar = 1e30;
-  double best_avx2 = 1e30;
-  // Alternating best-of-5: min() drops scheduler/VM interference, the
-  // first rep of each side doubles as table warmup.
+  // Alternating best-of-5 across ALL candidates: min() drops
+  // scheduler/VM interference, the first rep doubles as table warmup for
+  // everyone, and interleaving spreads any slow drift fairly.
+  double best[kSimdKernelCount];
+  std::fill(best, best + num_cand, 1e30);
   for (int rep = 0; rep < 5; ++rep) {
-    best_scalar = std::min(best_scalar, run(scalar_kernel));
-    best_avx2 = std::min(best_avx2, run(avx2_kernel));
+    for (std::size_t c = 0; c < num_cand; ++c) {
+      best[c] = std::min(best[c], run(cand[c].kernel));
+    }
   }
-  return best_avx2 < 0.9 * best_scalar ? SimdLevel::kAvx2
-                                       : SimdLevel::kScalar;
+  // Candidate 0 is scalar by construction (init_kernels pushes it first).
+  KernelCalibration calib;
+  double best_vec = 1e30;
+  SimdLevel best_vec_level = SimdLevel::kScalar;
+  constexpr double kStepsPerRun = double{kLanes} * double{kDraws};
+  for (std::size_t c = 0; c < num_cand; ++c) {
+    calib.timings.push_back(
+        {cand[c].level, best[c] * 1e9 / kStepsPerRun});
+    if (c > 0 && best[c] < best_vec) {
+      best_vec = best[c];
+      best_vec_level = cand[c].level;
+    }
+  }
+  calib.winner = best_vec < 0.9 * best[0] ? best_vec_level
+                                          : SimdLevel::kScalar;
+  return calib;
 }
 
-/// call_once wrapper: the NUMA replica factory builds indexes
-/// concurrently, so without serialization every builder would measure at
-/// once — each timing run contended by the others (exactly the noise
-/// calibration exists to avoid) and later verdicts overwriting earlier
-/// ones, leaving replicas on different kernels. The first caller
-/// measures on an otherwise-idle process (the other builders block here
-/// with their tables already built); everyone shares its verdict.
+/// The process-wide memoized calibration cache, keyed by (index flavor,
+/// table size class = bit_width(num_slots)). Two jobs:
+///
+///  1. Repeated constructions stop re-paying the measurement: Planner
+///     rebuilds, from_mapped adoptions and NUMA replicas of
+///     similarly-sized tables all reuse the first verdict. The size
+///     CLASS (power-of-two bucket) is the key because the verdict is
+///     about memory behavior — a table 1000× smaller lives in L2 and can
+///     legitimately pick a different kernel than one spilling to DRAM.
+///  2. The mutex is held ACROSS the measurement (not just the lookup):
+///     the NUMA replica factory builds indexes concurrently, and without
+///     serialization every builder would measure at once — each timing
+///     run contended by the others (exactly the noise calibration exists
+///     to avoid) and replicas could land on different kernels. The first
+///     caller measures on an otherwise-idle process; the other builders
+///     block here with their tables already built and share its verdict.
+///
+/// std::map nodes are address-stable, so the returned pointer (exposed
+/// via Index::calibration() for bench/telemetry) lives as long as the
+/// process.
+struct CalibrationCache {
+  std::mutex mu;
+  std::map<std::pair<int, int>, KernelCalibration> verdicts;
+};
+
+CalibrationCache& calibration_cache() {
+  static CalibrationCache cache;
+  return cache;
+}
+
 template <typename Index, typename Kernel>
-SimdLevel measure_faster_kernel(const Index& idx, Kernel scalar_kernel,
-                                Kernel avx2_kernel, NodeId num_nodes) {
-  static std::once_flag once;
-  static SimdLevel verdict = SimdLevel::kScalar;
-  std::call_once(once, [&] {
-    verdict = measure_faster_kernel_impl(idx, scalar_kernel, avx2_kernel,
-                                         num_nodes);
-  });
-  return verdict;
+const KernelCalibration* run_tournament(const Index& idx, int flavor,
+                                        const KernelCandidate<Kernel>* cand,
+                                        std::size_t num_cand,
+                                        NodeId num_nodes) {
+  auto& cache = calibration_cache();
+  const std::pair<int, int> key{
+      flavor, std::bit_width(static_cast<std::uint64_t>(idx.num_slots()))};
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto it = cache.verdicts.find(key);
+  if (it == cache.verdicts.end()) {
+    it = cache.verdicts
+             .emplace(key,
+                      run_tournament_impl(idx, cand, num_cand, num_nodes))
+             .first;
+  }
+  return &it->second;
 }
 
 }  // namespace
@@ -247,22 +308,60 @@ SamplingIndex::SamplingIndex(const Graph& g, SimdLevel simd,
 
 void SamplingIndex::init_kernels(SimdLevel simd, NodeId num_nodes) {
   simd_ = resolve_simd_level(simd);
+  // Tournament only under genuine kAuto (neither the caller nor AF_SIMD
+  // forced a concrete level) when at least one vector leg is available —
+  // resolve_simd_level returned the ceiling; whether to actually
+  // dispatch there is the measurement's call.
+  if (simd == SimdLevel::kAuto && simd_env_request() == SimdLevel::kAuto &&
+      simd_ != SimdLevel::kScalar && num_nodes > 0) {
+    KernelCandidate<BatchKernel> cands[kSimdKernelCount];
+    std::size_t nc = 0;
+    cands[nc++] = {SimdLevel::kScalar, &SamplingIndex::batch_scalar<true>};
 #if defined(AF_HAVE_AVX2_KERNELS)
-  if (simd_ == SimdLevel::kAvx2 && simd == SimdLevel::kAuto &&
-      simd_env_request() != SimdLevel::kAvx2 && num_nodes > 0) {
-    // kAuto: the CPU *can* run the AVX2 kernel — measure whether it
-    // *should* (see measure_faster_kernel).
-    simd_ = measure_faster_kernel(*this, &SamplingIndex::batch_scalar<true>,
-                                  &SamplingIndex::batch_avx2<true>,
-                                  num_nodes);
-  }
-  if (simd_ == SimdLevel::kAvx2) {
-    batch_kernel_ = &SamplingIndex::batch_avx2<false>;
-    batch_prefetch_kernel_ = &SamplingIndex::batch_avx2<true>;
-  }
-#else
-  (void)num_nodes;
+    if (simd_level_available(SimdLevel::kAvx2)) {
+      cands[nc++] = {SimdLevel::kAvx2, &SamplingIndex::batch_avx2<true>};
+    }
 #endif
+#if defined(AF_HAVE_AVX512_KERNELS)
+    if (simd_level_available(SimdLevel::kAvx512)) {
+      cands[nc++] = {SimdLevel::kAvx512,
+                     &SamplingIndex::batch_avx512<true>};
+    }
+#endif
+#if defined(AF_HAVE_NEON_KERNELS)
+    if (simd_level_available(SimdLevel::kNeon)) {
+      cands[nc++] = {SimdLevel::kNeon, &SamplingIndex::batch_neon<true>};
+    }
+#endif
+    calibration_ = run_tournament(*this, /*flavor=*/0, cands, nc, num_nodes);
+    simd_ = calibration_->winner;
+  }
+  switch (simd_) {
+#if defined(AF_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      batch_kernel_ = &SamplingIndex::batch_avx2<false>;
+      batch_prefetch_kernel_ = &SamplingIndex::batch_avx2<true>;
+      break;
+#endif
+#if defined(AF_HAVE_AVX512_KERNELS)
+    case SimdLevel::kAvx512:
+      batch_kernel_ = &SamplingIndex::batch_avx512<false>;
+      batch_prefetch_kernel_ = &SamplingIndex::batch_avx512<true>;
+      break;
+#endif
+#if defined(AF_HAVE_NEON_KERNELS)
+    case SimdLevel::kNeon:
+      batch_kernel_ = &SamplingIndex::batch_neon<false>;
+      batch_prefetch_kernel_ = &SamplingIndex::batch_neon<true>;
+      break;
+#endif
+    default:
+      // kScalar — the in-class defaults already point at batch_scalar.
+      // (Levels whose TU was not compiled are unreachable here:
+      // resolve_simd_level and the tournament only return available
+      // levels.)
+      break;
+  }
 }
 
 SamplingIndex::SamplingIndex(const ExternalIndexTables& tables,
@@ -338,20 +437,55 @@ CompactSamplingIndex::CompactSamplingIndex(const Graph& g, SimdLevel simd,
 
 void CompactSamplingIndex::init_kernels(SimdLevel simd, NodeId num_nodes) {
   simd_ = resolve_simd_level(simd);
+  if (simd == SimdLevel::kAuto && simd_env_request() == SimdLevel::kAuto &&
+      simd_ != SimdLevel::kScalar && num_nodes > 0) {
+    KernelCandidate<BatchKernel> cands[kSimdKernelCount];
+    std::size_t nc = 0;
+    cands[nc++] = {SimdLevel::kScalar,
+                   &CompactSamplingIndex::batch_scalar<true>};
 #if defined(AF_HAVE_AVX2_KERNELS)
-  if (simd_ == SimdLevel::kAvx2 && simd == SimdLevel::kAuto &&
-      simd_env_request() != SimdLevel::kAvx2 && num_nodes > 0) {
-    simd_ = measure_faster_kernel(
-        *this, &CompactSamplingIndex::batch_scalar<true>,
-        &CompactSamplingIndex::batch_avx2<true>, num_nodes);
-  }
-  if (simd_ == SimdLevel::kAvx2) {
-    batch_kernel_ = &CompactSamplingIndex::batch_avx2<false>;
-    batch_prefetch_kernel_ = &CompactSamplingIndex::batch_avx2<true>;
-  }
-#else
-  (void)num_nodes;
+    if (simd_level_available(SimdLevel::kAvx2)) {
+      cands[nc++] = {SimdLevel::kAvx2,
+                     &CompactSamplingIndex::batch_avx2<true>};
+    }
 #endif
+#if defined(AF_HAVE_AVX512_KERNELS)
+    if (simd_level_available(SimdLevel::kAvx512)) {
+      cands[nc++] = {SimdLevel::kAvx512,
+                     &CompactSamplingIndex::batch_avx512<true>};
+    }
+#endif
+#if defined(AF_HAVE_NEON_KERNELS)
+    if (simd_level_available(SimdLevel::kNeon)) {
+      cands[nc++] = {SimdLevel::kNeon,
+                     &CompactSamplingIndex::batch_neon<true>};
+    }
+#endif
+    calibration_ = run_tournament(*this, /*flavor=*/1, cands, nc, num_nodes);
+    simd_ = calibration_->winner;
+  }
+  switch (simd_) {
+#if defined(AF_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      batch_kernel_ = &CompactSamplingIndex::batch_avx2<false>;
+      batch_prefetch_kernel_ = &CompactSamplingIndex::batch_avx2<true>;
+      break;
+#endif
+#if defined(AF_HAVE_AVX512_KERNELS)
+    case SimdLevel::kAvx512:
+      batch_kernel_ = &CompactSamplingIndex::batch_avx512<false>;
+      batch_prefetch_kernel_ = &CompactSamplingIndex::batch_avx512<true>;
+      break;
+#endif
+#if defined(AF_HAVE_NEON_KERNELS)
+    case SimdLevel::kNeon:
+      batch_kernel_ = &CompactSamplingIndex::batch_neon<false>;
+      batch_prefetch_kernel_ = &CompactSamplingIndex::batch_neon<true>;
+      break;
+#endif
+    default:
+      break;  // kScalar — in-class defaults stand.
+  }
 }
 
 CompactSamplingIndex::CompactSamplingIndex(const ExternalIndexTables& tables,

@@ -50,6 +50,27 @@
 
 namespace af {
 
+/// One candidate's measured cost in the construction-time kernel
+/// tournament (kAuto dispatch, DESIGN.md §9).
+struct KernelTiming {
+  SimdLevel level = SimdLevel::kScalar;
+  /// Best-of-reps cost per selection draw on the freshly built tables
+  /// (the cache-cold 16-chained-lane regime the calibration times).
+  double ns_per_step = 0.0;
+};
+
+/// A tournament verdict: the dispatched winner plus every candidate's
+/// measurement, so dispatch decisions stay auditable (the bench exports
+/// these into BENCH_sampling.json). Entries live in the process-wide
+/// calibration cache — keyed by (index flavor, table size class) — so
+/// repeated constructions (Planner rebuilds, from_mapped adoptions, NUMA
+/// replicas) reuse the first verdict instead of re-measuring; pointers
+/// into the cache stay valid for the process lifetime.
+struct KernelCalibration {
+  SimdLevel winner = SimdLevel::kScalar;
+  std::vector<KernelTiming> timings;
+};
+
 /// Prebuilt alias tables living in externally owned memory — sections of
 /// an mmap-ed .af1 container (storage/, DESIGN.md §11). raw_offsets()/
 /// raw_slots() of an in-RAM index produce exactly these bytes, so an
@@ -159,8 +180,15 @@ class SamplingIndex final : public SelectionSampler {
   /// Slot footprint — the bytes/slot figure the perf trajectory records.
   static constexpr std::size_t bytes_per_slot() { return sizeof(Slot); }
 
-  /// The kernel level actually dispatched to (kScalar or kAvx2).
-  SimdLevel simd_level() const { return simd_; }
+  /// The kernel level actually dispatched to (a concrete level of the
+  /// portfolio: kScalar, kAvx2, kAvx512 or kNeon — never kAuto).
+  SimdLevel simd_level() const override { return simd_; }
+
+  /// The kAuto tournament's verdict this index dispatched on, with every
+  /// candidate's measured ns/step — nullptr when the level was forced
+  /// (no measurement ran). Points into the process-wide calibration
+  /// cache; valid for the process lifetime.
+  const KernelCalibration* calibration() const { return calibration_; }
 
   /// Whether the slot table landed on 2 MiB pages (telemetry).
   bool on_huge_pages() const { return slots_.on_huge_pages(); }
@@ -188,12 +216,26 @@ class SamplingIndex final : public SelectionSampler {
   template <bool Prefetch>
   static void batch_avx2(const SamplingIndex& idx, const NodeId* cur,
                          Rng* rng, NodeId* out, std::size_t n);
+  /// AVX-512 kernel (sampling_index_avx512.cpp, -mavx512f -mavx512dq):
+  /// 8-lane multiply-shift with vpgatherqq slot probes and mask-register
+  /// remainder handling — every batch size runs the one masked vector
+  /// path, no scalar tail. Bit-identical to batch_scalar.
+  template <bool Prefetch>
+  static void batch_avx512(const SamplingIndex& idx, const NodeId* cur,
+                           Rng* rng, NodeId* out, std::size_t n);
+  /// NEON kernel (sampling_index_neon.cpp, AArch64 builds): 2-lane
+  /// vectorized multiply-shift and alias coin; slot loads stay scalar
+  /// (NEON has no gather). Bit-identical to batch_scalar.
+  template <bool Prefetch>
+  static void batch_neon(const SamplingIndex& idx, const NodeId* cur,
+                         Rng* rng, NodeId* out, std::size_t n);
 
-  /// Shared constructor tail: resolves `simd` (measuring under kAuto)
-  /// and installs the batch kernels.
+  /// Shared constructor tail: resolves `simd` (running the tournament
+  /// under kAuto) and installs the batch kernels.
   void init_kernels(SimdLevel simd, NodeId num_nodes);
 
   SimdLevel simd_ = SimdLevel::kScalar;
+  const KernelCalibration* calibration_ = nullptr;
   BatchKernel batch_kernel_ = &SamplingIndex::batch_scalar<false>;
   BatchKernel batch_prefetch_kernel_ = &SamplingIndex::batch_scalar<true>;
   HugeBuffer<std::uint64_t> offsets_;  // size n+1; node v owns deg(v)+1 slots
@@ -279,8 +321,12 @@ class CompactSamplingIndex final : public SelectionSampler {
   /// to hit.
   static constexpr std::size_t bytes_per_slot() { return sizeof(Slot); }
 
-  /// The kernel level actually dispatched to (kScalar or kAvx2).
-  SimdLevel simd_level() const { return simd_; }
+  /// The kernel level actually dispatched to (a concrete level of the
+  /// portfolio: kScalar, kAvx2, kAvx512 or kNeon — never kAuto).
+  SimdLevel simd_level() const override { return simd_; }
+
+  /// The kAuto tournament's verdict (see SamplingIndex::calibration).
+  const KernelCalibration* calibration() const { return calibration_; }
 
   /// Whether the slot table landed on 2 MiB pages (telemetry).
   bool on_huge_pages() const { return slots_.on_huge_pages(); }
@@ -307,12 +353,26 @@ class CompactSamplingIndex final : public SelectionSampler {
   template <bool Prefetch>
   static void batch_avx2(const CompactSamplingIndex& idx, const NodeId* cur,
                          Rng* rng, NodeId* out, std::size_t n);
+  /// AVX-512 kernel (sampling_index_avx512.cpp): 8 lanes; the {off[v],
+  /// off[v+1]} pair is fetched as one 64-bit gather, thresholds gather as
+  /// floats and widen to double for the exact coin (vcvtuqq2pd needs DQ).
+  /// Masked remainder, no scalar tail. Bit-identical to batch_scalar.
+  template <bool Prefetch>
+  static void batch_avx512(const CompactSamplingIndex& idx,
+                           const NodeId* cur, Rng* rng, NodeId* out,
+                           std::size_t n);
+  /// NEON kernel (sampling_index_neon.cpp): 2-lane multiply-shift and
+  /// float64 coin; slot loads scalar. Bit-identical to batch_scalar.
+  template <bool Prefetch>
+  static void batch_neon(const CompactSamplingIndex& idx, const NodeId* cur,
+                         Rng* rng, NodeId* out, std::size_t n);
 
-  /// Shared constructor tail: resolves `simd` (measuring under kAuto)
-  /// and installs the batch kernels.
+  /// Shared constructor tail: resolves `simd` (running the tournament
+  /// under kAuto) and installs the batch kernels.
   void init_kernels(SimdLevel simd, NodeId num_nodes);
 
   SimdLevel simd_ = SimdLevel::kScalar;
+  const KernelCalibration* calibration_ = nullptr;
   BatchKernel batch_kernel_ = &CompactSamplingIndex::batch_scalar<false>;
   BatchKernel batch_prefetch_kernel_ =
       &CompactSamplingIndex::batch_scalar<true>;

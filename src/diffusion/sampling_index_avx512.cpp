@@ -1,0 +1,232 @@
+// AVX-512 batched selection kernels (DESIGN.md §9).
+//
+// This TU is compiled with -mavx512f -mavx512dq behind the AF_SIMD build
+// gate and only ever *executed* after util/cpu.hpp's runtime detection
+// says the CPU has both F and DQ — the rest of the library stays
+// portable (no -march=native).
+//
+// Twice the AVX2 leg's width (8 lanes of 64-bit arithmetic per block)
+// plus two things AVX2 cannot do:
+//
+//  1. Mask-register remainder handling. There is no scalar tail: a batch
+//     of any size runs the one vector path, with the final block's
+//     inactive lanes switched off by a __mmask8 — masked gathers touch
+//     no memory for dead lanes and the masked narrowing store
+//     (vpmovqd) writes only live outputs. The bulk walker's live-lane
+//     count decays as lanes die, so odd batch sizes are the common case,
+//     not the exception.
+//  2. Native unsigned 64-bit compares (vpcmpuq) for the alias coin —
+//     the AVX2 leg pays a sign-flip xor per lane to fake them.
+//
+// Bit-identity contract: exactly the same as the AVX2 leg. The Lemire
+// multiply-shift is exact 64×64→128 integer arithmetic from vpmuludq
+// partial products; the full index's coin is the unsigned compare
+// lo < threshold; the compact index's coin converts (lo >> 11) with
+// vcvtuqq2pd (DQ; exact — the value is < 2⁵³) and compares in double
+// against the widened float32 threshold, exactly as the scalar draw
+// does. Per-lane rng state updates stay scalar (xoshiro256++ is a
+// serial ALU recurrence per stream); only active lanes consume a word,
+// so rng streams advance exactly as under the scalar kernel.
+//
+// The equivalence is pinned across lane widths, thread counts and both
+// index layouts in tests/bulk_kernel_equivalence_test.cpp.
+#include "diffusion/sampling_index.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+namespace af {
+
+namespace {
+
+/// hi/lo of the lane-wise 64×64→128 product, from four 32×32→64 partial
+/// products (vpmuludq). Exactly matches __uint128_t multiplication lane
+/// by lane — the same construction as the AVX2 leg, twice as wide.
+inline void mul_64x64_128(__m512i a, __m512i b, __m512i& hi, __m512i& lo) {
+  const __m512i mask32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i a_hi = _mm512_srli_epi64(a, 32);
+  const __m512i b_hi = _mm512_srli_epi64(b, 32);
+  // _mm512_mul_epu32 reads the low 32 bits of each 64-bit lane.
+  const __m512i ll = _mm512_mul_epu32(a, b);
+  const __m512i lh = _mm512_mul_epu32(a, b_hi);
+  const __m512i hl = _mm512_mul_epu32(a_hi, b);
+  const __m512i hh = _mm512_mul_epu32(a_hi, b_hi);
+  // Carry column: (ll >> 32) + low32(lh) + low32(hl) fits in 64 bits,
+  // so plain adds cannot wrap.
+  const __m512i t = _mm512_add_epi64(
+      _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                       _mm512_and_si512(lh, mask32)),
+      _mm512_and_si512(hl, mask32));
+  hi = _mm512_add_epi64(
+      _mm512_add_epi64(hh, _mm512_srli_epi64(lh, 32)),
+      _mm512_add_epi64(_mm512_srli_epi64(hl, 32), _mm512_srli_epi64(t, 32)));
+  lo = _mm512_or_si512(_mm512_slli_epi64(t, 32),
+                       _mm512_and_si512(ll, mask32));
+}
+
+/// The block's live-lane mask: all 8, or the first `rem` for the final
+/// partial block. This is the whole remainder story — every gather,
+/// compare and store below takes it.
+inline __mmask8 block_mask(std::size_t rem) {
+  return rem >= 8 ? static_cast<__mmask8>(0xff)
+                  : static_cast<__mmask8>((1u << rem) - 1u);
+}
+
+}  // namespace
+
+template <bool Prefetch>
+void SamplingIndex::batch_avx512(const SamplingIndex& idx, const NodeId* cur,
+                                 Rng* rng, NodeId* out, std::size_t n) {
+  const auto* offsets = idx.offsets_.data();
+  const auto* slots = reinterpret_cast<const long long*>(idx.slots_.data());
+  for (std::size_t i = 0; i < n; i += 8) {
+    const std::size_t active = n - i < 8 ? n - i : 8;
+    const __mmask8 m = block_mask(active);
+
+    // Per-lane rng words, ACTIVE lanes only (rng consumption must match
+    // the scalar kernel word for word); node ids zero-padded so the
+    // unmasked vector load below reads only our own stack.
+    alignas(64) std::uint64_t words[8] = {};
+    alignas(32) NodeId vbuf[8] = {};
+    for (std::size_t j = 0; j < active; ++j) {
+      words[j] = rng[i + j].next_u64();
+      vbuf[j] = cur[i + j];
+    }
+    const __m512i x =
+        _mm512_load_si512(reinterpret_cast<const void*>(words));
+    const __m256i v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(vbuf));
+
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i off0 = _mm512_mask_i32gather_epi64(zero, m, v, offsets, 8);
+    const __m512i off1 =
+        _mm512_mask_i32gather_epi64(zero, m, v, offsets + 1, 8);
+    const __m512i k = _mm512_sub_epi64(off1, off0);
+
+    __m512i hi, lo;
+    mul_64x64_128(x, k, hi, lo);
+    const __m512i slot = _mm512_add_epi64(off0, hi);
+
+    // 16-byte slots viewed as u64 pairs: word 2·slot is the threshold,
+    // word 2·slot+1 packs {accept, alias}.
+    const __m512i widx = _mm512_slli_epi64(slot, 1);
+    const __m512i thr = _mm512_mask_i64gather_epi64(zero, m, widx, slots, 8);
+    const __m512i pair = _mm512_mask_i64gather_epi64(
+        zero, m, _mm512_or_si512(widx, _mm512_set1_epi64(1)), slots, 8);
+
+    // Native unsigned compare: lane takes accept iff lo < threshold.
+    const __mmask8 take_accept = _mm512_cmplt_epu64_mask(lo, thr);
+    const __m512i accept =
+        _mm512_and_si512(pair, _mm512_set1_epi64(0xffffffffLL));
+    const __m512i alias = _mm512_srli_epi64(pair, 32);
+    const __m512i sel = _mm512_mask_blend_epi64(take_accept, alias, accept);
+    // Masked narrowing store (vpmovqd): live lanes' low 32 bits land in
+    // out[i..i+active), dead lanes write nothing.
+    _mm512_mask_cvtepi64_storeu_epi32(out + i, m, sel);
+
+    if constexpr (Prefetch) {
+      // Next-step prefetch, scalar per lane (prefetch is one address per
+      // instruction anyway): peek the post-draw rng word and warm the
+      // exact slot line the lane's next draw would probe at out[i+j].
+      for (std::size_t j = 0; j < active; ++j) {
+        if (out[i + j] != kNoNode) {
+          idx.prefetch_selection(out[i + j], rng[i + j]);
+        }
+      }
+    }
+  }
+}
+
+template void SamplingIndex::batch_avx512<false>(const SamplingIndex&,
+                                                 const NodeId*, Rng*,
+                                                 NodeId*, std::size_t);
+template void SamplingIndex::batch_avx512<true>(const SamplingIndex&,
+                                                const NodeId*, Rng*, NodeId*,
+                                                std::size_t);
+
+template <bool Prefetch>
+void CompactSamplingIndex::batch_avx512(const CompactSamplingIndex& idx,
+                                        const NodeId* cur, Rng* rng,
+                                        NodeId* out, std::size_t n) {
+  const auto* offsets = reinterpret_cast<const char*>(idx.offsets_.data());
+  const auto* slots = reinterpret_cast<const char*>(idx.slots_.data());
+  for (std::size_t i = 0; i < n; i += 8) {
+    const std::size_t active = n - i < 8 ? n - i : 8;
+    const __mmask8 m = block_mask(active);
+
+    alignas(64) std::uint64_t words[8] = {};
+    alignas(32) NodeId vbuf[8] = {};
+    for (std::size_t j = 0; j < active; ++j) {
+      words[j] = rng[i + j].next_u64();
+      vbuf[j] = cur[i + j];
+    }
+    const __m512i x =
+        _mm512_load_si512(reinterpret_cast<const void*>(words));
+    const __m256i v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(vbuf));
+
+    // One gather fetches BOTH 32-bit CSR bounds per lane: the 8-byte
+    // load at byte offset 4·v reads {off[v], off[v+1]} adjacent in the
+    // (n+1)-entry array — off[v] in the low dword (little-endian),
+    // off[v+1] in the high. Halves the AVX2 leg's two offset gathers.
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i offpair =
+        _mm512_mask_i32gather_epi64(zero, m, v, offsets, 4);
+    const __m512i mask32 = _mm512_set1_epi64(0xffffffffLL);
+    const __m512i off0 = _mm512_and_si512(offpair, mask32);
+    const __m512i k =
+        _mm512_sub_epi64(_mm512_srli_epi64(offpair, 32), off0);
+
+    __m512i hi, lo;
+    mul_64x64_128(x, k, hi, lo);
+    const __m512i slot = _mm512_add_epi64(off0, hi);
+
+    // 12-byte slots: gather with byte offsets (scale 1). Word 0 at
+    // slot·12 packs {float threshold, accept}; word 1 at slot·12+4
+    // packs {accept, alias}. Both 8-byte loads stay inside the slot.
+    const __m512i byteoff = _mm512_add_epi64(_mm512_slli_epi64(slot, 3),
+                                             _mm512_slli_epi64(slot, 2));
+    const __m512i w0 =
+        _mm512_mask_i64gather_epi64(zero, m, byteoff, slots, 1);
+    const __m512i w1 =
+        _mm512_mask_i64gather_epi64(zero, m, byteoff, slots + 4, 1);
+
+    // Coin: (lo >> 11)·2⁻⁵³ < (double)threshold, exactly as the scalar
+    // draw computes it. vcvtuqq2pd (DQ) is exact here — the operand is
+    // < 2⁵³ — replacing the AVX2 leg's magic-number construction.
+    const __m512d coin =
+        _mm512_mul_pd(_mm512_cvtepu64_pd(_mm512_srli_epi64(lo, 11)),
+                      _mm512_set1_pd(0x1p-53));
+    // Low dword of each w0 lane is the float32 threshold; narrow
+    // (vpmovqd), reinterpret as floats, widen to double — float→double
+    // is exact, so the compare matches scalar bit for bit.
+    const __m256 thr_f =
+        _mm256_castsi256_ps(_mm512_cvtepi64_epi32(w0));
+    const __m512d thr = _mm512_cvtps_pd(thr_f);
+    const __mmask8 take_accept =
+        _mm512_cmp_pd_mask(coin, thr, _CMP_LT_OQ);
+
+    const __m512i accept = _mm512_and_si512(w1, mask32);
+    const __m512i alias = _mm512_srli_epi64(w1, 32);
+    const __m512i sel = _mm512_mask_blend_epi64(take_accept, alias, accept);
+    _mm512_mask_cvtepi64_storeu_epi32(out + i, m, sel);
+
+    if constexpr (Prefetch) {
+      for (std::size_t j = 0; j < active; ++j) {
+        if (out[i + j] != kNoNode) {
+          idx.prefetch_selection(out[i + j], rng[i + j]);
+        }
+      }
+    }
+  }
+}
+
+template void CompactSamplingIndex::batch_avx512<false>(
+    const CompactSamplingIndex&, const NodeId*, Rng*, NodeId*, std::size_t);
+template void CompactSamplingIndex::batch_avx512<true>(
+    const CompactSamplingIndex&, const NodeId*, Rng*, NodeId*, std::size_t);
+
+}  // namespace af
+
+#endif  // __AVX512F__ && __AVX512DQ__

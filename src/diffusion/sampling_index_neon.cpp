@@ -1,0 +1,185 @@
+// AArch64 NEON batched selection kernels (DESIGN.md §9).
+//
+// Compiled on AArch64 builds behind the AF_SIMD build gate; Advanced
+// SIMD is architecturally baseline there, so unlike the x86 legs no
+// extra compile flags or runtime CPUID check are needed — if this TU
+// built, the CPU runs it.
+//
+// NEON is 128 bits wide and has no gather, so the shape differs from
+// the x86 legs: 2 lanes of 64-bit arithmetic per block, with the slot
+// and CSR-offset loads kept scalar (two independent scalar loads per
+// block — the OoO core overlaps them just as well as a 2-lane gather
+// would, since that is exactly what a gather decodes to on every ARM
+// core shipping today). What vectorizes profitably is the pure ALU
+// work: the exact 64×64→128 Lemire multiply-shift (vmull_u32 partial
+// products — the same four-partials construction as the x86 legs), the
+// alias coin (vcltq_u64 for the full index; vcvtq_f64_u64 + vcltq_f64
+// for the compact index's exact double compare), and the accept/alias
+// select (vbslq_u64). Odd batch sizes finish with one scalar draw.
+//
+// Bit-identity contract: identical to every other leg — same rng words
+// consumed per lane, same selections produced, pinned in
+// tests/bulk_kernel_equivalence_test.cpp (the aarch64 CI leg runs that
+// suite under qemu-user).
+#include "diffusion/sampling_index.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace af {
+
+namespace {
+
+/// hi/lo of the lane-wise 64×64→128 product, from four 32×32→64 partial
+/// products (vmull_u32). Exactly matches __uint128_t multiplication
+/// lane by lane.
+inline void mul_64x64_128(uint64x2_t a, uint64x2_t b, uint64x2_t& hi,
+                          uint64x2_t& lo) {
+  const uint64x2_t mask32 = vdupq_n_u64(0xffffffffULL);
+  const uint32x2_t a_lo = vmovn_u64(a);
+  const uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  const uint32x2_t b_lo = vmovn_u64(b);
+  const uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  const uint64x2_t ll = vmull_u32(a_lo, b_lo);
+  const uint64x2_t lh = vmull_u32(a_lo, b_hi);
+  const uint64x2_t hl = vmull_u32(a_hi, b_lo);
+  const uint64x2_t hh = vmull_u32(a_hi, b_hi);
+  // Carry column: (ll >> 32) + low32(lh) + low32(hl) fits in 64 bits,
+  // so plain adds cannot wrap.
+  const uint64x2_t t =
+      vaddq_u64(vaddq_u64(vshrq_n_u64(ll, 32), vandq_u64(lh, mask32)),
+                vandq_u64(hl, mask32));
+  hi = vaddq_u64(vaddq_u64(hh, vshrq_n_u64(lh, 32)),
+                 vaddq_u64(vshrq_n_u64(hl, 32), vshrq_n_u64(t, 32)));
+  lo = vorrq_u64(vshlq_n_u64(t, 32), vandq_u64(ll, mask32));
+}
+
+/// Two scalar u64s as one vector (scalar loads are the NEON gather).
+inline uint64x2_t pack_u64(std::uint64_t v0, std::uint64_t v1) {
+  return vcombine_u64(vcreate_u64(v0), vcreate_u64(v1));
+}
+
+}  // namespace
+
+template <bool Prefetch>
+void SamplingIndex::batch_neon(const SamplingIndex& idx, const NodeId* cur,
+                               Rng* rng, NodeId* out, std::size_t n) {
+  const std::uint64_t* offsets = idx.offsets_.data();
+  const Slot* slots = idx.slots_.data();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Per-lane rng words (serial ALU recurrences, kept scalar).
+    const uint64x2_t x = pack_u64(rng[i].next_u64(), rng[i + 1].next_u64());
+
+    const NodeId v0 = cur[i];
+    const NodeId v1 = cur[i + 1];
+    const std::uint64_t o0 = offsets[v0];
+    const std::uint64_t o1 = offsets[v1];
+    const uint64x2_t off0 = pack_u64(o0, o1);
+    const uint64x2_t k =
+        pack_u64(offsets[v0 + 1] - o0, offsets[v1 + 1] - o1);
+
+    uint64x2_t hi, lo;
+    mul_64x64_128(x, k, hi, lo);
+    const uint64x2_t slot = vaddq_u64(off0, hi);
+
+    const Slot& s0 = slots[vgetq_lane_u64(slot, 0)];
+    const Slot& s1 = slots[vgetq_lane_u64(slot, 1)];
+    const uint64x2_t thr = pack_u64(s0.threshold, s1.threshold);
+    const uint64x2_t accept = pack_u64(s0.accept, s1.accept);
+    const uint64x2_t alias = pack_u64(s0.alias, s1.alias);
+
+    // Coin: lane takes accept iff lo < threshold (unsigned).
+    const uint64x2_t take_accept = vcltq_u64(lo, thr);
+    const uint64x2_t sel = vbslq_u64(take_accept, accept, alias);
+    out[i] = static_cast<NodeId>(vgetq_lane_u64(sel, 0));
+    out[i + 1] = static_cast<NodeId>(vgetq_lane_u64(sel, 1));
+
+    if constexpr (Prefetch) {
+      // Next-step prefetch, scalar per lane: peek the post-draw rng word
+      // and warm the exact slot line the lane's next draw would probe.
+      if (out[i] != kNoNode) idx.prefetch_selection(out[i], rng[i]);
+      if (out[i + 1] != kNoNode) {
+        idx.prefetch_selection(out[i + 1], rng[i + 1]);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = idx.sample_selection(cur[i], rng[i]);
+    if constexpr (Prefetch) {
+      if (out[i] != kNoNode) idx.prefetch_selection(out[i], rng[i]);
+    }
+  }
+}
+
+template void SamplingIndex::batch_neon<false>(const SamplingIndex&,
+                                               const NodeId*, Rng*, NodeId*,
+                                               std::size_t);
+template void SamplingIndex::batch_neon<true>(const SamplingIndex&,
+                                              const NodeId*, Rng*, NodeId*,
+                                              std::size_t);
+
+template <bool Prefetch>
+void CompactSamplingIndex::batch_neon(const CompactSamplingIndex& idx,
+                                      const NodeId* cur, Rng* rng,
+                                      NodeId* out, std::size_t n) {
+  const std::uint32_t* offsets = idx.offsets_.data();
+  const Slot* slots = idx.slots_.data();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t x = pack_u64(rng[i].next_u64(), rng[i + 1].next_u64());
+
+    const NodeId v0 = cur[i];
+    const NodeId v1 = cur[i + 1];
+    const std::uint32_t o0 = offsets[v0];
+    const std::uint32_t o1 = offsets[v1];
+    const uint64x2_t off0 = pack_u64(o0, o1);
+    const uint64x2_t k =
+        pack_u64(offsets[v0 + 1] - o0, offsets[v1 + 1] - o1);
+
+    uint64x2_t hi, lo;
+    mul_64x64_128(x, k, hi, lo);
+    const uint64x2_t slot = vaddq_u64(off0, hi);
+
+    const Slot& s0 = slots[vgetq_lane_u64(slot, 0)];
+    const Slot& s1 = slots[vgetq_lane_u64(slot, 1)];
+
+    // Coin: (lo >> 11)·2⁻⁵³ < (double)threshold, exactly as the scalar
+    // draw computes it — vcvtq_f64_u64 is exact (operand < 2⁵³), and
+    // float→double widening of the threshold is exact.
+    const float64x2_t coin =
+        vmulq_n_f64(vcvtq_f64_u64(vshrq_n_u64(lo, 11)), 0x1p-53);
+    float64x2_t thr = vdupq_n_f64(static_cast<double>(s0.threshold));
+    thr = vsetq_lane_f64(static_cast<double>(s1.threshold), thr, 1);
+    const uint64x2_t take_accept = vcltq_f64(coin, thr);
+
+    const uint64x2_t accept = pack_u64(s0.accept, s1.accept);
+    const uint64x2_t alias = pack_u64(s0.alias, s1.alias);
+    const uint64x2_t sel = vbslq_u64(take_accept, accept, alias);
+    out[i] = static_cast<NodeId>(vgetq_lane_u64(sel, 0));
+    out[i + 1] = static_cast<NodeId>(vgetq_lane_u64(sel, 1));
+
+    if constexpr (Prefetch) {
+      if (out[i] != kNoNode) idx.prefetch_selection(out[i], rng[i]);
+      if (out[i + 1] != kNoNode) {
+        idx.prefetch_selection(out[i + 1], rng[i + 1]);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = idx.sample_selection(cur[i], rng[i]);
+    if constexpr (Prefetch) {
+      if (out[i] != kNoNode) idx.prefetch_selection(out[i], rng[i]);
+    }
+  }
+}
+
+template void CompactSamplingIndex::batch_neon<false>(
+    const CompactSamplingIndex&, const NodeId*, Rng*, NodeId*, std::size_t);
+template void CompactSamplingIndex::batch_neon<true>(
+    const CompactSamplingIndex&, const NodeId*, Rng*, NodeId*, std::size_t);
+
+}  // namespace af
+
+#endif  // __aarch64__

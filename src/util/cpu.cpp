@@ -2,63 +2,176 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "util/log.hpp"
 
 namespace af {
+
+int simd_kernel_ordinal(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAuto: return 0;
+    case SimdLevel::kScalar: return 0;
+    case SimdLevel::kAvx2: return 1;
+    case SimdLevel::kAvx512: return 2;
+    case SimdLevel::kNeon: return 3;
+  }
+  return 0;
+}
 
 const char* to_string(SimdLevel level) {
   switch (level) {
     case SimdLevel::kAuto: return "auto";
     case SimdLevel::kScalar: return "scalar";
     case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+    case SimdLevel::kNeon: return "neon";
   }
   return "?";
 }
 
-bool compiled_avx2_kernels() {
+bool compiled_simd_kernels(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAuto:
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2:
 #if defined(AF_HAVE_AVX2_KERNELS)
-  return true;
+      return true;
 #else
-  return false;
+      return false;
 #endif
+    case SimdLevel::kAvx512:
+#if defined(AF_HAVE_AVX512_KERNELS)
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kNeon:
+#if defined(AF_HAVE_NEON_KERNELS)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool compiled_avx2_kernels() {
+  return compiled_simd_kernels(SimdLevel::kAvx2);
 }
 
 namespace {
 
-/// The best level this process may run: build gate, then cpuid, then the
-/// AF_SIMD environment variable (any of "off"/"scalar"/"0", case
-/// matters not being worth a tolower loop — these are the documented
-/// spellings).
-SimdLevel detect_ceiling() {
-  if (simd_env_request() == SimdLevel::kScalar) return SimdLevel::kScalar;
-#if defined(AF_HAVE_AVX2_KERNELS) && (defined(__GNUC__) || defined(__clang__))
-  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+/// Hardware support for a level's instructions, independent of what was
+/// compiled. Cached: cpuid via __builtin_cpu_supports is not free.
+bool cpu_supports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAuto:
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2: {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      static const bool ok = __builtin_cpu_supports("avx2");
+      return ok;
+#else
+      return false;
 #endif
-  return SimdLevel::kScalar;
+    }
+    case SimdLevel::kAvx512: {
+      // The kernels use F (gathers, mask ops, 64-bit lanes) and DQ
+      // (vcvtuqq2pd for the compact index's exact coin) — the same pair
+      // the TU is compiled with.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      static const bool ok = __builtin_cpu_supports("avx512f") &&
+                             __builtin_cpu_supports("avx512dq");
+      return ok;
+#else
+      return false;
+#endif
+    }
+    case SimdLevel::kNeon:
+      // Advanced SIMD is architecturally baseline on AArch64: if the
+      // NEON TU compiled, the CPU runs it.
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// One step down the level's ISA family — the graceful-degradation order
+/// resolve_simd_level walks when a requested level is unavailable.
+SimdLevel degrade(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512: return SimdLevel::kAvx2;
+    default: return SimdLevel::kScalar;
+  }
 }
 
 }  // namespace
 
-SimdLevel simd_env_request() {
-  static const SimdLevel requested = [] {
-    const char* env = std::getenv("AF_SIMD");
-    if (env == nullptr) return SimdLevel::kAuto;
-    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
-        std::strcmp(env, "0") == 0) {
-      return SimdLevel::kScalar;
-    }
-    if (std::strcmp(env, "avx2") == 0) return SimdLevel::kAvx2;
+bool simd_level_available(SimdLevel level) {
+  return compiled_simd_kernels(level) && cpu_supports(level);
+}
+
+namespace detail {
+
+SimdLevel parse_af_simd(const char* value) {
+  if (value == nullptr) return SimdLevel::kAuto;
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "scalar") == 0 ||
+      std::strcmp(value, "0") == 0) {
+    return SimdLevel::kScalar;
+  }
+  if (std::strcmp(value, "avx2") == 0) return SimdLevel::kAvx2;
+  if (std::strcmp(value, "avx512") == 0) return SimdLevel::kAvx512;
+  if (std::strcmp(value, "neon") == 0) return SimdLevel::kNeon;
+  if (std::strcmp(value, "auto") == 0 || value[0] == '\0') {
     return SimdLevel::kAuto;
-  }();
+  }
+  // A typo ("avx51", "AVX2", …) must not silently mean kAuto: warn once
+  // naming the accepted spellings (the util/hugepage warn-once pattern),
+  // then proceed with the auto behavior — still safe, just not what the
+  // operator asked for.
+  static std::once_flag warned;
+  std::call_once(warned, [value] {
+    log_warn() << "AF_SIMD=\"" << value
+               << "\" is not a recognized value; accepted: off | scalar | "
+                  "0 | avx2 | avx512 | neon | auto. Falling back to auto "
+                  "(measured dispatch).";
+  });
+  return SimdLevel::kAuto;
+}
+
+}  // namespace detail
+
+SimdLevel simd_env_request() {
+  static const SimdLevel requested =
+      detail::parse_af_simd(std::getenv("AF_SIMD"));
   return requested;
 }
 
 SimdLevel resolve_simd_level(SimdLevel requested) {
-  static const SimdLevel ceiling = detect_ceiling();
-  if (requested == SimdLevel::kScalar) return SimdLevel::kScalar;
-  // kAuto and explicit kAvx2 both clamp to the ceiling: requesting a
-  // level the build or CPU cannot honour degrades gracefully instead of
-  // faulting on an illegal instruction.
-  return ceiling;
+  // A concrete AF_SIMD value is the operator's override — it replaces
+  // whatever the caller asked for, in either direction.
+  const SimdLevel env = simd_env_request();
+  SimdLevel effective = env == SimdLevel::kAuto ? requested : env;
+  if (effective == SimdLevel::kAuto) {
+    // The ceiling: the best available level, walking the x86 family
+    // first (kAvx512 degrades through kAvx2), then NEON.
+    if (simd_level_available(SimdLevel::kAvx512)) return SimdLevel::kAvx512;
+    if (simd_level_available(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+    if (simd_level_available(SimdLevel::kNeon)) return SimdLevel::kNeon;
+    return SimdLevel::kScalar;
+  }
+  // A concrete request degrades down its ISA family until it lands on
+  // something this build + CPU can actually run — never faults.
+  while (effective != SimdLevel::kScalar && !simd_level_available(effective)) {
+    effective = degrade(effective);
+  }
+  return effective;
 }
 
 }  // namespace af

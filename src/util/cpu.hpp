@@ -1,54 +1,102 @@
 // Runtime CPU feature detection for the batched selection kernels.
 //
-// The AVX2 kernels (diffusion/sampling_index_avx2.cpp) are compiled into
-// a dedicated translation unit with -mavx2 while the rest of the library
-// stays portable (no -march=native anywhere): whether they may *run* is
-// decided once, at index construction, by resolve_simd_level(). Three
-// gates stack, strictest wins:
+// The vector kernels live in dedicated translation units compiled with
+// their ISA flags (diffusion/sampling_index_avx2.cpp with -mavx2,
+// sampling_index_avx512.cpp with -mavx512f -mavx512dq,
+// sampling_index_neon.cpp on AArch64) while the rest of the library
+// stays portable (no -march=native anywhere): whether a kernel may
+// *run* is decided once, at index construction, by resolve_simd_level().
+// Three gates stack, strictest wins:
 //
-//   1. build time — the AF_SIMD CMake option; OFF omits the AVX2 TU
-//      entirely (the AF_HAVE_AVX2_KERNELS define tells this TU so);
-//   2. hardware  — __builtin_cpu_supports("avx2") on x86;
+//   1. build time — the AF_SIMD CMake option; OFF omits every vector TU
+//      (the AF_HAVE_*_KERNELS defines tell this TU which were built);
+//   2. hardware  — __builtin_cpu_supports on x86 (NEON is baseline on
+//      AArch64, so the build gate alone decides there);
 //   3. runtime   — the AF_SIMD environment variable: "off"/"scalar"/"0"
-//      forces the portable kernel on a binary built with the AVX2 TU
-//      (the CI fallback leg and A/B debugging both use this).
+//      forces the portable kernel on any binary (the CI fallback leg and
+//      A/B debugging both use this); "avx2"/"avx512"/"neon" force one
+//      vector leg, degrading down its family where unavailable.
 //
 // Dispatch is a per-index function pointer, not per-call branching, and
 // the kernels are bit-identical by construction (DESIGN.md §9), so the
-// choice is invisible to results — only to throughput.
+// choice is invisible to results — only to throughput. Which leg kAuto
+// picks is not decided here: diffusion/sampling_index runs an N-way
+// measured tournament over every compiled-and-supported kernel and
+// dispatches to the winner (memoized per index flavor and table size
+// class).
 #pragma once
 
 namespace af {
 
 /// Instruction-set level of the batched selection kernels.
 enum class SimdLevel {
-  /// Resolve at construction: the best level the build, the CPU and the
-  /// AF_SIMD environment variable all allow.
+  /// Resolve at construction: the measured tournament winner among every
+  /// level the build, the CPU and the AF_SIMD environment variable allow.
   kAuto,
   /// The portable scalar kernel.
   kScalar,
   /// AVX2 gathers (4 lanes of Lemire multiply-shift + fused-slot gather).
   kAvx2,
+  /// AVX-512 gathers (8 lanes of vpgatherqq + mask-register remainder).
+  kAvx512,
+  /// AArch64 NEON (2-lane vectorized multiply-shift + alias coin; loads
+  /// stay scalar — NEON has no gather).
+  kNeon,
 };
 
-/// Short stable name ("scalar", "avx2") for logs and bench counters.
+/// Number of concrete (non-kAuto) kernel levels — the portfolio size.
+inline constexpr int kSimdKernelCount = 4;
+
+/// Dense ordinal of a concrete level (kScalar=0, kAvx2=1, kAvx512=2,
+/// kNeon=3) for calibration tables and bench counters. kAuto maps to 0.
+int simd_kernel_ordinal(SimdLevel level);
+
+/// Short stable name ("scalar", "avx2", "avx512", "neon") for logs and
+/// bench counters.
 const char* to_string(SimdLevel level);
 
+/// True iff that level's kernel TU was compiled into this binary.
+/// kScalar (and kAuto) report true — the portable kernel always exists.
+bool compiled_simd_kernels(SimdLevel level);
+
 /// True iff the AVX2 kernel TU was compiled into this binary.
+/// (Equivalent to compiled_simd_kernels(kAvx2); kept for callers of the
+/// pre-portfolio API.)
 bool compiled_avx2_kernels();
 
+/// True iff `level`'s kernel is both compiled into this binary AND
+/// supported by the running CPU — i.e. dispatching to it cannot fault.
+/// Ignores the AF_SIMD environment variable; kScalar is always true.
+bool simd_level_available(SimdLevel level);
+
 /// Clamps `requested` to what build, hardware and the AF_SIMD env var
-/// allow. Never returns kAuto; kScalar is always honoured. Detection is
-/// performed once per process and cached.
+/// allow. Never returns kAuto; kScalar is always honoured. A non-auto
+/// AF_SIMD value overrides `requested` entirely (it is the operator's
+/// knob); an unavailable level degrades down its ISA family
+/// (kAvx512 → kAvx2 → kScalar; kNeon → kScalar) instead of faulting.
+/// kAuto resolves to the best available level — the *ceiling*; whether
+/// kAuto actually dispatches there is the tournament's call
+/// (diffusion/sampling_index). Detection is performed once per process
+/// and cached.
 SimdLevel resolve_simd_level(SimdLevel requested = SimdLevel::kAuto);
 
 /// What the AF_SIMD environment variable names, if anything:
-/// "off"/"scalar"/"0" → kScalar, "avx2" → kAvx2, unset/other → kAuto.
-/// A kAvx2 request skips the construction-time kernel calibration that
-/// kAuto runs (diffusion/sampling_index) — ISA support alone does not
-/// make gathers a win on every part (virtualized gathers in particular
-/// can lose to the scalar kernel), so kAuto measures; the env var
-/// overrides the measurement in either direction.
+/// "off"/"scalar"/"0" → kScalar, "avx2" → kAvx2, "avx512" → kAvx512,
+/// "neon" → kNeon, unset/"auto" → kAuto. Any other value warns once to
+/// stderr (naming the accepted spellings) and falls back to kAuto — a
+/// typo like "avx51" must not silently change behavior. A concrete
+/// request skips the construction-time kernel tournament that kAuto
+/// runs (diffusion/sampling_index) — ISA support alone does not make
+/// gathers a win on every part (virtualized gathers in particular can
+/// lose to the scalar kernel), so kAuto measures; the env var overrides
+/// the measurement in either direction.
 SimdLevel simd_env_request();
+
+namespace detail {
+/// Parses one AF_SIMD spelling (nullptr = unset). Split out so tests can
+/// pin the mapping — including the warn-once fallback for unknown values
+/// — without mutating process environment state.
+SimdLevel parse_af_simd(const char* value);
+}  // namespace detail
 
 }  // namespace af
