@@ -63,12 +63,12 @@ struct Planner::PairCache {
       : inst(g, s, t), stream_root(Rng(pool_seed).next_u64()) {}
 
   FriendingInstance inst;
-  std::mutex mu;
+  Mutex mu;
 
   /// V_max (empty = target unreachable, certified). nullopt = not yet run.
-  std::optional<std::vector<NodeId>> vmax;
+  std::optional<std::vector<NodeId>> vmax AF_GUARDED_BY(mu);
   /// Cached DKLR estimate at the planner's tolerance.
-  std::optional<DklrResult> pmax;
+  std::optional<DklrResult> pmax AF_GUARDED_BY(mu);
 
   /// Realization pool: the pair's deterministic sample stream. Sample #i
   /// draws from its own counter-derived Rng (stream_sample_seed(
@@ -78,16 +78,16 @@ struct Planner::PairCache {
   /// backward paths are materialized, packed into a flat arena;
   /// type1_pos[k] is the stream index of arena path k.
   const std::uint64_t stream_root;
-  std::uint64_t pool_drawn = 0;
-  std::vector<std::uint64_t> type1_pos;
-  PathArena type1_paths;
+  std::uint64_t pool_drawn AF_GUARDED_BY(mu) = 0;
+  std::vector<std::uint64_t> type1_pos AF_GUARDED_BY(mu);
+  PathArena type1_paths AF_GUARDED_BY(mu);
 
   /// The governor's cost functional (DESIGN.md §8): bytes this entry
   /// actually retains — the instance's n-sized N_s mask, the V_max
   /// certificate, the pooled arena (capacity, not payload) and the
   /// struct itself plus a small allowance for the memoized DKLR record
   /// and heap block headers. Caller holds `mu`.
-  std::size_t charged_bytes() const {
+  std::size_t charged_bytes() const AF_REQUIRES(mu) {
     constexpr std::size_t kFixedOverhead = 256;
     return sizeof(PairCache) + kFixedOverhead + inst.memory_bytes() +
            (vmax ? vmax->capacity() * sizeof(NodeId) : 0) +
@@ -232,11 +232,18 @@ Planner::~Planner() {
   //     dangles);
   //  3. join the workers — in-flight queries run to completion and
   //     fulfil their futures normally.
-  // No lock on mu_: if server_ exists, the plan_async that created it
-  // happened-before this destructor (the caller owns the planner).
-  if (server_) {
+  // Snapshot under mu_ (uncontended by contract: the caller owns the
+  // planner, so no plan_async can race the destructor) — keeps every
+  // server_ access inside the annotated discipline instead of relying on
+  // an unguarded read plus a prose happens-before argument.
+  AsyncServer* srv = nullptr;
+  {
+    MutexLock lock(mu_);
+    srv = server_.get();
+  }
+  if (srv != nullptr) {
     std::vector<AsyncServer::TaskPtr> undequeued;
-    server_->queue.drain(undequeued);
+    srv->queue.drain(undequeued);
     const auto now = AsyncServer::Clock::now();
     for (AsyncServer::TaskPtr& task : undequeued) {
       PlanResult r;
@@ -244,14 +251,16 @@ Planner::~Planner() {
       r.message = "planner destroyed before the query ran";
       AsyncServer::fulfil(*task, std::move(r), now);
     }
-    server_->resolved_shutdown.fetch_add(undequeued.size(),
-                                         std::memory_order_relaxed);
-    for (std::thread& w : server_->workers) w.join();
+    srv->resolved_shutdown.fetch_add(undequeued.size(),
+                                     std::memory_order_relaxed);
+    // Joining outside mu_ is essential: the workers run plan(), which
+    // takes mu_ for cache and pool access.
+    for (std::thread& w : srv->workers) w.join();
   }
 }
 
 Planner::AsyncServer& Planner::server() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!server_) {
     server_ = std::make_unique<AsyncServer>(options_.async_queue_depth);
     std::size_t workers = options_.async_workers;
@@ -302,7 +311,15 @@ std::future<PlanResult> Planner::plan_async(QuerySpec query) {
 }
 
 void Planner::serve_loop() {
-  AsyncServer& srv = *server_;
+  AsyncServer* srv_ptr = nullptr;
+  {
+    // Always populated: server() assigns server_ and spawns this worker
+    // in the same mu_ critical section, so the lookup cannot miss. The
+    // brief lock (once per worker lifetime) keeps the access guarded.
+    MutexLock lock(mu_);
+    srv_ptr = server_.get();
+  }
+  AsyncServer& srv = *srv_ptr;
   AsyncServer::TaskPtr task;
   std::vector<AsyncServer::TaskPtr> duplicates;
   while (srv.queue.pop(task)) {
@@ -344,7 +361,7 @@ void Planner::serve_loop() {
 ServingStats Planner::serving_stats() const {
   ServingStats out;
   out.queue_depth = options_.async_queue_depth;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!server_) return out;
   out.submitted = server_->submitted.load(std::memory_order_relaxed);
   out.completed = server_->completed.load(std::memory_order_relaxed);
@@ -389,8 +406,9 @@ std::optional<std::string> Planner::validate(const QuerySpec& query) {
   return std::nullopt;
 }
 
-void Planner::release_pair_storage(PairCache& cache) {
-  std::lock_guard<std::mutex> lock(cache.mu);
+void Planner::release_pair_storage(PairCache& cache)
+    AF_EXCLUDES(cache.mu) {
+  MutexLock lock(cache.mu);
   cache.vmax.reset();
   cache.pmax.reset();
   cache.pool_drawn = 0;
@@ -411,7 +429,7 @@ void Planner::clear_caches() {
   // sample pool.
   std::vector<std::shared_ptr<PairCache>> dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cache_.take_all(dropped);
   }
   for (const auto& cache : dropped) release_pair_storage(*cache);
@@ -420,7 +438,7 @@ void Planner::clear_caches() {
 PlannerCacheStats Planner::cache_stats() const {
   PlannerCacheStats out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.entries = cache_.size();
     out.charged_bytes = cache_.charged();
     out.budget_bytes = cache_.budget();
@@ -451,16 +469,23 @@ std::shared_ptr<Planner::PairCache> Planner::cache_for(NodeId s, NodeId t) {
   std::shared_ptr<PairCache> out;
   std::vector<std::shared_ptr<PairCache>> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (auto* hit = cache_.find(key)) {
       out = *hit;
     } else {
       out = std::make_shared<PairCache>(
           *graph_, s, t, derive_pool_seed(options_.base_seed, s, t));
-      // Freshly created and not yet visible to any other thread:
-      // reading its charge needs no pair lock (keeps the "never take a
-      // pair lock under mu_" rule literal).
-      cache_.insert(key, out, out->charged_bytes());
+      // Escape hatch (DESIGN.md §12, unpublished-object pattern): the
+      // fresh pair is not yet visible to any other thread, so reading
+      // its charge needs no pair lock — and taking one here would
+      // invert the pair.mu → mu_ order (plan_minimize holds pair.mu
+      // when ensure_pmax calls sample_pool(), which takes mu_), which
+      // TSan rightly reports as a potential-deadlock cycle.
+      const std::size_t initial_charge =
+          [&]() AF_NO_THREAD_SAFETY_ANALYSIS {
+            return out->charged_bytes();
+          }();
+      cache_.insert(key, out, initial_charge);
       cache_.evict_over_budget(victims);
     }
   }
@@ -472,14 +497,14 @@ std::shared_ptr<Planner::PairCache> Planner::cache_for(NodeId s, NodeId t) {
 
 void Planner::settle_cache_charge(std::uint64_t key,
                                   const std::shared_ptr<PairCache>& cache) {
-  std::size_t bytes;
+  std::size_t bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(cache->mu);
+    MutexLock lock(cache->mu);
     bytes = cache->charged_bytes();
   }
   std::vector<std::shared_ptr<PairCache>> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // The pair may have been evicted while this query was in flight —
     // and possibly re-created by a concurrent query. Only settle the
     // entry this query actually used: an evicted pair's state dies with
@@ -557,22 +582,27 @@ std::vector<PlanResult> Planner::plan_batch(
     for (const QuerySpec& q : queries) results.push_back(plan(q));
     return results;
   }
+  ThreadPool* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.threads);
+    // Snapshot the pointer under the lock; the pool object itself is
+    // internally synchronized and lives until ~Planner.
+    pool = pool_.get();
   }
   std::vector<std::future<PlanResult>> futures;
   futures.reserve(queries.size());
   for (const QuerySpec& q : queries) {
     const QuerySpec* query = &q;  // span outlives the batch
-    futures.push_back(pool_->submit([this, query] { return plan(*query); }));
+    futures.push_back(pool->submit([this, query] { return plan(*query); }));
   }
   for (auto& f : futures) results.push_back(f.get());
   return results;
 }
 
 std::optional<PlanResult> Planner::ensure_vmax(PairCache& cache,
-                                               PlanResult& out) {
+                                               PlanResult& out)
+    AF_REQUIRES(cache.mu) {
   if (cache.vmax) {
     out.timings.vmax_cache_hit = true;
   } else {
@@ -592,7 +622,7 @@ std::optional<PlanResult> Planner::ensure_vmax(PairCache& cache,
 }
 
 ThreadPool* Planner::sample_pool() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!sample_pool_) {
     // With replicated indexes, pin sampling workers round-robin across
     // nodes so every shard's local() resolution stays local for the
@@ -603,7 +633,8 @@ ThreadPool* Planner::sample_pool() {
   return sample_pool_.get();
 }
 
-void Planner::ensure_pmax(PairCache& cache, PlanResult& out) {
+void Planner::ensure_pmax(PairCache& cache, PlanResult& out)
+    AF_REQUIRES(cache.mu) {
   if (cache.pmax) {
     out.timings.pmax_cache_hit = true;
   } else {
@@ -622,7 +653,7 @@ void Planner::ensure_pmax(PairCache& cache, PlanResult& out) {
 }
 
 SetFamily Planner::pooled_family(PairCache& cache, std::uint64_t l,
-                                 PlanResult& out) {
+                                 PlanResult& out) AF_REQUIRES(cache.mu) {
   if (cache.pool_drawn < l) {
     WallTimer timer;
     const BulkType1Paths grown =
@@ -651,7 +682,7 @@ SetFamily Planner::pooled_family(PairCache& cache, std::uint64_t l,
 PlanResult Planner::plan_minimize(PairCache& cache,
                                   const MinimizeSpec& spec) {
   PlanResult out;
-  std::unique_lock<std::mutex> lock(cache.mu);
+  ReleasableMutexLock lock(cache.mu);
   if (auto terminal = ensure_vmax(cache, out)) return *terminal;
   ensure_pmax(cache, out);
   if (out.diag.pmax.estimate <= 0.0) {
@@ -681,7 +712,13 @@ PlanResult Planner::plan_minimize(PairCache& cache,
   WallTimer timer;
   RafResult res = engine.run_with_pmax_source(
       cache.inst, out.diag.pmax.estimate, cache.vmax->size(),
-      [&](std::uint64_t l) {
+      // Escape hatch (DESIGN.md §12): the engine invokes this callback
+      // exactly once, synchronously, while plan_minimize still holds
+      // cache.mu — so pooled_family's REQUIRES holds and the early
+      // unlock() hands the covering step its lock-free run. The
+      // intraprocedural analysis cannot see a capability held across a
+      // lambda boundary, hence the waiver.
+      [&](std::uint64_t l) AF_NO_THREAD_SAFETY_ANALYSIS {
         SetFamily family = pooled_family(cache, l, out);
         lock.unlock();
         return family;
@@ -709,7 +746,7 @@ PlanResult Planner::plan_minimize(PairCache& cache,
 PlanResult Planner::plan_maximize(PairCache& cache,
                                   const MaximizeSpec& spec) {
   PlanResult out;
-  std::unique_lock<std::mutex> lock(cache.mu);
+  ReleasableMutexLock lock(cache.mu);
   if (auto terminal = ensure_vmax(cache, out)) return *terminal;
   const SetFamily family = pooled_family(cache, spec.realizations, out);
   lock.unlock();

@@ -69,7 +69,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -84,6 +83,7 @@
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 #include "util/lru.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace af {
@@ -379,12 +379,13 @@ class Planner {
 
   /// Answers one query. Never throws for bad input — returns kInvalidSpec
   /// / kInvalidPair with a message instead.
-  PlanResult plan(const QuerySpec& query);
+  PlanResult plan(const QuerySpec& query) AF_EXCLUDES(mu_);
 
   /// Answers independent queries concurrently on the planner's thread
   /// pool; results are positionally aligned with `queries` and
   /// bit-identical to sequential plan() calls.
-  std::vector<PlanResult> plan_batch(std::span<const QuerySpec> queries);
+  std::vector<PlanResult> plan_batch(std::span<const QuerySpec> queries)
+      AF_EXCLUDES(mu_);
 
   /// The serving path (DESIGN.md §10): submits `query` to the bounded
   /// admission queue and returns a future for its result. Never blocks:
@@ -397,11 +398,11 @@ class Planner {
   /// interleaving, coalescing and worker count are invisible to results.
   /// Every returned future resolves, even if the planner is destroyed
   /// first (then with kShutdown).
-  std::future<PlanResult> plan_async(QuerySpec query);
+  std::future<PlanResult> plan_async(QuerySpec query) AF_EXCLUDES(mu_);
 
   /// Cumulative serving-layer counters (admissions, rejections, expiries,
   /// coalesced executions) and the current queue/worker configuration.
-  ServingStats serving_stats() const;
+  ServingStats serving_stats() const AF_EXCLUDES(mu_);
 
   /// Drops every per-pair cache entry, releasing its memory. Safe to
   /// call concurrently with plan(): in-flight queries keep their entry
@@ -411,11 +412,11 @@ class Planner {
   /// finishes later just finds an empty pool. Later queries rebuild from
   /// the same derived seeds, so results are unchanged — only the cached
   /// work is paid again.
-  void clear_caches();
+  void clear_caches() AF_EXCLUDES(mu_);
 
   /// Snapshot of the memory governor's accounting (entries, charged
   /// bytes, evictions) and the shared index footprint.
-  PlannerCacheStats cache_stats() const;
+  PlannerCacheStats cache_stats() const AF_EXCLUDES(mu_);
 
   /// Spec-only validation (the API-boundary check): the message that a
   /// plan() on this spec would return with kInvalidSpec, if any.
@@ -442,16 +443,17 @@ class Planner {
   /// Lazily starts the admission queue + serving workers (first
   /// plan_async) and returns the server. Workers call plan(), so the
   /// server must stop before any other member is torn down.
-  AsyncServer& server();
+  AsyncServer& server() AF_EXCLUDES(mu_);
   /// Serving-worker body: pop → expiry check → coalesce → plan → fulfil.
-  void serve_loop();
+  void serve_loop() AF_EXCLUDES(mu_);
 
-  std::shared_ptr<PairCache> cache_for(NodeId s, NodeId t);
+  std::shared_ptr<PairCache> cache_for(NodeId s, NodeId t) AF_EXCLUDES(mu_);
   /// Re-states the pair's charge from its actual retained bytes and
   /// evicts the coldest pairs until the accounted total fits the budget.
   /// Called after every query that touched a pair cache.
   void settle_cache_charge(std::uint64_t key,
-                           const std::shared_ptr<PairCache>& cache);
+                           const std::shared_ptr<PairCache>& cache)
+      AF_EXCLUDES(mu_);
   /// Releases a pair's pooled storage (swap idiom) and resets its
   /// memoized stages under the pair lock. The immutable instance is left
   /// intact: in-flight holders may still read it.
@@ -472,7 +474,7 @@ class Planner {
   /// fans out over. Distinct from the query pool `pool_`: query workers
   /// block on sampling futures, so serving both job kinds from one pool
   /// could deadlock with every worker waiting on a queued shard.
-  ThreadPool* sample_pool();
+  ThreadPool* sample_pool() AF_EXCLUDES(mu_);
 
   const Graph* graph_;
   PlannerOptions options_;
@@ -495,19 +497,28 @@ class Planner {
   /// Construction-time cost of building the index replicas (0 when
   /// mapped — the tables were adopted, not built).
   double index_build_seconds_ = 0.0;
-  mutable std::mutex mu_;  // guards cache_ and the lazy pools' creation
+  /// Guards the pair-cache LRU and the lazily created pools/server.
+  /// Lock order (DESIGN.md §12): a PairCache::mu may be held when
+  /// acquiring mu_ (pooled_family → sample_pool()); the reverse —
+  /// taking a pair lock while holding mu_ — is forbidden, except for a
+  /// freshly constructed, not-yet-published PairCache (provably
+  /// uncontended, cache_for documents the one site).
+  mutable Mutex mu_;
   /// Size-aware LRU over the pair caches (DESIGN.md §8). Values are
   /// shared_ptrs: eviction unlinks an entry, but in-flight queries keep
   /// the PairCache object alive until they finish; release_pair_storage
   /// frees the expensive pooled state immediately regardless.
-  SizedLru<std::uint64_t, std::shared_ptr<PairCache>> cache_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<ThreadPool> sample_pool_;
+  SizedLru<std::uint64_t, std::shared_ptr<PairCache>> cache_
+      AF_GUARDED_BY(mu_);
+  std::unique_ptr<ThreadPool> pool_ AF_GUARDED_BY(mu_);
+  std::unique_ptr<ThreadPool> sample_pool_ AF_GUARDED_BY(mu_);
   /// The plan_async admission queue + serving workers (created lazily
-  /// under mu_). Declared last and additionally shut down explicitly at
-  /// the top of ~Planner: its workers run plan(), which reaches every
-  /// member above — they must be joined while those members are alive.
-  std::unique_ptr<AsyncServer> server_;
+  /// under mu_; the AsyncServer object itself is internally synchronized
+  /// — locked queue, atomic counters). Declared last and additionally
+  /// shut down explicitly at the top of ~Planner: its workers run
+  /// plan(), which reaches every member above — they must be joined
+  /// while those members are alive.
+  std::unique_ptr<AsyncServer> server_ AF_GUARDED_BY(mu_);
 };
 
 }  // namespace af

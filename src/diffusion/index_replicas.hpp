@@ -16,6 +16,13 @@
 // fails, or AF_NUMA=off — this degrades to exactly one replica resolved
 // without any syscall: the graceful fallback the portable build relies
 // on.
+//
+// Thread-safety (DESIGN.md §12): deliberately lock-free, and therefore
+// carries no capability annotations. Builder threads each write one
+// distinct, pre-sized vector element and are joined before the
+// constructor returns; thread::join() gives the happens-before edge that
+// publishes every replica to subsequent readers, after which the object
+// is immutable and local() is safe from any thread.
 #pragma once
 
 #include <cstddef>

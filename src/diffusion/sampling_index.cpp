@@ -8,10 +8,10 @@
 #include <cstring>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/sync.hpp"
 
 namespace af {
 
@@ -208,8 +208,8 @@ KernelCalibration run_tournament_impl(const Index& idx,
 /// via Index::calibration() for bench/telemetry) lives as long as the
 /// process.
 struct CalibrationCache {
-  std::mutex mu;
-  std::map<std::pair<int, int>, KernelCalibration> verdicts;
+  Mutex mu;
+  std::map<std::pair<int, int>, KernelCalibration> verdicts AF_GUARDED_BY(mu);
 };
 
 CalibrationCache& calibration_cache() {
@@ -225,7 +225,7 @@ const KernelCalibration* run_tournament(const Index& idx, int flavor,
   auto& cache = calibration_cache();
   const std::pair<int, int> key{
       flavor, std::bit_width(static_cast<std::uint64_t>(idx.num_slots()))};
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   auto it = cache.verdicts.find(key);
   if (it == cache.verdicts.end()) {
     it = cache.verdicts

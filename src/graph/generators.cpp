@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <cmath>
+#include <algorithm>
 #include <unordered_set>
 
 #include "util/contracts.hpp"
@@ -56,12 +57,21 @@ Graph::Builder barabasi_albert(NodeId n, std::size_t attach, Rng& rng) {
     }
   }
 
-  std::unordered_set<NodeId> targets;
+  // Insertion-order dedup (af_lint: this used to iterate an
+  // unordered_set, so edge order — and, through the endpoints list,
+  // every later degree-proportional draw — depended on the standard
+  // library's hash order. A vector keeps the generated graph a pure
+  // function of (n, attach, seed) on every platform; attach is small,
+  // so the linear membership scan is noise.
+  std::vector<NodeId> targets;
+  targets.reserve(attach);
   for (NodeId v = seed; v < n; ++v) {
     targets.clear();
     while (targets.size() < attach) {
       const NodeId u = endpoints[rng.uniform_int(endpoints.size())];
-      targets.insert(u);
+      if (std::find(targets.begin(), targets.end(), u) == targets.end()) {
+        targets.push_back(u);
+      }
     }
     for (NodeId u : targets) {
       b.add_edge(u, v);

@@ -132,9 +132,11 @@ SimdLevel parse_af_simd(const char* value) {
     return SimdLevel::kAuto;
   }
   // A typo ("avx51", "AVX2", …) must not silently mean kAuto: warn once
-  // naming the accepted spellings (the util/hugepage warn-once pattern),
-  // then proceed with the auto behavior — still safe, just not what the
-  // operator asked for.
+  // naming the accepted spellings (the util/hugepage warn-once pattern:
+  // function-local once_flag + call_once with the value captured by
+  // copy, so concurrent first calls race neither on the flag nor on the
+  // reported string), then proceed with the auto behavior — still safe,
+  // just not what the operator asked for.
   static std::once_flag warned;
   std::call_once(warned, [value] {
     log_warn() << "AF_SIMD=\"" << value

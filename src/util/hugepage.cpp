@@ -29,7 +29,11 @@ bool advise_file_hugepages(void* addr, std::size_t bytes) {
   }
   // Expected on kernels without file-backed THP (EINVAL) — warn once so
   // the fallback is visible, then stay quiet: the mapping is correct
-  // either way, just without the TLB win.
+  // either way, just without the TLB win. Function-local once_flag:
+  // magic-statics give race-free init, call_once gives exactly-once
+  // emission even when many mappings fail concurrently, and the lambda
+  // captures errno by value so the message reports the *first* failure
+  // rather than whatever errno holds by the time the log line renders.
   static std::once_flag warned;
   const int err = errno;
   std::call_once(warned, [err] {

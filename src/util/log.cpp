@@ -1,11 +1,17 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace af {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: worker threads consult the threshold on every log call while a
+// test harness or experiment main may flip it concurrently (surfaced by
+// the thread-safety annotation rollout, DESIGN.md §12). Relaxed order is
+// enough — the threshold is an independent filter knob, not a publication
+// flag for other data.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,12 +25,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+  if (static_cast<int>(level) < static_cast<int>(threshold)) return;
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -11,12 +11,15 @@ namespace af {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the process-wide minimum level that will be emitted.
+/// Sets the process-wide minimum level that will be emitted. Thread-safe:
+/// the threshold is a relaxed atomic, so flipping it concurrently with
+/// loggers is race-free (each call sees either the old or new level).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Emits one line ("[level] message") to stderr if `level` passes the
-/// threshold. Thread-compatible (single writer assumed).
+/// threshold. Thread-safe; each call is a single fprintf, so lines from
+/// concurrent threads interleave whole, never mid-line.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -32,15 +32,14 @@
 // util/thread_pool makes.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "util/contracts.hpp"
+#include "util/sync.hpp"
 
 namespace af {
 
@@ -60,9 +59,9 @@ class MpmcQueue {
   /// Admits `item` unless the queue is full or closed. Returns whether the
   /// item was admitted; on failure `item` is left untouched (the caller
   /// still owns it and reports the rejection upstream). Never blocks.
-  bool try_push(T&& item) {
+  bool try_push(T&& item) AF_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.insert(std::move(item));
     }
@@ -74,9 +73,11 @@ class MpmcQueue {
   /// empty. Returns true with the Compare-least element moved into `out`,
   /// or false when the queue is closed and fully drained (the consumer's
   /// exit signal).
-  bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  bool pop(T& out) AF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    cv_.wait(mu_, [this]() AF_REQUIRES(mu_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return false;
     out = std::move(items_.extract(items_.begin()).value());
     return true;
@@ -87,8 +88,8 @@ class MpmcQueue {
   /// duplicates of the task it just popped sees a consistent snapshot.
   /// Returns how many elements were extracted.
   template <typename Pred>
-  std::size_t extract_if(Pred pred, std::vector<T>& out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t extract_if(Pred pred, std::vector<T>& out) AF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     std::size_t taken = 0;
     for (auto it = items_.begin(); it != items_.end();) {
       if (pred(*it)) {
@@ -104,9 +105,9 @@ class MpmcQueue {
 
   /// Stops admission (try_push fails from now on) but keeps queued
   /// elements for consumers to drain; wakes every waiting pop.
-  void close() {
+  void close() AF_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
@@ -115,10 +116,10 @@ class MpmcQueue {
   /// close() + removes everything still queued into `out`, so the owner
   /// can resolve the undequeued items itself. Consumers blocked in pop
   /// wake and return false. Returns how many elements were drained.
-  std::size_t drain(std::vector<T>& out) {
+  std::size_t drain(std::vector<T>& out) AF_EXCLUDES(mu_) {
     std::size_t taken = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
       while (!items_.empty()) {
         out.push_back(std::move(items_.extract(items_.begin()).value()));
@@ -130,27 +131,27 @@ class MpmcQueue {
   }
 
   /// Elements currently queued (admitted, not yet popped).
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const AF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const AF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   /// multiset, not a binary heap: pop and extract_if both need ordered
   /// removal from arbitrary positions, and node extraction moves the
   /// element out without copying.
-  std::multiset<T, Compare> items_;
-  bool closed_ = false;
+  std::multiset<T, Compare> items_ AF_GUARDED_BY(mu_);
+  bool closed_ AF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace af

@@ -1,0 +1,85 @@
+// Clang thread-safety-analysis attribute macros (DESIGN.md §12).
+//
+// These macros declare the lock discipline — which mutex guards which
+// state, which functions require or acquire which capability — so Clang's
+// `-Wthread-safety` analysis can check it at compile time. The repo's
+// hardest invariant, the counter-stream determinism contract (DESIGN.md
+// §6), is only as strong as the lock discipline around the shared caches
+// it rides on; the annotations turn that discipline from a comment into
+// a compile error. Under GCC/MSVC every macro expands to nothing, so the
+// annotations cost non-Clang builds exactly zero.
+//
+// The vocabulary follows the Clang documentation's canonical names
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed AF_.
+// Use them through util/sync.hpp's af::Mutex / af::MutexLock / af::CondVar
+// wrappers: std::mutex itself carries no capability attributes under
+// libstdc++, so annotating members with the raw std types would declare a
+// discipline the analysis cannot actually check.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AF_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define AF_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Declares a class as a capability (lockable type). The string names the
+/// capability kind in diagnostics ("mutex").
+#define AF_CAPABILITY(x) AF_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose lifetime equals holding a capability.
+#define AF_SCOPED_CAPABILITY AF_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member: may only be read/written while holding `x`.
+#define AF_GUARDED_BY(x) AF_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define AF_PT_GUARDED_BY(x) AF_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function precondition: the caller must hold the listed capabilities
+/// exclusively (and still holds them on return).
+#define AF_REQUIRES(...) \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the caller must hold at least shared access.
+#define AF_REQUIRES_SHARED(...) \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (caller must not hold
+/// them) and holds them on return.
+#define AF_ACQUIRE(...) \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define AF_ACQUIRE_SHARED(...) \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (caller must hold them).
+#define AF_RELEASE(...) \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define AF_RELEASE_SHARED(...) \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function tries to acquire; the first argument is the return value
+/// that means success.
+#define AF_TRY_ACQUIRE(...) \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called while NOT holding the listed capabilities
+/// (deadlock prevention for self-locking functions).
+#define AF_EXCLUDES(...) \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define AF_ASSERT_CAPABILITY(x) \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define AF_RETURN_CAPABILITY(x) AF_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Every use must carry
+/// a comment explaining why the discipline holds dynamically but cannot
+/// be expressed statically (DESIGN.md §12 lists the accepted patterns).
+#define AF_NO_THREAD_SAFETY_ANALYSIS \
+  AF_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -12,6 +12,10 @@ ThreadPool::ThreadPool(std::size_t threads, ThreadPoolOptions opts) {
     threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
   }
   const int nodes = opts.pin_numa ? numa_topology().num_nodes() : 1;
+  // Spawn under the lock: a concurrent size() observes either zero or
+  // all workers, and the freshly spawned workers park on mu_ in their
+  // wait until the constructor publishes the full vector.
+  MutexLock lock(mu_);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i, nodes] {
@@ -27,23 +31,27 @@ ThreadPool::~ThreadPool() { shutdown(DrainPolicy::kDrain); }
 
 void ThreadPool::shutdown(DrainPolicy policy) {
   std::deque<std::function<void()>> discarded;
+  std::vector<std::thread> joiners;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     if (policy == DrainPolicy::kDiscard) discarded.swap(queue_);
+    // Move the threads out so the join loop below runs without mu_ —
+    // workers must be able to take the lock to see stopping_ and exit.
+    // A second shutdown finds the vector empty and has nothing to join.
+    joiners.swap(workers_);
   }
   cv_.notify_all();
   // Destroy discarded tasks outside the lock: a packaged_task destroyed
   // unfulfilled stores broken_promise into its future, which may wake a
   // waiter immediately.
   discarded.clear();
-  for (std::thread& w : workers_) w.join();
-  workers_.clear();  // idempotent: a second shutdown has nothing to join
+  for (std::thread& w : joiners) w.join();
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     AF_EXPECTS(!stopping_, "submit on a stopping ThreadPool");
     queue_.push_back(std::move(job));
   }
@@ -54,8 +62,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.wait(mu_, [this]() AF_REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
       // Drain the queue even when stopping so every submitted future is
       // eventually satisfied.
       if (queue_.empty()) return;

@@ -7,18 +7,23 @@
 // is negligible and a deterministic, auditable pool beats a clever one.
 // Results and exceptions travel through std::future: a task that throws
 // stores the exception in its future instead of taking the process down.
+//
+// Lock discipline (checked by Clang -Wthread-safety, DESIGN.md §12):
+// `mu_` guards the queue, the stop flag, and the worker vector. Workers
+// never touch `workers_`; shutdown moves the threads out under the lock
+// and joins them outside it, so join never runs while `mu_` is held.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace af {
 
@@ -66,8 +71,13 @@ class ThreadPool {
   /// shutdown latency by in-flight work only, not queue depth.
   void shutdown(DrainPolicy policy = DrainPolicy::kDrain);
 
-  /// Number of live worker threads (0 after shutdown).
-  std::size_t size() const { return workers_.size(); }
+  /// Number of live worker threads; drops to 0 once shutdown begins.
+  /// Safe to call concurrently with shutdown (the annotation rollout
+  /// surfaced the old unguarded read racing shutdown's join loop).
+  std::size_t size() const AF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return workers_.size();
+  }
 
   /// Enqueues `fn` and returns a future for its result. The future also
   /// carries any exception `fn` throws.
@@ -81,14 +91,16 @@ class ThreadPool {
   }
 
  private:
-  void enqueue(std::function<void()> job);
-  void worker_loop();
+  void enqueue(std::function<void()> job) AF_EXCLUDES(mu_);
+  void worker_loop() AF_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ AF_GUARDED_BY(mu_);
+  bool stopping_ AF_GUARDED_BY(mu_) = false;
+  /// Written at construction and moved out by shutdown, both under mu_;
+  /// joined outside the lock (workers need mu_ to exit their wait).
+  std::vector<std::thread> workers_ AF_GUARDED_BY(mu_);
 };
 
 }  // namespace af

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "util/log.hpp"
 
 namespace af {
@@ -43,6 +47,35 @@ TEST(Log, EmissionAtThresholdIsWritten) {
   const std::string err = testing::internal::GetCapturedStderr();
   EXPECT_NE(err.find("[info] visible 7"), std::string::npos);
   EXPECT_EQ(err.find("filtered"), std::string::npos);
+}
+
+// Regression (static-correctness PR): the level threshold used to be a
+// plain global, so flipping it while workers logged was a data race that
+// TSan flagged. Now it is a relaxed atomic; this test hammers both sides
+// so the TSan CI leg keeps the fix honest.
+TEST(Log, ConcurrentLevelFlipsAndLoggingAreRaceFree) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  std::atomic<bool> stop{false};
+  std::thread flipper([&stop] {
+    for (int i = 0; i < 2000 && !stop.load(); ++i) {
+      set_log_level(i % 2 == 0 ? LogLevel::kOff : LogLevel::kError);
+    }
+    set_log_level(LogLevel::kOff);
+  });
+  std::vector<std::thread> loggers;
+  for (int t = 0; t < 4; ++t) {
+    loggers.emplace_back([] {
+      for (int i = 0; i < 500; ++i) {
+        (void)log_level();
+        log_line(LogLevel::kDebug, "below threshold either way");
+      }
+    });
+  }
+  for (std::thread& th : loggers) th.join();
+  stop.store(true);
+  flipper.join();
+  EXPECT_EQ(log_level(), LogLevel::kOff);
 }
 
 TEST(Log, StreamFormatsArbitraryTypes) {

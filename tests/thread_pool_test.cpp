@@ -132,6 +132,28 @@ TEST(ThreadPool, SubmitAfterShutdownViolatesThePrecondition) {
   EXPECT_THROW((void)pool.submit([] { return 1; }), precondition_error);
 }
 
+// Regression (static-correctness PR): size() used to read workers_
+// without the lock, racing shutdown's join-and-clear — exactly the kind
+// of bug the AF_GUARDED_BY rollout exists to make uncompilable. Both the
+// TSan leg and Clang -Wthread-safety now watch this path.
+TEST(ThreadPool, SizeIsSafeConcurrentWithShutdown) {
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(2);
+    std::atomic<bool> stop{false};
+    std::thread prober([&pool, &stop] {
+      while (!stop.load()) {
+        const std::size_t n = pool.size();
+        // Either the pre-shutdown count or zero — never garbage.
+        EXPECT_TRUE(n == 0 || n == 2) << n;
+      }
+    });
+    pool.shutdown();
+    EXPECT_EQ(pool.size(), 0u);
+    stop.store(true);
+    prober.join();
+  }
+}
+
 TEST(ThreadPool, DestructorDrainsQueuedTasks) {
   std::atomic<int> counter{0};
   {

@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""af_lint — repo-specific determinism-contract linter (DESIGN.md §12).
+
+The counter-stream contract (DESIGN.md §6) promises bit-identical answers
+at any thread count, on any platform, from a (instance, seed) pair.  A
+handful of innocent-looking C++ constructs silently break that promise;
+this linter rejects them in `src/` unless a reviewed waiver comment says
+why the specific use is order-insensitive.
+
+Rules (waiver comment, on the same or the previous line):
+
+  rng            std::rand/srand/random_device/time-seeded randomness
+                 outside util/rng — bypasses the deterministic counter
+                 streams.                       (waiver: af-lint: rng)
+  unordered-iter iteration over an unordered_{map,set} — the visit order
+                 is hash/allocator dependent, so anything accumulated or
+                 emitted in that order varies between runs and stdlibs.
+                                         (waiver: af-lint: unordered-ok)
+  ptr-order      ordered containers keyed on pointers or std::less over
+                 a pointer type — the ordering is the allocator's whim.
+                                            (waiver: af-lint: ptr-order)
+  float-order    reduction constructs with unspecified evaluation order
+                 over float/double (std::reduce, std::transform_reduce,
+                 std::atomic<float|double>, OpenMP reductions) — FP
+                 addition does not associate.    (waiver: af-lint: ordered)
+  raw-alloc      new[]/malloc/calloc/realloc outside util/ — raw buffers
+                 dodge the sized-accounting and hugepage paths and are a
+                 lifetime audit burden.        (waiver: af-lint: raw-alloc)
+
+Usage:
+  af_lint.py [--root DIR] [PATHS...]   lint src/ (or PATHS) under DIR
+  af_lint.py --fixtures DIR            self-test mode: every file in DIR
+                                       must produce exactly the findings
+                                       its `// expect: <rule>` comments
+                                       declare (after waivers).
+
+Exit status 0 = clean / all fixtures match, 1 = findings / mismatch,
+2 = usage error.  Python 3.8+, stdlib only.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+EXTENSIONS = (".hpp", ".cpp", ".h", ".cc", ".cxx", ".hxx")
+
+RULES = ("rng", "unordered-iter", "ptr-order", "float-order", "raw-alloc")
+
+WAIVER_FOR_RULE = {
+    "rng": "rng",
+    "unordered-iter": "unordered-ok",
+    "ptr-order": "ptr-order",
+    "float-order": "ordered",
+    "raw-alloc": "raw-alloc",
+}
+
+
+class Line:
+    __slots__ = ("num", "code", "comment")
+
+    def __init__(self, num, code, comment):
+        self.num = num
+        self.code = code
+        self.comment = comment
+
+
+def split_code_comments(text):
+    """Returns a list of Line with string/char literals blanked out of
+    `code` and comment text (both // and /* */) collected per line."""
+    lines = []
+    i = 0
+    n = len(text)
+    lineno = 1
+    code = []
+    comment = []
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n":
+            lines.append(Line(lineno, "".join(code), "".join(comment)))
+            code, comment = [], []
+            lineno += 1
+            if state == "line_comment":
+                state = "code"
+            # Raw newlines end string literals only in ill-formed code;
+            # treat them as terminators so one bad line cannot swallow
+            # the rest of the file.
+            if state in ("string", "char"):
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                code.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                code.append("'")
+                i += 1
+                continue
+            code.append(ch)
+            i += 1
+        elif state == "line_comment":
+            comment.append(ch)
+            i += 1
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                comment.append(ch)
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                i += 2  # skip the escaped character, whatever it is
+                continue
+            if ch == quote:
+                code.append(quote)
+                state = "code"
+            i += 1
+    if code or comment:
+        lines.append(Line(lineno, "".join(code), "".join(comment)))
+    return lines
+
+
+WAIVER_RE = re.compile(r"af-lint:\s*([\w-]+)")
+EXPECT_RE = re.compile(r"expect:\s*([\w-]+)")
+
+RNG_PATTERNS = [
+    (re.compile(r"(?<![\w:.>])std::rand\b"), "std::rand"),
+    (re.compile(r"(?<![\w:.>])srand\s*\("), "srand"),
+    (re.compile(r"(?<![\w:.>])(std::)?random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(nullptr|NULL|0)\s*\)"),
+     "wall-clock seeding (time(...))"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*&?\s*"
+    r"(\w+)\s*(?:[;={(,)]|$)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;]*?):([^;]*)\)")
+# begin() only: a bare `x.end()` is almost always the sentinel in a
+# `find(key) == end()` membership check, which never observes order.
+BEGIN_CALL_RE = re.compile(r"(\w+)\s*(?:\.|->)\s*c?begin\s*\(")
+
+PTR_ORDER_PATTERNS = [
+    (re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<[^,>]*\*"),
+     "ordered container keyed on a pointer"),
+    (re.compile(r"\bstd::less\s*<[^>]*\*\s*>"), "std::less over a pointer"),
+]
+
+FLOAT_ORDER_PATTERNS = [
+    (re.compile(r"\bstd::(?:transform_)?reduce\s*\("),
+     "std::reduce family evaluates in unspecified order"),
+    (re.compile(r"\bstd::atomic\s*<\s*(?:float|double|long\s+double)\s*>"),
+     "atomic float accumulates in scheduling order"),
+]
+OMP_REDUCTION_RE = re.compile(r"#\s*pragma\s+omp\b.*\breduction\s*\(")
+
+RAW_ALLOC_PATTERNS = [
+    (re.compile(r"\bnew\s+[\w:<>,\s]+?\["), "new[]"),
+    (re.compile(r"(?<![\w:.>])(?:std::)?(malloc|calloc|realloc)\s*\("),
+     "C allocation"),
+]
+
+
+def is_under_util(relpath):
+    parts = relpath.replace("\\", "/").split("/")
+    return "util" in parts
+
+
+def is_rng_home(relpath):
+    base = os.path.basename(relpath)
+    return is_under_util(relpath) and base.startswith("rng")
+
+
+def collect_unordered_vars(lines):
+    """Names declared (anywhere in the file) with an unordered container
+    type.  Per-file scope is deliberately coarse: a false positive costs
+    one reviewed waiver, a false negative costs determinism."""
+    names = set()
+    for ln in lines:
+        for m in UNORDERED_DECL_RE.finditer(ln.code):
+            names.add(m.group(1))
+    return names
+
+
+def lint_file(path, relpath, text):
+    lines = split_code_comments(text)
+    findings = []  # (lineno, rule, message)
+
+    def add(ln, rule, message):
+        findings.append((ln.num, rule, message))
+
+    unordered_vars = collect_unordered_vars(lines)
+
+    for ln in lines:
+        code = ln.code
+
+        if not is_rng_home(relpath):
+            for pat, what in RNG_PATTERNS:
+                if pat.search(code):
+                    add(ln, "rng",
+                        f"{what}: use util/rng counter streams instead")
+
+        for m in RANGE_FOR_RE.finditer(code):
+            range_expr = m.group(2)
+            hit = "unordered_" in range_expr or any(
+                re.search(r"\b" + re.escape(v) + r"\b", range_expr)
+                for v in unordered_vars)
+            if hit:
+                add(ln, "unordered-iter",
+                    "range-for over an unordered container: visit order "
+                    "is hash-dependent")
+        for m in BEGIN_CALL_RE.finditer(code):
+            if m.group(1) in unordered_vars:
+                add(ln, "unordered-iter",
+                    f"iterator over unordered container '{m.group(1)}': "
+                    "visit order is hash-dependent")
+
+        for pat, what in PTR_ORDER_PATTERNS:
+            if pat.search(code):
+                add(ln, "ptr-order",
+                    f"{what}: pointer values are allocator-dependent")
+
+        for pat, what in FLOAT_ORDER_PATTERNS:
+            if pat.search(code):
+                add(ln, "float-order", what)
+        # OpenMP pragmas live outside the code/comment split's interest
+        # but survive it unchanged (they are code, not comments).
+        if OMP_REDUCTION_RE.search(code):
+            add(ln, "float-order",
+                "OpenMP reduction combines partials in thread order")
+
+        if not is_under_util(relpath):
+            for pat, what in RAW_ALLOC_PATTERNS:
+                if pat.search(code):
+                    add(ln, "raw-alloc",
+                        f"{what}: use std containers / util allocators")
+
+    # Dedup identical (line, rule) pairs (several patterns can fire on
+    # one line) and honor waivers on the same or the previous line.
+    waivers = {}  # lineno -> set of waiver tokens
+    for ln in lines:
+        tokens = set(WAIVER_RE.findall(ln.comment))
+        if tokens:
+            waivers[ln.num] = tokens
+
+    out = []
+    seen = set()
+    for num, rule, message in findings:
+        if (num, rule) in seen:
+            continue
+        seen.add((num, rule))
+        tok = WAIVER_FOR_RULE[rule]
+        if tok in waivers.get(num, ()) or tok in waivers.get(num - 1, ()):
+            continue
+        out.append((num, rule, message))
+    return sorted(out)
+
+
+def iter_source_files(root, paths):
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            yield ap
+            continue
+        for dirpath, _dirnames, filenames in os.walk(ap):
+            for fn in sorted(filenames):
+                if fn.endswith(EXTENSIONS):
+                    yield os.path.join(dirpath, fn)
+
+
+def run_lint(root, paths):
+    failures = 0
+    for ap in sorted(set(iter_source_files(root, paths))):
+        rel = os.path.relpath(ap, root)
+        with open(ap, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        for num, rule, message in lint_file(ap, rel, text):
+            print(f"{rel}:{num}: [{rule}] {message}")
+            failures += 1
+    if failures:
+        print(f"af_lint: {failures} finding(s). Waive with a reviewed "
+              f"'// af-lint: <token>' comment (DESIGN.md §12).",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def run_fixtures(fixtures_dir):
+    """Self-test: each fixture must yield exactly the findings declared by
+    its `// expect: <rule>` comments (same line), nothing more or less."""
+    total = mismatches = 0
+    for ap in sorted(set(iter_source_files(fixtures_dir, ["."]))):
+        rel = os.path.relpath(ap, fixtures_dir)
+        with open(ap, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        lines = split_code_comments(text)
+        expected = set()
+        for ln in lines:
+            for rule in EXPECT_RE.findall(ln.comment):
+                if rule not in RULES:
+                    print(f"{rel}:{ln.num}: unknown rule in expect: {rule}")
+                    return 2
+                expected.add((ln.num, rule))
+        actual = {(num, rule) for num, rule, _ in lint_file(ap, rel, text)}
+        total += 1
+        for num, rule in sorted(expected - actual):
+            print(f"{rel}:{num}: expected [{rule}] but the linter was silent")
+            mismatches += 1
+        for num, rule in sorted(actual - expected):
+            print(f"{rel}:{num}: unexpected [{rule}] finding")
+            mismatches += 1
+    if mismatches:
+        print(f"af_lint --fixtures: {mismatches} mismatch(es) across "
+              f"{total} fixture(s)", file=sys.stderr)
+        return 1
+    print(f"af_lint --fixtures: {total} fixture(s) OK")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repo root; lint paths are relative to it")
+    ap.add_argument("--fixtures", metavar="DIR",
+                    help="run in self-test mode over fixture files")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files/dirs to lint (default: src)")
+    args = ap.parse_args(argv)
+    if args.fixtures:
+        if args.paths:
+            ap.error("--fixtures takes no positional paths")
+        return run_fixtures(args.fixtures)
+    return run_lint(args.root, args.paths or ["src"])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,30 @@
+// af_lint fixture: the `float-order` rule (order-sensitive FP reduction).
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+double positive_cases(const std::vector<double>& xs) {
+  double a = std::reduce(xs.begin(), xs.end());          // expect: float-order
+  double b = std::transform_reduce(                      // expect: float-order
+      xs.begin(), xs.end(), 0.0, std::plus<>{}, [](double v) { return v; });
+  std::atomic<double> acc{0.0};                          // expect: float-order
+  std::atomic<float> facc{0.0f};                         // expect: float-order
+#pragma omp parallel for reduction(+ : a)                // expect: float-order
+  for (int i = 0; i < 4; ++i) a += xs[i];
+  return a + b + acc.load() + facc.load();
+}
+
+double waived_cases(const std::vector<double>& xs) {
+  // af-lint: ordered — integer-valued doubles below 2^53: exact addition.
+  double n = std::reduce(xs.begin(), xs.end());
+  std::atomic<double> telemetry{0.0};  // af-lint: ordered — stats only
+  return n + telemetry.load();
+}
+
+double clean_cases(const std::vector<double>& xs) {
+  // Sequential left-fold: std::accumulate has a specified order.
+  double sum = std::accumulate(xs.begin(), xs.end(), 0.0);
+  std::atomic<long> count{0};  // integer atomics associate exactly
+  for (double v : xs) sum += v;  // ordered loop over an ordered container
+  return sum + static_cast<double>(count.load());
+}

@@ -1,0 +1,27 @@
+// af_lint fixture: the `ptr-order` rule (pointer-value ordering).
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Node {};
+
+void positive_cases() {
+  std::set<Node*> by_address;                      // expect: ptr-order
+  std::map<const Node*, int> ranks;                // expect: ptr-order
+  std::set<int*, std::less<int*>> explicit_less;   // expect: ptr-order
+  (void)by_address; (void)ranks; (void)explicit_less;
+}
+
+void waived_cases() {
+  // af-lint: ptr-order — dedup only; the tree is never iterated for output.
+  std::set<Node*> seen_once;
+  (void)seen_once;
+}
+
+void clean_cases() {
+  std::map<int, Node*> by_id;       // pointer VALUES, ordered by int key
+  std::set<int> plain;              // no pointers at all
+  std::vector<Node*> insertion;     // vectors carry insertion order
+  (void)by_id; (void)plain; (void)insertion;
+}

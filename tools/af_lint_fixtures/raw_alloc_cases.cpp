@@ -1,0 +1,31 @@
+// af_lint fixture: the `raw-alloc` rule (manual buffers outside util/).
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+void positive_cases(std::size_t n) {
+  int* a = new int[n];                        // expect: raw-alloc
+  void* m = malloc(n);                        // expect: raw-alloc
+  void* c = std::calloc(n, 4);                // expect: raw-alloc
+  m = realloc(m, n * 2);                      // expect: raw-alloc
+  delete[] a;
+  free(m);
+  free(c);
+}
+
+void waived_cases(std::size_t n) {
+  // af-lint: raw-alloc — interop with a C API that takes ownership.
+  char* buf = static_cast<char*>(malloc(n));
+  double* d = new double[n];  // af-lint: raw-alloc — placement target
+  delete[] d;
+  free(buf);
+}
+
+void clean_cases(std::size_t n) {
+  std::vector<int> v(n);                   // containers, not raw buffers
+  auto p = std::make_unique<int[]>(n);     // smart-pointer arrays are fine
+  auto s = new std::vector<int>(n);        // scalar new is not new[]
+  const char* doc = "call malloc(n) here";  // strings never fire
+  delete s;
+  (void)p; (void)doc;
+}

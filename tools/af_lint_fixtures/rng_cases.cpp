@@ -1,0 +1,31 @@
+// af_lint fixture: the `rng` rule (nondeterministic randomness sources).
+// `// expect: <rule>` marks lines the linter must flag; waived and clean
+// sections must stay silent. Never compiled — pattern food only.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+void positive_cases() {
+  int a = std::rand();                   // expect: rng
+  srand(42);                             // expect: rng
+  std::random_device rd;                 // expect: rng
+  unsigned seed = time(nullptr);         // expect: rng
+  unsigned seed0 = time(0);              // expect: rng
+  (void)a; (void)rd; (void)seed; (void)seed0;
+}
+
+void waived_cases() {
+  // af-lint: rng — entropy for a throwaway perf-harness warmup only.
+  std::random_device rd;
+  unsigned s = time(nullptr);  // af-lint: rng — wall-clock for a log stamp
+  (void)rd; (void)s;
+}
+
+void clean_cases() {
+  // Mentions in comments must not fire: std::rand, srand, random_device.
+  const char* msg = "call std::rand() or srand(time(nullptr))";  // string
+  int operand = 1;       // identifier containing "rand" is not a call
+  int strand = operand;  // likewise
+  double t = time_scale(3);  // a time() call with a real argument is fine
+  (void)msg; (void)strand; (void)t;
+}

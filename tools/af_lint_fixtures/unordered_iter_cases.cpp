@@ -1,0 +1,36 @@
+// af_lint fixture: the `unordered-iter` rule (hash-order iteration).
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+void positive_cases() {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<int> ids;
+  for (const auto& kv : counts) {        // expect: unordered-iter
+    (void)kv;
+  }
+  for (int v : ids) (void)v;             // expect: unordered-iter
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // expect: unordered-iter
+    (void)it;
+  }
+}
+
+void waived_cases() {
+  std::unordered_map<int, int> hist;
+  long total = 0;
+  // af-lint: unordered-ok — summation is commutative; order never leaks.
+  for (const auto& kv : hist) total += kv.second;
+  for (auto it = hist.begin(); it != hist.end(); ++it) {  // af-lint: unordered-ok
+    total += it->first;
+  }
+  (void)total;
+}
+
+void clean_cases() {
+  std::unordered_set<int> members;
+  std::vector<int> ordered;
+  // Membership checks observe no order: find() against the end sentinel.
+  bool present = members.find(3) != members.end();
+  for (int v : ordered) (void)v;  // range-for over a vector is fine
+  (void)present;
+}

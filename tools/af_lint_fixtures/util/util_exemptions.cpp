@@ -1,0 +1,17 @@
+// af_lint fixture: paths under util/ are exempt from `raw-alloc` (the
+// util allocators themselves must call the primitives) — but NOT from
+// the determinism rules, which hold everywhere.
+#include <cstdlib>
+#include <unordered_map>
+
+void util_allocator_internals(std::size_t n) {
+  void* block = malloc(n);       // exempt: this file lives under util/
+  char* arena = new char[n];     // exempt: likewise
+  delete[] arena;
+  free(block);
+}
+
+void util_is_not_exempt_from_determinism() {
+  std::unordered_map<int, int> m;
+  for (const auto& kv : m) (void)kv;  // expect: unordered-iter
+}
