@@ -103,6 +103,10 @@ struct LoadPoint {
   std::uint64_t rejected_overloaded = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t expired_deadline = 0;
+  std::uint64_t expired_mid_flight = 0;
+  std::uint64_t transient_retries = 0;
+  std::uint64_t shed_retries = 0;
+  std::uint64_t resource_exhausted = 0;
 };
 
 }  // namespace
@@ -219,6 +223,10 @@ int main(int argc, char** argv) {
     pt.rejected_overloaded = stats.rejected_overloaded;
     pt.coalesced = stats.coalesced;
     pt.expired_deadline = stats.expired_deadline;
+    pt.expired_mid_flight = stats.expired_mid_flight;
+    pt.transient_retries = stats.transient_retries;
+    pt.shed_retries = stats.shed_retries;
+    pt.resource_exhausted = stats.resource_exhausted;
     pt.achieved_qps = static_cast<double>(pt.completed) / wall;
     pt.p50_us = percentile(latencies_us, 0.50);
     pt.p99_us = percentile(latencies_us, 0.99);
@@ -253,6 +261,10 @@ int main(int argc, char** argv) {
     out << "  \"rejected_overloaded\": " << sat.rejected_overloaded << ",\n";
     out << "  \"coalesced\": " << sat.coalesced << ",\n";
     out << "  \"expired_deadline\": " << sat.expired_deadline << ",\n";
+    out << "  \"expired_mid_flight\": " << sat.expired_mid_flight << ",\n";
+    out << "  \"transient_retries\": " << sat.transient_retries << ",\n";
+    out << "  \"shed_retries\": " << sat.shed_retries << ",\n";
+    out << "  \"resource_exhausted\": " << sat.resource_exhausted << ",\n";
     out << "  \"load_points\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
       const LoadPoint& p = points[i];
@@ -264,7 +276,11 @@ int main(int argc, char** argv) {
           << ", \"completed\": " << p.completed
           << ", \"rejected_overloaded\": " << p.rejected_overloaded
           << ", \"coalesced\": " << p.coalesced
-          << ", \"expired_deadline\": " << p.expired_deadline << "}"
+          << ", \"expired_deadline\": " << p.expired_deadline
+          << ", \"expired_mid_flight\": " << p.expired_mid_flight
+          << ", \"transient_retries\": " << p.transient_retries
+          << ", \"shed_retries\": " << p.shed_retries
+          << ", \"resource_exhausted\": " << p.resource_exhausted << "}"
           << (i + 1 < points.size() ? "," : "") << "\n";
     }
     out << "  ]\n";

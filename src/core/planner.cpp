@@ -15,6 +15,8 @@
 #include "diffusion/path_arena.hpp"
 #include "diffusion/realization.hpp"
 #include "storage/mapped_dataset.hpp"
+#include "util/deadline.hpp"
+#include "util/failpoint.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/numa.hpp"
 #include "util/rng.hpp"
@@ -49,6 +51,7 @@ const char* to_string(PlanStatus status) {
     case PlanStatus::kTargetUnreachable: return "target-unreachable";
     case PlanStatus::kPmaxBelowDetection: return "pmax-below-detection";
     case PlanStatus::kInternalError: return "internal-error";
+    case PlanStatus::kResourceExhausted: return "resource-exhausted";
     case PlanStatus::kOverloaded: return "overloaded";
     case PlanStatus::kDeadlineExceeded: return "deadline-exceeded";
     case PlanStatus::kShutdown: return "shutdown";
@@ -144,6 +147,7 @@ struct Planner::AsyncServer {
   std::atomic<std::uint64_t> expired_deadline{0};
   std::atomic<std::uint64_t> coalesced{0};
   std::atomic<std::uint64_t> resolved_shutdown{0};
+  std::atomic<std::uint64_t> transient_retries{0};
 
   /// Stamps the async timing fields and fulfils one task's promise.
   static void fulfil(Task& task, PlanResult result,
@@ -167,11 +171,21 @@ Planner::Planner(const Graph& graph, PlannerOptions options)
   WallTimer timer;
   const IndexReplicas::Factory factory =
       [this]() -> std::unique_ptr<const SelectionSampler> {
-    if (options_.compact_index) {
-      return std::make_unique<const CompactSamplingIndex>(*graph_,
-                                                          options_.simd);
+    try {
+      if (options_.compact_index) {
+        return std::make_unique<const CompactSamplingIndex>(*graph_,
+                                                            options_.simd);
+      }
+      return std::make_unique<const SamplingIndex>(*graph_, options_.simd);
+    } catch (const std::bad_alloc&) {
+      // alias→scan rung of the degradation ladder (DESIGN.md §13): the
+      // alias tables would not fit, so serve O(deg)-per-step scans over
+      // the CSR the graph already holds. Correct answers, different rng
+      // consumption — cache_stats().degraded_scan_index tells oracles
+      // which stream family to compare against.
+      degraded_scan_index_.store(true, std::memory_order_relaxed);
+      return std::make_unique<const ScanSelectionSampler>(*graph_);
     }
-    return std::make_unique<const SamplingIndex>(*graph_, options_.simd);
   };
   if (options_.numa_replicate) {
     replicas_ = std::make_unique<const IndexReplicas>(factory);
@@ -217,9 +231,11 @@ void Planner::finish_index_stats() {
   const SelectionSampler& primary = replicas_->primary();
   index_bytes_ = primary.memory_bytes();
   index_slots_ = primary.num_slots();
-  index_bytes_per_slot_ = options_.compact_index
-                              ? CompactSamplingIndex::bytes_per_slot()
-                              : SamplingIndex::bytes_per_slot();
+  index_bytes_per_slot_ =
+      degraded_scan_index_.load(std::memory_order_relaxed)
+          ? 0.0  // no alias tables exist on the scan-fallback path
+          : (options_.compact_index ? CompactSamplingIndex::bytes_per_slot()
+                                    : SamplingIndex::bytes_per_slot());
   index_simd_ = replicas_->simd_level();
 }
 
@@ -348,7 +364,36 @@ void Planner::serve_loop() {
                  other->spec.mode == task->spec.mode;
         },
         duplicates);
-    PlanResult result = plan(task->spec);
+    // Transient-fault retry with capped backoff (DESIGN.md §13): a query
+    // that comes back kResourceExhausted — a worker-level injected fault
+    // or an allocation failure the shed ladder could not absorb — is
+    // re-run up to async_transient_retries times before its future sees
+    // the failure. Safe to repeat: a re-run reads the same counter-
+    // derived streams, so a retry that succeeds is bit-identical to a
+    // first try that succeeded.
+    PlanResult result;
+    for (std::size_t attempt = 0;; ++attempt) {
+      if (AF_FAILPOINT_FIRED("server.worker_exec")) {
+        result = PlanResult{};
+        result.status = PlanStatus::kResourceExhausted;
+        result.message = "injected transient worker fault";
+      } else {
+        result = plan(task->spec);
+      }
+      if (result.status != PlanStatus::kResourceExhausted ||
+          attempt >= options_.async_transient_retries) {
+        break;
+      }
+      if (deadline_passed(task->deadline)) {
+        result = PlanResult{};
+        result.status = PlanStatus::kDeadlineExceeded;
+        result.message = "deadline passed during transient-fault retry";
+        break;
+      }
+      srv.transient_retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<std::int64_t>(std::int64_t{1} << attempt, 8)));
+    }
     srv.completed.fetch_add(1, std::memory_order_relaxed);
     srv.coalesced.fetch_add(duplicates.size(), std::memory_order_relaxed);
     for (AsyncServer::TaskPtr& dup : duplicates) {
@@ -361,6 +406,14 @@ void Planner::serve_loop() {
 ServingStats Planner::serving_stats() const {
   ServingStats out;
   out.queue_depth = options_.async_queue_depth;
+  // Planner-level failure counters first: they advance via bare plan()
+  // and plan_batch() too, so they are reported even before (or without)
+  // a server existing.
+  out.shed_retries = shed_retries_.load(std::memory_order_relaxed);
+  out.resource_exhausted =
+      resource_exhausted_.load(std::memory_order_relaxed);
+  out.expired_mid_flight =
+      expired_mid_flight_.load(std::memory_order_relaxed);
   MutexLock lock(mu_);
   if (!server_) return out;
   out.submitted = server_->submitted.load(std::memory_order_relaxed);
@@ -372,6 +425,8 @@ ServingStats Planner::serving_stats() const {
   out.coalesced = server_->coalesced.load(std::memory_order_relaxed);
   out.resolved_shutdown =
       server_->resolved_shutdown.load(std::memory_order_relaxed);
+  out.transient_retries =
+      server_->transient_retries.load(std::memory_order_relaxed);
   out.queued = server_->queue.size();
   out.workers = server_->workers.size();
   return out;
@@ -451,6 +506,9 @@ PlannerCacheStats Planner::cache_stats() const {
   out.index_simd = index_simd_;
   out.mapped = mapped_;
   out.index_build_seconds = index_build_seconds_;
+  out.degraded_scan_index =
+      degraded_scan_index_.load(std::memory_order_relaxed);
+  out.replica_build_failures = replicas_->build_failures();
   return out;
 }
 
@@ -473,6 +531,7 @@ std::shared_ptr<Planner::PairCache> Planner::cache_for(NodeId s, NodeId t) {
     if (auto* hit = cache_.find(key)) {
       out = *hit;
     } else {
+      AF_FAILPOINT_ALLOC("planner.pair_alloc");
       out = std::make_shared<PairCache>(
           *graph_, s, t, derive_pool_seed(options_.base_seed, s, t));
       // Escape hatch (DESIGN.md §12, unpublished-object pattern): the
@@ -557,20 +616,69 @@ PlanResult Planner::plan(const QuerySpec& query) {
     return out;
   }
 
-  const std::shared_ptr<PairCache> cache = cache_for(query.s, query.t);
+  // Shed-and-retry-once ladder (DESIGN.md §13): an allocation failure —
+  // real OOM or an armed planner.pair_alloc / planner.pool_grow /
+  // index failpoint — sheds every pair cache (the biggest reclaimable
+  // footprint the planner owns) and re-runs the query once. The re-run
+  // rebuilds from the same counter-derived streams, so a recovered
+  // retry is bit-identical to an untroubled run. A second failure is
+  // surfaced as structured kResourceExhausted, never an escaped throw.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const std::shared_ptr<PairCache> cache = cache_for(query.s, query.t);
+      out = plan_attempt(query, *cache);
+      // Settle the pair's charge from what it retains now (the pool may
+      // have grown) and let the governor evict the coldest pairs.
+      settle_cache_charge(pair_key(query.s, query.t), cache);
+      return out;
+    } catch (const std::bad_alloc&) {
+      if (attempt == 0) {
+        shed_retries_.fetch_add(1, std::memory_order_relaxed);
+        clear_caches();
+        continue;
+      }
+      resource_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      out = PlanResult{};
+      out.status = PlanStatus::kResourceExhausted;
+      out.message = "allocation failed; shedding the pair caches and "
+                    "retrying once did not recover";
+      return out;
+    }
+  }
+}
+
+PlanResult Planner::plan_attempt(const QuerySpec& query, PairCache& cache) {
+  PlanResult out;
+  if (AF_FAILPOINT_FIRED("planner.exec_transient")) {
+    // Models a transient execution fault (the kind the serving layer's
+    // capped-backoff retry absorbs) without involving the allocator.
+    out.status = PlanStatus::kResourceExhausted;
+    out.message = "injected transient execution fault";
+    return out;
+  }
   try {
     if (const auto* min = std::get_if<MinimizeSpec>(&query.mode)) {
-      out = plan_minimize(*cache, *min);
+      out = plan_minimize(cache, *min, query.deadline);
     } else {
-      out = plan_maximize(*cache, std::get<MaximizeSpec>(query.mode));
+      out = plan_maximize(cache, std::get<MaximizeSpec>(query.mode),
+                          query.deadline);
     }
+  } catch (const DeadlineExceededError&) {
+    // Cooperative mid-flight cancellation: a sampling stage noticed the
+    // deadline between blocks and unwound. The pair keeps whatever pool
+    // it had grown (the partial stream is a valid prefix).
+    expired_mid_flight_.fetch_add(1, std::memory_order_relaxed);
+    out = PlanResult{};
+    out.status = PlanStatus::kDeadlineExceeded;
+    out.message = "deadline passed mid-flight (cancelled between "
+                  "sampling blocks)";
+  } catch (const std::bad_alloc&) {
+    throw;  // plan()'s shed-and-retry ladder owns allocation failures
   } catch (const std::exception& e) {
+    out = PlanResult{};
     out.status = PlanStatus::kInternalError;
     out.message = e.what();
   }
-  // Settle the pair's charge from what it retains now (the pool may have
-  // grown) and let the governor evict the coldest pairs over budget.
-  settle_cache_charge(pair_key(query.s, query.t), cache);
   return out;
 }
 
@@ -633,8 +741,8 @@ ThreadPool* Planner::sample_pool() {
   return sample_pool_.get();
 }
 
-void Planner::ensure_pmax(PairCache& cache, PlanResult& out)
-    AF_REQUIRES(cache.mu) {
+void Planner::ensure_pmax(PairCache& cache, PlanResult& out,
+                          Deadline deadline) AF_REQUIRES(cache.mu) {
   if (cache.pmax) {
     out.timings.pmax_cache_hit = true;
   } else {
@@ -643,6 +751,7 @@ void Planner::ensure_pmax(PairCache& cache, PlanResult& out)
     cfg.epsilon = options_.pmax_epsilon;
     cfg.delta = options_.pmax_delta;
     cfg.max_samples = options_.pmax_max_samples;
+    cfg.deadline = deadline;
     Rng rng(derive_pmax_seed(options_.base_seed, cache.inst.initiator(),
                              cache.inst.target()));
     cache.pmax = estimate_pmax_dklr(cache.inst, *replicas_, rng, cfg,
@@ -653,20 +762,35 @@ void Planner::ensure_pmax(PairCache& cache, PlanResult& out)
 }
 
 SetFamily Planner::pooled_family(PairCache& cache, std::uint64_t l,
-                                 PlanResult& out) AF_REQUIRES(cache.mu) {
+                                 PlanResult& out, Deadline deadline)
+    AF_REQUIRES(cache.mu) {
   if (cache.pool_drawn < l) {
     WallTimer timer;
-    const BulkType1Paths grown =
-        sample_type1_bulk(cache.inst, *replicas_, cache.pool_drawn,
-                          l - cache.pool_drawn, cache.stream_root,
-                          sample_pool());
-    cache.type1_paths.append(grown.paths);
-    cache.type1_pos.insert(cache.type1_pos.end(), grown.positions.begin(),
-                           grown.positions.end());
     out.timings.pool_reused = cache.pool_drawn;
     out.timings.pool_sampled = l - cache.pool_drawn;
+    // Chunked growth with a cooperative deadline check between chunks,
+    // so an expired query stops within one chunk's work instead of
+    // completing a multi-second bulk draw nobody waits for. Chunking is
+    // invisible to results: sample #i draws from stream_sample_seed(
+    // stream_root, i) whether it arrives in one call or many, and an
+    // abandoned partial pool is a valid stream prefix the next query
+    // extends. 64Ki samples keeps per-chunk fan-out wide enough that
+    // the sample pool's shards stay saturated.
+    constexpr std::uint64_t kGrowthChunk = 64 * 1024;
+    while (cache.pool_drawn < l) {
+      check_deadline(deadline);
+      AF_FAILPOINT_ALLOC("planner.pool_grow");
+      const std::uint64_t want =
+          std::min<std::uint64_t>(kGrowthChunk, l - cache.pool_drawn);
+      const BulkType1Paths grown =
+          sample_type1_bulk(cache.inst, *replicas_, cache.pool_drawn, want,
+                            cache.stream_root, sample_pool());
+      cache.type1_paths.append(grown.paths);
+      cache.type1_pos.insert(cache.type1_pos.end(), grown.positions.begin(),
+                             grown.positions.end());
+      cache.pool_drawn += want;
+    }
     out.timings.sample_seconds = timer.elapsed_seconds();
-    cache.pool_drawn = l;
   } else {
     out.timings.pool_reused = l;
   }
@@ -679,12 +803,12 @@ SetFamily Planner::pooled_family(PairCache& cache, std::uint64_t l,
   return family;
 }
 
-PlanResult Planner::plan_minimize(PairCache& cache,
-                                  const MinimizeSpec& spec) {
+PlanResult Planner::plan_minimize(PairCache& cache, const MinimizeSpec& spec,
+                                  Deadline deadline) {
   PlanResult out;
   ReleasableMutexLock lock(cache.mu);
   if (auto terminal = ensure_vmax(cache, out)) return *terminal;
-  ensure_pmax(cache, out);
+  ensure_pmax(cache, out, deadline);
   if (out.diag.pmax.estimate <= 0.0) {
     // Reachability was certified by V_max above, so a zero estimate only
     // means p_max sits below the planner's sampling caps.
@@ -719,7 +843,7 @@ PlanResult Planner::plan_minimize(PairCache& cache,
       // intraprocedural analysis cannot see a capability held across a
       // lambda boundary, hence the waiver.
       [&](std::uint64_t l) AF_NO_THREAD_SAFETY_ANALYSIS {
-        SetFamily family = pooled_family(cache, l, out);
+        SetFamily family = pooled_family(cache, l, out, deadline);
         lock.unlock();
         return family;
       });
@@ -743,12 +867,13 @@ PlanResult Planner::plan_minimize(PairCache& cache,
   return out;
 }
 
-PlanResult Planner::plan_maximize(PairCache& cache,
-                                  const MaximizeSpec& spec) {
+PlanResult Planner::plan_maximize(PairCache& cache, const MaximizeSpec& spec,
+                                  Deadline deadline) {
   PlanResult out;
   ReleasableMutexLock lock(cache.mu);
   if (auto terminal = ensure_vmax(cache, out)) return *terminal;
-  const SetFamily family = pooled_family(cache, spec.realizations, out);
+  const SetFamily family =
+      pooled_family(cache, spec.realizations, out, deadline);
   lock.unlock();
 
   WallTimer timer;

@@ -65,6 +65,7 @@
 // second, dedicated pool.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -82,6 +83,7 @@
 #include "diffusion/sampling_index.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
+#include "util/deadline.hpp"
 #include "util/lru.hpp"
 #include "util/sync.hpp"
 #include "util/thread_pool.hpp"
@@ -165,6 +167,13 @@ enum class PlanStatus {
   kPmaxBelowDetection,
   /// An engine violated a contract; message carries the exception text.
   kInternalError,
+  /// Allocation failed and the shed-and-retry-once ladder (DESIGN.md
+  /// §13) could not recover: the pair caches were dropped and the query
+  /// re-run, and the retry failed too. Also used for injected transient
+  /// execution faults; the async layer retries these with capped
+  /// backoff (PlannerOptions::async_transient_retries) before a caller
+  /// ever sees one.
+  kResourceExhausted,
   /// plan_async only: the admission queue was full — structured
   /// backpressure, returned immediately (the submission never blocks and
   /// no work was done). Resubmit later or shed load upstream.
@@ -268,6 +277,13 @@ struct PlannerOptions {
   /// of their own (QuerySpec::deadline == max()). Zero = no default:
   /// deadline-less queries never expire.
   std::chrono::nanoseconds default_deadline{0};
+  /// Serving-worker retries for a query that comes back
+  /// kResourceExhausted (a transient fault): the worker re-runs it up to
+  /// this many extra times with capped exponential backoff (1ms, 2ms, …
+  /// ≤ 8ms), respecting the query's deadline, before fulfilling the
+  /// future with the failure. Retries never change answer bits — a
+  /// re-run draws from the same counter-derived streams. 0 disables.
+  std::size_t async_transient_retries = 2;
 };
 
 /// Telemetry snapshot of the planner's memory governor (DESIGN.md §8).
@@ -305,6 +321,16 @@ struct PlannerCacheStats {
   /// check that no alias-table construction happens before the first
   /// query (DESIGN.md §11).
   double index_build_seconds = 0.0;
+  /// True when an alias-table build failed at construction and the
+  /// planner degraded to the O(deg)-per-step ScanSelectionSampler
+  /// (DESIGN.md §13). Answers remain correct but consume rng words
+  /// differently from the alias index — a degraded planner is
+  /// deterministic against a degraded oracle, not an alias-index one.
+  bool degraded_scan_index = false;
+  /// NUMA replica builds that failed at construction; each failed node
+  /// shares the first healthy replica instead (replica→shared rung of
+  /// the degradation ladder) — bit-identical, remote-access latency.
+  std::size_t replica_build_failures = 0;
 };
 
 /// Telemetry snapshot of the async serving layer (DESIGN.md §10). All
@@ -326,6 +352,22 @@ struct ServingStats {
   std::uint64_t coalesced = 0;
   /// Futures resolved with kShutdown at destruction.
   std::uint64_t resolved_shutdown = 0;
+  /// Serving-worker re-runs of queries that came back kResourceExhausted
+  /// (transient faults absorbed by the capped-backoff retry ladder,
+  /// PlannerOptions::async_transient_retries).
+  std::uint64_t transient_retries = 0;
+  /// Shed-and-retry-once events: an allocation failed mid-query, the
+  /// pair caches were dropped, and the query was re-run (DESIGN.md §13).
+  /// Counts plan()/plan_batch() queries too, not just serving traffic.
+  std::uint64_t shed_retries = 0;
+  /// Queries that returned kResourceExhausted — the shed retry (and, on
+  /// the serving path, the worker retries) failed to recover.
+  std::uint64_t resource_exhausted = 0;
+  /// Queries cancelled cooperatively mid-flight: the deadline passed
+  /// between sampling blocks and the query yielded kDeadlineExceeded
+  /// instead of running to a useless completion. Disjoint from
+  /// expired_deadline (which counts queries that never started).
+  std::uint64_t expired_mid_flight = 0;
   /// Tasks admitted but not yet dequeued, at snapshot time.
   std::size_t queued = 0;
   /// Serving workers (0 until the first plan_async starts them).
@@ -458,17 +500,26 @@ class Planner {
   /// memoized stages under the pair lock. The immutable instance is left
   /// intact: in-flight holders may still read it.
   static void release_pair_storage(PairCache& cache);
-  PlanResult plan_minimize(PairCache& cache, const MinimizeSpec& spec);
-  PlanResult plan_maximize(PairCache& cache, const MaximizeSpec& spec);
+  /// One execution of a validated query against its pair cache: mode
+  /// dispatch plus the structured-error mapping (DeadlineExceededError →
+  /// kDeadlineExceeded, any other engine exception → kInternalError).
+  /// std::bad_alloc escapes — plan()'s shed-and-retry ladder owns it.
+  PlanResult plan_attempt(const QuerySpec& query, PairCache& cache);
+  PlanResult plan_minimize(PairCache& cache, const MinimizeSpec& spec,
+                           Deadline deadline);
+  PlanResult plan_maximize(PairCache& cache, const MaximizeSpec& spec,
+                           Deadline deadline);
   /// Stages shared by both modes, run under the pair lock: V_max
   /// certificate and (minimize only) the cached p*max. Returns a non-ok
   /// result to propagate, or nullopt to continue.
   std::optional<PlanResult> ensure_vmax(PairCache& cache, PlanResult& out);
-  void ensure_pmax(PairCache& cache, PlanResult& out);
+  void ensure_pmax(PairCache& cache, PlanResult& out, Deadline deadline);
   /// Grows the pair's pool to ≥ l samples and builds the family of
-  /// type-1 paths among the first l.
+  /// type-1 paths among the first l. Growth is chunked with a
+  /// cooperative deadline check between chunks (bit-identical to one
+  /// bulk call — each sample's stream depends only on its index).
   SetFamily pooled_family(PairCache& cache, std::uint64_t l,
-                          PlanResult& out);
+                          PlanResult& out, Deadline deadline);
 
   /// The worker pool that bulk sampling (pool growth, the DKLR loop)
   /// fans out over. Distinct from the query pool `pool_`: query workers
@@ -497,6 +548,17 @@ class Planner {
   /// Construction-time cost of building the index replicas (0 when
   /// mapped — the tables were adopted, not built).
   double index_build_seconds_ = 0.0;
+  /// Set by the construction-time factory when an alias-table build
+  /// failed and the planner fell back to the ScanSelectionSampler
+  /// (atomic: replica factories run concurrently across NUMA nodes).
+  std::atomic<bool> degraded_scan_index_{false};
+  // Failure-path telemetry behind serving_stats() (relaxed atomics —
+  // counters, ordered by nothing). Planner-level, not AsyncServer-level:
+  // shed retries and mid-flight expiries happen inside plan(), which
+  // plan_batch and bare plan() calls reach without a server.
+  std::atomic<std::uint64_t> shed_retries_{0};
+  std::atomic<std::uint64_t> resource_exhausted_{0};
+  std::atomic<std::uint64_t> expired_mid_flight_{0};
   /// Guards the pair-cache LRU and the lazily created pools/server.
   /// Lock order (DESIGN.md §12): a PairCache::mu may be held when
   /// acquiring mu_ (pooled_family → sample_pool()); the reverse —

@@ -94,6 +94,9 @@ DklrResult dklr_block_loop(const DklrConfig& cfg, FillFlags&& fill_flags) {
   std::uint64_t block = kDklrFirstBlock;
   std::vector<std::uint8_t> flags;
   while (static_cast<double>(out.successes) < out.upsilon) {
+    // One clock read per block (blocks are ≥ kDklrMinBlock walks, so the
+    // check is noise); an expired deadline unwinds the whole estimation.
+    check_deadline(cfg.deadline);
     if (cfg.max_samples != 0 && out.samples_used >= cfg.max_samples) {
       // Capped: report the plain frequency estimate without the DKLR
       // guarantee. Callers inspect `converged`.

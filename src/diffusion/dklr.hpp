@@ -18,6 +18,7 @@
 
 #include "diffusion/instance.hpp"
 #include "diffusion/realization.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -33,6 +34,11 @@ struct DklrConfig {
   double delta = 1e-3;
   /// Hard cap on the number of draws (0 = uncapped; beware μ = 0).
   std::uint64_t max_samples = 50'000'000;
+  /// Cooperative cancellation point, checked once per block: when it
+  /// passes mid-estimation the block loop throws DeadlineExceededError
+  /// instead of finishing an answer nobody waits for (the serving path
+  /// maps it to kDeadlineExceeded). Deadline::max() = never.
+  Deadline deadline = kNoDeadline;
 };
 
 /// Outcome of a stopping-rule estimation.

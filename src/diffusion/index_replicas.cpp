@@ -1,26 +1,33 @@
 #include "diffusion/index_replicas.hpp"
 
 #include <exception>
+#include <new>
 #include <thread>
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/failpoint.hpp"
 
 namespace af {
 
 IndexReplicas::IndexReplicas(const Factory& factory,
                              const NumaTopology& topo) {
   const int nodes = topo.num_nodes() > 0 ? topo.num_nodes() : 1;
-  replicas_.resize(static_cast<std::size_t>(nodes));
   if (nodes == 1) {
-    replicas_[0] = factory();
+    replicas_.push_back(factory());
     AF_EXPECTS(replicas_[0] != nullptr, "replica factory returned null");
+    lookup_.push_back(replicas_[0].get());
     return;
   }
   // One builder thread per node, pinned before construction so every
   // page the build first-touches is node-local. Pinning is best-effort:
   // an unpinnable builder still produces a correct (just possibly
-  // remote) replica. Builder exceptions are carried back and rethrown.
+  // remote) replica. bad_alloc from a builder is tolerated per node —
+  // memory pressure on one socket degrades that node to sharing, it
+  // does not abort the planner; any other exception is carried back and
+  // rethrown.
+  std::vector<std::unique_ptr<const SelectionSampler>> built(
+      static_cast<std::size_t>(nodes));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nodes));
   std::vector<std::thread> builders;
   builders.reserve(static_cast<std::size_t>(nodes));
@@ -28,7 +35,12 @@ IndexReplicas::IndexReplicas(const Factory& factory,
     builders.emplace_back([&, node] {
       try {
         pin_thread_to_node(node);
-        replicas_[static_cast<std::size_t>(node)] = factory();
+        AF_FAILPOINT_ALLOC("numa.replica_build");
+        built[static_cast<std::size_t>(node)] = factory();
+        AF_EXPECTS(built[static_cast<std::size_t>(node)] != nullptr,
+                   "replica factory returned null");
+      } catch (const std::bad_alloc&) {
+        // Tolerated: built[node] stays null and the node shares below.
       } catch (...) {
         errors[static_cast<std::size_t>(node)] = std::current_exception();
       }
@@ -38,14 +50,30 @@ IndexReplicas::IndexReplicas(const Factory& factory,
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
-  for (const auto& replica : replicas_) {
-    AF_EXPECTS(replica != nullptr, "replica factory returned null");
+  // Compact the healthy copies and alias every failed node to the first
+  // healthy replica. Nothing to degrade to when every build failed —
+  // that IS an out-of-memory condition, so report it as one (the
+  // planner's shed-and-retry ladder or the caller handles it).
+  lookup_.assign(static_cast<std::size_t>(nodes), nullptr);
+  for (int node = 0; node < nodes; ++node) {
+    auto& candidate = built[static_cast<std::size_t>(node)];
+    if (candidate != nullptr) {
+      lookup_[static_cast<std::size_t>(node)] = candidate.get();
+      replicas_.push_back(std::move(candidate));
+    } else {
+      ++build_failures_;
+    }
+  }
+  if (replicas_.empty()) throw std::bad_alloc();
+  for (auto& entry : lookup_) {
+    if (entry == nullptr) entry = replicas_[0].get();
   }
 }
 
 IndexReplicas::IndexReplicas(std::unique_ptr<const SelectionSampler> single) {
   AF_EXPECTS(single != nullptr, "IndexReplicas needs a sampler");
   replicas_.push_back(std::move(single));
+  lookup_.push_back(replicas_[0].get());
 }
 
 }  // namespace af

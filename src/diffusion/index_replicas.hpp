@@ -45,7 +45,14 @@ class IndexReplicas {
   /// pinned to that node (first-touch replication); a single-node
   /// topology builds inline on the calling thread. `factory` must be
   /// safe to run concurrently (index construction only reads the const
-  /// Graph). Exceptions from any builder propagate to the constructor.
+  /// Graph).
+  ///
+  /// Failure tolerance (DESIGN.md §13): a builder that throws
+  /// std::bad_alloc costs that node its local copy, not the process —
+  /// the node shares the first healthy replica instead (remote-access
+  /// latency, identical bits; counted by build_failures()). Only when
+  /// EVERY node's build fails does the constructor rethrow bad_alloc.
+  /// Non-allocation exceptions still propagate unconditionally.
   explicit IndexReplicas(const Factory& factory,
                          const NumaTopology& topo = numa_topology());
 
@@ -53,16 +60,18 @@ class IndexReplicas {
   /// no-replication path: single node, or replication disabled).
   explicit IndexReplicas(std::unique_ptr<const SelectionSampler> single);
 
-  /// The replica local to the calling thread's NUMA node. With one
+  /// The replica serving the calling thread's NUMA node. With one
   /// replica this is a plain load; otherwise one sched_getcpu per call —
-  /// cheap enough to resolve once per shard.
+  /// cheap enough to resolve once per shard. A node whose build failed
+  /// resolves to the first healthy replica (shared, remote access).
   const SelectionSampler& local() const {
-    if (replicas_.size() == 1) return *replicas_[0];
+    if (lookup_.size() == 1) return *lookup_[0];
     const auto node = static_cast<std::size_t>(current_numa_node());
-    return *replicas_[node < replicas_.size() ? node : 0];
+    return *lookup_[node < lookup_.size() ? node : 0];
   }
 
-  /// Replica 0 — the copy sequential (non-sharded) callers use.
+  /// The first healthy replica — the copy sequential (non-sharded)
+  /// callers use.
   const SelectionSampler& primary() const { return *replicas_[0]; }
 
   /// The replicas' dispatched kernel level. All replicas agree: under
@@ -72,11 +81,21 @@ class IndexReplicas {
   /// for every copy.
   SimdLevel simd_level() const { return primary().simd_level(); }
 
-  /// Number of physical copies (= replicated NUMA nodes).
+  /// Number of physical copies (= replicated NUMA nodes that built
+  /// successfully).
   std::size_t count() const { return replicas_.size(); }
 
+  /// Nodes whose replica build failed with bad_alloc and now share a
+  /// healthy copy (the replica→shared rung of the degradation ladder).
+  std::size_t build_failures() const { return build_failures_; }
+
  private:
+  /// Owned copies, healthy builds only (compacted).
   std::vector<std::unique_ptr<const SelectionSampler>> replicas_;
+  /// Per-topology-node resolution table: lookup_[node] is that node's
+  /// own copy, or the first healthy replica when its build failed.
+  std::vector<const SelectionSampler*> lookup_;
+  std::size_t build_failures_ = 0;
 };
 
 }  // namespace af

@@ -62,8 +62,16 @@ TgSample trace_tg(const FriendingInstance& inst,
 }
 
 ReversePathSampler::ReversePathSampler(const FriendingInstance& inst)
-    : inst_(inst),
-      owned_index_(std::make_unique<SamplingIndex>(inst.graph())) {
+    : inst_(inst) {
+  try {
+    owned_index_ = std::make_unique<const SamplingIndex>(inst.graph());
+  } catch (const std::bad_alloc&) {
+    // alias→scan rung (DESIGN.md §13), same as the planner's index
+    // factory: answers stay correct, each step pays O(deg) instead of
+    // O(1). Different rng consumption than the alias path, like every
+    // degraded-scan surface.
+    owned_index_ = std::make_unique<const ScanSelectionSampler>(inst.graph());
+  }
   sel_ = owned_index_.get();
 }
 

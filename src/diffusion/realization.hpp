@@ -195,7 +195,9 @@ class ReversePathSampler {
  public:
   /// Builds and owns a per-node alias index (O(n + m)); every walk step is
   /// then O(1). Use the borrowing constructor to share one index across
-  /// samplers (the Planner does) or to plug in the scan oracle.
+  /// samplers (the Planner does) or to plug in the scan oracle. If the
+  /// alias tables fail to allocate, degrades to an owned scan sampler
+  /// (the alias→scan rung, DESIGN.md §13) instead of propagating.
   explicit ReversePathSampler(const FriendingInstance& inst);
 
   /// Borrows a selection strategy; `sel` must outlive the sampler.
@@ -219,7 +221,7 @@ class ReversePathSampler {
 
  private:
   const FriendingInstance& inst_;
-  std::unique_ptr<const SamplingIndex> owned_index_;
+  std::unique_ptr<const SelectionSampler> owned_index_;
   const SelectionSampler* sel_;
   std::uint64_t samples_ = 0;
 };

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/failpoint.hpp"
 #include "util/sync.hpp"
 
 namespace af {
@@ -283,6 +284,9 @@ template void CompactSamplingIndex::batch_scalar<true>(
 
 SamplingIndex::SamplingIndex(const Graph& g, SimdLevel simd,
                              bool huge_pages) {
+  // Injectable alias-build failure (DESIGN.md §13): the planner's
+  // factory catches the bad_alloc and degrades to ScanSelectionSampler.
+  AF_FAILPOINT_ALLOC("index.alias_build");
   const NodeId n = g.num_nodes();
   offsets_.allocate(static_cast<std::size_t>(n) + 1, huge_pages);
   offsets_[0] = 0;
@@ -403,6 +407,7 @@ SamplingIndex::SamplingIndex(const ExternalIndexTables& tables,
 
 CompactSamplingIndex::CompactSamplingIndex(const Graph& g, SimdLevel simd,
                                            bool huge_pages) {
+  AF_FAILPOINT_ALLOC("index.alias_build_compact");
   const NodeId n = g.num_nodes();
   const std::uint64_t total_slots =
       2ULL * g.num_edges() + static_cast<std::uint64_t>(n);

@@ -263,7 +263,10 @@ bool save_weighted_edge_list(const Graph& g, const std::string& path) {
         << '\n';
     }
   }
-  return static_cast<bool>(f);
+  // close() before checking: a buffered ENOSPC only surfaces when the
+  // tail is actually flushed to the device.
+  f.close();
+  return !f.fail();
 }
 
 bool save_edge_list(const Graph& g, const std::string& path) {
@@ -275,7 +278,8 @@ bool save_edge_list(const Graph& g, const std::string& path) {
       if (u > v) f << v << ' ' << u << '\n';
     }
   }
-  return static_cast<bool>(f);
+  f.close();
+  return !f.fail();
 }
 
 }  // namespace af

@@ -1,10 +1,13 @@
 #include "storage/mapped_dataset.hpp"
 
+#include <csignal>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
+#include <setjmp.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -13,6 +16,7 @@
 
 #include "diffusion/sampling_index.hpp"
 #include "graph/types.hpp"
+#include "util/failpoint.hpp"
 #include "util/hugepage.hpp"
 
 namespace af::storage {
@@ -22,6 +26,70 @@ namespace {
 std::string at(const std::string& path, const std::string& detail) {
   return "'" + path + "': " + detail;
 }
+
+#ifdef AF_STORAGE_HAVE_MMAP
+
+/// SIGBUS-safe read machinery (DESIGN.md §13). Reading a mapped page
+/// whose backing file shrank raises SIGBUS, which default-kills the
+/// process — unacceptable for a server holding long-lived maps. The
+/// guard converts the fault in the CURRENT thread's guarded region into
+/// a false return; faults outside any guarded region get the default
+/// disposition back (the handler re-raises after restoring it), so real
+/// unexpected bus errors still crash loudly rather than loop.
+thread_local sigjmp_buf* t_sigbus_jmp = nullptr;
+
+extern "C" void af1_sigbus_handler(int sig) {
+  if (t_sigbus_jmp != nullptr) {
+    siglongjmp(*t_sigbus_jmp, 1);
+  }
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+/// Installs the process-wide handler exactly once (idempotent,
+/// thread-safe). Chained installation is deliberately not attempted:
+/// the handler itself forwards non-guarded faults to the default
+/// disposition.
+void install_sigbus_handler() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    struct sigaction sa{};
+    sa.sa_handler = af1_sigbus_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGBUS, &sa, nullptr);
+  });
+}
+
+/// Runs `fn` with SIGBUS converted into a false return. `fn` must be
+/// raw reads only — siglongjmp unwinds NO destructors, so nothing that
+/// owns resources may be alive inside the region. Returns true when
+/// `fn` completed without faulting.
+template <typename Fn>
+bool sigbus_guarded(Fn&& fn) {
+  install_sigbus_handler();
+  sigjmp_buf jmp;
+  sigjmp_buf* const prev = t_sigbus_jmp;
+  if (sigsetjmp(jmp, 1) != 0) {
+    t_sigbus_jmp = prev;
+    return false;
+  }
+  t_sigbus_jmp = &jmp;
+  fn();
+  t_sigbus_jmp = prev;
+  return true;
+}
+
+#else
+
+/// Without mmap the "map" is a private heap buffer: no fault possible.
+template <typename Fn>
+bool sigbus_guarded(Fn&& fn) {
+  fn();
+  return true;
+}
+
+#endif
 
 /// The ten defined section kinds; anything else in a record is a table
 /// corruption, not a future extension (extensions bump the version).
@@ -61,6 +129,10 @@ void MappedDataset::open_and_map(const Options& options) {
   if (fd < 0) {
     throw Af1Error(Af1Error::Code::kIo, at(path_, "cannot open"));
   }
+  if (AF_FAILPOINT_FIRED("storage.map_open")) {
+    ::close(fd);
+    throw Af1Error(Af1Error::Code::kIo, at(path_, "injected open failure"));
+  }
   struct stat st{};
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
@@ -88,6 +160,9 @@ void MappedDataset::open_and_map(const Options& options) {
   std::ifstream f(path_, std::ios::binary | std::ios::ate);
   if (!f) {
     throw Af1Error(Af1Error::Code::kIo, at(path_, "cannot open"));
+  }
+  if (AF_FAILPOINT_FIRED("storage.map_open")) {
+    throw Af1Error(Af1Error::Code::kIo, at(path_, "injected open failure"));
   }
   const auto size = static_cast<std::size_t>(f.tellg());
   if (size < kPayloadStart) {
@@ -185,7 +260,24 @@ void MappedDataset::validate(const Options& options) {
     for (std::uint32_t i = 0; i < header_.section_count; ++i) {
       const SectionRecord& rec = table_[i];
       const auto bytes = payload(rec);
-      if (crc32(bytes.data(), bytes.size()) != rec.checksum) {
+      // The crc pass reads every payload byte — exactly the reads a
+      // truncation between stat and here would fault on, so it runs
+      // inside the SIGBUS guard (raw reads only, per its contract).
+      std::uint32_t crc = 0;
+      const bool read_ok = sigbus_guarded(
+          [&]() noexcept { crc = crc32(bytes.data(), bytes.size()); });
+      if (!read_ok) {
+        throw Af1Error(
+            Af1Error::Code::kTruncated,
+            at(path_, std::string("section '") +
+                          to_string(static_cast<SectionKind>(rec.kind)) +
+                          "' faulted (SIGBUS) — file truncated under "
+                          "the map"));
+      }
+      if (AF_FAILPOINT_FIRED("storage.read_validate")) {
+        crc ^= 0x1;  // injected bit-rot: corrupt the observed checksum
+      }
+      if (crc != rec.checksum) {
         throw Af1Error(
             Af1Error::Code::kBadChecksum,
             at(path_, std::string("section '") +
@@ -281,6 +373,57 @@ void MappedDataset::validate(const Options& options) {
     throw;
   } catch (const std::exception& e) {
     throw Af1Error(Af1Error::Code::kBadShape, at(path_, e.what()));
+  }
+}
+
+void MappedDataset::revalidate() const {
+  // Header + section-table pass. No stat() pre-check on purpose: a size
+  // probe would race the very truncation this defends against, while
+  // the guarded reads catch it at the only place it matters — the
+  // access itself. Multi-page truncation faults here or in the payload
+  // pass below (kTruncated); sub-page truncation leaves the final page
+  // mapped with a zeroed tail, which the checksums catch (kBadChecksum).
+  FileHeader now{};
+  std::uint32_t now_checksum = 0;
+  const bool head_ok = sigbus_guarded([&]() noexcept {
+    std::memcpy(&now, map_, sizeof(now));
+    now_checksum = header_checksum(now, table_);
+  });
+  if (!head_ok) {
+    throw Af1Error(Af1Error::Code::kTruncated,
+                   at(path_, "header faulted (SIGBUS) — file truncated "
+                             "under the map"));
+  }
+  if (std::memcmp(&now, &header_, sizeof(FileHeader)) != 0 ||
+      now_checksum != header_.header_checksum) {
+    throw Af1Error(Af1Error::Code::kBadHeader,
+                   at(path_, "header changed under the active map"));
+  }
+  for (std::uint32_t i = 0; i < header_.section_count; ++i) {
+    const SectionRecord& rec = table_[i];
+    const auto bytes = payload(rec);
+    std::uint32_t crc = 0;
+    const bool read_ok = sigbus_guarded(
+        [&]() noexcept { crc = crc32(bytes.data(), bytes.size()); });
+    if (!read_ok) {
+      throw Af1Error(
+          Af1Error::Code::kTruncated,
+          at(path_, std::string("section '") +
+                        to_string(static_cast<SectionKind>(rec.kind)) +
+                        "' faulted (SIGBUS) — file truncated under the "
+                        "map"));
+    }
+    if (AF_FAILPOINT_FIRED("storage.read_validate")) {
+      crc ^= 0x1;  // injected bit-rot
+    }
+    if (crc != rec.checksum) {
+      throw Af1Error(
+          Af1Error::Code::kBadChecksum,
+          at(path_, std::string("section '") +
+                        to_string(static_cast<SectionKind>(rec.kind)) +
+                        "' no longer matches its checksum (bit rot or "
+                        "rewrite under the active map)"));
+    }
   }
 }
 

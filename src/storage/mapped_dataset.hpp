@@ -97,6 +97,16 @@ class MappedDataset {
   /// True when the mapping was (successfully) advised onto huge pages.
   bool hugepage_advised() const { return hugepage_advised_; }
 
+  /// Re-runs the header and payload-checksum passes over the LIVE map —
+  /// the defense against a container changing under an active mapping
+  /// (DESIGN.md §13). Reads run inside a SIGBUS guard: a file truncated
+  /// under the map faults on its vanished pages, and the guard converts
+  /// the fault into Af1Error(kTruncated) instead of a process kill;
+  /// bit-rot that leaves the mapping intact surfaces as kBadChecksum.
+  /// Throws Af1Error on any mismatch; returns normally when the
+  /// container still matches what was validated at open.
+  void revalidate() const;
+
  private:
   void open_and_map(const Options& options);
   void validate(const Options& options);

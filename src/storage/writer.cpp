@@ -3,9 +3,46 @@
 #include <cstdio>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define AF_STORAGE_HAVE_FSYNC 1
+#endif
+
 #include "util/contracts.hpp"
+#include "util/failpoint.hpp"
 
 namespace af::storage {
+
+namespace {
+
+/// fsync by path (the ofstream API exposes no descriptor). Returns false
+/// on any failure; the caller decides whether that is fatal (the data
+/// file: yes) or advisory (the parent directory: no).
+bool fsync_path(const std::string& path, bool directory) {
+#ifdef AF_STORAGE_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY
+                                                : O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  (void)directory;
+  return true;  // no fsync on this host; stream flush is all there is
+#endif
+}
+
+/// The directory whose entry list the rename mutates.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
 
 Af1Writer::Af1Writer(std::string path, std::uint64_t num_nodes,
                      std::uint64_t num_edges)
@@ -74,6 +111,11 @@ void Af1Writer::begin_section(SectionKind kind, std::uint32_t elem_size) {
 void Af1Writer::append(const void* data, std::size_t bytes) {
   AF_EXPECTS(open_section_ != kMaxSections, "append outside a section");
   if (bytes == 0) return;
+  if (AF_FAILPOINT_FIRED("storage.writer_write")) {
+    // Injected ENOSPC/short write: poison the stream so this surfaces
+    // through the same badbit → Af1Error path a real device error takes.
+    out_.setstate(std::ios::badbit);
+  }
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(bytes));
   require_open("streaming a section payload");
@@ -117,11 +159,26 @@ std::uint64_t Af1Writer::finish() {
     throw Af1Error(Af1Error::Code::kIo,
                    "closing '" + tmp_path_ + "' failed");
   }
+  // Durability before visibility: the payload must be on stable storage
+  // BEFORE the rename publishes the name, or a crash between the two
+  // could leave a complete-looking .af1 whose tail the page cache never
+  // wrote back. A failed data fsync is fatal (the bytes' fate is
+  // unknown); the destructor removes the tmp file.
+  if (AF_FAILPOINT_FIRED("storage.writer_finish") ||
+      !fsync_path(tmp_path_, /*directory=*/false)) {
+    throw Af1Error(Af1Error::Code::kIo,
+                   "fsync of '" + tmp_path_ + "' failed — not publishing "
+                   "a container of unknown durability");
+  }
   if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
     std::remove(tmp_path_.c_str());
     throw Af1Error(Af1Error::Code::kIo,
                    "renaming '" + tmp_path_ + "' to '" + path_ + "' failed");
   }
+  // Best-effort: persist the directory entry too. Failure is not fatal —
+  // the container itself is durable and correctly named; a crash could
+  // at worst roll the *name* back to absent, never to a torn file.
+  (void)fsync_path(parent_dir(path_), /*directory=*/true);
   finished_ = true;
   return header_.file_bytes;
 }

@@ -4,9 +4,12 @@
 // arbitrarily small chunks so a converter never has to materialize a
 // section before writing it; the crc32 is chained across chunks. The
 // header and section table are back-patched by finish(), which writes the
-// whole container to `path + ".tmp"` first and renames it into place —
-// a crashed or failed build can never leave a half-written file under
-// the real name.
+// whole container to `path + ".tmp"` first, fsyncs it, and only then
+// renames it into place (with a best-effort parent-directory fsync
+// after) — a crashed or failed build can never leave a half-written or
+// not-yet-durable file under the real name. Every write and the close
+// are checked, so ENOSPC and short writes surface as Af1Error(kIo)
+// instead of a truncated-but-published container.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,42 @@
+// Cooperative deadlines (util layer: no dependency above it).
+//
+// A Deadline is a steady_clock time_point; Deadline::max() means "none".
+// Long-running estimator loops (diffusion/dklr's block loop) call
+// check_deadline between blocks so an expired serving query stops
+// mid-flight — throwing DeadlineExceededError, which core/planner maps
+// to PlanStatus::kDeadlineExceeded — instead of burning a worker to the
+// end of an answer nobody is waiting for (DESIGN.md §13).
+#pragma once
+
+#include <chrono>
+#include <exception>
+
+namespace af {
+
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// The "no deadline" sentinel (matches QuerySpec::deadline's default).
+constexpr Deadline kNoDeadline = Deadline::max();
+
+/// Thrown by check_deadline; deliberately not derived from
+/// std::runtime_error so the planner's generic std::exception →
+/// kInternalError mapping can catch it *first* and map it to
+/// kDeadlineExceeded instead.
+class DeadlineExceededError : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "cooperative deadline exceeded";
+  }
+};
+
+inline bool deadline_passed(Deadline d) {
+  return d != kNoDeadline && std::chrono::steady_clock::now() >= d;
+}
+
+/// Throws DeadlineExceededError when `d` has passed.  The clock read is
+/// ~20ns; call between blocks of work, not per sample.
+inline void check_deadline(Deadline d) {
+  if (deadline_passed(d)) throw DeadlineExceededError();
+}
+
+}  // namespace af

@@ -1,0 +1,352 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace af::failpoint {
+
+namespace {
+
+// The authoritative failpoint catalog.  One line per site, sorted;
+// af_lint parses this block (between the begin/end markers) and checks
+// it against the names spelled at AF_FAILPOINT_* sites in src/.
+// af-failpoint-catalog-begin
+constexpr const char* kCatalog[] = {
+    "index.alias_build",
+    "index.alias_build_compact",
+    "numa.replica_build",
+    "planner.exec_transient",
+    "planner.pair_alloc",
+    "planner.pool_grow",
+    "server.worker_exec",
+    "storage.map_open",
+    "storage.read_validate",
+    "storage.writer_finish",
+    "storage.writer_write",
+};
+// af-failpoint-catalog-end
+
+/// FNV-1a over the site name: folds the name into the per-site seed so
+/// two sites armed at the same probability fire on unrelated hit sets.
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+namespace detail {
+
+/// Registry node.  The spec fields are atomics so fired() never blocks:
+/// arm() publishes with a release store on `mode` after writing n/p/seed,
+/// and fired() reads `mode` with acquire before the rest.  Counter
+/// resets during concurrent traffic are racy by design — arming is a
+/// quiesce-point operation in every intended use.
+struct Site {
+  std::atomic<int> mode{static_cast<int>(Mode::kOff)};
+  std::atomic<std::uint64_t> n{0};
+  std::atomic<std::uint64_t> p_bits{0};
+  std::atomic<std::uint64_t> seed{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::Site;
+
+/// Registry state.  std::map keeps node addresses stable (call sites
+/// cache Site*) and iterates in name order (stats(), determinism lint).
+struct Registry {
+  Mutex mu;
+  std::map<std::string, Site, std::less<>> sites AF_GUARDED_BY(mu);
+  std::uint64_t global_seed AF_GUARDED_BY(mu) = 0;
+};
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry();  // af-lint: raw-alloc (leaked singleton)
+    {
+      MutexLock lock(reg->mu);
+      for (const char* name : kCatalog) {
+        reg->sites.try_emplace(std::string(name));
+      }
+    }
+    return reg;
+  }();
+  return *r;
+}
+
+std::uint64_t site_seed_for(std::uint64_t global_seed, std::string_view name) {
+  return SplitMix64(global_seed ^ hash_name(name)).next();
+}
+
+void reset_site(Site& s, std::string_view name, std::uint64_t global_seed)
+    AF_NO_THREAD_SAFETY_ANALYSIS {
+  s.seed.store(site_seed_for(global_seed, name), std::memory_order_relaxed);
+  s.hits.store(0, std::memory_order_relaxed);
+  s.fires.store(0, std::memory_order_relaxed);
+}
+
+Site* find_or_register(std::string_view name) {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  auto it = reg.sites.find(name);
+  if (it == reg.sites.end()) {
+    it = reg.sites.try_emplace(std::string(name)).first;
+    reset_site(it->second, it->first, reg.global_seed);
+  }
+  return &it->second;
+}
+
+void arm_impl(std::string_view name, Spec spec);
+std::size_t apply_env_impl(const char* value);
+
+/// Applies AF_FAILPOINTS / AF_FAILPOINTS_SEED exactly once, lazily, the
+/// first time anything touches the registry (the cpu.cpp env idiom:
+/// getenv captured once, parse warnings emitted once).  The lambda must
+/// go through the *_impl entry points: the public arm()/apply_env()
+/// call back into install_env_once(), and std::call_once deadlocks when
+/// re-entered on its own flag from inside the active call.
+void install_env_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    if (const char* seed_text = std::getenv("AF_FAILPOINTS_SEED")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(seed_text, &end, 10);
+      if (end != seed_text && end != nullptr && *end == '\0') {
+        set_seed(static_cast<std::uint64_t>(v));
+      } else {
+        log_warn() << "AF_FAILPOINTS_SEED=\"" << seed_text
+                   << "\" is not a number; keeping seed 0.";
+      }
+    }
+    if (const char* spec_text = std::getenv("AF_FAILPOINTS")) {
+      apply_env_impl(spec_text);
+    }
+  });
+}
+
+void arm_impl(std::string_view name, Spec spec) {
+  Site* s = find_or_register(name);
+  std::uint64_t global_seed;
+  {
+    Registry& reg = registry();
+    MutexLock lock(reg.mu);
+    global_seed = reg.global_seed;
+  }
+  reset_site(*s, name, global_seed);
+  s->n.store(spec.n, std::memory_order_relaxed);
+  std::uint64_t p_bits;
+  static_assert(sizeof(p_bits) == sizeof(spec.p));
+  std::memcpy(&p_bits, &spec.p, sizeof(p_bits));
+  s->p_bits.store(p_bits, std::memory_order_relaxed);
+  s->mode.store(static_cast<int>(spec.mode), std::memory_order_release);
+}
+
+std::size_t apply_env_impl(const char* value) {
+  if (value == nullptr || value[0] == '\0') return 0;
+  std::size_t armed = 0;
+  std::string_view rest(value);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    Spec spec;
+    if (eq == std::string_view::npos || eq == 0 ||
+        !parse_spec(entry.substr(eq + 1), &spec)) {
+      log_warn() << "AF_FAILPOINTS entry \"" << std::string(entry)
+                 << "\" is malformed; expected name=on|off|once|n:<k>|p:<f>."
+                    " Skipping it.";
+      continue;
+    }
+    arm_impl(entry.substr(0, eq), spec);
+    ++armed;
+  }
+  return armed;
+}
+
+}  // namespace
+
+void arm(std::string_view name, Spec spec) {
+  install_env_once();
+  arm_impl(name, spec);
+}
+
+void disarm(std::string_view name) { arm(name, Spec{}); }
+
+void disarm_all() {
+  install_env_once();
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  for (auto& [name, site] : reg.sites) {
+    site.mode.store(static_cast<int>(Mode::kOff), std::memory_order_release);
+    reset_site(site, name, reg.global_seed);
+  }
+}
+
+void set_seed(std::uint64_t new_seed) {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  reg.global_seed = new_seed;
+  for (auto& [name, site] : reg.sites) {
+    reset_site(site, name, reg.global_seed);
+  }
+}
+
+std::uint64_t seed() {
+  install_env_once();
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  return reg.global_seed;
+}
+
+std::vector<SiteStats> stats() {
+  install_env_once();
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  std::vector<SiteStats> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [name, site] : reg.sites) {
+    SiteStats row;
+    row.name = name;
+    row.spec.mode =
+        static_cast<Mode>(site.mode.load(std::memory_order_acquire));
+    row.spec.n = site.n.load(std::memory_order_relaxed);
+    const std::uint64_t p_bits = site.p_bits.load(std::memory_order_relaxed);
+    std::memcpy(&row.spec.p, &p_bits, sizeof(row.spec.p));
+    row.hits = site.hits.load(std::memory_order_relaxed);
+    row.fires = site.fires.load(std::memory_order_relaxed);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::uint64_t hit_count(std::string_view name) {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  const auto it = reg.sites.find(name);
+  return it == reg.sites.end()
+             ? 0
+             : it->second.hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fire_count(std::string_view name) {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  const auto it = reg.sites.find(name);
+  return it == reg.sites.end()
+             ? 0
+             : it->second.fires.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string_view> catalog() {
+  std::vector<std::string_view> out;
+  out.reserve(std::size(kCatalog));
+  for (const char* name : kCatalog) out.emplace_back(name);
+  return out;
+}
+
+bool parse_spec(std::string_view text, Spec* out) {
+  if (out == nullptr) return false;
+  if (text == "on" || text == "always") {
+    *out = Spec{Mode::kAlways, 0, 0.0};
+    return true;
+  }
+  if (text == "off") {
+    *out = Spec{Mode::kOff, 0, 0.0};
+    return true;
+  }
+  if (text == "once") {
+    *out = Spec{Mode::kOnce, 0, 0.0};
+    return true;
+  }
+  if (text.size() > 2 && text.substr(0, 2) == "n:") {
+    const std::string digits(text.substr(2));
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(digits.c_str(), &end, 10);
+    if (end == digits.c_str() || *end != '\0' || v == 0) return false;
+    *out = Spec{Mode::kNth, static_cast<std::uint64_t>(v), 0.0};
+    return true;
+  }
+  if (text.size() > 2 && text.substr(0, 2) == "p:") {
+    const std::string digits(text.substr(2));
+    char* end = nullptr;
+    const double v = std::strtod(digits.c_str(), &end);
+    if (end == digits.c_str() || *end != '\0' || !(v >= 0.0) || v > 1.0) {
+      return false;
+    }
+    *out = Spec{Mode::kProb, 0, v};
+    return true;
+  }
+  return false;
+}
+
+std::size_t apply_env(const char* value) {
+  install_env_once();
+  return apply_env_impl(value);
+}
+
+namespace detail {
+
+Site* site(const char* name) {
+  install_env_once();
+  return find_or_register(name);
+}
+
+bool fired(Site& s) {
+  const std::uint64_t k = s.hits.fetch_add(1, std::memory_order_relaxed);
+  const Mode mode =
+      static_cast<Mode>(s.mode.load(std::memory_order_acquire));
+  bool fire = false;
+  switch (mode) {
+    case Mode::kOff:
+      return false;
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kOnce:
+      fire = k == 0;
+      break;
+    case Mode::kNth:
+      fire = k + 1 == s.n.load(std::memory_order_relaxed);
+      break;
+    case Mode::kProb: {
+      const std::uint64_t p_bits = s.p_bits.load(std::memory_order_relaxed);
+      double p;
+      std::memcpy(&p, &p_bits, sizeof(p));
+      // The decision for hit #k is a pure function of (site seed, k):
+      // replayable under any thread interleaving.  Same bijection +
+      // mix as stream_sample_seed.
+      const std::uint64_t word =
+          SplitMix64(s.seed.load(std::memory_order_relaxed) +
+                     0x9e3779b97f4a7c15ULL * (k + 1))
+              .next();
+      fire = static_cast<double>(word >> 11) * 0x1.0p-53 < p;
+      break;
+    }
+  }
+  if (fire) s.fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+}  // namespace detail
+
+}  // namespace af::failpoint

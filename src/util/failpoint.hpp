@@ -1,0 +1,145 @@
+// Named, compile-gated fault-injection registry (DESIGN.md §13).
+//
+// A failpoint is a named site in production code where a test or a chaos
+// run can ask "pretend this just failed".  Sites are spelled with the
+// AF_FAILPOINT_* macros below; each name lives in the authoritative
+// catalog in failpoint.cpp (af_lint enforces that source names are
+// unique and registered).  Arming is programmatic (`arm()`) or via the
+// environment:
+//
+//   AF_FAILPOINTS=planner.pair_alloc=p:0.01,storage.read_validate=once
+//   AF_FAILPOINTS_SEED=42
+//
+// Spec grammar per site: `on` (every hit) | `off` | `once` (first hit
+// after arming) | `n:<k>` (exactly the k-th hit after arming) | `p:<f>`
+// (each hit independently with probability f).
+//
+// Determinism: a probabilistic site's fire decision is a pure function
+// of (site seed, hit ordinal) — SplitMix64 keyed on the global seed, the
+// site name, and the per-site hit counter — so a chaos schedule replays
+// identically regardless of thread interleaving, and a crash report's
+// (seed, schedule) pair reproduces the exact fault sequence.
+//
+// Cost: the macros compile to nothing unless the build sets
+// AF_FAILPOINTS_ENABLED (CMake option AF_FAILPOINTS, OFF by default —
+// Release binaries carry zero overhead).  The registry TU itself is
+// always compiled so arm()/stats() stay linkable from tests that
+// GTEST_SKIP when the macros are compiled out.
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace af::failpoint {
+
+/// How an armed site decides to fire (see file comment for the grammar).
+enum class Mode : int { kOff = 0, kAlways, kOnce, kNth, kProb };
+
+/// An arming request: mode plus the mode's parameter (n for kNth, p for
+/// kProb; both ignored otherwise).
+struct Spec {
+  Mode mode = Mode::kOff;
+  std::uint64_t n = 0;
+  double p = 0.0;
+};
+
+/// One registered site's counters, as observed by stats().
+struct SiteStats {
+  std::string name;
+  Spec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// True when this build compiled the AF_FAILPOINT_* macros in.
+constexpr bool compiled_in() {
+#if defined(AF_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Arms `name` with `spec`, resetting its hit/fire counters so kOnce /
+/// kNth count from this arming.  Unknown names are registered on the
+/// fly (af_lint keeps *source* sites inside the catalog; tests may use
+/// scratch names).
+void arm(std::string_view name, Spec spec);
+
+/// Equivalent to arm(name, {kOff}).
+void disarm(std::string_view name);
+
+/// Disarms every registered site and clears all counters.
+void disarm_all();
+
+/// Reseeds deterministic firing and clears all counters.  The default
+/// seed is 0 unless AF_FAILPOINTS_SEED overrides it.
+void set_seed(std::uint64_t seed);
+std::uint64_t seed();
+
+/// Snapshot of every registered site, ordered by name.
+std::vector<SiteStats> stats();
+
+/// Counters for one site (0 if the name was never registered).
+std::uint64_t hit_count(std::string_view name);
+std::uint64_t fire_count(std::string_view name);
+
+/// The authoritative site catalog (sorted).  af_lint checks that the
+/// names spelled at AF_FAILPOINT_* sites in src/ equal this set.
+std::vector<std::string_view> catalog();
+
+/// Parses one spec token (`on`, `off`, `once`, `n:<k>`, `p:<f>`).
+/// Returns false (out untouched) on malformed input.
+bool parse_spec(std::string_view text, Spec* out);
+
+/// Applies an AF_FAILPOINTS-format string (`name=spec,name=spec,...`),
+/// arming each well-formed entry; malformed entries are skipped with a
+/// warning.  Returns the number of sites armed.
+std::size_t apply_env(const char* value);
+
+/// The compiled-out form of AF_FAILPOINT_FIRED: keeps the call site a
+/// real expression (no constant-folding warnings, name stays spelled)
+/// while guaranteeing zero work.
+constexpr bool never(const char* /*name*/) noexcept { return false; }
+
+namespace detail {
+
+struct Site;  // registry node; defined in failpoint.cpp
+
+/// Looks up (registering if absent) the site for `name`.  The returned
+/// pointer is stable for the process lifetime — call sites cache it in
+/// a function-local static.
+Site* site(const char* name);
+
+/// Records a hit on `s` and returns whether the armed spec fires.
+bool fired(Site& s);
+
+}  // namespace detail
+
+}  // namespace af::failpoint
+
+// AF_FAILPOINT_FIRED("layer.site") — evaluates to true when the named
+// failpoint is armed and fires on this hit.  The site pointer is cached
+// in a function-local static, so steady-state cost is one relaxed
+// fetch_add plus an acquire load.
+#if defined(AF_FAILPOINTS_ENABLED)
+#define AF_FAILPOINT_FIRED(name)                                          \
+  ([]() -> bool {                                                         \
+    static ::af::failpoint::detail::Site* af_fp_site =                    \
+        ::af::failpoint::detail::site(name);                              \
+    return ::af::failpoint::detail::fired(*af_fp_site);                   \
+  }())
+#else
+#define AF_FAILPOINT_FIRED(name) (::af::failpoint::never(name))
+#endif
+
+// AF_FAILPOINT_ALLOC("layer.site") — models an allocation failure: when
+// the site fires, throws std::bad_alloc so the injected fault exercises
+// exactly the code path a real OOM would take.
+#define AF_FAILPOINT_ALLOC(name)                       \
+  do {                                                 \
+    if (AF_FAILPOINT_FIRED(name)) throw std::bad_alloc(); \
+  } while (false)

@@ -1,0 +1,222 @@
+// Randomized fault-schedule chaos harness (DESIGN.md §13) — label
+// `stress`, so it runs on the TSan and failpoint CI legs, not tier-1.
+//
+// Every catalog failpoint is armed probabilistically and a serving
+// battery runs through plan_async while faults fire at arbitrary points
+// under the planner: allocation sites, pool growth, worker execution.
+// The contract under chaos:
+//
+//   1. every query resolves (no deadlock, no lost future — a hang trips
+//      the ctest timeout);
+//   2. failures are STRUCTURED: a status from the PlanStatus enum plus a
+//      message, never an escaped exception or a crash;
+//   3. every kOk answer is bit-identical to a fault-free sequential
+//      oracle — injected faults may degrade or reject, but they may
+//      never silently corrupt (the counter-stream contract survives
+//      shed-retry, transient retry, and replica sharing).
+//
+// The schedule replays: firing is a pure function of (seed, site, hit
+// ordinal), so AF_CHAOS_SEED=<n> reproduces a failing run exactly (the
+// TSan CI leg pins one). Storage chaos runs the writer → open →
+// revalidate path under injected I/O faults with the same rules.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+#include "storage/convert.hpp"
+#include "storage/mapped_dataset.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+namespace fp = af::failpoint;
+using storage::Af1Error;
+using storage::MappedDataset;
+using storage::write_container;
+
+/// AF_CHAOS_SEED pins one schedule (the CI replay knob); otherwise a
+/// few fixed seeds keep the run deterministic yet varied.
+std::vector<std::uint64_t> chaos_seeds() {
+  const char* env = std::getenv("AF_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {1, 2, 3};
+}
+
+Graph make_graph() {
+  Rng rng(11);
+  return barabasi_albert(80, 3, rng).build(WeightScheme::inverse_degree());
+}
+
+/// The k-th valid (s,t) pair, cycling. Distinct pairs keep the battery
+/// from collapsing into one coalesced execution.
+QuerySpec query_k(const Graph& g, std::size_t k) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const NodeId t = g.num_nodes() - 1 - s;
+    if (s == t || g.has_edge(s, t)) continue;
+    pairs.emplace_back(s, t);
+  }
+  const auto [s, t] = pairs[k % pairs.size()];
+  return {s, t, MaximizeSpec{.budget = 4, .realizations = 2'000}};
+}
+
+bool same_plan(const PlanResult& a, const PlanResult& b) {
+  return a.status == b.status &&
+         a.invitation.members() == b.invitation.members() &&
+         a.sample_coverage == b.sample_coverage;
+}
+
+/// Arms every serving-path site at probability `p` (the storage sites
+/// stay quiet here; StorageChaos drives them separately).
+void arm_serving_sites(double p) {
+  for (const char* name :
+       {"planner.pair_alloc", "planner.pool_grow", "planner.exec_transient",
+        "server.worker_exec", "numa.replica_build"}) {
+    fp::arm(name, {fp::Mode::kProb, 0, p});
+  }
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fp::compiled_in()) {
+      GTEST_SKIP() << "build has AF_FAILPOINTS=OFF; macros compiled out";
+    }
+    fp::disarm_all();
+  }
+  void TearDown() override {
+    fp::disarm_all();
+    fp::set_seed(0);
+  }
+};
+
+TEST_F(ChaosTest, ServingBatteryUnderRandomFaultsStaysStructuredAndExact) {
+  const Graph g = make_graph();
+  constexpr std::size_t kQueries = 64;
+
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE("AF_CHAOS_SEED=" + std::to_string(seed));
+    fp::set_seed(seed);
+
+    // Alias-build faults decide the planner's degradation state at
+    // construction; whatever state the schedule lands in, the oracle
+    // must be built into the SAME state — a degraded planner is
+    // deterministic against a degraded oracle (scan sampling consumes
+    // rng words differently from the alias index).
+    fp::arm("index.alias_build", {fp::Mode::kProb, 0, 0.25});
+    fp::arm("index.alias_build_compact", {fp::Mode::kProb, 0, 0.25});
+    arm_serving_sites(0.01);
+    PlannerOptions opts;
+    opts.threads = 2;
+    opts.async_workers = 2;
+    opts.async_queue_depth = kQueries + 8;
+    Planner chaos(g, opts);
+    const bool degraded = chaos.cache_stats().degraded_scan_index;
+
+    std::vector<std::future<PlanResult>> futures;
+    futures.reserve(kQueries);
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      futures.push_back(chaos.plan_async(query_k(g, i)));
+    }
+    std::vector<PlanResult> results;
+    results.reserve(kQueries);
+    for (auto& f : futures) results.push_back(f.get());  // #1: no hang
+
+    fp::disarm_all();
+    fp::arm("index.alias_build",
+            {degraded ? fp::Mode::kAlways : fp::Mode::kOff, 0, 0.0});
+    fp::arm("index.alias_build_compact",
+            {degraded ? fp::Mode::kAlways : fp::Mode::kOff, 0, 0.0});
+    Planner oracle(g, opts);
+    fp::disarm_all();
+    ASSERT_EQ(oracle.cache_stats().degraded_scan_index, degraded);
+
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      const PlanResult& r = results[i];
+      // #2: structured outcomes only.
+      ASSERT_TRUE(r.status == PlanStatus::kOk ||
+                  r.status == PlanStatus::kResourceExhausted ||
+                  r.status == PlanStatus::kOverloaded)
+          << "query " << i << " ended " << to_string(r.status) << ": "
+          << r.message;
+      if (r.status != PlanStatus::kOk) {
+        EXPECT_FALSE(r.message.empty()) << "failure without detail";
+        continue;
+      }
+      // #3: bit-identical to the fault-free sequential oracle.
+      ++ok;
+      EXPECT_TRUE(same_plan(r, oracle.plan(query_k(g, i))))
+          << "query " << i << " diverged from the oracle under chaos";
+    }
+    // p=0.01 across a handful of sites: the vast majority must succeed.
+    EXPECT_GT(ok, kQueries / 2) << "chaos schedule starved the battery";
+  }
+}
+
+TEST_F(ChaosTest, StorageChaosNeverPublishesOrServesATornContainer) {
+  const Graph g = make_graph();
+  const std::string path =
+      ::testing::TempDir() + "af_chaos_storage.af1";
+  constexpr int kRounds = 40;
+
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE("AF_CHAOS_SEED=" + std::to_string(seed));
+    fp::set_seed(seed);
+    std::remove(path.c_str());
+
+    for (int round = 0; round < kRounds; ++round) {
+      fp::arm("storage.writer_write", {fp::Mode::kProb, 0, 0.02});
+      fp::arm("storage.writer_finish", {fp::Mode::kProb, 0, 0.1});
+      fp::arm("storage.map_open", {fp::Mode::kProb, 0, 0.1});
+      fp::arm("storage.read_validate", {fp::Mode::kProb, 0, 0.05});
+
+      bool written = false;
+      try {
+        write_container(g, path);
+        written = true;
+      } catch (const Af1Error&) {
+        // Structured, and the temp file must not leak.
+        EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+      }
+      if (written) {
+        try {
+          const MappedDataset ds(path);
+          ds.revalidate();
+          EXPECT_EQ(ds.num_nodes(), g.num_nodes());
+        } catch (const Af1Error&) {
+          // Injected open/validate faults are fine; anything else —
+          // a crash, a non-Af1Error — fails the test by escaping.
+        }
+        std::remove(path.c_str());
+      }
+    }
+
+    // After the storm: with sites disarmed the same path works, proving
+    // chaos left no persistent wreckage behind.
+    fp::disarm_all();
+    write_container(g, path);
+    const MappedDataset ds(path);
+    ds.revalidate();
+    EXPECT_EQ(ds.num_nodes(), g.num_nodes());
+    EXPECT_EQ(ds.num_edges(), g.num_edges());
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace af

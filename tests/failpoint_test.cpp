@@ -1,0 +1,488 @@
+// Failpoint framework + graceful-degradation tests (DESIGN.md §13).
+//
+// Two tiers in one suite: the registry semantics (arming grammar, firing
+// modes, seeded determinism) are always-compiled and run in every build;
+// the injection tests — which need the AF_FAILPOINT_* macros live inside
+// production code — GTEST_SKIP unless the build sets -DAF_FAILPOINTS=ON,
+// so the default tier-1 run stays green without the instrumentation.
+//
+// The degradation contracts pinned here:
+//   allocation fault  → shed the pair caches, retry once, bit-identical
+//                       answer; persistent fault → kResourceExhausted
+//   alias-build fault → ScanSelectionSampler fallback, oracle-correct
+//   replica fault     → failed NUMA node shares a healthy copy
+//   deadline mid-run  → cooperative kDeadlineExceeded between blocks
+//   storage faults    → structured Af1Error, never a published torn file
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define AF_TEST_HAVE_TRUNCATE 1
+#endif
+
+#include "core/planner.hpp"
+#include "diffusion/index_replicas.hpp"
+#include "diffusion/instance.hpp"
+#include "diffusion/sampling_index.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+#include "storage/convert.hpp"
+#include "storage/mapped_dataset.hpp"
+#include "testutil.hpp"
+#include "util/numa.hpp"
+#include "util/rng.hpp"
+
+namespace af {
+namespace {
+
+namespace fp = af::failpoint;
+using storage::Af1Error;
+using storage::MappedDataset;
+using storage::write_container;
+
+/// Every test starts and ends with a quiescent registry so suites cannot
+/// leak armed sites into each other.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fp::disarm_all();
+    fp::set_seed(0);
+  }
+  void TearDown() override {
+    fp::disarm_all();
+    fp::set_seed(0);
+  }
+};
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "af_failpoint_" + name;
+}
+
+Graph make_graph() {
+  Rng rng(11);
+  return barabasi_albert(60, 3, rng).build(WeightScheme::inverse_degree());
+}
+
+/// A valid (s,t) query pair on make_graph() (distinct, not friends).
+QuerySpec make_query(const Graph& g) {
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const NodeId t = g.num_nodes() - 1 - s;
+    if (s == t || g.has_edge(s, t)) continue;
+    return {s, t, MaximizeSpec{.budget = 4, .realizations = 2'000}};
+  }
+  ADD_FAILURE() << "fixture graph has no valid pair";
+  return {0, 1, MaximizeSpec{.budget = 4, .realizations = 2'000}};
+}
+
+bool same_plan(const PlanResult& a, const PlanResult& b) {
+  return a.status == b.status &&
+         a.invitation.members() == b.invitation.members() &&
+         a.sample_coverage == b.sample_coverage;
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics — run in every build (the registry TU is always
+// compiled; only the production-site macros are gated).
+
+TEST_F(FailpointTest, ParseSpecAcceptsTheDocumentedGrammar) {
+  fp::Spec s;
+  EXPECT_TRUE(fp::parse_spec("on", &s));
+  EXPECT_EQ(s.mode, fp::Mode::kAlways);
+  EXPECT_TRUE(fp::parse_spec("always", &s));
+  EXPECT_EQ(s.mode, fp::Mode::kAlways);
+  EXPECT_TRUE(fp::parse_spec("off", &s));
+  EXPECT_EQ(s.mode, fp::Mode::kOff);
+  EXPECT_TRUE(fp::parse_spec("once", &s));
+  EXPECT_EQ(s.mode, fp::Mode::kOnce);
+  EXPECT_TRUE(fp::parse_spec("n:7", &s));
+  EXPECT_EQ(s.mode, fp::Mode::kNth);
+  EXPECT_EQ(s.n, 7u);
+  EXPECT_TRUE(fp::parse_spec("p:0.25", &s));
+  EXPECT_EQ(s.mode, fp::Mode::kProb);
+  EXPECT_DOUBLE_EQ(s.p, 0.25);
+
+  for (const char* bad :
+       {"", "maybe", "n:", "n:0", "n:x", "n:3x", "p:", "p:2", "p:-0.5",
+        "p:nope", "once extra"}) {
+    EXPECT_FALSE(fp::parse_spec(bad, &s)) << "accepted \"" << bad << '"';
+  }
+}
+
+TEST_F(FailpointTest, ApplyEnvArmsWellFormedEntriesAndSkipsTheRest) {
+  const std::size_t armed = fp::apply_env(
+      "planner.pair_alloc=once,bogus,storage.map_open=p:0.5,"
+      "numa.replica_build=n:nope");
+  EXPECT_EQ(armed, 2u);
+
+  bool saw_pair = false;
+  bool saw_open = false;
+  for (const fp::SiteStats& site : fp::stats()) {
+    if (site.name == "planner.pair_alloc") {
+      saw_pair = true;
+      EXPECT_EQ(site.spec.mode, fp::Mode::kOnce);
+    }
+    if (site.name == "storage.map_open") {
+      saw_open = true;
+      EXPECT_EQ(site.spec.mode, fp::Mode::kProb);
+      EXPECT_DOUBLE_EQ(site.spec.p, 0.5);
+    }
+    if (site.name == "numa.replica_build") {
+      EXPECT_EQ(site.spec.mode, fp::Mode::kOff);
+    }
+  }
+  EXPECT_TRUE(saw_pair);
+  EXPECT_TRUE(saw_open);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+// Regression: install_env_once()'s lambda used to call the public
+// apply_env/arm, which call install_env_once() — std::call_once
+// re-entered on its own flag deadlocks, so any process started with a
+// well-formed AF_FAILPOINTS entry hung at its first registry touch
+// (malformed-only values never reached arm and worked fine). The
+// threadsafe death test re-execs this binary with the env set, so the
+// child's very first registry touch walks the env-install path; with
+// the bug it hangs instead of exiting 0.
+TEST_F(FailpointTest, EnvInstallDoesNotDeadlockOnFirstRegistryTouch) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ::setenv("AF_FAILPOINTS", "planner.pool_grow=once", 1);
+  EXPECT_EXIT(
+      {
+        fp::arm("planner.pool_grow", fp::Spec{});
+        std::exit(fp::seed() == 0 ? 0 : 1);
+      },
+      ::testing::ExitedWithCode(0), "");
+  ::unsetenv("AF_FAILPOINTS");
+}
+#endif
+
+TEST_F(FailpointTest, FiringModesCountHitsFromArming) {
+  fp::detail::Site* site = fp::detail::site("planner.pair_alloc");
+
+  fp::arm("planner.pair_alloc", {fp::Mode::kOnce, 0, 0.0});
+  EXPECT_TRUE(fp::detail::fired(*site));
+  EXPECT_FALSE(fp::detail::fired(*site));
+  EXPECT_FALSE(fp::detail::fired(*site));
+
+  fp::arm("planner.pair_alloc", {fp::Mode::kNth, 3, 0.0});
+  EXPECT_FALSE(fp::detail::fired(*site));
+  EXPECT_FALSE(fp::detail::fired(*site));
+  EXPECT_TRUE(fp::detail::fired(*site));
+  EXPECT_FALSE(fp::detail::fired(*site));
+
+  fp::arm("planner.pair_alloc", {fp::Mode::kAlways, 0, 0.0});
+  EXPECT_TRUE(fp::detail::fired(*site));
+  EXPECT_TRUE(fp::detail::fired(*site));
+  EXPECT_EQ(fp::fire_count("planner.pair_alloc"), 2u);
+  EXPECT_EQ(fp::hit_count("planner.pair_alloc"), 2u);
+
+  fp::disarm("planner.pair_alloc");
+  EXPECT_FALSE(fp::detail::fired(*site));
+}
+
+TEST_F(FailpointTest, ProbabilisticFiringReplaysUnderTheSameSeed) {
+  fp::detail::Site* site = fp::detail::site("server.worker_exec");
+  constexpr int kHits = 256;
+
+  const auto pattern = [&] {
+    fp::arm("server.worker_exec", {fp::Mode::kProb, 0, 0.5});
+    std::vector<bool> fires;
+    fires.reserve(kHits);
+    for (int i = 0; i < kHits; ++i) fires.push_back(fp::detail::fired(*site));
+    return fires;
+  };
+
+  fp::set_seed(42);
+  const std::vector<bool> first = pattern();
+  fp::set_seed(42);
+  const std::vector<bool> replay = pattern();
+  EXPECT_EQ(first, replay);
+
+  const auto fires =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, static_cast<std::size_t>(kHits));
+
+  fp::set_seed(43);
+  EXPECT_NE(pattern(), first) << "seed is not keying the fire decisions";
+}
+
+TEST_F(FailpointTest, CatalogIsSortedAndCoversTheKnownSites) {
+  const std::vector<std::string_view> names = fp::catalog();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  for (const std::string_view required :
+       {"planner.pair_alloc", "index.alias_build", "numa.replica_build",
+        "server.worker_exec", "storage.read_validate",
+        "storage.writer_finish"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), required) !=
+                names.end())
+        << "catalog lost " << required;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Injection through production code — needs -DAF_FAILPOINTS=ON.
+
+#define AF_REQUIRE_FAILPOINTS()                                        \
+  if (!fp::compiled_in()) {                                            \
+    GTEST_SKIP() << "build has AF_FAILPOINTS=OFF; macros compiled out"; \
+  }
+
+TEST_F(FailpointTest, AllocationFaultShedsCachesAndRecoversBitIdentical) {
+  AF_REQUIRE_FAILPOINTS();
+  const Graph g = make_graph();
+  const QuerySpec q = make_query(g);
+
+  Planner clean(g, {});
+  const PlanResult expect = clean.plan(q);
+  ASSERT_EQ(expect.status, PlanStatus::kOk);
+
+  Planner faulty(g, {});
+  fp::arm("planner.pair_alloc", {fp::Mode::kOnce, 0, 0.0});
+  const PlanResult healed = faulty.plan(q);
+  EXPECT_EQ(healed.status, PlanStatus::kOk);
+  EXPECT_TRUE(same_plan(expect, healed))
+      << "shed-and-retry changed the answer";
+  EXPECT_EQ(faulty.serving_stats().shed_retries, 1u);
+  EXPECT_EQ(faulty.serving_stats().resource_exhausted, 0u);
+}
+
+TEST_F(FailpointTest, PersistentAllocationFaultIsResourceExhausted) {
+  AF_REQUIRE_FAILPOINTS();
+  const Graph g = make_graph();
+  Planner planner(g, {});
+  fp::arm("planner.pair_alloc", {fp::Mode::kAlways, 0, 0.0});
+  const PlanResult r = planner.plan(make_query(g));
+  EXPECT_EQ(r.status, PlanStatus::kResourceExhausted);
+  EXPECT_FALSE(r.message.empty());
+  EXPECT_EQ(planner.serving_stats().shed_retries, 1u);
+  EXPECT_EQ(planner.serving_stats().resource_exhausted, 1u);
+
+  fp::disarm("planner.pair_alloc");
+  EXPECT_EQ(planner.plan(make_query(g)).status, PlanStatus::kOk);
+}
+
+TEST_F(FailpointTest, AliasBuildFaultFallsBackToScanWithCorrectAnswers) {
+  AF_REQUIRE_FAILPOINTS();
+  const test::ParallelPathFixture fx = test::ParallelPathFixture::make(2, 2);
+
+  fp::arm("index.alias_build", {fp::Mode::kAlways, 0, 0.0});
+  fp::arm("index.alias_build_compact", {fp::Mode::kAlways, 0, 0.0});
+  Planner degraded(fx.graph, {});
+  Planner degraded_twin(fx.graph, {});
+  fp::disarm_all();
+
+  const PlannerCacheStats stats = degraded.cache_stats();
+  EXPECT_TRUE(stats.degraded_scan_index);
+  EXPECT_EQ(stats.index_bytes_per_slot, 0.0);
+
+  // Budget 3 affords t plus both t-side intermediates, which achieves
+  // the ceiling f = p_max = (1/2)^(len−1) = 0.5 exactly. The scan
+  // fallback consumes rng words differently from the alias index, so
+  // the oracle is the analytic optimum plus a degraded twin — not the
+  // clean run.
+  QuerySpec q{fx.s, fx.t,
+              MaximizeSpec{.budget = 3, .realizations = 4'000}};
+  const PlanResult a = degraded.plan(q);
+  const PlanResult b = degraded_twin.plan(q);
+  ASSERT_EQ(a.status, PlanStatus::kOk);
+  EXPECT_TRUE(same_plan(a, b)) << "degraded planners diverged";
+
+  const FriendingInstance inst(fx.graph, fx.s, fx.t);
+  EXPECT_NEAR(test::exact_f(inst, a.invitation), fx.pmax(), 1e-12);
+}
+
+TEST_F(FailpointTest, ReplicaBuildFaultDegradesThatNodeToSharing) {
+  AF_REQUIRE_FAILPOINTS();
+  const Graph g = make_graph();
+  const NumaTopology two_nodes{.node_cpus = {{0}, {1}}};
+  const IndexReplicas::Factory factory = [&g] {
+    return std::unique_ptr<const SelectionSampler>(
+        std::make_unique<SamplingIndex>(g, SimdLevel::kScalar));
+  };
+
+  // Two builder threads race to the counter; exactly one of the two
+  // hits is the second, so exactly one node's build fails.
+  fp::arm("numa.replica_build", {fp::Mode::kNth, 2, 0.0});
+  const IndexReplicas degraded(factory, two_nodes);
+  EXPECT_EQ(degraded.count(), 1u);
+  EXPECT_EQ(degraded.build_failures(), 1u);
+  EXPECT_EQ(&degraded.local(), &degraded.primary())
+      << "failed node must alias the surviving replica";
+
+  // Every node failing IS an out-of-memory condition.
+  fp::arm("numa.replica_build", {fp::Mode::kAlways, 0, 0.0});
+  EXPECT_THROW(IndexReplicas(factory, two_nodes), std::bad_alloc);
+}
+
+TEST_F(FailpointTest, InjectedWorkerFaultIsRetriedTransparently) {
+  AF_REQUIRE_FAILPOINTS();
+  const Graph g = make_graph();
+  PlannerOptions opts;
+  opts.threads = 2;
+  opts.async_workers = 1;
+  Planner planner(g, opts);
+
+  fp::arm("server.worker_exec", {fp::Mode::kOnce, 0, 0.0});
+  const PlanResult r = planner.plan_async(make_query(g)).get();
+  EXPECT_EQ(r.status, PlanStatus::kOk);
+  EXPECT_EQ(planner.serving_stats().transient_retries, 1u);
+}
+
+TEST_F(FailpointTest, WriteFaultSurfacesAsIoErrorAndPublishesNothing) {
+  AF_REQUIRE_FAILPOINTS();
+  const std::string path = temp_path("write_fault.af1");
+  fp::arm("storage.writer_write", {fp::Mode::kOnce, 0, 0.0});
+  EXPECT_THROW(
+      {
+        try {
+          write_container(make_graph(), path);
+        } catch (const Af1Error& e) {
+          EXPECT_EQ(e.code(), Af1Error::Code::kIo);
+          throw;
+        }
+      },
+      Af1Error);
+  EXPECT_FALSE(std::ifstream(path).good()) << "torn container published";
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good()) << "tmp file leaked";
+}
+
+TEST_F(FailpointTest, FsyncFaultRefusesToPublishTheContainer) {
+  AF_REQUIRE_FAILPOINTS();
+  const std::string path = temp_path("fsync_fault.af1");
+  fp::arm("storage.writer_finish", {fp::Mode::kOnce, 0, 0.0});
+  EXPECT_THROW(write_container(make_graph(), path), Af1Error);
+  EXPECT_FALSE(std::ifstream(path).good())
+      << "published a container of unknown durability";
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good()) << "tmp file leaked";
+}
+
+TEST_F(FailpointTest, MapOpenFaultIsStructured) {
+  AF_REQUIRE_FAILPOINTS();
+  const std::string path = temp_path("open_fault.af1");
+  write_container(make_graph(), path);
+
+  fp::arm("storage.map_open", {fp::Mode::kOnce, 0, 0.0});
+  EXPECT_THROW(
+      {
+        try {
+          MappedDataset ds(path);
+        } catch (const Af1Error& e) {
+          EXPECT_EQ(e.code(), Af1Error::Code::kIo);
+          throw;
+        }
+      },
+      Af1Error);
+  EXPECT_NO_THROW(MappedDataset{path});
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, InjectedRotFailsValidationAndRevalidation) {
+  AF_REQUIRE_FAILPOINTS();
+  const std::string path = temp_path("rot_fault.af1");
+  write_container(make_graph(), path);
+
+  fp::arm("storage.read_validate", {fp::Mode::kOnce, 0, 0.0});
+  EXPECT_THROW(
+      {
+        try {
+          MappedDataset ds(path);
+        } catch (const Af1Error& e) {
+          EXPECT_EQ(e.code(), Af1Error::Code::kBadChecksum);
+          throw;
+        }
+      },
+      Af1Error);
+
+  fp::disarm_all();
+  MappedDataset ds(path);
+  EXPECT_NO_THROW(ds.revalidate());
+  fp::arm("storage.read_validate", {fp::Mode::kOnce, 0, 0.0});
+  EXPECT_THROW(
+      {
+        try {
+          ds.revalidate();
+        } catch (const Af1Error& e) {
+          EXPECT_EQ(e.code(), Af1Error::Code::kBadChecksum);
+          throw;
+        }
+      },
+      Af1Error);
+  fp::disarm_all();
+  EXPECT_NO_THROW(ds.revalidate());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Real-fault counterparts — no failpoints needed, run in every build.
+
+TEST_F(FailpointTest, DeadlinePassingMidFlightCancelsBetweenBlocks) {
+  const Graph g = make_graph();
+  Planner planner(g, {});
+  QuerySpec q = make_query(g);
+  // Expensive enough (millions of walks) that the 10ms deadline — which
+  // comfortably survives the up-front admission check — always passes
+  // between sampling blocks, exercising the cooperative path.
+  q.mode = MaximizeSpec{.budget = 4, .realizations = 4'000'000};
+  q.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+  const PlanResult r = planner.plan(q);
+  EXPECT_EQ(r.status, PlanStatus::kDeadlineExceeded);
+  EXPECT_EQ(planner.serving_stats().expired_mid_flight, 1u);
+
+  // The abandoned partial pool is a valid stream prefix: the same query
+  // without a deadline completes and matches a fresh planner bit for bit.
+  q.deadline = std::chrono::steady_clock::time_point::max();
+  q.mode = MaximizeSpec{.budget = 4, .realizations = 2'000};
+  Planner fresh(g, {});
+  const PlanResult resumed = planner.plan(q);
+  ASSERT_EQ(resumed.status, PlanStatus::kOk);
+  EXPECT_TRUE(same_plan(resumed, fresh.plan(q)));
+}
+
+#if defined(AF_TEST_HAVE_TRUNCATE)
+TEST_F(FailpointTest, TruncationUnderTheActiveMapIsStructured) {
+  const std::string path = temp_path("truncated_live.af1");
+  Rng rng(7);
+  const Graph big =
+      barabasi_albert(2'000, 5, rng).build(WeightScheme::inverse_degree());
+  write_container(big, path);
+
+  MappedDataset ds(path);
+  ASSERT_GT(ds.file_bytes(), 2u * 4096u) << "fixture too small to truncate";
+  EXPECT_NO_THROW(ds.revalidate());
+
+  // Truncate the file under the live mapping: the vanished pages fault
+  // on access, and the SIGBUS guard must convert that into a structured
+  // error instead of a process kill.
+  ASSERT_EQ(::truncate(path.c_str(), 4096), 0);
+  EXPECT_THROW(
+      {
+        try {
+          ds.revalidate();
+        } catch (const Af1Error& e) {
+          EXPECT_EQ(e.code(), Af1Error::Code::kTruncated);
+          throw;
+        }
+      },
+      Af1Error);
+  std::remove(path.c_str());
+}
+#endif  // AF_TEST_HAVE_TRUNCATE
+
+}  // namespace
+}  // namespace af

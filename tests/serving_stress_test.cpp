@@ -91,11 +91,25 @@ TEST(ServingStress, DestructionMidFlightResolvesEveryFuture) {
         }
       });
     }
-    // Producers only submit (microseconds each); join them, then destroy
-    // the planner while the bulk of the round's work is still queued or
-    // executing. Outstanding futures must resolve with kShutdown, not
-    // dangle; in-flight queries finish with real results.
+    // Producers only submit (microseconds each); join them, wait until at
+    // least one query has actually completed (on an oversubscribed CI
+    // machine the workers may not have been scheduled at all yet), then
+    // destroy the planner while the bulk of the round's work is still
+    // queued or executing. Outstanding futures must resolve with
+    // kShutdown, not dangle; in-flight queries finish with real results.
     for (auto& t : producers) t.join();
+    const auto one_done = [&] {
+      for (auto& per_producer : futures)
+        for (auto& f : per_producer)
+          if (f.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready)
+            return true;
+      return false;
+    };
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!one_done() && std::chrono::steady_clock::now() < give_up)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     planner.reset();
 
     for (auto& per_producer : futures) {

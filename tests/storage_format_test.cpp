@@ -15,6 +15,13 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#else
+#include <process.h>
+#define getpid _getpid
+#endif
+
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/weights.hpp"
@@ -31,8 +38,16 @@ Graph small_graph() {
                                             &rng);
 }
 
+/// Per-process fixture paths: gtest_discover_tests runs every TEST as
+/// its own ctest entry (= process), and a parallel ctest runs them
+/// concurrently. A shared golden path would make one process's
+/// SetUpTestSuite rewrite the container (and its writer temp file)
+/// under another process's live mapping — the exact
+/// change-under-active-map hazard DESIGN.md §13 defends against,
+/// faulting the *test*, not the code under test.
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "af1_format_" + name;
+  static const std::string tag = std::to_string(::getpid());
+  return ::testing::TempDir() + "af1_format_" + tag + "_" + name;
 }
 
 std::vector<unsigned char> read_all(const std::string& path) {

@@ -6,6 +6,13 @@
 // cold-start path a pure latency optimization, never a correctness one.
 #include <gtest/gtest.h>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#else
+#include <process.h>
+#define getpid _getpid
+#endif
+
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -33,8 +40,12 @@ Graph fixture_graph() {
       WeightScheme::random_normalized(0.9), &rng);
 }
 
+/// Per-process container path: every discovered TEST is its own ctest
+/// process, and a parallel ctest run lets one process rewrite the
+/// container under another's live mapping if they share a path.
 std::string container_path() {
-  return ::testing::TempDir() + "af1_roundtrip.af1";
+  static const std::string tag = std::to_string(::getpid());
+  return ::testing::TempDir() + "af1_roundtrip_" + tag + ".af1";
 }
 
 template <typename T>

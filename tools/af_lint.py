@@ -26,6 +26,11 @@ Rules (waiver comment, on the same or the previous line):
   raw-alloc      new[]/malloc/calloc/realloc outside util/ — raw buffers
                  dodge the sized-accounting and hugepage paths and are a
                  lifetime audit burden.        (waiver: af-lint: raw-alloc)
+  failpoint      AF_FAILPOINT_* site names must be lowercase
+                 <layer>.<site> and, across a full src/ lint, must match
+                 the authoritative catalog in util/failpoint.cpp exactly
+                 (registered, no dead catalog entries, no name reused by
+                 a second file).              (waiver: af-lint: failpoint)
 
 Usage:
   af_lint.py [--root DIR] [PATHS...]   lint src/ (or PATHS) under DIR
@@ -45,7 +50,8 @@ import sys
 
 EXTENSIONS = (".hpp", ".cpp", ".h", ".cc", ".cxx", ".hxx")
 
-RULES = ("rng", "unordered-iter", "ptr-order", "float-order", "raw-alloc")
+RULES = ("rng", "unordered-iter", "ptr-order", "float-order", "raw-alloc",
+         "failpoint")
 
 WAIVER_FOR_RULE = {
     "rng": "rng",
@@ -53,6 +59,7 @@ WAIVER_FOR_RULE = {
     "ptr-order": "ptr-order",
     "float-order": "ordered",
     "raw-alloc": "raw-alloc",
+    "failpoint": "failpoint",
 }
 
 
@@ -175,6 +182,43 @@ RAW_ALLOC_PATTERNS = [
      "C allocation"),
 ]
 
+# Failpoint sites: the name is a string literal (blanked from Line.code),
+# so the match runs over the RAW line, gated on the macro name surviving
+# in code for that line (mentions inside comments must not fire).
+FAILPOINT_SITE_RE = re.compile(r'\bAF_FAILPOINT\w*\s*\(\s*"([^"]*)"')
+FAILPOINT_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+FAILPOINT_CATALOG_PATH = os.path.join("src", "util", "failpoint.cpp")
+FAILPOINT_CATALOG_BEGIN = "af-failpoint-catalog-begin"
+FAILPOINT_CATALOG_END = "af-failpoint-catalog-end"
+
+
+def failpoint_sites(text):
+    """Returns [(lineno, name)] for every AF_FAILPOINT_* site in `text`
+    whose macro invocation is real code (not commentary)."""
+    code_by_num = {ln.num: ln.code for ln in split_code_comments(text)}
+    sites = []
+    for num, raw in enumerate(text.splitlines(), 1):
+        if "AF_FAILPOINT" not in code_by_num.get(num, ""):
+            continue
+        for m in FAILPOINT_SITE_RE.finditer(raw):
+            sites.append((num, m.group(1)))
+    return sites
+
+
+def parse_failpoint_catalog(text):
+    """The names listed between the catalog markers in failpoint.cpp."""
+    names = set()
+    inside = False
+    for raw in text.splitlines():
+        if FAILPOINT_CATALOG_BEGIN in raw:
+            inside = True
+            continue
+        if FAILPOINT_CATALOG_END in raw:
+            break
+        if inside:
+            names.update(re.findall(r'"([^"]+)"', raw))
+    return names
+
 
 def is_under_util(relpath):
     parts = relpath.replace("\\", "/").split("/")
@@ -250,6 +294,12 @@ def lint_file(path, relpath, text):
                     add(ln, "raw-alloc",
                         f"{what}: use std containers / util allocators")
 
+    for num, name in failpoint_sites(text):
+        if not FAILPOINT_NAME_RE.match(name):
+            findings.append(
+                (num, "failpoint",
+                 f'failpoint name "{name}" is not lowercase <layer>.<site>'))
+
     # Dedup identical (line, rule) pairs (several patterns can fire on
     # one line) and honor waivers on the same or the previous line.
     waivers = {}  # lineno -> set of waiver tokens
@@ -283,8 +333,44 @@ def iter_source_files(root, paths):
                     yield os.path.join(dirpath, fn)
 
 
+def check_failpoint_registry(root, used_sites):
+    """Cross-file failpoint pass: every site name used in the linted tree
+    must be in failpoint.cpp's catalog, every catalog entry must have a
+    live site, and no name may be spelled by two different files (a
+    copy-pasted name makes two unrelated faults indistinguishable).
+    `used_sites` maps name -> {relpath: first lineno}.  Skipped when the
+    catalog file is absent (partial lints of other trees)."""
+    catalog_path = os.path.join(root, FAILPOINT_CATALOG_PATH)
+    if not os.path.isfile(catalog_path):
+        return 0
+    with open(catalog_path, "r", encoding="utf-8", errors="replace") as f:
+        catalog = parse_failpoint_catalog(f.read())
+    failures = 0
+    for name, locs in sorted(used_sites.items()):
+        first_rel = min(locs)
+        first_line = locs[first_rel]
+        if name not in catalog:
+            print(f"{first_rel}:{first_line}: [failpoint] site "
+                  f'"{name}" is not in the catalog in '
+                  f"{FAILPOINT_CATALOG_PATH}")
+            failures += 1
+        if len(locs) > 1:
+            others = ", ".join(sorted(set(locs) - {first_rel}))
+            print(f"{first_rel}:{first_line}: [failpoint] site "
+                  f'"{name}" is also spelled in {others}; failpoint '
+                  f"names are one-file-one-name")
+            failures += 1
+    for name in sorted(catalog - set(used_sites)):
+        print(f"{FAILPOINT_CATALOG_PATH}: [failpoint] catalog entry "
+              f'"{name}" has no AF_FAILPOINT_* site in the linted tree')
+        failures += 1
+    return failures
+
+
 def run_lint(root, paths):
     failures = 0
+    used_sites = {}  # failpoint name -> {relpath: first lineno}
+    lint_failpoint_home = False
     for ap in sorted(set(iter_source_files(root, paths))):
         rel = os.path.relpath(ap, root)
         with open(ap, "r", encoding="utf-8", errors="replace") as f:
@@ -292,6 +378,16 @@ def run_lint(root, paths):
         for num, rule, message in lint_file(ap, rel, text):
             print(f"{rel}:{num}: [{rule}] {message}")
             failures += 1
+        for num, name in failpoint_sites(text):
+            used_sites.setdefault(name, {}).setdefault(rel, num)
+        if rel.replace("\\", "/") == FAILPOINT_CATALOG_PATH.replace(
+                "\\", "/"):
+            lint_failpoint_home = True
+    # The registry cross-check only makes sense for a lint run that saw
+    # the whole instrumented tree; a single-file lint must not report
+    # every other catalog entry as dead.
+    if lint_failpoint_home:
+        failures += check_failpoint_registry(root, used_sites)
     if failures:
         print(f"af_lint: {failures} finding(s). Waive with a reviewed "
               f"'// af-lint: <token>' comment (DESIGN.md §12).",

@@ -1,0 +1,30 @@
+// af_lint fixture: the `failpoint` rule (site-name hygiene). Names at
+// AF_FAILPOINT_* sites must be lowercase <layer>.<site> so the catalog,
+// the AF_FAILPOINTS env grammar, and crash-report schedules all agree on
+// one spelling. `// expect: <rule>` marks lines the linter must flag;
+// waived and clean sections must stay silent. Never compiled — pattern
+// food only. (The cross-file catalog checks run only on full src/ lints,
+// not in fixture mode.)
+
+void positive_cases() {
+  if (AF_FAILPOINT_FIRED("BadName")) {}               // expect: failpoint
+  AF_FAILPOINT_ALLOC("nolayerseparator");             // expect: failpoint
+  if (AF_FAILPOINT_FIRED("layer.MixedCase")) {}       // expect: failpoint
+  if (AF_FAILPOINT_FIRED("layer..site")) {}           // expect: failpoint
+  if (AF_FAILPOINT_FIRED("layer.site-dash")) {}       // expect: failpoint
+  if (AF_FAILPOINT_FIRED("")) {}                      // expect: failpoint
+}
+
+void waived_cases() {
+  // af-lint: failpoint — migration shim keeps a legacy spelling alive.
+  if (AF_FAILPOINT_FIRED("Legacy.Spelling")) {}
+}
+
+void clean_cases() {
+  if (AF_FAILPOINT_FIRED("storage.writer_write")) {}
+  AF_FAILPOINT_ALLOC("planner.pair_alloc");
+  if (AF_FAILPOINT_FIRED("a.b.c_3")) {}  // deeper nesting is fine
+  // Mentions in comments must not fire: AF_FAILPOINT_FIRED("NotASite").
+  const char* doc = "see AF_FAILPOINT_FIRED docs";  // nor in strings
+  (void)doc;
+}
